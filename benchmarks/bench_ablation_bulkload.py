@@ -1,0 +1,110 @@
+"""Ablation D — STR bulk load vs dynamic insertion (index quality).
+
+The parallel R-tree creation path clusters subtrees with STR packing; the
+alternative is one-at-a-time dynamic insertion (what base-table DML uses).
+This bench compares the two on build cost and on query cost over the same
+window workload, plus node count (packing density).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable
+from repro.engine.parallel import WorkerContext
+from repro.geometry.mbr import MBR
+from repro.index.rtree.bulkload import str_pack
+from repro.index.rtree.rtree import RTree
+
+QUERIES = 200
+
+
+def run_bulkload_ablation(workload):
+    db = workload.db
+    entries = []
+    for rowid, row in db.table("counties").scan():
+        entries.append((row[1].mbr, rowid))
+
+    build_ctx = WorkerContext(0)
+    packed = str_pack(entries, fanout=32, ctx=build_ctx)
+    packed_build_s = build_ctx.meter.seconds(db.cost_model)
+
+    dyn_ctx = WorkerContext(0)
+    dynamic = RTree(fanout=32)
+    for mbr, rowid in entries:
+        dynamic.insert(mbr, rowid, dyn_ctx)
+    dynamic_build_s = dyn_ctx.meter.seconds(db.cost_model)
+
+    # Same window workload against both trees.
+    total = packed.mbr
+    queries = []
+    for i in range(QUERIES):
+        fx = (i * 37 % 100) / 100.0
+        fy = (i * 61 % 100) / 100.0
+        w = total.width * 0.05
+        h = total.height * 0.05
+        x = total.min_x + fx * (total.width - w)
+        y = total.min_y + fy * (total.height - h)
+        queries.append(MBR(x, y, x + w, y + h))
+
+    def query_cost(tree):
+        ctx = WorkerContext(0)
+        hits = 0
+        for q in queries:
+            hits += sum(1 for _ in tree.search(q, ctx))
+        return ctx.meter.seconds(db.cost_model), hits
+
+    packed_q_s, packed_hits = query_cost(packed)
+    dynamic_q_s, dynamic_hits = query_cost(dynamic)
+    assert packed_hits == dynamic_hits
+
+    return [
+        {
+            "method": "STR bulk load",
+            "build_s": packed_build_s,
+            "query_s": packed_q_s,
+            "nodes": packed.node_count(),
+            "height": packed.height,
+        },
+        {
+            "method": "dynamic insert",
+            "build_s": dynamic_build_s,
+            "query_s": dynamic_q_s,
+            "nodes": dynamic.node_count(),
+            "height": dynamic.height,
+        },
+    ]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_bulkload_vs_dynamic(benchmark, counties_workload):
+    rows = benchmark.pedantic(
+        run_bulkload_ablation, args=(counties_workload,), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        experiment="ablation_bulkload",
+        title="Ablation D — STR bulk load vs dynamic insertion",
+        columns=[
+            "method", "build (sim s)", f"{QUERIES} windows (sim s)",
+            "nodes", "height",
+        ],
+        paper_note=(
+            "parallel R-tree creation clusters subtrees (STR-style packing) "
+            "rather than inserting one row at a time"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row["method"], row["build_s"], row["query_s"], row["nodes"],
+            row["height"],
+        )
+    table.emit()
+
+    packed, dynamic = rows
+    assert packed["build_s"] < dynamic["build_s"], "bulk load must build faster"
+    assert packed["nodes"] <= dynamic["nodes"], "packing must be denser"
+    assert packed["query_s"] <= dynamic["query_s"] * 1.2, (
+        "packed tree must not be materially worse for queries"
+    )
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,77 @@
+"""Ablation C — subtree descent depth vs parallel balance (paper §4.1).
+
+"In general, we descend both trees as far below as to get appropriate
+number of subtree-joins."  Too shallow a descent starves slaves of work
+units; deeper descents balance better at the cost of more (cheaper) units.
+This bench sweeps the forced descent level for a degree-4 join.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable
+from repro.engine.parallel import SimulatedExecutor
+from repro.core.parallel_join import parallel_spatial_join
+from repro.core.subtree import pick_descent_level
+
+DEGREE = 4
+
+
+def run_descent_ablation(workload):
+    db = workload.db
+    table = db.table("counties")
+    tree = db.spatial_index("counties_sidx").tree
+    reference = None
+    rows = []
+    max_level = min(3, tree.root.level)
+    for level in range(0, max_level + 1):
+        result = parallel_spatial_join(
+            table, "geom", tree, table, "geom", tree,
+            SimulatedExecutor(DEGREE, db.cost_model),
+            descent_levels=(level, level),
+        )
+        if reference is None:
+            reference = sorted(result.pairs)
+        assert sorted(result.pairs) == reference
+        rows.append(
+            {
+                "level": level,
+                "pairs": result.subtree_pair_count,
+                "makespan_s": result.makespan_seconds,
+                "imbalance": result.run.imbalance,
+            }
+        )
+    auto = pick_descent_level(tree, tree, DEGREE)
+    return rows, auto
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_descent_level(benchmark, counties_workload):
+    rows, auto = benchmark.pedantic(
+        run_descent_ablation, args=(counties_workload,), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        experiment="ablation_descent_level",
+        title=f"Ablation C — descent level for a degree-{DEGREE} parallel join",
+        columns=["descent level", "subtree pairs", "makespan (sim s)", "imbalance"],
+        paper_note=(
+            "descend both trees until the number of subtree joins is "
+            f"appropriate for the parallel degree (auto-picked: {auto})"
+        ),
+    )
+    for row in rows:
+        table.add_row(row["level"], row["pairs"], row["makespan_s"], row["imbalance"])
+    table.emit()
+
+    # Level 0 = a single work unit: one slave does everything, so the
+    # makespan cannot beat deeper decompositions.
+    assert rows[0]["pairs"] == 1
+    best = min(row["makespan_s"] for row in rows)
+    assert rows[0]["makespan_s"] >= best
+    # The auto-picked level must be competitive with the best forced level.
+    auto_row = next((r for r in rows if r["level"] == auto[0]), None)
+    if auto_row is not None:
+        assert auto_row["makespan_s"] <= rows[0]["makespan_s"]
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,84 @@
+"""Figure 1 — joining two spatial indexes via subtree-pair decomposition.
+
+The paper's Figure 1 shows two R-trees rooted at R1 and S1; descending one
+level yields subtrees R11, R12 and S11, S12 and the parallel join operates
+on the pairs (R11,S11), (R11,S12), (R12,S11), (R12,S12).
+
+This bench regenerates the figure as data: it verifies that the level-k
+cross product of subtree roots is the unit of parallel distribution —
+every decomposition level yields the same join result, while deeper
+descents give more (smaller) independent work units and therefore better
+parallel balance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable
+from repro.engine.parallel import SimulatedExecutor
+from repro.core.parallel_join import parallel_spatial_join
+
+
+def run_figure1(workload):
+    db = workload.db
+    table = db.table("counties")
+    tree = db.spatial_index("counties_sidx").tree
+    baseline = db.spatial_join("counties", "geom", "counties", "geom")
+
+    rows = []
+    for level in range(0, min(3, tree.root.level) + 1):
+        result = parallel_spatial_join(
+            table, "geom", tree, table, "geom", tree,
+            SimulatedExecutor(4, db.cost_model),
+            descent_levels=(level, level),
+        )
+        assert sorted(result.pairs) == sorted(baseline.pairs)
+        rows.append(
+            {
+                "level": level,
+                "subtrees_per_side": len(tree.subtree_roots(level)),
+                "subtree_pairs": result.subtree_pair_count,
+                "makespan_s": result.makespan_seconds,
+                "imbalance": result.run.imbalance,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_subtree_pair_decomposition(benchmark, counties_workload):
+    rows = benchmark.pedantic(
+        run_figure1, args=(counties_workload,), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        experiment="figure1",
+        title="Figure 1 — subtree-pair decomposition (degree-4 join)",
+        columns=[
+            "descent level", "subtrees/side", "subtree pairs",
+            "makespan (sim s)", "worker imbalance",
+        ],
+        paper_note=(
+            "descending 1 level turns one root join into the cross product "
+            "of subtree pairs ((R11,S11)...(R12,S12)); all decompositions "
+            "compute the same join"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row["level"], row["subtrees_per_side"], row["subtree_pairs"],
+            row["makespan_s"], row["imbalance"],
+        )
+    table.emit()
+
+    # --- shape assertions -------------------------------------------------
+    pair_counts = [row["subtree_pairs"] for row in rows]
+    assert pair_counts == sorted(pair_counts), "pairs grow with descent level"
+    assert pair_counts[0] == 1, "level 0 is the single-root join"
+    if len(rows) >= 2:
+        assert rows[1]["subtree_pairs"] == rows[1]["subtrees_per_side"] ** 2
+        # more work units => better balance for the 4-way executor
+        assert rows[-1]["imbalance"] <= rows[1]["imbalance"] + 0.5
+
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,76 @@
+"""Figure 2 — parallelising quadtree index creation.
+
+The paper's Figure 2 shows the geometry table feeding a parallel table
+function that partitions the input cursor, tessellates partitions in
+parallel, and inserts tiles into the index table, after which the B-tree
+is built.
+
+This bench regenerates the figure as data: per-worker tessellation work at
+each degree, the (serial) B-tree stitch tail, and the resulting scaling
+curve.  It demonstrates the figure's point — tessellation is the bulk of
+the work and it partitions cleanly across slaves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable
+
+
+def run_figure2(workload):
+    rows = []
+    for degree in (1, 2, 4, 8):
+        report = workload.create_quadtree(degree)
+        worker_seconds = report.run.worker_seconds
+        rows.append(
+            {
+                "degree": degree,
+                "makespan_s": report.makespan_seconds,
+                "tessellation_total_s": report.run.total_work_seconds,
+                "serial_tail_s": report.serial_tail_seconds,
+                "imbalance": report.run.imbalance,
+                "tiles": report.tiles_created,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_parallel_tessellation_pipeline(benchmark, blockgroups_workload):
+    rows = benchmark.pedantic(
+        run_figure2, args=(blockgroups_workload,), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        experiment="figure2",
+        title=(
+            f"Figure 2 — parallel quadtree creation pipeline "
+            f"(n={blockgroups_workload.n})"
+        ),
+        columns=[
+            "degree", "makespan (sim s)", "parallel work (sim s)",
+            "serial B-tree tail (sim s)", "imbalance", "tiles",
+        ],
+        paper_note=(
+            "input cursor partitioned across tessellation slaves (Figure 2); "
+            "tessellation dominates creation time for complex polygons"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row["degree"], row["makespan_s"], row["tessellation_total_s"],
+            row["serial_tail_s"], row["imbalance"], row["tiles"],
+        )
+    table.emit()
+
+    # --- shape assertions -------------------------------------------------
+    tiles = {row["tiles"] for row in rows}
+    assert len(tiles) == 1, "every degree must produce the identical index"
+    makespans = [row["makespan_s"] for row in rows]
+    assert makespans == sorted(makespans, reverse=True), "scaling must be monotone"
+    # tessellation (parallel part) dominates the serial tail
+    for row in rows:
+        assert row["tessellation_total_s"] > 10 * row["serial_tail_s"]
+
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,75 @@
+"""Table 1 — counties self-join: nested-loop vs spatial-index join.
+
+Paper (§4.3, Table 1): the 3230 US-county layer joined with itself at
+distance 0 (intersect) and distances 0.1 / 0.25 / 0.5.  The surviving
+published numbers are the spatial-index join times 144.7s / 221.9s /
+271.8s / 331.4s; the claim is that the index (table-function) join is
+33–55% faster than the nested loop, with result size and both times
+growing with distance.
+
+Shape assertions encoded here:
+  * index join beats nested loop at every distance;
+  * result size is non-decreasing in distance;
+  * join time grows with distance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable
+
+
+def run_table1(workload):
+    rows = []
+    for distance in workload.distances:
+        index = workload.index_join(distance)
+        nested = workload.nested_join(distance)
+        assert sorted(index.pairs) == sorted(nested.pairs)
+        rows.append(
+            {
+                "distance": distance,
+                "result_size": len(index.pairs),
+                "nested_s": nested.makespan_seconds,
+                "index_s": index.makespan_seconds,
+                "ratio": nested.makespan_seconds / index.makespan_seconds,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_counties_self_join(benchmark, counties_workload):
+    rows = benchmark.pedantic(
+        run_table1, args=(counties_workload,), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        experiment="table1",
+        title=f"Table 1 — counties self-join (n={counties_workload.n})",
+        columns=[
+            "distance", "result size", "nested-loop (sim s)",
+            "index join (sim s)", "nested/index",
+        ],
+        paper_note=(
+            "index join 144.7/221.9/271.8/331.4 s at distances 0/0.1/0.25/0.5; "
+            "spatial-index join 33-55% faster than nested loop; result size "
+            "and time grow with distance"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row["distance"], row["result_size"], row["nested_s"],
+            row["index_s"], row["ratio"],
+        )
+    table.emit()
+
+    # --- shape assertions -------------------------------------------------
+    for row in rows:
+        assert row["ratio"] > 1.0, "index join must beat the nested loop"
+    sizes = [row["result_size"] for row in rows]
+    assert sizes == sorted(sizes), "result size must not shrink with distance"
+    times = [row["index_s"] for row in rows]
+    assert times[-1] > times[0], "join time must grow with distance"
+
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,86 @@
+"""Table 2 — star-cluster self-join scaling: nested loop vs I1 vs I2.
+
+Paper (§4.3, Table 2): 250K star polygons; subsets from 25 up to 250K are
+self-joined with (1) nested loop, (2) index join on 1 processor (I1), and
+(3) index join on 2 processors (I2).  Surviving (I1, I2) pairs:
+(6.2, 3.47), (3.5, 2.23), (10.3, 7.2), (83, 70), (864, 676) s.  Claims:
+
+  * at 25 polygons nested-loop == index join (fixed costs dominate);
+  * for larger sizes the nested loop is "nearly 6 times slower";
+  * 2-processor gains are "nearly 50% for most dataset sizes".
+
+Shape assertions encoded here:
+  * near-parity at 25 rows, and parallelism does NOT pay at 25 rows;
+  * nested/I1 ratio grows with size and exceeds 2x at the top sizes;
+  * I2 beats I1 for every non-tiny size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable
+
+
+def run_table2(workload):
+    rows = []
+    for size in workload.sizes:
+        i1 = workload.index_join(size, parallel=1)
+        i2 = workload.index_join(size, parallel=2)
+        nested = workload.nested_join(size)
+        assert sorted(i1.pairs) == sorted(nested.pairs) == sorted(i2.pairs)
+        rows.append(
+            {
+                "size": size,
+                "result_size": len(i1.pairs),
+                "nested_s": nested.makespan_seconds,
+                "i1_s": i1.makespan_seconds,
+                "i2_s": i2.makespan_seconds,
+                "nested_over_i1": nested.makespan_seconds / i1.makespan_seconds,
+                "i1_over_i2": i1.makespan_seconds / i2.makespan_seconds,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_star_join_scaling(benchmark, stars_workload):
+    rows = benchmark.pedantic(
+        run_table2, args=(stars_workload,), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        experiment="table2",
+        title=f"Table 2 — star self-join scaling (sizes {list(stars_workload.sizes)})",
+        columns=[
+            "data size", "result size", "nested (sim s)", "I1 (sim s)",
+            "I2 (sim s)", "nested/I1", "I1/I2",
+        ],
+        paper_note=(
+            "surviving (I1, I2) pairs: (6.2,3.47) (3.5,2.23) (10.3,7.2) "
+            "(83,70) (864,676); nested == index at 25 rows; nested ~6x "
+            "slower at larger sizes; 2-proc gains up to ~50%"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row["size"], row["result_size"], row["nested_s"], row["i1_s"],
+            row["i2_s"], row["nested_over_i1"], row["i1_over_i2"],
+        )
+    table.emit()
+
+    # --- shape assertions -------------------------------------------------
+    tiny = rows[0]
+    assert tiny["size"] == 25
+    assert tiny["nested_over_i1"] < 1.5, "at 25 rows nested ~ index"
+    assert tiny["i1_over_i2"] < 1.0, "parallelism must NOT pay at 25 rows"
+
+    big = rows[-1]
+    assert big["nested_over_i1"] > 2.0, "index join wins clearly at scale"
+    assert big["nested_over_i1"] > tiny["nested_over_i1"], (
+        "nested/index ratio must grow with dataset size"
+    )
+    for row in rows[1:]:
+        assert row["i1_over_i2"] > 1.0, "I2 must beat I1 beyond tiny sizes"
+
+    benchmark.extra_info["rows"] = rows

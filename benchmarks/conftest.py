@@ -1,0 +1,39 @@
+"""Session-scoped workload fixtures shared by the benchmark files.
+
+Set ``REPRO_BENCH_PROFILE=paper`` to run at the paper's full dataset sizes
+(slow: hours of pure-Python wall time); the default ``small`` profile
+preserves every shape claim at tractable scale.  Reported metrics are
+*simulated seconds* from the deterministic cost model (see DESIGN.md);
+pytest-benchmark's wall times only track the reproduction driver itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    BlockgroupsWorkload,
+    CountiesWorkload,
+    StarsWorkload,
+    profile,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> str:
+    return profile()
+
+
+@pytest.fixture(scope="session")
+def counties_workload(bench_profile) -> CountiesWorkload:
+    return CountiesWorkload.build(bench_profile)
+
+
+@pytest.fixture(scope="session")
+def stars_workload(bench_profile) -> StarsWorkload:
+    return StarsWorkload.build(bench_profile)
+
+
+@pytest.fixture(scope="session")
+def blockgroups_workload(bench_profile) -> BlockgroupsWorkload:
+    return BlockgroupsWorkload.build(bench_profile)

@@ -1,0 +1,6 @@
+"""Setuptools shim (the environment lacks the `wheel` package, so editable
+installs go through the legacy `setup.py develop` path)."""
+
+from setuptools import setup
+
+setup()

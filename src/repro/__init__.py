@@ -1,0 +1,31 @@
+"""repro — reproduction of "Spatial Processing using Oracle Table Functions".
+
+Kothuri, Ravada & Xu, ICDE 2003.  The package provides:
+
+* ``repro.geometry`` — 2-D geometry engine (the ``sdo_geometry`` analogue).
+* ``repro.storage`` — pages, buffer cache, heap tables with rowids, B+-tree.
+* ``repro.engine`` — tables/cursors, pipelined & parallel table functions,
+  the extensible-indexing framework, and a small SQL front-end.
+* ``repro.index`` — R-tree and linear-quadtree spatial indexes.
+* ``repro.core`` — the paper's contribution: the ``spatial_join`` table
+  function (with parallel subtree decomposition) and parallel index
+  creation for both index kinds.
+* ``repro.datasets`` — seeded synthetic stand-ins for the paper's datasets.
+
+Quickstart::
+
+    from repro import Database, Geometry
+
+    db = Database()
+    counties = db.create_table("counties", [("id", "NUMBER"), ("geom", "SDO_GEOMETRY")])
+    ...
+    db.create_spatial_index("counties_sidx", "counties", "geom", kind="RTREE")
+    pairs = list(db.spatial_join("counties", "geom", "counties", "geom", "INTERSECT"))
+"""
+
+from repro.engine.database import Database
+from repro.geometry import MBR, Geometry, GeometryType
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "Geometry", "GeometryType", "MBR", "__version__"]

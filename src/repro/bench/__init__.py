@@ -1,0 +1,18 @@
+"""Benchmark harness: workload builders and paper-table reporting."""
+
+from repro.bench.reporting import ExperimentTable, results_dir
+from repro.bench.workloads import (
+    BlockgroupsWorkload,
+    CountiesWorkload,
+    StarsWorkload,
+    profile,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "results_dir",
+    "CountiesWorkload",
+    "StarsWorkload",
+    "BlockgroupsWorkload",
+    "profile",
+]

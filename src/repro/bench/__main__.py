@@ -1,0 +1,77 @@
+"""Standalone benchmark runner: ``python -m repro.bench [experiment ...]``.
+
+Runs the paper-table regenerators without pytest and prints each table.
+Valid experiment names: table1 table2 table3 figure1 figure2 (default: all).
+Honours ``REPRO_BENCH_PROFILE=small|paper``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.workloads import (
+    BlockgroupsWorkload,
+    CountiesWorkload,
+    StarsWorkload,
+    profile,
+)
+from repro.bench.reporting import ExperimentTable
+
+EXPERIMENTS = ("table1", "table2", "table3", "figure1", "figure2")
+
+
+def _load_bench_module(name: str):
+    """Import the bench module by path (benchmarks/ is not a package)."""
+    import importlib.util
+    import os
+
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", f"bench_{name}.py")
+    spec = importlib.util.spec_from_file_location(f"bench_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(argv) -> int:
+    """Run the named experiments (argv style: [prog, name, ...])."""
+    names = [a for a in argv[1:] if not a.startswith("-")] or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; valid: {EXPERIMENTS}")
+        return 2
+
+    prof = profile()
+    print(f"profile: {prof} (set REPRO_BENCH_PROFILE=paper for full sizes)")
+
+    counties = stars = blockgroups = None
+    for name in names:
+        started = time.perf_counter()
+        module = _load_bench_module(name)
+        if name in ("table1", "figure1"):
+            counties = counties or CountiesWorkload.build(prof)
+            runner = getattr(module, f"run_{name}")
+            rows = runner(counties)
+        elif name == "table2":
+            stars = stars or StarsWorkload.build(prof)
+            rows = module.run_table2(stars)
+        else:  # table3 / figure2
+            blockgroups = blockgroups or BlockgroupsWorkload.build(prof)
+            runner = getattr(module, f"run_{name}")
+            rows = runner(blockgroups)
+        elapsed = time.perf_counter() - started
+        table = ExperimentTable(
+            experiment=f"{name}_cli",
+            title=f"{name} (driver wall time {elapsed:.1f}s)",
+            columns=sorted(rows[0].keys()) if rows else ["(empty)"],
+        )
+        for row in rows:
+            table.add_row(*(row[k] for k in table.columns))
+        table.emit()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,68 @@
+"""The nested-loop spatial join baseline (paper §4, "first approach").
+
+Before table functions, Oracle could only evaluate a spatial join by
+iterating the first table and issuing one extensible-indexing probe of the
+second table's index per row — because the framework returns rowids of a
+single table at a time.  This module is that baseline, implemented
+*through* the framework's :meth:`DomainIndex.fetch` so it pays exactly the
+costs the paper attributes to it: a root-to-leaf descent per outer row and
+no sharing of secondary-filter work across probes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.indextype import DomainIndex
+from repro.engine.parallel import ParallelRun, SerialExecutor, WorkerContext
+from repro.engine.table import Table
+from repro.core.parallel_join import JoinResult
+from repro.core.secondary_filter import JoinPredicate
+from repro.storage.heap import RowId
+
+__all__ = ["nested_loop_join"]
+
+
+def nested_loop_join(
+    outer_table: Table,
+    outer_column: str,
+    inner_index: DomainIndex,
+    predicate: JoinPredicate = JoinPredicate(),
+    executor: Optional[SerialExecutor] = None,
+) -> JoinResult:
+    """Join by probing ``inner_index`` once per row of ``outer_table``.
+
+    Result pairs are (outer_rowid, inner_rowid).  The executor is serial —
+    the nested loop is the pre-table-function plan, which had no access to
+    operation-level parallelism.
+    """
+    executor = executor or SerialExecutor()
+
+    def task(ctx: WorkerContext) -> List[Tuple[RowId, RowId]]:
+        pairs: List[Tuple[RowId, RowId]] = []
+        col_idx = outer_table.schema.index_of(outer_column)
+        for outer_rowid, row in outer_table.scan():
+            geom = row[col_idx]
+            if geom is None:
+                continue
+            # Fetching the outer geometry is part of the per-row cost.
+            ctx.charge("geom_fetch_base")
+            ctx.charge("geom_fetch_per_vertex", geom.num_vertices)
+            if predicate.distance > 0.0:
+                probe = inner_index.fetch(
+                    "SDO_WITHIN_DISTANCE", (geom, predicate.distance), ctx
+                )
+            else:
+                probe = inner_index.fetch("SDO_RELATE", (geom, predicate.mask), ctx)
+            for inner_rowid in probe:
+                ctx.charge("result_row")
+                pairs.append((outer_rowid, inner_rowid))
+        return pairs
+
+    run = executor.run([task])
+    return JoinResult(
+        pairs=run.results[0],
+        run=run,
+        subtree_pair_count=0,
+        statement_overhead_seconds=executor.cost_model.statement_overhead,
+    )

@@ -1,0 +1,160 @@
+"""Parallel spatial join (paper §4.1).
+
+The serial rewrite has a single input stream, so it cannot use
+table-function parallelism.  The parallel form descends both R-trees to a
+level that yields enough subtree-root pairs, feeds the cross product of
+those roots through a cursor, and lets the engine partition that cursor
+across N instances of the spatial_join function::
+
+    select ... from TABLE(spatial_join(
+        CURSOR(select * from table(subtree_root('city_idx', k)),
+                        table(subtree_root('river_idx', k))),
+        'city_table', 'city_geom', 'river_table', 'river_geom',
+        'intersect'));
+
+``parallel_spatial_join`` is the library-level driver for that plan; the
+SQL front-end lowers the statement above onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.cursor import Cursor, ListCursor, PartitionMethod
+from repro.engine.parallel import ParallelExecutor, ParallelRun, SerialExecutor
+from repro.engine.table import Table
+from repro.engine.table_function import flatten_run, run_parallel
+from repro.index.rtree.rtree import RTree
+from repro.core.secondary_filter import FetchOrder, JoinPredicate
+from repro.core.spatial_join import (
+    DEFAULT_CANDIDATE_ARRAY_SIZE,
+    SpatialJoinFunction,
+)
+from repro.core.subtree import pick_descent_level, subtree_pairs
+from repro.storage.heap import RowId
+
+__all__ = ["JoinResult", "spatial_join", "parallel_spatial_join"]
+
+
+@dataclass
+class JoinResult:
+    """Rowid pairs plus the execution record of the join that produced them."""
+
+    pairs: List[Tuple[RowId, RowId]]
+    run: ParallelRun
+    descent_levels: Tuple[int, int] = (0, 0)
+    subtree_pair_count: int = 1
+    #: fixed per-statement cost (parse/plan/execute), paid once regardless
+    #: of strategy or degree
+    statement_overhead_seconds: float = 0.0
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.run.makespan_seconds + self.statement_overhead_seconds
+
+    @property
+    def total_work_seconds(self) -> float:
+        return self.run.total_work_seconds + self.statement_overhead_seconds
+
+
+def spatial_join(
+    table_a: Table,
+    column_a: str,
+    tree_a: RTree,
+    table_b: Table,
+    column_b: str,
+    tree_b: RTree,
+    predicate: JoinPredicate = JoinPredicate(),
+    candidate_array_size: int = DEFAULT_CANDIDATE_ARRAY_SIZE,
+    fetch_order: FetchOrder = FetchOrder.SORTED,
+    executor: Optional[ParallelExecutor] = None,
+    use_interior: bool = False,
+) -> JoinResult:
+    """Serial (single input stream) index-based spatial join."""
+    executor = executor or SerialExecutor()
+
+    def factory(_cursor: Cursor) -> SpatialJoinFunction:
+        return SpatialJoinFunction(
+            table_a,
+            column_a,
+            tree_a,
+            table_b,
+            column_b,
+            tree_b,
+            predicate=predicate,
+            candidate_array_size=candidate_array_size,
+            fetch_order=fetch_order,
+            use_interior=use_interior,
+        )
+
+    run = run_parallel(factory, ListCursor([()]), SerialExecutor(executor.cost_model))
+    return JoinResult(
+        pairs=flatten_run(run),
+        run=run,
+        statement_overhead_seconds=executor.cost_model.statement_overhead,
+    )
+
+
+def parallel_spatial_join(
+    table_a: Table,
+    column_a: str,
+    tree_a: RTree,
+    table_b: Table,
+    column_b: str,
+    tree_b: RTree,
+    executor: ParallelExecutor,
+    predicate: JoinPredicate = JoinPredicate(),
+    candidate_array_size: int = DEFAULT_CANDIDATE_ARRAY_SIZE,
+    fetch_order: FetchOrder = FetchOrder.SORTED,
+    descent_levels: Optional[Tuple[int, int]] = None,
+    min_pairs_per_slave: int = 2,
+    use_interior: bool = False,
+) -> JoinResult:
+    """Parallel spatial join over subtree-pair decomposition.
+
+    ``descent_levels`` forces how deep each tree is descended; by default
+    :func:`~repro.core.subtree.pick_descent_level` chooses levels that give
+    at least ``min_pairs_per_slave`` subtree pairs per parallel slave.
+    """
+    if len(tree_a) == 0 or len(tree_b) == 0:
+        return JoinResult(
+            pairs=[],
+            run=executor.run([]),
+            subtree_pair_count=0,
+            statement_overhead_seconds=executor.cost_model.statement_overhead,
+        )
+
+    if descent_levels is None:
+        descent_levels = pick_descent_level(
+            tree_a, tree_b, executor.degree, min_pairs_per_slave
+        )
+    level_a, level_b = descent_levels
+    pairs = subtree_pairs(tree_a, tree_b, level_a, level_b)
+    pair_rows = [(a, b) for a, b in pairs]
+
+    def factory(cursor: Cursor) -> SpatialJoinFunction:
+        return SpatialJoinFunction(
+            table_a,
+            column_a,
+            tree_a,
+            table_b,
+            column_b,
+            tree_b,
+            predicate=predicate,
+            subtree_pair_cursor=cursor,
+            candidate_array_size=candidate_array_size,
+            fetch_order=fetch_order,
+            use_interior=use_interior,
+        )
+
+    run = run_parallel(
+        factory, ListCursor(pair_rows), executor, method=PartitionMethod.ANY
+    )
+    return JoinResult(
+        pairs=flatten_run(run),
+        run=run,
+        descent_levels=descent_levels,
+        subtree_pair_count=len(pair_rows),
+        statement_overhead_seconds=executor.cost_model.statement_overhead,
+    )

@@ -1,0 +1,216 @@
+"""The secondary (exact-geometry) filter of the spatial join.
+
+The primary filter produces candidate rowid pairs whose MBRs interact;
+each candidate is resolved by fetching both geometries from their base
+tables and evaluating the exact predicate (paper §4.2).
+
+Fetch order matters: Shekhar et al. showed the optimal order is
+NP-complete, and the paper adopts "sort the candidate pairs by the first
+rowid", expected within ~20% of the best approximations.  Sorted order
+makes first-table fetches sweep the heap near-sequentially and maximises
+geometry-cache hits — which the :class:`GeometryCache` here makes
+measurable (the fetch-order ablation bench compares SORTED vs RANDOM
+through exactly this code path).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.engine.parallel import WorkerContext
+from repro.engine.table import Table
+from repro.geometry.distance import within_distance
+from repro.geometry.geometry import Geometry
+from repro.geometry.predicates import relate
+from repro.index.rtree.join import CandidatePair
+from repro.storage.heap import RowId
+
+__all__ = ["FetchOrder", "GeometryCache", "SecondaryFilter", "JoinPredicate"]
+
+
+class FetchOrder(enum.Enum):
+    """Candidate processing order for the secondary filter."""
+
+    SORTED = "SORTED"  # sort by first rowid (the paper's choice)
+    RANDOM = "RANDOM"  # arbitrary order (the strawman the paper rejects)
+    AS_PRODUCED = "AS_PRODUCED"  # whatever order the index join emitted
+
+
+class GeometryCache:
+    """Bounded LRU cache of fetched geometries, keyed by (table, rowid).
+
+    A cache miss charges full fetch cost (``geom_fetch_base`` + per-vertex);
+    a hit charges only a buffer-get.  The hit ratio is the mechanism by
+    which candidate fetch order shows up in simulated time.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[Tuple[str, RowId], Geometry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def fetch(
+        self, table: Table, rowid: RowId, column_index: int, ctx: Optional[WorkerContext]
+    ) -> Geometry:
+        key = (table.name, rowid)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            if ctx is not None:
+                ctx.charge("buffer_get_hit")
+            return cached
+        self.misses += 1
+        row = table.fetch(rowid)
+        geom = row[column_index]
+        if ctx is not None:
+            ctx.charge("geom_fetch_base")
+            ctx.charge("geom_fetch_per_vertex", geom.num_vertices)
+        self._entries[key] = geom
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return geom
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """The exact predicate a spatial join evaluates per candidate pair.
+
+    ``mask`` follows ``sdo_relate`` semantics; ``distance > 0`` switches to
+    within-distance semantics (distance 0 + ANYINTERACT is Table 1's
+    "intersect" row).
+    """
+
+    mask: str = "ANYINTERACT"
+    distance: float = 0.0
+
+    def evaluate(self, g1: Geometry, g2: Geometry) -> bool:
+        if self.distance > 0.0:
+            return within_distance(g1, g2, self.distance)
+        return relate(g1, g2, self.mask)
+
+
+class SecondaryFilter:
+    """Resolves candidate pairs to exact join results."""
+
+    def __init__(
+        self,
+        table_a: Table,
+        column_a: str,
+        table_b: Table,
+        column_b: str,
+        predicate: JoinPredicate,
+        fetch_order: FetchOrder = FetchOrder.SORTED,
+        cache_capacity: int = 4096,
+        rng_seed: int = 0,
+        use_interior: bool = False,
+    ):
+        self.table_a = table_a
+        self.table_b = table_b
+        self._col_a = table_a.schema.index_of(column_a)
+        self._col_b = table_b.schema.index_of(column_b)
+        self.predicate = predicate
+        self.fetch_order = fetch_order
+        self.cache = GeometryCache(cache_capacity)
+        self._rng = random.Random(rng_seed)
+        self.candidates_seen = 0
+        self.results_produced = 0
+        # Interior-approximation fast-accept (SSTD'01, the paper's ref [21]):
+        # only sound for plain intersection semantics.
+        self.use_interior = use_interior and self._is_intersect_predicate()
+        self.fast_accepts = 0
+        self._interior: dict = {}
+
+    def _is_intersect_predicate(self) -> bool:
+        return self.predicate.distance == 0.0 and self.predicate.mask.upper() in (
+            "ANYINTERACT",
+            "INTERSECT",
+        )
+
+    def _interior_of(self, table: Table, rowid: RowId, column_index: int, ctx):
+        """Interior rectangle for a row (cached; the real system stores
+        these in the spatial index at creation time)."""
+        from repro.geometry.interior import interior_rectangle
+
+        key = (table.name, rowid)
+        rect = self._interior.get(key)
+        if rect is None:
+            geom = self.cache.fetch(table, rowid, column_index, ctx)
+            rect = interior_rectangle(geom)
+            self._interior[key] = rect
+        return rect
+
+    def order_candidates(self, candidates: List[CandidatePair]) -> List[CandidatePair]:
+        if self.fetch_order is FetchOrder.SORTED:
+            return sorted(candidates, key=lambda c: (c[0], c[1]))
+        if self.fetch_order is FetchOrder.RANDOM:
+            shuffled = list(candidates)
+            self._rng.shuffle(shuffled)
+            return shuffled
+        return list(candidates)
+
+    def process(
+        self,
+        candidates: List[CandidatePair],
+        ctx: Optional[WorkerContext] = None,
+    ) -> List[Tuple[RowId, RowId]]:
+        """Evaluate one candidate array, returning the qualifying pairs."""
+        results: List[Tuple[RowId, RowId]] = []
+        if ctx is not None:
+            # Ordering the array is itself work (paper §4.2 sorts it).
+            n = len(candidates)
+            if n > 1 and self.fetch_order is FetchOrder.SORTED:
+                import math
+
+                ctx.charge("sort_per_item", n * math.log2(n))
+        for rid_a, rid_b, mbr_a, mbr_b in self.order_candidates(candidates):
+            self.candidates_seen += 1
+            if self.use_interior and self._fast_accept(
+                rid_a, rid_b, mbr_a, mbr_b, ctx
+            ):
+                self.fast_accepts += 1
+                results.append((rid_a, rid_b))
+                if ctx is not None:
+                    ctx.charge("result_row")
+                continue
+            g1 = self.cache.fetch(self.table_a, rid_a, self._col_a, ctx)
+            g2 = self.cache.fetch(self.table_b, rid_b, self._col_b, ctx)
+            if ctx is not None:
+                ctx.charge("exact_test_base")
+                ctx.charge("exact_test_per_vertex", g1.num_vertices + g2.num_vertices)
+            if self.predicate.evaluate(g1, g2):
+                results.append((rid_a, rid_b))
+                if ctx is not None:
+                    ctx.charge("result_row")
+        self.results_produced += len(results)
+        return results
+
+    def _fast_accept(self, rid_a, rid_b, mbr_a, mbr_b, ctx) -> bool:
+        """Sound intersection certificates from interior approximations.
+
+        * interior(a) intersects interior(b)  => geometries intersect;
+        * interior(a) contains MBR(b)         => b lies inside a;
+        * interior(b) contains MBR(a)         => a lies inside b.
+        """
+        int_a = self._interior_of(self.table_a, rid_a, self._col_a, ctx)
+        int_b = self._interior_of(self.table_b, rid_b, self._col_b, ctx)
+        if ctx is not None:
+            ctx.charge("mbr_test", 3)
+        if int_a.intersects(int_b):
+            return True
+        if int_a.contains(mbr_b):
+            return True
+        return int_b.contains(mbr_a)

@@ -1,0 +1,106 @@
+"""The ``subtree_root(index, level)`` table function (paper §4.1, Figure 1).
+
+Descending an R-tree ``level`` steps below its root yields the roots of
+that many independent subtrees.  The parallel spatial join feeds the
+*cross product* of the two indexes' subtree roots, as a cursor, to the
+parallel spatial_join function; each slave instance then joins its share
+of subtree pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.parallel import WorkerContext
+from repro.engine.table_function import TableFunction
+from repro.engine.types import Row
+from repro.index.rtree.node import RTreeNode
+from repro.index.rtree.rtree import RTree
+
+__all__ = ["SubtreeRootFunction", "subtree_roots", "subtree_pairs", "pick_descent_level"]
+
+
+class SubtreeRootFunction(TableFunction):
+    """Pipelined table function emitting one row per subtree root.
+
+    Output rows are ``(node,)`` where ``node`` is the subtree's root
+    handle; in the real system this is the node's rowid in the spatial
+    index table, and here it is the node object itself (same information,
+    no round-trip through the index table).
+    """
+
+    def __init__(self, tree: RTree, level: int):
+        super().__init__()
+        if level < 0:
+            raise ValueError(f"descent level must be >= 0, got {level}")
+        self.tree = tree
+        self.level = level
+        self._pending: List[RTreeNode] = []
+
+    def _start(self, ctx: WorkerContext) -> None:
+        ctx.charge("rtree_node_visit")  # metadata/root access
+        self._pending = list(self.tree.subtree_roots(self.level))
+
+    def _fetch(self, ctx: WorkerContext, max_rows: int) -> List[Row]:
+        batch = self._pending[:max_rows]
+        self._pending = self._pending[max_rows:]
+        return [(node,) for node in batch]
+
+
+def subtree_roots(
+    tree: RTree, level: int, ctx: Optional[WorkerContext] = None
+) -> List[RTreeNode]:
+    """Materialised convenience form of :class:`SubtreeRootFunction`."""
+    from repro.engine.table_function import collect
+
+    rows = collect(SubtreeRootFunction(tree, level), ctx)
+    return [row[0] for row in rows]
+
+
+def subtree_pairs(
+    tree_a: RTree,
+    tree_b: RTree,
+    level_a: int,
+    level_b: int,
+    ctx: Optional[WorkerContext] = None,
+) -> List[Tuple[RTreeNode, RTreeNode]]:
+    """Cross product of the two indexes' subtree roots (Figure 1).
+
+    Pairs whose subtree MBRs cannot interact are still included — pruning
+    happens inside the join traversal — but the pair list is the unit of
+    parallel distribution, so its size (not its content) controls balance.
+    """
+    roots_a = subtree_roots(tree_a, level_a, ctx)
+    roots_b = subtree_roots(tree_b, level_b, ctx)
+    return [(a, b) for a in roots_a for b in roots_b]
+
+
+def pick_descent_level(
+    tree_a: RTree, tree_b: RTree, degree: int, min_pairs_per_slave: int = 2
+) -> Tuple[int, int]:
+    """Choose how deep to descend each tree for a given parallel degree.
+
+    The paper: "we descend both trees as far below as to get appropriate
+    number of subtree-joins."  We descend level by level (alternating the
+    larger tree first) until the pair count reaches
+    ``degree * min_pairs_per_slave`` or the leaf level stops progress.
+    """
+    level_a = level_b = 0
+    target = max(1, degree * min_pairs_per_slave)
+
+    def pairs(la: int, lb: int) -> int:
+        return len(tree_a.subtree_roots(la)) * len(tree_b.subtree_roots(lb))
+
+    while pairs(level_a, level_b) < target:
+        can_a = level_a < tree_a.root.level
+        can_b = level_b < tree_b.root.level
+        if not can_a and not can_b:
+            break
+        # Descend the side currently contributing fewer subtrees.
+        n_a = len(tree_a.subtree_roots(level_a))
+        n_b = len(tree_b.subtree_roots(level_b))
+        if can_a and (n_a <= n_b or not can_b):
+            level_a += 1
+        elif can_b:
+            level_b += 1
+    return level_a, level_b

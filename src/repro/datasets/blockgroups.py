@@ -1,0 +1,97 @@
+"""Synthetic "US block-groups" layer (stand-in for the paper's Table 3 data).
+
+The paper creates Quadtree and R-tree indexes on ~230K "arbitrarily-shaped
+complex polygon geometries".  What drives the experiment is polygon
+*complexity*: tessellation cost scales with boundary length and vertex
+count, which is why Quadtree creation is much slower than R-tree creation
+and why parallelising tessellation pays off.
+
+The generator produces star-convex polygons with a heavy-tailed (lognormal)
+vertex-count distribution — most polygons are modest, a tail is very
+complex — centred on a clustered urban-like point pattern.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.errors import DatasetError
+from repro.datasets.random_geom import radial_polygon
+from repro.geometry.geometry import Geometry
+
+__all__ = ["blockgroups", "DEFAULT_BLOCKGROUP_COUNT", "BLOCKGROUP_EXTENT"]
+
+DEFAULT_BLOCKGROUP_COUNT = 230_000
+BLOCKGROUP_EXTENT = (0.0, 0.0, 57.5, 25.0)
+
+
+def blockgroups(
+    n: int = DEFAULT_BLOCKGROUP_COUNT,
+    seed: int = 7,
+    extent: Tuple[float, float, float, float] = BLOCKGROUP_EXTENT,
+    mean_vertices: float = 24.0,
+    vertex_sigma: float = 0.9,
+    max_vertices: int = 600,
+    radius_fraction: float = 0.002,
+) -> List[Geometry]:
+    """Generate ``n`` complex polygons with heavy-tailed vertex counts.
+
+    * ``mean_vertices`` / ``vertex_sigma`` — lognormal parameters: the
+      median polygon has ~``mean_vertices`` vertices; the tail reaches
+      ``max_vertices``.
+    * ``radius_fraction`` — median polygon radius as a fraction of extent
+      width; polygons with more vertices are proportionally larger (block
+      groups with long boundaries cover more area).
+    """
+    if n < 1:
+        raise DatasetError(f"blockgroup count must be >= 1, got {n}")
+    min_x, min_y, max_x, max_y = extent
+    width, height = max_x - min_x, max_y - min_y
+    if width <= 0 or height <= 0:
+        raise DatasetError(f"degenerate extent {extent}")
+
+    rng = random.Random(seed)
+    base_radius = radius_fraction * width
+
+    # Urban clustering: a few hundred population centres, sized by a
+    # Zipf-ish weight, so polygon density is highly non-uniform.
+    n_centres = max(8, int(math.sqrt(n)))
+    centres = [
+        (
+            rng.uniform(min_x, max_x),
+            rng.uniform(min_y, max_y),
+            1.0 / (k + 1) ** 0.6,
+        )
+        for k in range(n_centres)
+    ]
+    total_weight = sum(w for _x, _y, w in centres)
+    cumulative: List[float] = []
+    acc = 0.0
+    for _x, _y, w in centres:
+        acc += w / total_weight
+        cumulative.append(acc)
+
+    result: List[Geometry] = []
+    for _ in range(n):
+        u = rng.random()
+        idx = _bisect(cumulative, u)
+        cx, cy, _w = centres[idx]
+        spread = 0.03 * width
+        x = min(max(rng.gauss(cx, spread), min_x), max_x)
+        y = min(max(rng.gauss(cy, spread), min_y), max_y)
+        n_vertices = int(rng.lognormvariate(math.log(mean_vertices), vertex_sigma))
+        n_vertices = min(max(n_vertices, 4), max_vertices)
+        # Bigger boundary -> bigger polygon (sub-linear growth).
+        radius = base_radius * (n_vertices / mean_vertices) ** 0.5
+        result.append(
+            radial_polygon(rng, x, y, radius, n_vertices, irregularity=0.45)
+        )
+    return result
+
+
+def _bisect(cumulative: List[float], u: float) -> int:
+    import bisect
+
+    return min(bisect.bisect_left(cumulative, u), len(cumulative) - 1)

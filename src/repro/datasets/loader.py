@@ -1,0 +1,25 @@
+"""Loading generated geometries into database tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.geometry.geometry import Geometry
+
+__all__ = ["load_geometries"]
+
+
+def load_geometries(
+    db: Database,
+    table_name: str,
+    geometries: Sequence[Geometry],
+    column: str = "geom",
+    id_column: str = "id",
+) -> Table:
+    """Create a ``(id NUMBER, geom SDO_GEOMETRY)`` table and fill it."""
+    table = db.create_table(table_name, [(id_column, "NUMBER"), (column, "SDO_GEOMETRY")])
+    for i, geom in enumerate(geometries):
+        table.insert((i, geom))
+    return table

@@ -1,0 +1,82 @@
+"""Shared randomness and geometry-shape helpers for the dataset generators.
+
+All generators are deterministic functions of an integer seed; any
+randomness derives from :class:`random.Random` seeded explicitly (never the
+global RNG), so every benchmark run sees byte-identical data.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.errors import DatasetError
+from repro.geometry.geometry import Geometry
+
+__all__ = ["radial_polygon", "regular_polygon", "edge_jitter_seed"]
+
+Coord = Tuple[float, float]
+
+
+def regular_polygon(cx: float, cy: float, radius: float, sides: int) -> Geometry:
+    """A regular ``sides``-gon centred at (cx, cy)."""
+    if sides < 3:
+        raise DatasetError(f"polygon needs >= 3 sides, got {sides}")
+    if radius <= 0:
+        raise DatasetError(f"radius must be positive, got {radius}")
+    pts = [
+        (
+            cx + radius * math.cos(2 * math.pi * k / sides),
+            cy + radius * math.sin(2 * math.pi * k / sides),
+        )
+        for k in range(sides)
+    ]
+    return Geometry.polygon(pts)
+
+
+def radial_polygon(
+    rng: random.Random,
+    cx: float,
+    cy: float,
+    mean_radius: float,
+    n_vertices: int,
+    irregularity: float = 0.35,
+) -> Geometry:
+    """A star-convex polygon: radius varies smoothly with angle.
+
+    The radius function is a low-order random Fourier series, which keeps
+    the boundary wiggly (realistic administrative-boundary texture) while
+    guaranteeing the ring cannot self-intersect.
+    """
+    if n_vertices < 3:
+        raise DatasetError(f"polygon needs >= 3 vertices, got {n_vertices}")
+    if not 0.0 <= irregularity < 1.0:
+        raise DatasetError(f"irregularity must be in [0, 1), got {irregularity}")
+    # 3 random harmonics with decaying amplitude.
+    harmonics = [
+        (rng.uniform(0.5, 1.0) / (k + 1), rng.uniform(0, 2 * math.pi), k + 2)
+        for k in range(3)
+    ]
+    norm = sum(a for a, _p, _f in harmonics) or 1.0
+    pts: List[Coord] = []
+    for i in range(n_vertices):
+        theta = 2 * math.pi * i / n_vertices
+        wobble = sum(
+            a * math.sin(f * theta + p) for a, p, f in harmonics
+        ) / norm
+        r = mean_radius * (1.0 + irregularity * wobble)
+        r = max(r, mean_radius * 0.05)
+        pts.append((cx + r * math.cos(theta), cy + r * math.sin(theta)))
+    return Geometry.polygon(pts)
+
+
+def edge_jitter_seed(base_seed: int, a: Tuple[int, int], b: Tuple[int, int]) -> int:
+    """Deterministic per-edge seed, symmetric in the edge's endpoints.
+
+    The jittered-grid generators refine shared cell edges; hashing the
+    *sorted* endpoint pair means both neighbouring cells derive identical
+    midpoints, keeping the tessellation watertight.
+    """
+    lo, hi = sorted((a, b))
+    return hash((base_seed, lo, hi)) & 0x7FFFFFFF

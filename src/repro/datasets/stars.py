@@ -1,0 +1,90 @@
+"""Synthetic star-cluster layer (stand-in for the paper's Table 2 data).
+
+The paper's second dataset is 250K polygons describing star locations and
+clusters in a cross-section of the sky, with subset sizes from 25 up to
+250K used to study join scaling.  The property that drives the experiment
+is *clustered skew*: stars bunch into clusters, so a self-join's result
+size — and the nested loop's wasted probes — grow quickly with dataset
+size.
+
+We reproduce that with a Neyman–Scott cluster process: cluster centres are
+uniform over the sky window; each star falls near a centre with a Gaussian
+scatter; each star is a small hexagonal polygon whose radius makes roughly
+intra-cluster neighbours overlap.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.errors import DatasetError
+from repro.datasets.random_geom import regular_polygon
+from repro.geometry.geometry import Geometry
+
+__all__ = ["stars", "DEFAULT_STAR_COUNT", "SKY_EXTENT"]
+
+DEFAULT_STAR_COUNT = 250_000
+SKY_EXTENT = (0.0, 0.0, 360.0, 90.0)  # RA x Dec, a sky cross-section
+
+
+def stars(
+    n: int = DEFAULT_STAR_COUNT,
+    seed: int = 1234,
+    extent: Tuple[float, float, float, float] = SKY_EXTENT,
+    stars_per_cluster: float = 40.0,
+    cluster_sigma_fraction: float = 0.004,
+    star_radius_fraction: float = 0.0012,
+    sides: int = 6,
+) -> List[Geometry]:
+    """Generate ``n`` star polygons with Neyman–Scott clustering.
+
+    * ``stars_per_cluster`` — mean cluster population (Poisson-ish).
+    * ``cluster_sigma_fraction`` — cluster scatter as a fraction of the
+      extent's width.
+    * ``star_radius_fraction`` — star polygon radius as a fraction of the
+      extent's width; chosen so near neighbours within a cluster overlap.
+
+    Subset selection for the scaling experiment is simply ``stars(N)[:k]``
+    or regenerating with smaller ``n`` — stars are emitted cluster by
+    cluster, so prefixes stay spatially clustered like the full set.
+    """
+    if n < 1:
+        raise DatasetError(f"star count must be >= 1, got {n}")
+    min_x, min_y, max_x, max_y = extent
+    width, height = max_x - min_x, max_y - min_y
+    if width <= 0 or height <= 0:
+        raise DatasetError(f"degenerate extent {extent}")
+
+    rng = random.Random(seed)
+    sigma = cluster_sigma_fraction * width
+    radius = star_radius_fraction * width
+
+    result: List[Geometry] = []
+    while len(result) < n:
+        cx = rng.uniform(min_x, max_x)
+        cy = rng.uniform(min_y, max_y)
+        population = max(1, int(rng.expovariate(1.0 / stars_per_cluster)))
+        for _ in range(min(population, n - len(result))):
+            x = min(max(rng.gauss(cx, sigma), min_x + radius), max_x - radius)
+            y = min(max(rng.gauss(cy, sigma), min_y + radius), max_y - radius)
+            # Mild radius spread: a few bright "cluster cores" are bigger.
+            r = radius * rng.uniform(0.5, 2.0)
+            result.append(_star_polygon(rng, x, y, r, sides))
+    return result
+
+
+def _star_polygon(
+    rng: random.Random, x: float, y: float, r: float, sides: int
+) -> Geometry:
+    # Random rotation so shared-orientation artefacts cannot occur.
+    rotation = rng.uniform(0, 2 * math.pi / sides)
+    pts = [
+        (
+            x + r * math.cos(2 * math.pi * k / sides + rotation),
+            y + r * math.sin(2 * math.pi * k / sides + rotation),
+        )
+        for k in range(sides)
+    ]
+    return Geometry.polygon(pts)

@@ -1,0 +1,314 @@
+"""The :class:`Database` façade — the library's main entry point.
+
+Owns the pager, buffer pool, catalog, tables and domain indexes, and
+exposes the paper's operations at one call depth:
+
+* ``create_table`` / ``table`` / ``drop_table``
+* ``create_spatial_index`` (serial or parallel, R-tree or quadtree)
+* ``spatial_join`` (serial or parallel index-based join)
+* ``nested_loop_join`` (the baseline)
+* ``select_rowids`` (single-table operator queries through the index)
+* ``sql`` (the SQL front-end; see :mod:`repro.engine.sql`)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, EngineError, JoinError
+from repro.engine.cost import CostModel, DEFAULT_COST_MODEL
+from repro.engine.indextype import DomainIndex, IndexTypeRegistry
+from repro.engine.parallel import (
+    ParallelExecutor,
+    SerialExecutor,
+    WorkerContext,
+    make_executor,
+)
+from repro.engine.table import Table
+from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import EMPTY_MBR, MBR
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog, ColumnMeta, IndexMeta, TableMeta
+from repro.storage.heap import HeapFile, RowId
+from repro.storage.pager import MemoryPager, Pager
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-process spatial database instance."""
+
+    def __init__(
+        self,
+        pager: Optional[Pager] = None,
+        buffer_capacity: int = 1024,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ):
+        self.pager = pager if pager is not None else MemoryPager()
+        self.pool = BufferPool(self.pager, capacity=buffer_capacity)
+        self.catalog = Catalog()
+        self.cost_model = cost_model
+        self._tables: Dict[str, Table] = {}
+        self._indexes: Dict[str, DomainIndex] = {}
+        self._stats: Dict[str, Any] = {}
+        self.indextypes = IndexTypeRegistry()
+        self._register_builtin_indextypes()
+
+    def _register_builtin_indextypes(self) -> None:
+        from repro.index.quadtree.quadtree import QuadtreeIndex
+        from repro.index.rtree.spatial_index import RTreeIndex
+
+        self.indextypes.register("RTREE", RTreeIndex)
+        self.indextypes.register("QUADTREE", QuadtreeIndex)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(
+        self, name: str, columns: Sequence[Tuple[str, str]]
+    ) -> Table:
+        """Create a heap table. ``columns`` is [(name, type_tag), ...]."""
+        meta = TableMeta(
+            name=name,
+            columns=[ColumnMeta(cname, ctype) for cname, ctype in columns],
+            heap_name=f"{name}_heap",
+        )
+        self.catalog.register_table(meta)
+        heap = HeapFile(self.pool, name=meta.heap_name)
+        table = Table(meta, heap)
+        self._tables[name.upper()] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self._tables.pop(name.upper(), None)
+        stale = [
+            iname
+            for iname, idx in self._indexes.items()
+            if idx.table.name.upper() == name.upper()
+        ]
+        for iname in stale:
+            del self._indexes[iname]
+
+    # ------------------------------------------------------------------
+    # Spatial index DDL
+    # ------------------------------------------------------------------
+    def create_spatial_index(
+        self,
+        name: str,
+        table_name: str,
+        column: str,
+        kind: str = "RTREE",
+        parallel: int = 1,
+        use_threads: bool = False,
+        maintain: bool = True,
+        **parameters: Any,
+    ) -> Tuple[DomainIndex, "BuildReportLike"]:
+        """Create a spatial index, optionally in parallel.
+
+        ``parallel`` is the paper's PARALLEL clause degree; degree > 1 runs
+        the table-function build paths of §5.  ``maintain=True`` hooks the
+        index to base-table DML.  Returns ``(index, build_report)``.
+        """
+        from repro.core.index_build import (
+            BuildReport,
+            create_quadtree_parallel,
+            create_rtree_parallel,
+        )
+
+        table = self.table(table_name)
+        kind = kind.upper()
+        if kind == "QUADTREE" and "domain" not in parameters:
+            parameters["domain"] = self._infer_domain(table, column)
+
+        index = self.indextypes.create(kind, name, table, column, **parameters)
+        executor = make_executor(parallel, self.cost_model, use_threads)
+
+        # Every build goes through the table-function path so degree 1 and
+        # degree N run the same code under one cost model.
+        if kind == "QUADTREE":
+            report = create_quadtree_parallel(index, executor)
+        elif kind == "RTREE":
+            report = create_rtree_parallel(index, executor)
+        else:
+            ctx = WorkerContext(0)
+            index.create(ctx)
+            report = BuildReport(kind=kind, degree=1, run=executor.run([]))
+
+        if maintain:
+            index.attach_maintenance()
+
+        meta = IndexMeta(
+            name=name,
+            table_name=table_name,
+            column_name=column,
+            index_kind=kind,
+            index_table_name=f"{name}_idxtab",
+            parameters={k: v for k, v in parameters.items() if k != "domain"},
+            parallel_degree=parallel,
+        )
+        self.catalog.register_index(meta)
+        self._indexes[name.upper()] = index
+        return index, report
+
+    def spatial_index(self, name: str) -> DomainIndex:
+        try:
+            return self._indexes[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown index {name!r}") from None
+
+    def spatial_index_on(self, table_name: str, column: str) -> DomainIndex:
+        meta = self.catalog.spatial_index_on(table_name, column)
+        if meta is None:
+            raise CatalogError(
+                f"no spatial index on {table_name}.{column}; create one first"
+            )
+        return self._indexes[meta.name.upper()]
+
+    def drop_index(self, name: str) -> None:
+        self.catalog.drop_index(name)
+        self._indexes.pop(name.upper(), None)
+
+    def _infer_domain(self, table: Table, column: str) -> MBR:
+        domain = EMPTY_MBR
+        for _rowid, geom in table.column_values(column):
+            if geom is not None:
+                domain = domain.union(geom.mbr)
+        if domain.is_empty:
+            raise EngineError(
+                f"cannot infer quadtree domain: {table.name}.{column} has no data"
+            )
+        return domain.expand(max(domain.width, domain.height) * 0.01 + 1e-9)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def select_rowids(
+        self,
+        table_name: str,
+        column: str,
+        operator: str,
+        args: Sequence[Any],
+        ctx: Optional[WorkerContext] = None,
+    ) -> Iterator[RowId]:
+        """Single-table operator query through the spatial index."""
+        index = self.spatial_index_on(table_name, column)
+        return index.fetch(operator, args, ctx)
+
+    def spatial_join(
+        self,
+        table_a: str,
+        column_a: str,
+        table_b: str,
+        column_b: str,
+        mask: str = "ANYINTERACT",
+        distance: float = 0.0,
+        parallel: int = 1,
+        use_threads: bool = False,
+        **options: Any,
+    ) -> "JoinResultLike":
+        """Index-based spatial join through the spatial_join table function.
+
+        Both columns must carry R-tree indexes (the paper's join traverses
+        the two associated R-trees).  ``parallel > 1`` uses the subtree
+        decomposition of §4.1.
+        """
+        from repro.core.parallel_join import parallel_spatial_join, spatial_join
+        from repro.core.secondary_filter import JoinPredicate
+
+        tree_a = self._rtree_of(table_a, column_a)
+        tree_b = self._rtree_of(table_b, column_b)
+        predicate = JoinPredicate(mask=mask, distance=distance)
+        if parallel > 1:
+            executor = make_executor(parallel, self.cost_model, use_threads)
+            return parallel_spatial_join(
+                self.table(table_a),
+                column_a,
+                tree_a,
+                self.table(table_b),
+                column_b,
+                tree_b,
+                executor,
+                predicate=predicate,
+                **options,
+            )
+        return spatial_join(
+            self.table(table_a),
+            column_a,
+            tree_a,
+            self.table(table_b),
+            column_b,
+            tree_b,
+            predicate=predicate,
+            executor=SerialExecutor(self.cost_model),
+            **options,
+        )
+
+    def nested_loop_join(
+        self,
+        outer_table: str,
+        outer_column: str,
+        inner_table: str,
+        inner_column: str,
+        mask: str = "ANYINTERACT",
+        distance: float = 0.0,
+    ) -> "JoinResultLike":
+        """The pre-9i baseline: per-row index probes of the inner table."""
+        from repro.core.nested_loop import nested_loop_join
+        from repro.core.secondary_filter import JoinPredicate
+
+        inner_index = self.spatial_index_on(inner_table, inner_column)
+        return nested_loop_join(
+            self.table(outer_table),
+            outer_column,
+            inner_index,
+            JoinPredicate(mask=mask, distance=distance),
+            executor=SerialExecutor(self.cost_model),
+        )
+
+    def _rtree_of(self, table_name: str, column: str):
+        from repro.index.rtree.spatial_index import RTreeIndex
+
+        index = self.spatial_index_on(table_name, column)
+        if not isinstance(index, RTreeIndex):
+            raise JoinError(
+                f"spatial_join requires R-tree indexes; {index.name} is "
+                f"{index.kind}"
+            )
+        return index.tree
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def analyze(self, table_name: str):
+        """Compute optimizer statistics for a table (full scan)."""
+        from repro.engine.stats import analyze_table
+
+        stats = analyze_table(self.table(table_name))
+        self._stats[table_name.upper()] = stats
+        return stats
+
+    def table_stats(self, table_name: str):
+        """Previously computed stats, or None (EXPLAIN degrades gracefully)."""
+        return self._stats.get(table_name.upper())
+
+    # ------------------------------------------------------------------
+    # SQL front-end
+    # ------------------------------------------------------------------
+    def sql(self, statement: str) -> "SqlResultLike":
+        """Execute a SQL statement (see :mod:`repro.engine.sql`)."""
+        from repro.engine.sql.executor import execute_sql
+
+        return execute_sql(self, statement)
+
+
+# Documentation-only aliases for forward references in signatures.
+BuildReportLike = object
+JoinResultLike = object
+SqlResultLike = object

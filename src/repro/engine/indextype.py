@@ -1,0 +1,223 @@
+"""The extensible-indexing framework (ODCIIndex analogue).
+
+Oracle's extensible indexing lets a *domain index* supply its own create /
+DML-maintenance / query routines, and surfaces domain predicates as SQL
+*operators* (``sdo_relate``, ``sdo_within_distance``, ``sdo_filter``,
+``sdo_nn``) that the optimizer routes to the index.
+
+The framework's key restriction — the one the whole paper hinges on — is
+reproduced faithfully here: :meth:`DomainIndex.fetch` yields rowids of a
+*single* table.  A join therefore cannot be answered inside the framework;
+it has to be a nested loop of per-row probes, unless it is rewritten
+through a table function (which is exactly the paper's contribution).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IndexTypeError, OperatorError
+from repro.engine.parallel import WorkerContext
+from repro.engine.table import Table
+from repro.geometry.distance import within_distance
+from repro.geometry.geometry import Geometry
+from repro.geometry.predicates import relate
+from repro.storage.heap import RowId
+
+__all__ = [
+    "SpatialOperator",
+    "OPERATORS",
+    "evaluate_operator",
+    "DomainIndex",
+    "IndexTypeRegistry",
+]
+
+
+class SpatialOperator:
+    """A SQL-visible spatial predicate with an exact evaluator.
+
+    ``evaluate`` gives the exact (secondary-filter) truth value.  Whether an
+    index can pre-filter for the operator — and with what window expansion —
+    is described by ``index_hint``; the domain indexes consult it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        evaluate: Callable[..., bool],
+        index_hint: str,
+    ):
+        self.name = name.upper()
+        self.evaluate = evaluate
+        self.index_hint = index_hint  # 'MBR', 'MBR_DISTANCE', or 'NONE'
+
+    def __repr__(self) -> str:
+        return f"SpatialOperator({self.name})"
+
+
+def _eval_relate(geom: Geometry, query: Geometry, mask: str = "ANYINTERACT") -> bool:
+    return relate(geom, query, mask)
+
+
+def _eval_within_distance(geom: Geometry, query: Geometry, dist: float) -> bool:
+    return within_distance(geom, query, float(dist))
+
+
+def _eval_filter(geom: Geometry, query: Geometry) -> bool:
+    # sdo_filter is the primary-filter-only operator: MBR interaction.
+    return geom.mbr.intersects(query.mbr)
+
+
+OPERATORS: Dict[str, SpatialOperator] = {
+    op.name: op
+    for op in (
+        SpatialOperator("SDO_RELATE", _eval_relate, index_hint="MBR"),
+        SpatialOperator("SDO_WITHIN_DISTANCE", _eval_within_distance, index_hint="MBR_DISTANCE"),
+        SpatialOperator("SDO_FILTER", _eval_filter, index_hint="MBR"),
+    )
+}
+
+
+def evaluate_operator(name: str, geom: Geometry, *args: Any) -> bool:
+    """Exact evaluation of a named operator (no index involved)."""
+    try:
+        op = OPERATORS[name.upper()]
+    except KeyError:
+        raise OperatorError(f"unknown operator {name!r}") from None
+    return op.evaluate(geom, *args)
+
+
+class DomainIndex:
+    """Interface every spatial index kind implements (ODCIIndex analogue).
+
+    Lifecycle: ``create`` bulk-builds from the indexed table; ``insert`` /
+    ``delete`` / ``update`` keep it synchronised with base-table DML (the
+    framework wires these to :class:`~repro.engine.table.Table` maintenance
+    hooks); ``fetch`` answers one operator predicate with candidate rowids
+    of the indexed table *only*.
+    """
+
+    kind: str = "ABSTRACT"
+
+    #: geometries kept hot by the row cache backing :meth:`geometry_of`;
+    #: fetches that miss pay full fetch cost, mirroring a buffer cache that
+    #: holds a bounded number of base-table blocks.
+    GEOMETRY_CACHE_ROWS = 4096
+
+    def __init__(self, name: str, table: Table, column: str):
+        self.name = name
+        self.table = table
+        self.column = column
+        self._column_index = table.schema.index_of(column)
+        self._geom_cache: "OrderedDict[RowId, Geometry]" = OrderedDict()
+
+    # -- lifecycle ---------------------------------------------------------
+    def create(self, ctx: Optional[WorkerContext] = None) -> None:
+        raise NotImplementedError
+
+    def insert(self, rowid: RowId, geom: Geometry, ctx: Optional[WorkerContext] = None) -> None:
+        raise NotImplementedError
+
+    def delete(self, rowid: RowId, geom: Geometry, ctx: Optional[WorkerContext] = None) -> None:
+        raise NotImplementedError
+
+    def update(
+        self,
+        rowid: RowId,
+        old_geom: Geometry,
+        new_geom: Geometry,
+        ctx: Optional[WorkerContext] = None,
+    ) -> None:
+        self.delete(rowid, old_geom, ctx)
+        self.insert(rowid, new_geom, ctx)
+
+    # -- query -------------------------------------------------------------
+    def fetch(
+        self,
+        operator: str,
+        args: Sequence[Any],
+        ctx: Optional[WorkerContext] = None,
+        exact: bool = True,
+    ) -> Iterator[RowId]:
+        """Yield rowids satisfying ``operator(geom_column, *args)``.
+
+        With ``exact=False`` only the primary (index) filter is applied and
+        the result may contain false positives — that is ``sdo_filter``
+        semantics.  NOTE: yields rowids of this index's table only; the
+        framework offers no way to return pairs of rowids from two tables,
+        which is why spatial joins predate-table-functions were nested
+        loops (paper §1, §4).
+        """
+        raise NotImplementedError
+
+    # -- framework plumbing --------------------------------------------------
+    def attach_maintenance(self) -> None:
+        """Subscribe to base-table DML so the index stays in sync."""
+
+        def hook(op: str, rowid: RowId, old_row, new_row) -> None:
+            self._geom_cache.pop(rowid, None)
+            old_geom = old_row[self._column_index] if old_row is not None else None
+            new_geom = new_row[self._column_index] if new_row is not None else None
+            if op == "INSERT" and new_geom is not None:
+                self.insert(rowid, new_geom)
+            elif op == "DELETE" and old_geom is not None:
+                self.delete(rowid, old_geom)
+            elif op == "UPDATE":
+                if old_geom is not None and new_geom is not None:
+                    self.update(rowid, old_geom, new_geom)
+                elif old_geom is not None:
+                    self.delete(rowid, old_geom)
+                elif new_geom is not None:
+                    self.insert(rowid, new_geom)
+
+        self.table.add_maintenance_hook(hook)
+
+    def geometry_of(self, rowid: RowId, ctx: Optional[WorkerContext] = None) -> Geometry:
+        """Fetch the indexed geometry for a rowid, through a bounded cache.
+
+        Access patterns matter for cost exactly as they do for a real
+        buffer cache: repeated probes of a small table stay hot, random
+        probes of a table larger than the cache mostly miss — which is
+        what makes the nested-loop join degrade with table size.
+        """
+        cached = self._geom_cache.get(rowid)
+        if cached is not None:
+            self._geom_cache.move_to_end(rowid)
+            if ctx is not None:
+                ctx.charge("buffer_get_hit")
+            return cached
+        row = self.table.fetch(rowid)
+        geom = row[self._column_index]
+        if ctx is not None:
+            ctx.charge("geom_fetch_base")
+            ctx.charge("geom_fetch_per_vertex", geom.num_vertices)
+        self._geom_cache[rowid] = geom
+        while len(self._geom_cache) > self.GEOMETRY_CACHE_ROWS:
+            self._geom_cache.popitem(last=False)
+        return geom
+
+
+class IndexTypeRegistry:
+    """Maps index-kind names ('RTREE', 'QUADTREE') to index factories."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., DomainIndex]] = {}
+
+    def register(self, kind: str, factory: Callable[..., DomainIndex]) -> None:
+        key = kind.upper()
+        if key in self._factories:
+            raise IndexTypeError(f"index kind {kind!r} already registered")
+        self._factories[key] = factory
+
+    def create(
+        self, kind: str, name: str, table: Table, column: str, **parameters: Any
+    ) -> DomainIndex:
+        try:
+            factory = self._factories[kind.upper()]
+        except KeyError:
+            raise IndexTypeError(f"unknown index kind {kind!r}") from None
+        return factory(name=name, table=table, column=column, **parameters)
+
+    def kinds(self) -> List[str]:
+        return sorted(self._factories)

@@ -1,0 +1,239 @@
+"""Parallel execution of table-function work.
+
+Oracle's parallel table functions run N *slave* instances, each consuming a
+partition of the input cursor.  This module provides that execution model
+twice, behind one interface:
+
+* :class:`ThreadExecutor` — real Python threads.  Used by tests to prove
+  the decomposition is correct under genuine concurrency.  (CPython's GIL
+  means it cannot demonstrate speedup for CPU-bound work, and the
+  reproduction host may have a single core anyway.)
+* :class:`SimulatedExecutor` — the benchmark engine.  Tasks execute
+  serially but charge their work units to per-worker
+  :class:`~repro.engine.cost.WorkMeter` instances; the reported *makespan*
+  is the maximum worker time plus startup overhead, exactly the quantity a
+  multi-CPU host would show.  Scheduling is greedy: each task goes to the
+  currently least-loaded worker, which models Oracle's demand-driven
+  distribution of cursor partitions to slaves.
+
+Both executors return a :class:`ParallelRun` whose ``results`` are in task
+submission order regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, List, Optional, Sequence, TypeVar
+
+from repro.errors import EngineError
+from repro.engine.cost import CostModel, DEFAULT_COST_MODEL, WorkMeter
+
+__all__ = [
+    "WorkerContext",
+    "ParallelRun",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "SimulatedExecutor",
+    "ThreadExecutor",
+]
+
+T = TypeVar("T")
+
+Task = Callable[["WorkerContext"], T]
+
+
+class WorkerContext:
+    """Execution context handed to each task: identifies the worker and
+    carries the meter that task's work units are charged to."""
+
+    __slots__ = ("worker_id", "meter")
+
+    def __init__(self, worker_id: int, meter: Optional[WorkMeter] = None):
+        self.worker_id = worker_id
+        self.meter = meter if meter is not None else WorkMeter()
+
+    def charge(self, kind: str, n: float = 1.0) -> None:
+        """Record ``n`` work units of ``kind`` against this worker."""
+        self.meter.add(kind, n)
+
+
+@dataclass
+class ParallelRun(Generic[T]):
+    """Outcome of running a batch of tasks on an executor."""
+
+    results: List[T]
+    worker_meters: List[WorkMeter]
+    degree: int
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    wall_seconds: float = 0.0  # real elapsed time (ThreadExecutor only)
+
+    @property
+    def worker_seconds(self) -> List[float]:
+        return [m.seconds(self.cost_model) for m in self.worker_meters]
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Simulated elapsed time: slowest worker + parallel startup cost."""
+        startup = self.cost_model.worker_startup * (self.degree if self.degree > 1 else 0)
+        busiest = max(self.worker_seconds, default=0.0)
+        return busiest + startup
+
+    @property
+    def total_work_seconds(self) -> float:
+        """Sum of all workers' simulated time (the 1-processor equivalent)."""
+        return sum(self.worker_seconds)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean worker time; 1.0 is a perfectly balanced run."""
+        times = [t for t in self.worker_seconds]
+        if not times or sum(times) == 0.0:
+            return 1.0
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean else 1.0
+
+    def combined_meter(self) -> WorkMeter:
+        meter = WorkMeter()
+        for m in self.worker_meters:
+            meter.merge(m)
+        return meter
+
+
+class ParallelExecutor:
+    """Interface: run tasks with a given degree of parallelism."""
+
+    degree: int
+    cost_model: CostModel
+
+    def run(self, tasks: Sequence[Task]) -> ParallelRun:
+        raise NotImplementedError
+
+
+class SerialExecutor(ParallelExecutor):
+    """Degree-1 executor: every task runs on one worker, no startup cost."""
+
+    def __init__(self, cost_model: CostModel = DEFAULT_COST_MODEL):
+        self.degree = 1
+        self.cost_model = cost_model
+
+    def run(self, tasks: Sequence[Task]) -> ParallelRun:
+        meter = WorkMeter()
+        results = []
+        for task in tasks:
+            ctx = WorkerContext(0, meter)
+            results.append(task(ctx))
+        return ParallelRun(
+            results=results,
+            worker_meters=[meter],
+            degree=1,
+            cost_model=self.cost_model,
+        )
+
+
+class SimulatedExecutor(ParallelExecutor):
+    """Deterministic multi-worker executor with simulated time.
+
+    Tasks run serially in submission order; each is assigned to the worker
+    with the least accumulated simulated time *before* the task starts.
+    This greedy longest-processing-time-online policy mirrors demand-driven
+    slave scheduling and makes makespan a pure function of the task costs.
+    """
+
+    def __init__(self, degree: int, cost_model: CostModel = DEFAULT_COST_MODEL):
+        if degree < 1:
+            raise EngineError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        self.cost_model = cost_model
+
+    def run(self, tasks: Sequence[Task]) -> ParallelRun:
+        meters = [WorkMeter() for _ in range(self.degree)]
+        results: List[Any] = []
+        for task in tasks:
+            times = [m.seconds(self.cost_model) for m in meters]
+            worker_id = times.index(min(times))
+            ctx = WorkerContext(worker_id, meters[worker_id])
+            results.append(task(ctx))
+        return ParallelRun(
+            results=results,
+            worker_meters=meters,
+            degree=self.degree,
+            cost_model=self.cost_model,
+        )
+
+
+class ThreadExecutor(ParallelExecutor):
+    """Real-thread executor.
+
+    Tasks are pulled from a shared queue by ``degree`` worker threads.  Work
+    units are still metered (each worker owns a meter), so simulated numbers
+    remain available; ``wall_seconds`` additionally records real elapsed
+    time.  Exceptions raised by tasks are re-raised in the caller.
+    """
+
+    def __init__(self, degree: int, cost_model: CostModel = DEFAULT_COST_MODEL):
+        if degree < 1:
+            raise EngineError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        self.cost_model = cost_model
+
+    def run(self, tasks: Sequence[Task]) -> ParallelRun:
+        import time
+
+        meters = [WorkMeter() for _ in range(self.degree)]
+        results: List[Any] = [None] * len(tasks)
+        errors: List[BaseException] = []
+        next_index = [0]
+        lock = threading.Lock()
+
+        def worker(worker_id: int) -> None:
+            while True:
+                with lock:
+                    if errors or next_index[0] >= len(tasks):
+                        return
+                    index = next_index[0]
+                    next_index[0] += 1
+                ctx = WorkerContext(worker_id, meters[worker_id])
+                try:
+                    results[index] = tasks[index](ctx)
+                except BaseException as exc:  # noqa: BLE001 - reraised below
+                    with lock:
+                        errors.append(exc)
+                    return
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(min(self.degree, max(1, len(tasks))))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        return ParallelRun(
+            results=results,
+            worker_meters=meters,
+            degree=self.degree,
+            cost_model=self.cost_model,
+            wall_seconds=elapsed,
+        )
+
+
+def make_executor(
+    degree: int,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    use_threads: bool = False,
+) -> ParallelExecutor:
+    """Executor factory used throughout the library.
+
+    Degree 1 always maps to :class:`SerialExecutor`; higher degrees map to
+    the simulated executor unless real threads are requested.
+    """
+    if degree == 1:
+        return SerialExecutor(cost_model)
+    if use_threads:
+        return ThreadExecutor(degree, cost_model)
+    return SimulatedExecutor(degree, cost_model)

@@ -1,0 +1,6 @@
+"""SQL front-end: lexer, parser, and plan/execute for the paper's queries."""
+
+from repro.engine.sql.executor import SqlResult, execute_sql
+from repro.engine.sql.parser import parse
+
+__all__ = ["parse", "execute_sql", "SqlResult"]

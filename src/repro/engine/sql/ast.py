@@ -1,0 +1,184 @@
+"""SQL abstract syntax tree nodes.
+
+The grammar covers the statements the paper's workload actually issues;
+nodes are plain dataclasses with no behaviour (planning interprets them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "FunctionCall",
+    "TupleExpr",
+    "Comparison",
+    "AndExpr",
+    "InSubquery",
+    "SelectItem",
+    "FromItem",
+    "TableRef",
+    "TableFunctionRef",
+    "CursorArg",
+    "Select",
+    "CreateTable",
+    "CreateIndex",
+    "Insert",
+    "DropTable",
+    "DropIndex",
+    "Explain",
+    "AnalyzeTable",
+    "Statement",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Literal:
+    value: object  # float | int | str
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    table: Optional[str]  # alias or table name; None = unqualified
+    column: str  # may be 'ROWID'
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class TupleExpr:
+    items: Tuple["Expr", ...]
+
+
+Expr = Union[Literal, ColumnRef, FunctionCall, TupleExpr]
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    left: Expr
+    op: str  # '=', '!=', '<', '<=', '>', '>='
+    right: Expr
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    left: Expr  # usually TupleExpr of rowid refs
+    subquery: "Select"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    terms: Tuple[Union[Comparison, InSubquery, "AndExpr"], ...]
+
+
+Predicate = Union[Comparison, InSubquery, AndExpr]
+
+
+# ---------------------------------------------------------------------------
+# FROM items
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class CursorArg:
+    """A CURSOR(SELECT ...) argument to a table function."""
+
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class TableFunctionRef:
+    """TABLE(fname(arg, ...)) [alias] in a FROM clause."""
+
+    function: str
+    args: Tuple[Union[Expr, CursorArg], ...]
+    alias: Optional[str]
+
+
+FromItem = Union[TableRef, TableFunctionRef]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Optional[Expr]  # None means '*'
+    is_count_star: bool = False
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Select:
+    items: Tuple[SelectItem, ...]
+    from_items: Tuple[FromItem, ...]
+    where: Optional[Predicate]
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Tuple[Tuple[str, str], ...]  # (name, type_tag)
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    column: str
+    indextype: str  # e.g. 'SPATIAL_INDEX'
+    parameters: str  # raw PARAMETERS string, e.g. 'kind=RTREE fanout=32'
+    parallel: int
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    values: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Explain:
+    """EXPLAIN <select>: report the plan without executing it."""
+
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class AnalyzeTable:
+    """ANALYZE TABLE <name> [COMPUTE STATISTICS]."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+
+
+Statement = Union[
+    Select, CreateTable, CreateIndex, Insert, DropTable, DropIndex, Explain,
+    AnalyzeTable,
+]

@@ -1,0 +1,154 @@
+"""SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Supported
+lexemes: identifiers (unquoted, case-insensitive), numeric literals, single
+-quoted string literals (with '' escaping), punctuation, and the operator
+set needed by the supported grammar.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    STAR = "*"
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    SEMICOLON = ";"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+_PUNCT = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "*": TokenType.STAR,
+    "=": TokenType.EQ,
+    ";": TokenType.SEMICOLON,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a SQL statement; raises :class:`SqlSyntaxError` on garbage."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError(f"unterminated string literal at {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch in "+-" and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")
+        ):
+            j = i + 1 if ch in "+-" else i
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j + 1 < n:
+                    nxt = text[j + 1]
+                    if nxt.isdigit() or nxt in "+-":
+                        seen_exp = True
+                        j += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[start:j], start))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(TokenType.IDENT, text[i:j], i))
+            i = j
+            continue
+        if ch == "!" and i + 1 < n and text[i + 1] == "=":
+            tokens.append(Token(TokenType.NEQ, "!=", i))
+            i += 2
+            continue
+        if ch == "<":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token(TokenType.LTE, "<=", i))
+                i += 2
+            elif i + 1 < n and text[i + 1] == ">":
+                tokens.append(Token(TokenType.NEQ, "<>", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.LT, "<", i))
+                i += 1
+            continue
+        if ch == ">":
+            if i + 1 < n and text[i + 1] == "=":
+                tokens.append(Token(TokenType.GTE, ">=", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.GT, ">", i))
+                i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,409 @@
+"""Recursive-descent SQL parser.
+
+Grammar (case-insensitive keywords)::
+
+    statement     := select | create_table | create_index | insert
+                   | drop_table | drop_index
+    select        := SELECT select_list FROM from_list [WHERE predicate]
+    select_list   := '*' | COUNT '(' '*' ')' | expr [[AS] ident] {',' ...}
+    from_list     := from_item {',' from_item}
+    from_item     := ident [ident]                       -- table [alias]
+                   | TABLE '(' func_call ')' [ident]     -- table function
+    func_call     := ident '(' func_arg {',' func_arg} ')'
+    func_arg      := expr | CURSOR '(' select ')'
+    predicate     := conjunct {AND conjunct}
+    conjunct      := comparison | in_subquery
+    comparison    := expr cmp_op expr
+    in_subquery   := '(' expr {',' expr} ')' IN '(' select ')'
+                   | expr IN '(' select ')'
+    expr          := literal | column_ref | func_call | '(' expr ')'
+    column_ref    := ident ['.' (ident | ROWID)]
+
+    create_table  := CREATE TABLE ident '(' ident type {',' ident type} ')'
+    create_index  := CREATE INDEX ident ON ident '(' ident ')'
+                     [INDEXTYPE IS ident]
+                     [PARAMETERS string]
+                     [PARALLEL number]
+    insert        := INSERT INTO ident VALUES '(' expr {',' expr} ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SqlSyntaxError
+from repro.engine.sql.ast import (
+    AnalyzeTable,
+    AndExpr,
+    ColumnRef,
+    Comparison,
+    CreateIndex,
+    CreateTable,
+    CursorArg,
+    DropIndex,
+    DropTable,
+    Explain,
+    Expr,
+    FromItem,
+    FunctionCall,
+    InSubquery,
+    Insert,
+    Literal,
+    Select,
+    SelectItem,
+    Statement,
+    TableFunctionRef,
+    TableRef,
+    TupleExpr,
+)
+from repro.engine.sql.lexer import Token, TokenType, tokenize
+
+__all__ = ["parse"]
+
+_COMPARISON_TOKENS = {
+    TokenType.EQ: "=",
+    TokenType.NEQ: "!=",
+    TokenType.LT: "<",
+    TokenType.LTE: "<=",
+    TokenType.GT: ">",
+    TokenType.GTE: ">=",
+}
+
+_RESERVED = {
+    "SELECT", "FROM", "WHERE", "AND", "IN", "TABLE", "CURSOR", "AS",
+    "CREATE", "INSERT", "INTO", "VALUES", "INDEX", "ON", "INDEXTYPE",
+    "IS", "PARAMETERS", "PARALLEL", "DROP", "COUNT", "EXPLAIN", "ANALYZE",
+}
+
+
+def parse(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return _Parser(tokenize(text)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.type is not TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def _expect(self, ttype: TokenType) -> Token:
+        tok = self._next()
+        if tok.type is not ttype:
+            raise SqlSyntaxError(
+                f"expected {ttype.value} but got {tok.text!r} at {tok.position}"
+            )
+        return tok
+
+    def _keyword(self, word: str) -> Token:
+        tok = self._next()
+        if tok.type is not TokenType.IDENT or tok.upper != word:
+            raise SqlSyntaxError(
+                f"expected keyword {word} but got {tok.text!r} at {tok.position}"
+            )
+        return tok
+
+    def _at_keyword(self, word: str, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        return tok.type is TokenType.IDENT and tok.upper == word
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._at_keyword(word):
+            self._next()
+            return True
+        return False
+
+    # -- statements ---------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        stmt = self._statement()
+        if self._peek().type is TokenType.SEMICOLON:
+            self._next()
+        tok = self._peek()
+        if tok.type is not TokenType.EOF:
+            raise SqlSyntaxError(f"trailing input at {tok.position}: {tok.text!r}")
+        return stmt
+
+    def _statement(self) -> Statement:
+        if self._at_keyword("ANALYZE"):
+            self._next()
+            self._keyword("TABLE")
+            name = self._expect(TokenType.IDENT).text
+            if self._accept_keyword("COMPUTE"):
+                self._keyword("STATISTICS")
+            return AnalyzeTable(name)
+        if self._at_keyword("EXPLAIN"):
+            self._next()
+            # tolerate Oracle's EXPLAIN PLAN FOR spelling
+            if self._at_keyword("PLAN"):
+                self._next()
+                self._keyword("FOR")
+            return Explain(self._select())
+        if self._at_keyword("SELECT"):
+            return self._select()
+        if self._at_keyword("CREATE"):
+            if self._at_keyword("TABLE", 1):
+                return self._create_table()
+            if self._at_keyword("INDEX", 1):
+                return self._create_index()
+            raise SqlSyntaxError("CREATE must be followed by TABLE or INDEX")
+        if self._at_keyword("INSERT"):
+            return self._insert()
+        if self._at_keyword("DROP"):
+            if self._at_keyword("TABLE", 1):
+                self._next(), self._next()
+                return DropTable(self._expect(TokenType.IDENT).text)
+            if self._at_keyword("INDEX", 1):
+                self._next(), self._next()
+                return DropIndex(self._expect(TokenType.IDENT).text)
+            raise SqlSyntaxError("DROP must be followed by TABLE or INDEX")
+        tok = self._peek()
+        raise SqlSyntaxError(f"unknown statement start {tok.text!r} at {tok.position}")
+
+    # -- SELECT ---------------------------------------------------------------
+    def _select(self) -> Select:
+        self._keyword("SELECT")
+        items = self._select_list()
+        self._keyword("FROM")
+        from_items: List[FromItem] = [self._from_item()]
+        while self._peek().type is TokenType.COMMA:
+            self._next()
+            from_items.append(self._from_item())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._predicate()
+        return Select(tuple(items), tuple(from_items), where)
+
+    def _select_list(self) -> List[SelectItem]:
+        items: List[SelectItem] = []
+        while True:
+            if self._peek().type is TokenType.STAR:
+                self._next()
+                items.append(SelectItem(expr=None))
+            elif self._at_keyword("COUNT") and self._peek(1).type is TokenType.LPAREN:
+                self._next()
+                self._expect(TokenType.LPAREN)
+                self._expect(TokenType.STAR)
+                self._expect(TokenType.RPAREN)
+                items.append(SelectItem(expr=None, is_count_star=True))
+            else:
+                expr = self._expr()
+                alias = None
+                if self._accept_keyword("AS"):
+                    alias = self._expect(TokenType.IDENT).text
+                elif (
+                    self._peek().type is TokenType.IDENT
+                    and self._peek().upper not in _RESERVED
+                ):
+                    alias = self._next().text
+                items.append(SelectItem(expr=expr, alias=alias))
+            if self._peek().type is TokenType.COMMA and not self._at_keyword(
+                "FROM", 1
+            ):
+                # Comma only continues the select list if not before FROM.
+                self._next()
+                continue
+            break
+        return items
+
+    def _from_item(self) -> FromItem:
+        if self._at_keyword("TABLE") and self._peek(1).type is TokenType.LPAREN:
+            self._next()
+            self._expect(TokenType.LPAREN)
+            call = self._table_function_call()
+            self._expect(TokenType.RPAREN)
+            alias = self._maybe_alias()
+            return TableFunctionRef(call[0], call[1], alias)
+        name = self._expect(TokenType.IDENT).text
+        alias = self._maybe_alias()
+        return TableRef(name, alias)
+
+    def _maybe_alias(self) -> Optional[str]:
+        tok = self._peek()
+        if tok.type is TokenType.IDENT and tok.upper not in _RESERVED:
+            return self._next().text
+        return None
+
+    def _table_function_call(self):
+        name = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.LPAREN)
+        args: List[Union[Expr, CursorArg]] = []
+        if self._peek().type is not TokenType.RPAREN:
+            while True:
+                if self._at_keyword("CURSOR") and self._peek(1).type is TokenType.LPAREN:
+                    self._next()
+                    self._expect(TokenType.LPAREN)
+                    args.append(CursorArg(self._select()))
+                    self._expect(TokenType.RPAREN)
+                else:
+                    args.append(self._expr())
+                if self._peek().type is TokenType.COMMA:
+                    self._next()
+                    continue
+                break
+        self._expect(TokenType.RPAREN)
+        return name, tuple(args)
+
+    # -- predicates --------------------------------------------------------
+    def _predicate(self):
+        terms = [self._conjunct()]
+        while self._accept_keyword("AND"):
+            terms.append(self._conjunct())
+        if len(terms) == 1:
+            return terms[0]
+        return AndExpr(tuple(terms))
+
+    def _conjunct(self):
+        # Tuple IN: '(' expr, expr ')' IN '(' select ')'
+        if self._peek().type is TokenType.LPAREN and self._looks_like_tuple_in():
+            self._expect(TokenType.LPAREN)
+            items = [self._expr()]
+            while self._peek().type is TokenType.COMMA:
+                self._next()
+                items.append(self._expr())
+            self._expect(TokenType.RPAREN)
+            self._keyword("IN")
+            self._expect(TokenType.LPAREN)
+            sub = self._select()
+            self._expect(TokenType.RPAREN)
+            return InSubquery(TupleExpr(tuple(items)), sub)
+        left = self._expr()
+        if self._accept_keyword("IN"):
+            self._expect(TokenType.LPAREN)
+            sub = self._select()
+            self._expect(TokenType.RPAREN)
+            return InSubquery(left, sub)
+        tok = self._next()
+        op = _COMPARISON_TOKENS.get(tok.type)
+        if op is None:
+            raise SqlSyntaxError(
+                f"expected comparison operator, got {tok.text!r} at {tok.position}"
+            )
+        right = self._expr()
+        return Comparison(left, op, right)
+
+    def _looks_like_tuple_in(self) -> bool:
+        """Lookahead: does the '(' start a tuple followed by IN?"""
+        depth = 0
+        i = self._pos
+        while i < len(self._tokens):
+            tok = self._tokens[i]
+            if tok.type is TokenType.LPAREN:
+                depth += 1
+            elif tok.type is TokenType.RPAREN:
+                depth -= 1
+                if depth == 0:
+                    nxt = self._tokens[i + 1] if i + 1 < len(self._tokens) else None
+                    return (
+                        nxt is not None
+                        and nxt.type is TokenType.IDENT
+                        and nxt.upper == "IN"
+                    )
+            elif tok.type is TokenType.EOF:
+                return False
+            i += 1
+        return False
+
+    # -- expressions ----------------------------------------------------------
+    def _expr(self) -> Expr:
+        tok = self._peek()
+        if tok.type is TokenType.NUMBER:
+            self._next()
+            text = tok.text
+            value = float(text)
+            if value.is_integer() and "." not in text and "e" not in text.lower():
+                return Literal(int(value))
+            return Literal(value)
+        if tok.type is TokenType.STRING:
+            self._next()
+            return Literal(tok.text)
+        if tok.type is TokenType.LPAREN:
+            self._next()
+            inner = self._expr()
+            self._expect(TokenType.RPAREN)
+            return inner
+        if tok.type is TokenType.IDENT:
+            # function call?
+            if self._peek(1).type is TokenType.LPAREN:
+                name, args = self._table_function_call()
+                return FunctionCall(name, tuple(a for a in args))  # type: ignore[misc]
+            name = self._next().text
+            if self._peek().type is TokenType.DOT:
+                self._next()
+                col_tok = self._next()
+                if col_tok.type not in (TokenType.IDENT,):
+                    raise SqlSyntaxError(
+                        f"expected column name after '.', got {col_tok.text!r}"
+                    )
+                return ColumnRef(name, col_tok.text)
+            return ColumnRef(None, name)
+        raise SqlSyntaxError(f"unexpected token {tok.text!r} at {tok.position}")
+
+    # -- DDL/DML -----------------------------------------------------------
+    def _create_table(self) -> CreateTable:
+        self._keyword("CREATE")
+        self._keyword("TABLE")
+        name = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.LPAREN)
+        columns: List[Tuple[str, str]] = []
+        while True:
+            col = self._expect(TokenType.IDENT).text
+            type_tag = self._expect(TokenType.IDENT).text
+            columns.append((col, type_tag.upper()))
+            if self._peek().type is TokenType.COMMA:
+                self._next()
+                continue
+            break
+        self._expect(TokenType.RPAREN)
+        return CreateTable(name, tuple(columns))
+
+    def _create_index(self) -> CreateIndex:
+        self._keyword("CREATE")
+        self._keyword("INDEX")
+        name = self._expect(TokenType.IDENT).text
+        self._keyword("ON")
+        table = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.LPAREN)
+        column = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.RPAREN)
+        indextype = "SPATIAL_INDEX"
+        parameters = ""
+        parallel = 1
+        while True:
+            if self._accept_keyword("INDEXTYPE"):
+                self._keyword("IS")
+                indextype = self._expect(TokenType.IDENT).text
+            elif self._accept_keyword("PARAMETERS"):
+                tok = self._peek()
+                if tok.type is TokenType.LPAREN:
+                    self._next()
+                    parameters = self._expect(TokenType.STRING).text
+                    self._expect(TokenType.RPAREN)
+                else:
+                    parameters = self._expect(TokenType.STRING).text
+            elif self._accept_keyword("PARALLEL"):
+                parallel = int(self._expect(TokenType.NUMBER).text)
+            else:
+                break
+        return CreateIndex(name, table, column, indextype.upper(), parameters, parallel)
+
+    def _insert(self) -> Insert:
+        self._keyword("INSERT")
+        self._keyword("INTO")
+        table = self._expect(TokenType.IDENT).text
+        self._keyword("VALUES")
+        self._expect(TokenType.LPAREN)
+        values: List[Expr] = [self._expr()]
+        while self._peek().type is TokenType.COMMA:
+            self._next()
+            values.append(self._expr())
+        self._expect(TokenType.RPAREN)
+        return Insert(table, tuple(values))

@@ -1,0 +1,128 @@
+"""Optimizer statistics (the ANALYZE ... COMPUTE STATISTICS analogue).
+
+The paper's system sits inside a cost-based optimizer; the piece of that
+machinery spatial processing actually needs is per-column geometry
+statistics — row count, average MBR extents, layer MBR — from which the
+classic spatial selectivity model estimates how many rows a window query
+or join will touch:
+
+    P(two boxes intersect) ~ ((w1 + w2) * (h1 + h2)) / area(domain)
+
+``Database.analyze`` computes them; EXPLAIN reports the estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import CatalogError
+from repro.engine.table import Table
+from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import EMPTY_MBR, MBR
+
+__all__ = [
+    "ColumnGeometryStats",
+    "TableStats",
+    "analyze_table",
+    "estimate_window_rows",
+    "estimate_join_pairs",
+]
+
+
+@dataclass
+class ColumnGeometryStats:
+    """Statistics for one geometry column."""
+
+    column: str
+    geometry_count: int = 0
+    avg_width: float = 0.0
+    avg_height: float = 0.0
+    avg_vertices: float = 0.0
+    layer_mbr: MBR = EMPTY_MBR
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    table_name: str
+    row_count: int = 0
+    geometry_columns: Dict[str, ColumnGeometryStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnGeometryStats:
+        try:
+            return self.geometry_columns[name.upper()]
+        except KeyError:
+            raise CatalogError(
+                f"no geometry statistics for {self.table_name}.{name}; "
+                f"run ANALYZE first"
+            ) from None
+
+
+def analyze_table(table: Table) -> TableStats:
+    """Full-scan statistics collection for one table."""
+    stats = TableStats(table_name=table.name)
+    geom_columns = [
+        c.name for c in table.meta.columns if c.type_tag.upper() == "SDO_GEOMETRY"
+    ]
+    accum: Dict[str, ColumnGeometryStats] = {
+        name.upper(): ColumnGeometryStats(column=name) for name in geom_columns
+    }
+    sums: Dict[str, list] = {name.upper(): [0.0, 0.0, 0.0] for name in geom_columns}
+
+    for _rowid, row in table.scan():
+        stats.row_count += 1
+        for name in geom_columns:
+            value = table.schema.value(row, name)
+            if not isinstance(value, Geometry):
+                continue
+            col = accum[name.upper()]
+            col.geometry_count += 1
+            col.layer_mbr = col.layer_mbr.union(value.mbr)
+            s = sums[name.upper()]
+            s[0] += value.mbr.width
+            s[1] += value.mbr.height
+            s[2] += value.num_vertices
+
+    for name in geom_columns:
+        col = accum[name.upper()]
+        if col.geometry_count:
+            s = sums[name.upper()]
+            col.avg_width = s[0] / col.geometry_count
+            col.avg_height = s[1] / col.geometry_count
+            col.avg_vertices = s[2] / col.geometry_count
+    stats.geometry_columns = accum
+    return stats
+
+
+def estimate_window_rows(col: ColumnGeometryStats, window: MBR) -> float:
+    """Expected rows whose MBR intersects ``window`` (uniformity model)."""
+    if col.geometry_count == 0 or col.layer_mbr.is_empty:
+        return 0.0
+    domain = col.layer_mbr
+    domain_area = max(domain.area, 1e-12)
+    p = (
+        (col.avg_width + window.width)
+        * (col.avg_height + window.height)
+        / domain_area
+    )
+    return col.geometry_count * min(1.0, p)
+
+
+def estimate_join_pairs(
+    col_a: ColumnGeometryStats,
+    col_b: ColumnGeometryStats,
+    distance: float = 0.0,
+) -> float:
+    """Expected MBR-intersecting pairs between two layers."""
+    if col_a.geometry_count == 0 or col_b.geometry_count == 0:
+        return 0.0
+    domain = col_a.layer_mbr.union(col_b.layer_mbr)
+    domain_area = max(domain.area, 1e-12)
+    p = (
+        (col_a.avg_width + col_b.avg_width + 2 * distance)
+        * (col_a.avg_height + col_b.avg_height + 2 * distance)
+        / domain_area
+    )
+    return col_a.geometry_count * col_b.geometry_count * min(1.0, p)

@@ -1,0 +1,112 @@
+"""Tables: schema-aware views over heap files.
+
+A :class:`Table` binds a catalog :class:`~repro.storage.catalog.TableMeta`
+to a :class:`~repro.storage.heap.HeapFile` and handles row encoding, type
+validation, and maintenance of any domain indexes registered on the table
+(inserts/updates/deletes propagate to spatial indexes automatically, as
+the extensible-indexing framework requires).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError
+from repro.engine.cursor import Cursor, GeneratorCursor
+from repro.engine.types import Row, RowSchema
+from repro.storage.catalog import ColumnMeta, TableMeta
+from repro.storage.codec import decode_row, encode_row
+from repro.storage.heap import HeapFile, RowId
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A heap table with a schema and index-maintenance hooks."""
+
+    def __init__(self, meta: TableMeta, heap: HeapFile):
+        self.meta = meta
+        self.schema = RowSchema(meta.columns)
+        self.heap = heap
+        # index maintenance callbacks: (op, rowid, old_row, new_row)
+        self._maintenance_hooks: List[
+            Callable[[str, RowId, Optional[Row], Optional[Row]], None]
+        ] = []
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def row_count(self) -> int:
+        return self.heap.row_count
+
+    def add_maintenance_hook(
+        self, hook: Callable[[str, RowId, Optional[Row], Optional[Row]], None]
+    ) -> None:
+        """Register a callback fired after insert/update/delete.
+
+        The spatial indextype registers here so DML on the base table keeps
+        the domain index synchronised — the automatic index update the
+        extensible-indexing framework provides.
+        """
+        self._maintenance_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[Any]) -> RowId:
+        row = tuple(values)
+        self.schema.validate_row(row)
+        rowid = self.heap.insert(encode_row(row))
+        self._fire("INSERT", rowid, None, row)
+        return rowid
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> List[RowId]:
+        return [self.insert(row) for row in rows]
+
+    def fetch(self, rowid: RowId) -> Row:
+        return decode_row(self.heap.read(rowid))
+
+    def update(self, rowid: RowId, values: Sequence[Any]) -> None:
+        new_row = tuple(values)
+        self.schema.validate_row(new_row)
+        old_row = self.fetch(rowid)
+        self.heap.update(rowid, encode_row(new_row))
+        self._fire("UPDATE", rowid, old_row, new_row)
+
+    def delete(self, rowid: RowId) -> None:
+        old_row = self.fetch(rowid)
+        self.heap.delete(rowid)
+        self._fire("DELETE", rowid, old_row, None)
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[Tuple[RowId, Row]]:
+        """Full scan in rowid (physical) order."""
+        for rowid, data in self.heap.scan():
+            yield rowid, decode_row(data)
+
+    def scan_cursor(self, with_rowid: bool = False) -> Cursor:
+        """Cursor over the table; optionally prefix each row with its rowid."""
+        if with_rowid:
+            return GeneratorCursor(
+                (rowid,) + row for rowid, row in self.scan()
+            )
+        return GeneratorCursor(row for _rowid, row in self.scan())
+
+    def column_values(self, column: str) -> Iterator[Tuple[RowId, Any]]:
+        idx = self.schema.index_of(column)
+        for rowid, row in self.scan():
+            yield rowid, row[idx]
+
+    def value(self, rowid: RowId, column: str) -> Any:
+        return self.schema.value(self.fetch(rowid), column)
+
+    # ------------------------------------------------------------------
+    def _fire(
+        self, op: str, rowid: RowId, old_row: Optional[Row], new_row: Optional[Row]
+    ) -> None:
+        for hook in self._maintenance_hooks:
+            hook(op, rowid, old_row, new_row)

@@ -1,0 +1,75 @@
+"""Row and schema value types shared across the engine.
+
+Rows are plain tuples (cheap, hashable); :class:`RowSchema` gives them
+named-column access.  Type tags are the catalog's string tags; validation
+maps each tag to the Python types it accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import EngineError
+from repro.geometry.geometry import Geometry
+from repro.storage.catalog import ColumnMeta
+from repro.storage.heap import RowId
+
+__all__ = ["Row", "RowSchema", "validate_value", "TYPE_TAGS"]
+
+Row = Tuple[Any, ...]
+
+# type tag -> acceptable Python types (None is accepted everywhere: SQL NULL)
+TYPE_TAGS: Dict[str, Tuple[type, ...]] = {
+    "NUMBER": (int, float),
+    "VARCHAR": (str,),
+    "SDO_GEOMETRY": (Geometry,),
+    "ROWID": (RowId,),
+    "RAW": (bytes,),
+}
+
+
+def validate_value(value: Any, type_tag: str, column: str = "?") -> None:
+    """Raise :class:`EngineError` when a value does not match its column type."""
+    if value is None:
+        return
+    accepted = TYPE_TAGS.get(type_tag.upper())
+    if accepted is None:
+        raise EngineError(f"unknown type tag {type_tag!r} for column {column!r}")
+    if isinstance(value, bool) or not isinstance(value, accepted):
+        raise EngineError(
+            f"column {column!r} ({type_tag}) rejects value of type "
+            f"{type(value).__name__}"
+        )
+
+
+class RowSchema:
+    """Column name/type metadata for tuples flowing through the engine."""
+
+    def __init__(self, columns: Sequence[ColumnMeta]):
+        self.columns = list(columns)
+        self._by_name = {c.name.upper(): i for i, c in enumerate(self.columns)}
+        if len(self._by_name) != len(self.columns):
+            raise EngineError("duplicate column names in schema")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._by_name[name.upper()]
+        except KeyError:
+            raise EngineError(f"no column named {name!r}") from None
+
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def value(self, row: Row, name: str) -> Any:
+        return row[self.index_of(name)]
+
+    def validate_row(self, row: Row) -> None:
+        if len(row) != len(self.columns):
+            raise EngineError(
+                f"row width {len(row)} != schema width {len(self.columns)}"
+            )
+        for value, col in zip(row, self.columns):
+            validate_value(value, col.type_tag, col.name)

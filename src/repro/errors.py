@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometry construction or unsupported geometric operation."""
+
+
+class WktError(GeometryError):
+    """Malformed Well-Known Text input."""
+
+
+class SdoCodecError(GeometryError):
+    """Invalid SDO_GTYPE / SDO_ELEM_INFO / SDO_ORDINATES triple."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (pager, heap, buffer cache)."""
+
+
+class PageError(StorageError):
+    """Page-level failure: bad page id, overflow, corrupted slot."""
+
+
+class RowIdError(StorageError):
+    """A rowid does not reference a live row."""
+
+
+class BTreeError(StorageError):
+    """B-tree structural failure or misuse."""
+
+
+class CatalogError(ReproError):
+    """Catalog lookup/registration failure (unknown table, duplicate index)."""
+
+
+class EngineError(ReproError):
+    """Query-engine failure."""
+
+
+class CursorError(EngineError):
+    """Cursor protocol misuse (fetch after close, bad partitioning)."""
+
+
+class TableFunctionError(EngineError):
+    """Table-function protocol misuse (fetch before start, etc.)."""
+
+
+class IndexTypeError(EngineError):
+    """Extensible-indexing framework misuse."""
+
+
+class OperatorError(EngineError):
+    """Unknown operator or bad operator arguments."""
+
+
+class SqlError(EngineError):
+    """SQL front-end failure."""
+
+
+class SqlSyntaxError(SqlError):
+    """Lexical or grammatical error in a SQL statement."""
+
+
+class SqlPlanError(SqlError):
+    """The statement parsed but cannot be planned/executed."""
+
+
+class JoinError(ReproError):
+    """Spatial-join driver failure."""
+
+
+class IndexBuildError(ReproError):
+    """Spatial index creation failure."""
+
+
+class DatasetError(ReproError):
+    """Synthetic dataset generation failure."""

@@ -1,0 +1,227 @@
+"""Minimum bounding rectangles (MBRs).
+
+The MBR is the workhorse of every spatial index in this library: R-tree nodes
+store MBRs, the quadtree tessellates MBR-clipped geometry, and the spatial
+join's primary filter is pure MBR intersection.  The class is immutable so
+MBRs can be shared freely between index nodes and query states.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import GeometryError
+
+__all__ = ["MBR", "EMPTY_MBR", "mbr_of_points", "union_all"]
+
+
+@dataclass(frozen=True, slots=True)
+class MBR:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate rectangles (points and horizontal/vertical segments) are
+    valid.  An *empty* MBR is represented by the sentinel :data:`EMPTY_MBR`
+    whose bounds are inverted infinities; it behaves as the identity for
+    :meth:`union` and intersects nothing.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if not self.is_empty and (self.min_x > self.max_x or self.min_y > self.max_y):
+            raise GeometryError(
+                f"inverted MBR bounds: ({self.min_x}, {self.min_y}, "
+                f"{self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty-MBR sentinel."""
+        return self.min_x == math.inf and self.max_x == -math.inf
+
+    @property
+    def width(self) -> float:
+        return 0.0 if self.is_empty else self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return 0.0 if self.is_empty else self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 0.0 if self.is_empty else 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        if self.is_empty:
+            raise GeometryError("empty MBR has no center")
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.min_x, self.min_y, self.max_x, self.max_y)
+
+    def corners(self) -> Iterator[Tuple[float, float]]:
+        """Yield the four corners counter-clockwise from (min_x, min_y)."""
+        yield (self.min_x, self.min_y)
+        yield (self.max_x, self.min_y)
+        yield (self.max_x, self.max_y)
+        yield (self.min_x, self.max_y)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "MBR") -> bool:
+        """Closed-interval intersection test (shared edges count)."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def contains(self, other: "MBR") -> bool:
+        """True if ``other`` lies entirely inside this MBR (closed)."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.min_x <= other.min_x
+            and self.max_x >= other.max_x
+            and self.min_y <= other.min_y
+            and self.max_y >= other.max_y
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        if self.is_empty:
+            return False
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def within_distance(self, other: "MBR", distance: float) -> bool:
+        """True if the minimum distance between the rectangles is <= distance."""
+        return self.distance(other) <= distance
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    def distance(self, other: "MBR") -> float:
+        """Minimum Euclidean distance between two rectangles (0 if overlapping)."""
+        if self.is_empty or other.is_empty:
+            return math.inf
+        dx = max(other.min_x - self.max_x, self.min_x - other.max_x, 0.0)
+        dy = max(other.min_y - self.max_y, self.min_y - other.max_y, 0.0)
+        return math.hypot(dx, dy)
+
+    def distance_to_point(self, x: float, y: float) -> float:
+        if self.is_empty:
+            return math.inf
+        dx = max(self.min_x - x, x - self.max_x, 0.0)
+        dy = max(self.min_y - y, y - self.max_y, 0.0)
+        return math.hypot(dx, dy)
+
+    def intersection_area(self, other: "MBR") -> float:
+        """Area of the overlap region (0 when disjoint)."""
+        if not self.intersects(other):
+            return 0.0
+        w = min(self.max_x, other.max_x) - max(self.min_x, other.min_x)
+        h = min(self.max_y, other.max_y) - max(self.min_y, other.min_y)
+        return w * h
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to absorb ``other`` (R-tree insert heuristic)."""
+        return self.union(other).area - self.area
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def union(self, other: "MBR") -> "MBR":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return MBR(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "MBR") -> "MBR":
+        if not self.intersects(other):
+            return EMPTY_MBR
+        return MBR(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def expand(self, margin: float) -> "MBR":
+        """Grow (or shrink for negative margin) by ``margin`` on every side."""
+        if self.is_empty:
+            return self
+        return MBR(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def quadrants(self) -> Tuple["MBR", "MBR", "MBR", "MBR"]:
+        """Split into four equal quadrants: SW, SE, NW, NE.
+
+        This is the subdivision order used by the linear quadtree's tile
+        codes, so the order here is load-bearing.
+        """
+        if self.is_empty:
+            raise GeometryError("cannot subdivide empty MBR")
+        cx, cy = self.center
+        return (
+            MBR(self.min_x, self.min_y, cx, cy),  # SW
+            MBR(cx, self.min_y, self.max_x, cy),  # SE
+            MBR(self.min_x, cy, cx, self.max_y),  # NW
+            MBR(cx, cy, self.max_x, self.max_y),  # NE
+        )
+
+
+EMPTY_MBR = MBR(math.inf, math.inf, -math.inf, -math.inf)
+
+
+def mbr_of_points(points: Iterable[Tuple[float, float]]) -> MBR:
+    """Bounding rectangle of a point sequence (:data:`EMPTY_MBR` if none)."""
+    min_x = min_y = math.inf
+    max_x = max_y = -math.inf
+    seen = False
+    for x, y in points:
+        seen = True
+        if x < min_x:
+            min_x = x
+        if x > max_x:
+            max_x = x
+        if y < min_y:
+            min_y = y
+        if y > max_y:
+            max_y = y
+    if not seen:
+        return EMPTY_MBR
+    return MBR(min_x, min_y, max_x, max_y)
+
+
+def union_all(mbrs: Sequence[MBR]) -> MBR:
+    """Union of many MBRs (:data:`EMPTY_MBR` for an empty sequence)."""
+    result = EMPTY_MBR
+    for mbr in mbrs:
+        result = result.union(mbr)
+    return result

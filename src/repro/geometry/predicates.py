@@ -1,0 +1,244 @@
+"""Exact topological predicates between geometries.
+
+These are the *secondary filter* of the spatial join and of window queries:
+the primary (MBR) filter proposes candidates, and the functions here give
+the exact answer.  The supported interaction masks mirror Oracle Spatial's
+``sdo_relate`` masks: ``ANYINTERACT`` (a.k.a. ``INTERSECT``), ``CONTAINS``,
+``INSIDE``, ``COVERS``, ``COVEREDBY``, ``TOUCH``, ``EQUAL`` and
+``DISJOINT``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from repro.errors import OperatorError
+from repro.geometry.geometry import Coord, Geometry, GeometryType
+from repro.geometry.segments import (
+    EPSILON,
+    on_segment,
+    orientation,
+    segments_intersect,
+)
+
+__all__ = [
+    "intersects",
+    "contains",
+    "inside",
+    "touches",
+    "equals",
+    "disjoint",
+    "relate",
+    "INTERACTION_MASKS",
+]
+
+
+# ----------------------------------------------------------------------
+# intersects
+# ----------------------------------------------------------------------
+def intersects(g1: Geometry, g2: Geometry) -> bool:
+    """True if the two geometries share at least one point (ANYINTERACT)."""
+    if not g1.mbr.intersects(g2.mbr):
+        return False
+    for a in g1.simple_parts():
+        for b in g2.simple_parts():
+            if a.mbr.intersects(b.mbr) and _simple_intersects(a, b):
+                return True
+    return False
+
+
+def _simple_intersects(a: Geometry, b: Geometry) -> bool:
+    ta, tb = a.geom_type, b.geom_type
+    # Normalise so the "smaller" type comes first: POINT < LINESTRING < POLYGON
+    order = {GeometryType.POINT: 0, GeometryType.LINESTRING: 1, GeometryType.POLYGON: 2}
+    if order[ta] > order[tb]:
+        a, b = b, a
+        ta, tb = tb, ta
+
+    if ta is GeometryType.POINT:
+        x, y = a.coords[0]
+        return b.contains_point(x, y)
+
+    if ta is GeometryType.LINESTRING and tb is GeometryType.LINESTRING:
+        return _chains_intersect(a.coords, b.coords)
+
+    if ta is GeometryType.LINESTRING:  # line vs polygon
+        # Any boundary crossing, or the whole line inside the polygon.
+        for s1, s2 in _chain_edges(a.coords):
+            for e1, e2 in b.boundary_edges():
+                if segments_intersect(s1, s2, e1, e2):
+                    return True
+        x, y = a.coords[0]
+        return b.contains_point(x, y)
+
+    # polygon vs polygon: boundary crossing, or one contains the other.
+    for s1, s2 in a.boundary_edges():
+        for e1, e2 in b.boundary_edges():
+            if segments_intersect(s1, s2, e1, e2):
+                return True
+    ax, ay = a.exterior.coords[0]  # type: ignore[union-attr]
+    if b.contains_point(ax, ay):
+        return True
+    bx, by = b.exterior.coords[0]  # type: ignore[union-attr]
+    return a.contains_point(bx, by)
+
+
+def _chain_edges(coords: Tuple[Coord, ...]):
+    for i in range(len(coords) - 1):
+        yield coords[i], coords[i + 1]
+
+
+def _chains_intersect(c1: Tuple[Coord, ...], c2: Tuple[Coord, ...]) -> bool:
+    for s1, s2 in _chain_edges(c1):
+        for e1, e2 in _chain_edges(c2):
+            if segments_intersect(s1, s2, e1, e2):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# containment
+# ----------------------------------------------------------------------
+def contains(g1: Geometry, g2: Geometry) -> bool:
+    """True if ``g1`` covers every point of ``g2``.
+
+    This matches ``COVERS``-style semantics (boundary contact allowed); it
+    is the containment notion the spatial index operators need.  Exact for
+    valid simple-feature inputs: every vertex of ``g2`` must lie on/inside
+    ``g1`` and no edge of ``g2`` may properly cross a boundary edge of
+    ``g1`` or enter one of its holes.
+    """
+    if not g1.mbr.contains(g2.mbr):
+        return False
+    for part in g2.simple_parts():
+        if not _covered_by_geometry(part, g1):
+            return False
+    return True
+
+
+def inside(g1: Geometry, g2: Geometry) -> bool:
+    """True if ``g1`` lies within ``g2`` (the converse of :func:`contains`)."""
+    return contains(g2, g1)
+
+
+def _covered_by_geometry(small: Geometry, big: Geometry) -> bool:
+    # Every vertex of the small geometry must be on/in the big one.
+    for x, y in small.vertices():
+        if not big.contains_point(x, y):
+            return False
+    # No edge of the small geometry may properly cross the big boundary
+    # (a crossing would put part of the edge outside or inside a hole).
+    for s1, s2 in small.boundary_edges():
+        for e1, e2 in big.boundary_edges():
+            if _proper_crossing(s1, s2, e1, e2):
+                return False
+        # Edge midpoints guard against edges that pass through holes whose
+        # boundary they do not touch.
+        mid = ((s1[0] + s2[0]) / 2.0, (s1[1] + s2[1]) / 2.0)
+        if not big.contains_point(*mid):
+            return False
+    if small.geom_type is GeometryType.POINT and small.coords:
+        x, y = small.coords[0]
+        return big.contains_point(x, y)
+    return True
+
+
+def _proper_crossing(a: Coord, b: Coord, c: Coord, d: Coord) -> bool:
+    """True only for a transversal crossing (not a touch or shared point)."""
+    o1 = orientation(a, b, c)
+    o2 = orientation(a, b, d)
+    o3 = orientation(c, d, a)
+    o4 = orientation(c, d, b)
+    return o1 != o2 and o3 != o4 and 0 not in (o1, o2, o3, o4)
+
+
+# ----------------------------------------------------------------------
+# touches / equals / disjoint
+# ----------------------------------------------------------------------
+def touches(g1: Geometry, g2: Geometry) -> bool:
+    """True if the geometries meet only at their boundaries.
+
+    Pragmatic implementation for valid inputs: they must intersect, no
+    boundary edges may properly cross, and no vertex of either may be
+    strictly interior to the other.
+    """
+    if not intersects(g1, g2):
+        return False
+    for s1, s2 in g1.boundary_edges():
+        for e1, e2 in g2.boundary_edges():
+            if _proper_crossing(s1, s2, e1, e2):
+                return False
+    if _any_vertex_strictly_inside(g1, g2) or _any_vertex_strictly_inside(g2, g1):
+        return False
+    # Two overlapping-but-vertex-disjoint polygons would have crossing
+    # edges, so reaching here means boundary-only contact.
+    return True
+
+
+def _any_vertex_strictly_inside(g: Geometry, container: Geometry) -> bool:
+    for x, y in g.vertices():
+        if container.contains_point(x, y) and not _on_boundary(container, x, y):
+            return True
+    return False
+
+
+def _on_boundary(g: Geometry, x: float, y: float) -> bool:
+    p = (x, y)
+    for a, b in g.boundary_edges():
+        if on_segment(p, a, b):
+            return True
+    # Point geometries have no edges; compare directly.
+    for part in g.simple_parts():
+        if part.geom_type is GeometryType.POINT:
+            px, py = part.coords[0]
+            if math.hypot(px - x, py - y) <= EPSILON:
+                return True
+    return False
+
+
+def equals(g1: Geometry, g2: Geometry) -> bool:
+    """Spatial equality: mutual coverage (robust to vertex order/rotation)."""
+    if g1.mbr != g2.mbr and not (
+        g1.mbr.contains(g2.mbr) and g2.mbr.contains(g1.mbr)
+    ):
+        return False
+    return contains(g1, g2) and contains(g2, g1)
+
+
+def disjoint(g1: Geometry, g2: Geometry) -> bool:
+    """True when the geometries share no point (the negation of intersects)."""
+    return not intersects(g1, g2)
+
+
+# ----------------------------------------------------------------------
+# sdo_relate-style mask dispatch
+# ----------------------------------------------------------------------
+INTERACTION_MASKS: Dict[str, Callable[[Geometry, Geometry], bool]] = {
+    "ANYINTERACT": intersects,
+    "INTERSECT": intersects,
+    "CONTAINS": contains,
+    "COVERS": contains,
+    "INSIDE": inside,
+    "COVEREDBY": inside,
+    "TOUCH": touches,
+    "EQUAL": equals,
+    "DISJOINT": disjoint,
+}
+
+
+def relate(g1: Geometry, g2: Geometry, mask: str) -> bool:
+    """Evaluate an Oracle-style interaction mask between two geometries.
+
+    ``mask`` may be a ``+``-separated union of mask names, in which case the
+    result is true when any member mask holds, mirroring ``sdo_relate``.
+    """
+    result = False
+    for name in mask.upper().split("+"):
+        name = name.strip()
+        try:
+            fn = INTERACTION_MASKS[name]
+        except KeyError:
+            raise OperatorError(f"unknown interaction mask: {name!r}") from None
+        result = result or fn(g1, g2)
+    return result

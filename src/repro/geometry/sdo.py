@@ -1,0 +1,231 @@
+"""SDO_GEOMETRY-style encoding of geometries.
+
+Oracle Spatial stores geometry as a ``(SDO_GTYPE, SDO_ELEM_INFO,
+SDO_ORDINATES)`` triple.  This module provides the same encoding so that the
+storage layer can persist geometries as flat arrays — the representation a
+tessellation or MBR-load table function actually reads off disk — and so
+that round-tripping behaves like the original system's object type.
+
+Supported subset (the 2-D cases the paper's workloads exercise):
+
+* gtype ``2001`` point, ``2002`` linestring, ``2003`` polygon,
+  ``2005`` multipoint, ``2006`` multilinestring, ``2007`` multipolygon.
+* elem_info triplets ``(offset, etype, interpretation)`` with etype 1
+  (point), 2 (linestring), 1003 (exterior ring, interpretation 1 =
+  vertex-list or 3 = rectangle), 2003 (interior ring, same interpretations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import SdoCodecError
+from repro.geometry.geometry import Geometry, GeometryType
+
+__all__ = ["SdoGeometry", "to_sdo", "from_sdo"]
+
+GTYPE_POINT = 2001
+GTYPE_LINE = 2002
+GTYPE_POLYGON = 2003
+GTYPE_MULTIPOINT = 2005
+GTYPE_MULTILINE = 2006
+GTYPE_MULTIPOLYGON = 2007
+
+ETYPE_POINT = 1
+ETYPE_LINE = 2
+ETYPE_EXTERIOR = 1003
+ETYPE_INTERIOR = 2003
+
+INTERP_VERTEX_LIST = 1
+INTERP_RECTANGLE = 3
+
+
+class SdoGeometry:
+    """A decoded ``(gtype, elem_info, ordinates)`` triple.
+
+    ``elem_info`` uses 1-based ordinate offsets exactly as Oracle does, so
+    dumps of this structure can be compared against Oracle documentation
+    examples verbatim.
+    """
+
+    __slots__ = ("gtype", "elem_info", "ordinates")
+
+    def __init__(
+        self, gtype: int, elem_info: Sequence[int], ordinates: Sequence[float]
+    ):
+        if len(elem_info) % 3 != 0:
+            raise SdoCodecError("elem_info length must be a multiple of 3")
+        if len(ordinates) % 2 != 0:
+            raise SdoCodecError("2-D ordinates length must be even")
+        self.gtype = int(gtype)
+        self.elem_info: Tuple[int, ...] = tuple(int(v) for v in elem_info)
+        self.ordinates: Tuple[float, ...] = tuple(float(v) for v in ordinates)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SdoGeometry):
+            return NotImplemented
+        return (
+            self.gtype == other.gtype
+            and self.elem_info == other.elem_info
+            and self.ordinates == other.ordinates
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SdoGeometry(gtype={self.gtype}, elems={len(self.elem_info) // 3}, "
+            f"ordinates={len(self.ordinates)})"
+        )
+
+    def elements(self) -> List[Tuple[int, int, Tuple[float, ...]]]:
+        """Decode elem_info into ``(etype, interpretation, ordinate-slice)``."""
+        result = []
+        triplets = [
+            self.elem_info[i : i + 3] for i in range(0, len(self.elem_info), 3)
+        ]
+        for idx, (offset, etype, interp) in enumerate(triplets):
+            start = offset - 1  # 1-based to 0-based
+            if start < 0 or start >= len(self.ordinates):
+                raise SdoCodecError(f"elem_info offset {offset} out of range")
+            if idx + 1 < len(triplets):
+                end = triplets[idx + 1][0] - 1
+            else:
+                end = len(self.ordinates)
+            if end <= start:
+                raise SdoCodecError("elem_info offsets are not increasing")
+            result.append((etype, interp, self.ordinates[start:end]))
+        return result
+
+
+def to_sdo(geom: Geometry) -> SdoGeometry:
+    """Encode a :class:`Geometry` into SDO form."""
+    t = geom.geom_type
+    if t is GeometryType.POINT:
+        (x, y) = geom.coords[0]
+        return SdoGeometry(GTYPE_POINT, (1, ETYPE_POINT, 1), (x, y))
+    if t is GeometryType.LINESTRING:
+        ords = _flatten(geom.coords)
+        return SdoGeometry(GTYPE_LINE, (1, ETYPE_LINE, 1), ords)
+    if t is GeometryType.POLYGON:
+        elem_info: List[int] = []
+        ords: List[float] = []
+        _encode_polygon(geom, elem_info, ords)
+        return SdoGeometry(GTYPE_POLYGON, elem_info, ords)
+    if t is GeometryType.MULTIPOINT:
+        ords = []
+        for part in geom.parts:
+            ords.extend(part.coords[0])
+        return SdoGeometry(
+            GTYPE_MULTIPOINT, (1, ETYPE_POINT, len(geom.parts)), ords
+        )
+    if t is GeometryType.MULTILINESTRING:
+        elem_info = []
+        ords = []
+        for part in geom.parts:
+            elem_info.extend((len(ords) + 1, ETYPE_LINE, 1))
+            ords.extend(_flatten(part.coords))
+        return SdoGeometry(GTYPE_MULTILINE, elem_info, ords)
+    if t is GeometryType.MULTIPOLYGON:
+        elem_info = []
+        ords = []
+        for part in geom.parts:
+            _encode_polygon(part, elem_info, ords)
+        return SdoGeometry(GTYPE_MULTIPOLYGON, elem_info, ords)
+    raise SdoCodecError(f"cannot encode geometry type {t.value}")
+
+
+def _flatten(coords: Sequence[Tuple[float, float]]) -> List[float]:
+    ords: List[float] = []
+    for x, y in coords:
+        ords.append(x)
+        ords.append(y)
+    return ords
+
+
+def _encode_polygon(geom: Geometry, elem_info: List[int], ords: List[float]) -> None:
+    assert geom.exterior is not None
+    elem_info.extend((len(ords) + 1, ETYPE_EXTERIOR, INTERP_VERTEX_LIST))
+    # SDO closes rings explicitly: first vertex repeated at the end.
+    ords.extend(_flatten(geom.exterior.coords + (geom.exterior.coords[0],)))
+    for hole in geom.holes:
+        elem_info.extend((len(ords) + 1, ETYPE_INTERIOR, INTERP_VERTEX_LIST))
+        ords.extend(_flatten(hole.coords + (hole.coords[0],)))
+
+
+def from_sdo(sdo: SdoGeometry) -> Geometry:
+    """Decode SDO form back into a :class:`Geometry`."""
+    if sdo.gtype == GTYPE_POINT:
+        if len(sdo.ordinates) != 2:
+            raise SdoCodecError("point gtype requires exactly 2 ordinates")
+        return Geometry.point(sdo.ordinates[0], sdo.ordinates[1])
+
+    elements = sdo.elements()
+
+    if sdo.gtype == GTYPE_LINE:
+        etype, _interp, ords = elements[0]
+        if etype != ETYPE_LINE:
+            raise SdoCodecError(f"expected line etype, got {etype}")
+        return Geometry.linestring(_pair(ords))
+
+    if sdo.gtype == GTYPE_MULTIPOINT:
+        etype, interp, ords = elements[0]
+        if etype != ETYPE_POINT:
+            raise SdoCodecError(f"expected point etype, got {etype}")
+        pts = _pair(ords)
+        if len(pts) != interp:
+            raise SdoCodecError(
+                f"multipoint interpretation {interp} != point count {len(pts)}"
+            )
+        return Geometry.multipoint(pts)
+
+    if sdo.gtype == GTYPE_MULTILINE:
+        lines = []
+        for etype, _interp, ords in elements:
+            if etype != ETYPE_LINE:
+                raise SdoCodecError(f"expected line etype, got {etype}")
+            lines.append(_pair(ords))
+        return Geometry.multilinestring(lines)
+
+    if sdo.gtype in (GTYPE_POLYGON, GTYPE_MULTIPOLYGON):
+        polygons: List[Tuple[List[Tuple[float, float]], List[List[Tuple[float, float]]]]] = []
+        for etype, interp, ords in elements:
+            ring = _decode_ring(etype, interp, ords)
+            if etype == ETYPE_EXTERIOR:
+                polygons.append((ring, []))
+            elif etype == ETYPE_INTERIOR:
+                if not polygons:
+                    raise SdoCodecError("interior ring before any exterior ring")
+                polygons[-1][1].append(ring)
+            else:
+                raise SdoCodecError(f"unexpected etype {etype} in polygon")
+        if not polygons:
+            raise SdoCodecError("polygon gtype with no rings")
+        if sdo.gtype == GTYPE_POLYGON:
+            if len(polygons) != 1:
+                raise SdoCodecError("polygon gtype with multiple exterior rings")
+            ext, holes = polygons[0]
+            return Geometry.polygon(ext, holes)
+        return Geometry.multipolygon([(ext, holes) for ext, holes in polygons])
+
+    raise SdoCodecError(f"unsupported gtype {sdo.gtype}")
+
+
+def _pair(ords: Sequence[float]) -> List[Tuple[float, float]]:
+    if len(ords) % 2 != 0:
+        raise SdoCodecError("odd ordinate count in element")
+    return [(ords[i], ords[i + 1]) for i in range(0, len(ords), 2)]
+
+
+def _decode_ring(
+    etype: int, interp: int, ords: Sequence[float]
+) -> List[Tuple[float, float]]:
+    if interp == INTERP_RECTANGLE:
+        if len(ords) != 4:
+            raise SdoCodecError("rectangle interpretation requires 4 ordinates")
+        x1, y1, x2, y2 = ords
+        ring = [(x1, y1), (x2, y1), (x2, y2), (x1, y2)]
+        if etype == ETYPE_INTERIOR:
+            ring.reverse()
+        return ring
+    if interp == INTERP_VERTEX_LIST:
+        return _pair(ords)
+    raise SdoCodecError(f"unsupported ring interpretation {interp}")

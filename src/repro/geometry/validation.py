@@ -1,0 +1,96 @@
+"""Geometry validation.
+
+``validate`` returns a list of human-readable problems (empty = valid);
+``is_valid`` is the boolean convenience wrapper.  Index creation uses this
+to reject garbage before it reaches the tessellator, mirroring the
+``VALIDATE_GEOMETRY`` step an Oracle Spatial loader runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.geometry.geometry import Geometry, GeometryType, Ring
+from repro.geometry.segments import segments_intersect
+
+__all__ = ["validate", "is_valid"]
+
+
+def validate(geom: Geometry) -> List[str]:
+    """Return a list of validity problems (empty list means valid)."""
+    problems: List[str] = []
+    for part in geom.simple_parts():
+        if part.geom_type is GeometryType.POINT:
+            _check_finite(part, problems)
+        elif part.geom_type is GeometryType.LINESTRING:
+            _check_finite(part, problems)
+            _check_no_repeated_consecutive(part, problems)
+        elif part.geom_type is GeometryType.POLYGON:
+            _check_polygon(part, problems)
+    return problems
+
+
+def is_valid(geom: Geometry) -> bool:
+    """True when :func:`validate` reports no problems."""
+    return not validate(geom)
+
+
+def _check_finite(part: Geometry, problems: List[str]) -> None:
+    for x, y in part.vertices():
+        if not (math.isfinite(x) and math.isfinite(y)):
+            problems.append(f"non-finite vertex ({x}, {y})")
+            return
+
+
+def _check_no_repeated_consecutive(part: Geometry, problems: List[str]) -> None:
+    prev = None
+    for pt in part.coords:
+        if prev is not None and pt == prev:
+            problems.append(f"repeated consecutive vertex {pt}")
+            return
+        prev = pt
+
+
+def _check_polygon(part: Geometry, problems: List[str]) -> None:
+    assert part.exterior is not None
+    _check_finite(part, problems)
+    if part.exterior.area == 0.0:
+        problems.append("exterior ring has zero area")
+    if _ring_self_intersects(part.exterior):
+        problems.append("exterior ring self-intersects")
+    if not part.exterior.is_ccw:
+        problems.append("exterior ring is not counter-clockwise")
+    for i, hole in enumerate(part.holes):
+        if hole.area == 0.0:
+            problems.append(f"hole {i} has zero area")
+        if _ring_self_intersects(hole):
+            problems.append(f"hole {i} self-intersects")
+        if hole.is_ccw:
+            problems.append(f"hole {i} is not clockwise")
+        # Hole vertices must lie inside (or on) the exterior ring.
+        for x, y in hole.coords:
+            if not part.exterior.contains_point(x, y):
+                problems.append(f"hole {i} vertex ({x}, {y}) outside exterior")
+                break
+
+
+def _ring_self_intersects(ring: Ring) -> bool:
+    """O(n^2) self-intersection check between non-adjacent edges.
+
+    Adequate for validation of the synthetic datasets (rings are small);
+    adjacency (shared endpoints) is excluded from the test.
+    """
+    edges = list(ring.edges())
+    n = len(edges)
+    for i in range(n):
+        a1, a2 = edges[i]
+        for j in range(i + 1, n):
+            if j == i or (i == 0 and j == n - 1):
+                continue
+            if j == i + 1:
+                continue
+            b1, b2 = edges[j]
+            if segments_intersect(a1, a2, b1, b2):
+                return True
+    return False

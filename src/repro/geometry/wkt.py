@@ -1,0 +1,201 @@
+"""Well-Known Text reader and writer.
+
+WKT is the interchange format used by the examples and dataset dumps.  The
+reader is a small recursive-descent parser over a token stream; the writer
+emits canonical uppercase WKT with explicit ring closure.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Tuple
+
+from repro.errors import WktError
+from repro.geometry.geometry import Geometry, GeometryType
+
+__all__ = ["to_wkt", "from_wkt"]
+
+Coord = Tuple[float, float]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<word>[A-Za-z]+)
+  | (?P<number>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?|[-+]?\.\d+(?:[eE][-+]?\d+)?)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[Tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise WktError(f"unexpected character at offset {pos}: {text[pos]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            assert kind is not None
+            yield kind, match.group()
+    yield "eof", ""
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._index]
+
+    def _next(self) -> Tuple[str, str]:
+        tok = self._tokens[self._index]
+        self._index += 1
+        return tok
+
+    def _expect(self, kind: str) -> str:
+        tok_kind, value = self._next()
+        if tok_kind != kind:
+            raise WktError(f"expected {kind}, got {tok_kind} {value!r}")
+        return value
+
+    def parse(self) -> Geometry:
+        geom = self._geometry()
+        kind, value = self._peek()
+        if kind != "eof":
+            raise WktError(f"trailing input after geometry: {value!r}")
+        return geom
+
+    def _geometry(self) -> Geometry:
+        tag = self._expect("word").upper()
+        if tag == "POINT":
+            coords = self._coord_list_parens()
+            if len(coords) != 1:
+                raise WktError("POINT must have exactly one coordinate")
+            return Geometry.point(*coords[0])
+        if tag == "LINESTRING":
+            return Geometry.linestring(self._coord_list_parens())
+        if tag == "POLYGON":
+            rings = self._ring_list()
+            return Geometry.polygon(rings[0], rings[1:])
+        if tag == "MULTIPOINT":
+            return Geometry.multipoint(self._multipoint_coords())
+        if tag == "MULTILINESTRING":
+            return Geometry.multilinestring(self._ring_or_line_list())
+        if tag == "MULTIPOLYGON":
+            self._expect("lparen")
+            polys = [self._ring_list()]
+            while self._peek()[0] == "comma":
+                self._next()
+                polys.append(self._ring_list())
+            self._expect("rparen")
+            return Geometry.multipolygon([(rings[0], rings[1:]) for rings in polys])
+        if tag == "GEOMETRYCOLLECTION":
+            self._expect("lparen")
+            parts = [self._geometry()]
+            while self._peek()[0] == "comma":
+                self._next()
+                parts.append(self._geometry())
+            self._expect("rparen")
+            return Geometry.collection(parts)
+        raise WktError(f"unknown geometry tag {tag!r}")
+
+    def _number(self) -> float:
+        return float(self._expect("number"))
+
+    def _coord(self) -> Coord:
+        return (self._number(), self._number())
+
+    def _coord_list_parens(self) -> List[Coord]:
+        self._expect("lparen")
+        coords = [self._coord()]
+        while self._peek()[0] == "comma":
+            self._next()
+            coords.append(self._coord())
+        self._expect("rparen")
+        return coords
+
+    def _ring_list(self) -> List[List[Coord]]:
+        self._expect("lparen")
+        rings = [self._coord_list_parens()]
+        while self._peek()[0] == "comma":
+            self._next()
+            rings.append(self._coord_list_parens())
+        self._expect("rparen")
+        return rings
+
+    def _ring_or_line_list(self) -> List[List[Coord]]:
+        return self._ring_list()
+
+    def _multipoint_coords(self) -> List[Coord]:
+        """MULTIPOINT accepts both (1 2, 3 4) and ((1 2), (3 4))."""
+        self._expect("lparen")
+        coords: List[Coord] = []
+        while True:
+            if self._peek()[0] == "lparen":
+                self._next()
+                coords.append(self._coord())
+                self._expect("rparen")
+            else:
+                coords.append(self._coord())
+            if self._peek()[0] == "comma":
+                self._next()
+                continue
+            break
+        self._expect("rparen")
+        return coords
+
+
+def from_wkt(text: str) -> Geometry:
+    """Parse a WKT string into a :class:`Geometry`."""
+    return _Parser(text).parse()
+
+
+def to_wkt(geom: Geometry) -> str:
+    """Serialise a :class:`Geometry` to canonical WKT."""
+    t = geom.geom_type
+    if t is GeometryType.POINT:
+        return f"POINT ({_fmt_coord(geom.coords[0])})"
+    if t is GeometryType.LINESTRING:
+        return f"LINESTRING {_fmt_coords(geom.coords)}"
+    if t is GeometryType.POLYGON:
+        return f"POLYGON {_fmt_polygon(geom)}"
+    if t is GeometryType.MULTIPOINT:
+        inner = ", ".join(f"({_fmt_coord(p.coords[0])})" for p in geom.parts)
+        return f"MULTIPOINT ({inner})"
+    if t is GeometryType.MULTILINESTRING:
+        inner = ", ".join(_fmt_coords(p.coords) for p in geom.parts)
+        return f"MULTILINESTRING ({inner})"
+    if t is GeometryType.MULTIPOLYGON:
+        inner = ", ".join(_fmt_polygon(p) for p in geom.parts)
+        return f"MULTIPOLYGON ({inner})"
+    inner = ", ".join(to_wkt(p) for p in geom.parts)
+    return f"GEOMETRYCOLLECTION ({inner})"
+
+
+def _fmt_num(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _fmt_coord(c: Coord) -> str:
+    return f"{_fmt_num(c[0])} {_fmt_num(c[1])}"
+
+
+def _fmt_coords(coords) -> str:
+    return "(" + ", ".join(_fmt_coord(c) for c in coords) + ")"
+
+
+def _fmt_polygon(geom: Geometry) -> str:
+    assert geom.exterior is not None
+    rings = [geom.exterior] + list(geom.holes)
+    parts = []
+    for ring in rings:
+        closed = ring.coords + (ring.coords[0],)
+        parts.append(_fmt_coords(closed))
+    return "(" + ", ".join(parts) + ")"

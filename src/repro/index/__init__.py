@@ -1,0 +1,6 @@
+"""Spatial index implementations (R-tree and linear quadtree)."""
+
+from repro.index.quadtree import QuadtreeIndex
+from repro.index.rtree import RTree, RTreeIndex
+
+__all__ = ["RTree", "RTreeIndex", "QuadtreeIndex"]

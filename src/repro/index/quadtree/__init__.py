@@ -1,0 +1,31 @@
+"""Linear quadtree spatial index: tile codes, tessellation, B-tree index."""
+
+from repro.index.quadtree.codes import (
+    TileGrid,
+    child_codes,
+    descendant_range,
+    morton_decode,
+    morton_encode,
+    parent_code,
+)
+from repro.index.quadtree.join import quadtree_join_candidates, quadtree_tile_join
+from repro.index.quadtree.persist import dump_quadtree, load_quadtree
+from repro.index.quadtree.quadtree import DEFAULT_TILING_LEVEL, QuadtreeIndex
+from repro.index.quadtree.tessellate import Tile, tessellate
+
+__all__ = [
+    "morton_encode",
+    "morton_decode",
+    "parent_code",
+    "child_codes",
+    "descendant_range",
+    "TileGrid",
+    "Tile",
+    "tessellate",
+    "QuadtreeIndex",
+    "DEFAULT_TILING_LEVEL",
+    "quadtree_tile_join",
+    "quadtree_join_candidates",
+    "dump_quadtree",
+    "load_quadtree",
+]

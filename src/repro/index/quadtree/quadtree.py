@@ -1,0 +1,198 @@
+"""The linear quadtree domain index.
+
+A linear quadtree is "tiles in a B-tree": index creation tessellates every
+data geometry into fixed-level tiles and stores ``(tile_code, rowid)`` keys
+in a B+-tree (paper §5: "computes tile approximations ... and creates
+B-tree indexes on the encoded tile approximations").  Window queries
+tessellate the query geometry and turn each query tile into a key-range
+scan.
+
+Query-time filter discipline follows Oracle's: a candidate found via an
+*interior* tile of either side needs no secondary filter for ANYINTERACT
+semantics; boundary-boundary matches go to the exact predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import IndexTypeError, OperatorError
+from repro.engine.indextype import OPERATORS, DomainIndex
+from repro.engine.parallel import WorkerContext
+from repro.engine.table import Table
+from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import MBR
+from repro.index.quadtree.codes import TileGrid
+from repro.index.quadtree.tessellate import Tile, tessellate
+from repro.storage.btree import BPlusTree
+from repro.storage.heap import RowId
+
+__all__ = ["QuadtreeIndex", "DEFAULT_TILING_LEVEL"]
+
+DEFAULT_TILING_LEVEL = 8
+
+
+class QuadtreeIndex(DomainIndex):
+    """Spatial indextype backed by a fixed-level linear quadtree."""
+
+    kind = "QUADTREE"
+
+    def __init__(
+        self,
+        name: str,
+        table: Table,
+        column: str,
+        domain: MBR,
+        tiling_level: int = DEFAULT_TILING_LEVEL,
+        btree_order: int = 64,
+    ):
+        super().__init__(name, table, column)
+        self.grid = TileGrid(domain=domain, level=tiling_level)
+        self.btree_order = btree_order
+        # key: (tile_code, rowid) -> interior flag
+        self.btree = BPlusTree(order=btree_order)
+
+    @property
+    def tiling_level(self) -> int:
+        return self.grid.level
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(self, ctx: Optional[WorkerContext] = None) -> None:
+        """Sequential creation: tessellate all rows, bulk-load the B-tree.
+
+        (The parallel path — tessellation as a parallel table function
+        feeding a parallel B-tree build — is in
+        :mod:`repro.core.index_build`.)
+        """
+        items: List[Tuple[Tuple[int, RowId], bool]] = []
+        for rowid, geom in self.table.column_values(self.column):
+            if geom is None:
+                continue
+            for tile in tessellate(geom, self.grid, ctx):
+                if ctx is not None:
+                    ctx.charge("tile_insert")
+                items.append(((tile.code, rowid), tile.interior))
+        items.sort(key=lambda kv: kv[0])
+        self.btree = BPlusTree.bulk_load(items, order=self.btree_order)
+
+    def insert(
+        self, rowid: RowId, geom: Geometry, ctx: Optional[WorkerContext] = None
+    ) -> None:
+        for tile in tessellate(geom, self.grid, ctx):
+            if ctx is not None:
+                ctx.charge("tile_insert")
+            self.btree.insert((tile.code, rowid), tile.interior)
+
+    def delete(
+        self, rowid: RowId, geom: Geometry, ctx: Optional[WorkerContext] = None
+    ) -> None:
+        tiles = tessellate(geom, self.grid, ctx)
+        if not tiles:
+            return
+        for tile in tiles:
+            key = (tile.code, rowid)
+            if key not in self.btree:
+                raise IndexTypeError(
+                    f"{self.name}: tile {tile.code} for {rowid} missing from index"
+                )
+            self.btree.delete(key)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        operator: str,
+        args: Sequence[Any],
+        ctx: Optional[WorkerContext] = None,
+        exact: bool = True,
+    ) -> Iterator[RowId]:
+        op_name = operator.upper()
+        if op_name not in OPERATORS:
+            raise OperatorError(f"unknown operator {operator!r}")
+        if not args:
+            raise OperatorError(f"{operator} requires a query geometry argument")
+        query: Geometry = args[0]
+        if ctx is not None:
+            # Fixed cost of one operator invocation through the framework.
+            ctx.charge("index_probe")
+
+        if op_name == "SDO_WITHIN_DISTANCE":
+            if len(args) < 2:
+                raise OperatorError("SDO_WITHIN_DISTANCE requires a distance")
+            distance = float(args[1])
+            window_mbr = query.mbr.expand(distance).intersection(
+                self.grid.quadrant_mbr(0, 0, 0)
+            )
+            if window_mbr.is_empty or window_mbr.area == 0.0:
+                return
+            window = Geometry.from_mbr(window_mbr)
+        else:
+            window = query
+
+        candidates = self._primary_filter(window, ctx)
+
+        if op_name == "SDO_FILTER" or not exact:
+            yield from sorted(candidates)
+            return
+
+        op = OPERATORS[op_name]
+        anyinteract = op_name == "SDO_RELATE" and (
+            len(args) < 2 or str(args[1]).upper() in ("ANYINTERACT", "INTERSECT")
+        )
+        for rowid in sorted(candidates):
+            # Interior-tile certainty: only valid for plain intersection.
+            if anyinteract and candidates[rowid]:
+                yield rowid
+                continue
+            geom = self.geometry_of(rowid, ctx)
+            if ctx is not None:
+                ctx.charge("exact_test_base")
+                ctx.charge(
+                    "exact_test_per_vertex", geom.num_vertices + query.num_vertices
+                )
+            if op.evaluate(geom, *args):
+                yield rowid
+
+    def _primary_filter(
+        self, window: Geometry, ctx: Optional[WorkerContext]
+    ) -> Dict[RowId, bool]:
+        """Tile-match the window against the index.
+
+        Returns candidate rowids mapped to a certainty flag: True when the
+        match came through an interior tile (of the query or of the data),
+        so intersection is guaranteed without the secondary filter.
+        """
+        candidates: Dict[RowId, bool] = {}
+        hook = self.btree.visit_hook
+        try:
+            if ctx is not None:
+                self.btree.visit_hook = lambda _leaf: ctx.charge("btree_node_visit")
+            for qtile in tessellate(window, self.grid, ctx):
+                lo = (qtile.code,)
+                hi = (qtile.code + 1,)
+                for (code, rowid), interior in self.btree.scan(
+                    lo, hi, include_hi=False
+                ):
+                    certain = qtile.interior or interior
+                    if rowid in candidates:
+                        candidates[rowid] = candidates[rowid] or certain
+                    else:
+                        candidates[rowid] = certain
+        finally:
+            self.btree.visit_hook = hook
+        return candidates
+
+    # ------------------------------------------------------------------
+    def tile_count(self) -> int:
+        return len(self.btree)
+
+    def tiles_of(self, rowid: RowId) -> List[Tile]:
+        """All tiles stored for one rowid (diagnostic; full index scan)."""
+        return [
+            Tile(code, interior)
+            for (code, rid), interior in self.btree.items()
+            if rid == rowid
+        ]

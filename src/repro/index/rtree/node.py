@@ -1,0 +1,95 @@
+"""R-tree node structures.
+
+Nodes hold entries; each entry pairs an MBR with either a child node
+(internal levels) or a rowid of the indexed table (leaf level).  Level 0 is
+the leaf level, so a node's ``level`` equals the height of the subtree it
+roots minus one — the quantity the ``subtree_root(index, level)`` descent
+works in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Union
+
+from repro.geometry.mbr import EMPTY_MBR, MBR, union_all
+from repro.storage.heap import RowId
+
+__all__ = ["Entry", "RTreeNode"]
+
+
+class Entry:
+    """One R-tree entry: an MBR plus a child pointer or a rowid."""
+
+    __slots__ = ("mbr", "child", "rowid")
+
+    def __init__(
+        self,
+        mbr: MBR,
+        child: Optional["RTreeNode"] = None,
+        rowid: Optional[RowId] = None,
+    ):
+        self.mbr = mbr
+        self.child = child
+        self.rowid = rowid
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+    def __repr__(self) -> str:
+        target = self.rowid if self.child is None else f"node(level={self.child.level})"
+        return f"Entry({self.mbr.as_tuple()}, {target})"
+
+
+class RTreeNode:
+    """A node at a given level (0 = leaf)."""
+
+    __slots__ = ("level", "entries", "node_id")
+
+    _next_id = 0
+
+    def __init__(self, level: int, entries: Optional[List[Entry]] = None):
+        self.level = level
+        self.entries: List[Entry] = entries if entries is not None else []
+        self.node_id = RTreeNode._next_id
+        RTreeNode._next_id += 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def mbr(self) -> MBR:
+        """Tight bounding box over the node's entries (computed on demand)."""
+        return union_all([e.mbr for e in self.entries])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"RTreeNode(level={self.level}, entries={len(self.entries)})"
+
+    def children(self) -> Iterator["RTreeNode"]:
+        for entry in self.entries:
+            if entry.child is not None:
+                yield entry.child
+
+    def descend(self, levels: int) -> List["RTreeNode"]:
+        """Return the nodes exactly ``levels`` below this one.
+
+        ``descend(0)`` is ``[self]``.  Descending past the leaf level stops
+        at the leaves (matching how the paper's subtree_root function
+        behaves on shallow trees: you get as many subtrees as exist).
+        """
+        frontier = [self]
+        for _ in range(levels):
+            if all(node.is_leaf for node in frontier):
+                break
+            next_frontier: List[RTreeNode] = []
+            for node in frontier:
+                if node.is_leaf:
+                    next_frontier.append(node)
+                else:
+                    next_frontier.extend(node.children())
+            frontier = next_frontier
+        return frontier

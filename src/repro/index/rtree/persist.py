@@ -1,0 +1,72 @@
+"""Persisting R-trees into spatial index tables.
+
+The paper's system stores R-tree nodes as rows of a *spatial index table*
+and keeps a root pointer in the index metadata table.  ``dump_rtree``
+writes exactly that representation (one row per node: node id, level,
+entry list of ``(mbr, child-node-id-or-rowid)``); ``load_rtree`` rebuilds
+the in-memory tree from it.  Round-tripping through a heap makes the index
+as durable as the base tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import IndexBuildError
+from repro.geometry.mbr import MBR
+from repro.index.rtree.node import Entry, RTreeNode
+from repro.index.rtree.rtree import RTree
+from repro.storage.codec import decode_row, encode_row
+from repro.storage.heap import HeapFile, RowId
+
+__all__ = ["dump_rtree", "load_rtree"]
+
+
+def dump_rtree(tree: RTree, heap: HeapFile) -> Tuple[RowId, int]:
+    """Write every node of ``tree`` into ``heap``.
+
+    Returns ``(root_pointer, node_count)``; the root pointer is the rowid
+    of the root's row and belongs in the index metadata (the catalog's
+    ``parameters['root']``).
+    """
+    node_rowids: Dict[int, RowId] = {}
+
+    def dump(node: RTreeNode) -> RowId:
+        entry_values: List[Tuple] = []
+        for e in node.entries:
+            if e.child is not None:
+                child_rid = dump(e.child)
+                entry_values.append((e.mbr, "NODE", child_rid))
+            else:
+                assert e.rowid is not None
+                entry_values.append((e.mbr, "ROW", e.rowid))
+        record = encode_row((node.level, tuple(entry_values)))
+        rid = heap.insert(record)
+        node_rowids[node.node_id] = rid
+        return rid
+
+    root_rid = dump(tree.root)
+    return root_rid, len(node_rowids)
+
+
+def load_rtree(heap: HeapFile, root_pointer: RowId, fanout: int) -> RTree:
+    """Rebuild an R-tree from its index-table rows."""
+
+    def load(rid: RowId) -> RTreeNode:
+        level, entry_values = decode_row(heap.read(rid))
+        entries: List[Entry] = []
+        for mbr, kind, target in entry_values:
+            if not isinstance(mbr, MBR):
+                raise IndexBuildError("index table row holds a non-MBR entry bound")
+            if kind == "NODE":
+                entries.append(Entry(mbr, child=load(target)))
+            elif kind == "ROW":
+                entries.append(Entry(mbr, rowid=target))
+            else:
+                raise IndexBuildError(f"unknown entry kind {kind!r} in index table")
+        return RTreeNode(level=level, entries=entries)
+
+    tree = RTree(fanout=fanout)
+    tree.root = load(root_pointer)
+    tree._size = sum(1 for _ in tree.leaf_entries())  # noqa: SLF001
+    return tree

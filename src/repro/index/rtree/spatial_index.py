@@ -1,0 +1,217 @@
+"""The R-tree domain index (extensible-indexing implementation).
+
+Binds :class:`~repro.index.rtree.rtree.RTree` into the framework: creation
+bulk-loads with STR from a base-table scan, DML keeps the tree in sync, and
+``fetch`` answers the spatial operators with a window search (primary
+filter) followed by exact geometry evaluation (secondary filter).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IndexTypeError, OperatorError
+from repro.engine.indextype import OPERATORS, DomainIndex
+from repro.engine.parallel import WorkerContext
+from repro.engine.table import Table
+from repro.geometry.geometry import Geometry
+from repro.index.rtree.bulkload import str_pack
+from repro.index.rtree.rtree import DEFAULT_FANOUT, RTree
+from repro.storage.heap import RowId
+
+__all__ = ["RTreeIndex"]
+
+
+class RTreeIndex(DomainIndex):
+    """Spatial indextype backed by an R-tree."""
+
+    kind = "RTREE"
+
+    #: number of index nodes the buffer cache keeps hot; repeated probes of
+    #: a tree larger than this pay physical reads for the excess fraction,
+    #: which is what makes per-row probing degrade on very large tables.
+    NODE_CACHE = 1024
+
+    def __init__(
+        self,
+        name: str,
+        table: Table,
+        column: str,
+        fanout: int = DEFAULT_FANOUT,
+        fill: float = 0.7,
+    ):
+        super().__init__(name, table, column)
+        self.fanout = fanout
+        self.fill = fill
+        self.tree = RTree(fanout=fanout)
+        self._node_count_cache: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(self, ctx: Optional[WorkerContext] = None) -> None:
+        """Sequential index creation: scan, compute MBRs, STR-pack.
+
+        (The parallel path lives in :mod:`repro.core.index_build`, which
+        partitions the scan across table-function workers.)
+        """
+        entries: List[Tuple[Any, RowId]] = []
+        for rowid, geom in self.table.column_values(self.column):
+            if geom is None:
+                continue
+            if ctx is not None:
+                ctx.charge("mbr_load_per_vertex", geom.num_vertices)
+            entries.append((geom.mbr, rowid))
+        self.tree = str_pack(entries, fanout=self.fanout, fill=self.fill, ctx=ctx)
+
+    def insert(
+        self, rowid: RowId, geom: Geometry, ctx: Optional[WorkerContext] = None
+    ) -> None:
+        self.tree.insert(geom.mbr, rowid, ctx)
+        self._node_count_cache = None
+
+    def delete(
+        self, rowid: RowId, geom: Geometry, ctx: Optional[WorkerContext] = None
+    ) -> None:
+        if not self.tree.delete(geom.mbr, rowid, ctx):
+            raise IndexTypeError(f"{self.name}: {rowid} not present in index")
+        self._node_count_cache = None
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        operator: str,
+        args: Sequence[Any],
+        ctx: Optional[WorkerContext] = None,
+        exact: bool = True,
+    ) -> Iterator[RowId]:
+        op_name = operator.upper()
+        if op_name == "SDO_NN":
+            yield from self.fetch_nn(args, ctx, exact)
+            return
+        if op_name not in OPERATORS:
+            raise OperatorError(f"unknown operator {operator!r}")
+        if not args:
+            raise OperatorError(f"{operator} requires a query geometry argument")
+        query: Geometry = args[0]
+        visits_before = 0.0
+        if ctx is not None:
+            # Fixed cost of one operator invocation through the framework.
+            ctx.charge("index_probe")
+            visits_before = ctx.meter.counts.get("rtree_node_visit", 0.0)
+
+        if op_name == "SDO_WITHIN_DISTANCE":
+            if len(args) < 2:
+                raise OperatorError("SDO_WITHIN_DISTANCE requires a distance")
+            distance = float(args[1])
+            candidates = self.tree.search_within(query.mbr, distance, ctx)
+        else:
+            candidates = self.tree.search(query.mbr, ctx)
+
+        if op_name == "SDO_FILTER" or not exact:
+            for _mbr, rowid in candidates:
+                yield rowid
+            self._charge_node_misses(ctx, visits_before)
+            return
+
+        op = OPERATORS[op_name]
+        for _mbr, rowid in candidates:
+            geom = self.geometry_of(rowid, ctx)
+            if ctx is not None:
+                ctx.charge("exact_test_base")
+                ctx.charge(
+                    "exact_test_per_vertex", geom.num_vertices + query.num_vertices
+                )
+            if op.evaluate(geom, *args):
+                yield rowid
+        self._charge_node_misses(ctx, visits_before)
+
+    def fetch_nn(
+        self,
+        args: Sequence[Any],
+        ctx: Optional[WorkerContext] = None,
+        exact: bool = True,
+    ) -> Iterator[RowId]:
+        """``sdo_nn``: the k nearest rows to a query geometry.
+
+        Best-first MBR-ranked enumeration with exact-distance refinement:
+        candidates stream out of the index in MBR-distance order; each is
+        refined against the exact geometry; the scan stops once the k-th
+        best exact distance is below the next candidate's MBR distance
+        (a sound lower bound).  With ``exact=False`` the MBR ranking is
+        returned directly.
+        """
+        import heapq
+
+        from repro.geometry.distance import distance as exact_distance
+        from repro.index.rtree.knn import incremental_nearest
+
+        if not args:
+            raise OperatorError("SDO_NN requires a query geometry argument")
+        query: Geometry = args[0]
+        k = int(args[1]) if len(args) > 1 else 1
+        if k < 1:
+            raise OperatorError(f"SDO_NN requires k >= 1, got {k}")
+        if ctx is not None:
+            ctx.charge("index_probe")
+        qx, qy = query.mbr.center
+        # Ranking is by distance to the query's centre point; to keep the
+        # early-termination bound sound for extended query geometry,
+        # candidates within (centre distance - query radius) of the k-th
+        # best cannot be pruned.
+        import math
+
+        query_radius = max(
+            math.hypot(cx - qx, cy - qy) for cx, cy in query.mbr.corners()
+        )
+
+        if not exact:
+            emitted = 0
+            for _d, rowid in incremental_nearest(self.tree, qx, qy, ctx):
+                yield rowid
+                emitted += 1
+                if emitted >= k:
+                    return
+            return
+
+        # (-exact_d, rowid) max-heap of the best k so far.
+        best: list = []
+        for mbr_d, rowid in incremental_nearest(self.tree, qx, qy, ctx):
+            if len(best) == k and mbr_d - query_radius > -best[0][0]:
+                break  # no later candidate can improve the k-th best
+            geom = self.geometry_of(rowid, ctx)
+            if ctx is not None:
+                ctx.charge("exact_test_base")
+                ctx.charge(
+                    "exact_test_per_vertex", geom.num_vertices + query.num_vertices
+                )
+            d = exact_distance(geom, query)
+            if len(best) < k:
+                heapq.heappush(best, (-d, rowid))
+            elif d < -best[0][0]:
+                heapq.heapreplace(best, (-d, rowid))
+        for neg_d, rowid in sorted(best, key=lambda item: (-item[0], item[1])):
+            yield rowid
+
+    def _charge_node_misses(self, ctx: Optional[WorkerContext], visits_before: float) -> None:
+        """Charge physical reads for probe node visits that miss the cache.
+
+        A repeatedly probed index larger than :data:`NODE_CACHE` nodes
+        cannot stay resident; the excess fraction of each probe's node
+        visits is billed as physical I/O.  (A one-shot synchronized join
+        touches each node once, so it never triggers this.)
+        """
+        if ctx is None:
+            return
+        node_count = self._node_count_cache
+        if node_count is None:
+            node_count = self.tree.node_count()
+            self._node_count_cache = node_count
+        miss_fraction = max(0.0, 1.0 - self.NODE_CACHE / max(node_count, 1))
+        if miss_fraction <= 0.0:
+            return
+        visits = ctx.meter.counts.get("rtree_node_visit", 0.0) - visits_before
+        if visits > 0:
+            ctx.charge("physical_read", visits * miss_fraction)

@@ -1,0 +1,121 @@
+"""A minimal interactive SQL shell: ``python -m repro.shell``.
+
+Reads semicolon-terminated statements, executes them against an in-memory
+:class:`~repro.engine.database.Database`, and pretty-prints results.
+Useful for exploring the SQL surface (including EXPLAIN) interactively::
+
+    $ python -m repro.shell
+    repro> create table t (id number, geom sdo_geometry);
+    table t created
+    repro> insert into t values (1, sdo_geometry('POINT (1 2)'));
+    1 row inserted
+    repro> select id from t;
+    ID
+    --
+    1
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Optional
+
+from repro.engine.database import Database
+from repro.errors import ReproError
+
+__all__ = ["format_result", "run_statement", "repl"]
+
+PROMPT = "repro> "
+CONTINUATION = "   ... "
+
+
+def format_result(result) -> str:
+    """Render a SqlResult the way a SQL client would."""
+    if result.message:
+        return result.message
+    if not result.columns:
+        return f"{result.rowcount} row(s)"
+    widths = [len(c) for c in result.columns]
+    rendered = []
+    for row in result.rows:
+        cells = [_cell(v) for v in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        rendered.append(cells)
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(result.columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for cells in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    lines.append(f"({len(result.rows)} row{'s' if len(result.rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def run_statement(db: Database, statement: str) -> str:
+    """Execute one statement, returning display text (errors included)."""
+    try:
+        return format_result(db.sql(statement))
+    except ReproError as exc:
+        return f"ERROR: {exc}"
+
+
+def _statements(lines: Iterable[str]) -> Iterable[str]:
+    """Group input lines into semicolon-terminated statements."""
+    buffer: List[str] = []
+    for line in lines:
+        buffer.append(line)
+        joined = " ".join(buffer).strip()
+        if joined.endswith(";"):
+            yield joined
+            buffer = []
+    tail = " ".join(buffer).strip()
+    if tail:
+        yield tail
+
+
+def repl(
+    stdin=None,
+    stdout=None,
+    db: Optional[Database] = None,
+    interactive: bool = True,
+) -> Database:
+    """Run the read-eval-print loop; returns the database for inspection."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    db = db if db is not None else Database()
+
+    def prompt(text: str) -> None:
+        if interactive:
+            stdout.write(text)
+            stdout.flush()
+
+    prompt(PROMPT)
+    pending: List[str] = []
+    for raw in stdin:
+        line = raw.rstrip("\n")
+        if not pending and line.strip().lower() in ("quit", "exit", r"\q"):
+            break
+        pending.append(line)
+        joined = " ".join(pending).strip()
+        if joined.endswith(";"):
+            stdout.write(run_statement(db, joined) + "\n")
+            pending = []
+            prompt(PROMPT)
+        elif joined:
+            prompt(CONTINUATION)
+        else:
+            pending = []
+            prompt(PROMPT)
+    return db
+
+
+if __name__ == "__main__":
+    repl()

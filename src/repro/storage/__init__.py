@@ -1,0 +1,29 @@
+"""Storage substrate: pages, buffer cache, heaps, B+-tree, catalog."""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.catalog import Catalog, ColumnMeta, IndexMeta, TableMeta
+from repro.storage.codec import decode_row, decode_value, encode_row, encode_value
+from repro.storage.heap import HeapFile, RowId
+from repro.storage.pager import PAGE_SIZE, FilePager, MemoryPager, Pager, PagerStats
+
+__all__ = [
+    "PAGE_SIZE",
+    "Pager",
+    "MemoryPager",
+    "FilePager",
+    "PagerStats",
+    "BufferPool",
+    "BufferStats",
+    "HeapFile",
+    "RowId",
+    "BPlusTree",
+    "encode_row",
+    "decode_row",
+    "encode_value",
+    "decode_value",
+    "Catalog",
+    "ColumnMeta",
+    "TableMeta",
+    "IndexMeta",
+]

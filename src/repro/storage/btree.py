@@ -1,0 +1,513 @@
+"""A from-scratch B+-tree.
+
+This is the substrate under the linear quadtree (tile codes are B-tree
+keys, exactly as the paper describes) and is also used by the catalog.  It
+supports point lookups, ordered range scans over a linked leaf level,
+deletes with rebalancing, and two bulk-load paths:
+
+* :meth:`BPlusTree.bulk_load` — classic bottom-up build from sorted input.
+* :meth:`BPlusTree.bulk_load_runs` — merge pre-built sorted runs, the step
+  that lets index creation build leaf runs in parallel and stitch them
+  together (the "parallel clause of a B-tree index statement" in §5 of the
+  paper).
+
+Keys are arbitrary comparable Python values and must be unique; composite
+keys like ``(tile_code, rowid)`` give de-facto duplicate-key behaviour.
+
+Every node traversal reports to ``visit_hook`` so the simulated cost model
+can charge index I/O.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import BTreeError
+
+__all__ = ["BPlusTree"]
+
+DEFAULT_ORDER = 64
+
+
+class _Node:
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: List[Any] = []
+        self.next: Optional["_Leaf"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: List[_Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+class BPlusTree:
+    """Order-configurable B+-tree mapping unique comparable keys to values."""
+
+    def __init__(
+        self,
+        order: int = DEFAULT_ORDER,
+        visit_hook: Optional[Callable[[bool], None]] = None,
+    ):
+        if order < 3:
+            raise BTreeError(f"order must be >= 3, got {order}")
+        self.order = order  # max keys per node
+        self._min_keys = order // 2
+        self._root: _Node = _Leaf()
+        self._size = 0
+        self._height = 1
+        self.visit_hook = visit_hook
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def node_count(self) -> int:
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + sum(count(c) for c in node.children)  # type: ignore[attr-defined]
+
+        return count(self._root)
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a new key (raises :class:`BTreeError` on duplicates)."""
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+        self._size += 1
+
+    def upsert(self, key: Any, value: Any) -> bool:
+        """Insert or overwrite; returns True when a new key was added."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = value
+            return False
+        self.insert(key, value)
+        return True
+
+    def delete(self, key: Any) -> Any:
+        """Remove a key, returning its value (raises if absent)."""
+        value = self._delete_from(self._root, key)
+        if not self._root.is_leaf and len(self._root.keys) == 0:
+            self._root = self._root.children[0]  # type: ignore[attr-defined]
+            self._height -= 1
+        self._size -= 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Range operations
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) in key order within [lo, hi] (None = open end)."""
+        if lo is None:
+            leaf: Optional[_Leaf] = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf = self._find_leaf(lo)
+            idx = (
+                bisect.bisect_left(leaf.keys, lo)
+                if include_lo
+                else bisect.bisect_right(leaf.keys, lo)
+            )
+        while leaf is not None:
+            self._visit(True)
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if hi is not None:
+                    if include_hi:
+                        if key > hi:
+                            return
+                    elif key >= hi:
+                        return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return self.scan()
+
+    def keys(self) -> Iterator[Any]:
+        for key, _value in self.scan():
+            yield key
+
+    def min_key(self) -> Any:
+        if self._size == 0:
+            raise BTreeError("min_key on empty tree")
+        leaf = self._leftmost_leaf()
+        return leaf.keys[0]
+
+    def max_key(self) -> Any:
+        if self._size == 0:
+            raise BTreeError("max_key on empty tree")
+        node = self._root
+        while not node.is_leaf:
+            self._visit(False)
+            node = node.children[-1]  # type: ignore[attr-defined]
+        return node.keys[-1]
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[Tuple[Any, Any]],
+        order: int = DEFAULT_ORDER,
+        visit_hook: Optional[Callable[[bool], None]] = None,
+    ) -> "BPlusTree":
+        """Build a tree bottom-up from items sorted by key (keys unique)."""
+        tree = cls(order=order, visit_hook=visit_hook)
+        for i in range(1, len(items)):
+            if items[i - 1][0] >= items[i][0]:
+                raise BTreeError("bulk_load input must be strictly sorted by key")
+        tree._build_from_sorted(items)
+        return tree
+
+    @classmethod
+    def bulk_load_runs(
+        cls,
+        runs: Sequence[Sequence[Tuple[Any, Any]]],
+        order: int = DEFAULT_ORDER,
+        visit_hook: Optional[Callable[[bool], None]] = None,
+    ) -> "BPlusTree":
+        """Build a tree from independently sorted runs (k-way merge).
+
+        This is the serial tail of the parallel index build: workers each
+        produce a sorted run of (key, value) pairs; the merge and the
+        bottom-up build are cheap compared to producing the runs.
+        """
+        import heapq
+
+        merged = list(heapq.merge(*runs, key=lambda kv: kv[0]))
+        for i in range(1, len(merged)):
+            if merged[i - 1][0] == merged[i][0]:
+                raise BTreeError(f"duplicate key across runs: {merged[i][0]!r}")
+        return cls.bulk_load(merged, order=order, visit_hook=visit_hook)
+
+    def _build_from_sorted(self, items: Sequence[Tuple[Any, Any]]) -> None:
+        if not items:
+            return
+        per_leaf = max(self._min_keys, (self.order * 2) // 3)
+        leaves: List[_Leaf] = []
+        for start in range(0, len(items), per_leaf):
+            chunk = items[start : start + per_leaf]
+            leaf = _Leaf()
+            leaf.keys = [k for k, _v in chunk]
+            leaf.values = [v for _k, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        # Avoid an underfull final leaf by rebalancing with its predecessor
+        # (or absorbing it entirely when the pair fits in one leaf).
+        if len(leaves) >= 2 and len(leaves[-1].keys) < self._min_keys:
+            prev, last = leaves[-2], leaves[-1]
+            all_keys = prev.keys + last.keys
+            all_vals = prev.values + last.values
+            if len(all_keys) <= self.order:
+                prev.keys, prev.values = all_keys, all_vals
+                prev.next = last.next
+                leaves.pop()
+            else:
+                split = max(self._min_keys, len(all_keys) // 2)
+                prev.keys, last.keys = all_keys[:split], all_keys[split:]
+                prev.values, last.values = all_vals[:split], all_vals[split:]
+
+        level: List[_Node] = list(leaves)
+        height = 1
+        min_children = self._min_keys + 1
+        while len(level) > 1:
+            fanout = max(min_children, (self.order * 2) // 3 + 1)
+            groups: List[List[_Node]] = [
+                level[start : start + fanout] for start in range(0, len(level), fanout)
+            ]
+            # A trailing underfull parent would violate the occupancy
+            # invariant: rebalance it with its predecessor.
+            if len(groups) >= 2 and len(groups[-1]) < min_children:
+                combined = groups[-2] + groups[-1]
+                if len(combined) <= self.order + 1:
+                    groups[-2:] = [combined]
+                else:
+                    split = max(min_children, len(combined) // 2)
+                    groups[-2], groups[-1] = combined[:split], combined[split:]
+            parents: List[_Node] = []
+            for group in groups:
+                node = _Internal()
+                node.children = list(group)
+                node.keys = [self._subtree_min(c) for c in group[1:]]
+                parents.append(node)
+            level = parents
+            height += 1
+        self._root = level[0]
+        self._height = height
+        self._size = len(items)
+
+    @staticmethod
+    def _subtree_min(node: _Node) -> Any:
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used heavily by property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`BTreeError` if any structural invariant is violated."""
+        leaf_depths: List[int] = []
+        count = self._check_node(self._root, None, None, 1, leaf_depths, is_root=True)
+        if count != self._size:
+            raise BTreeError(f"size mismatch: counted {count}, recorded {self._size}")
+        if leaf_depths and len(set(leaf_depths)) != 1:
+            raise BTreeError(f"leaves at differing depths: {sorted(set(leaf_depths))}")
+        if leaf_depths and leaf_depths[0] != self._height:
+            raise BTreeError(
+                f"height mismatch: leaves at {leaf_depths[0]}, recorded {self._height}"
+            )
+        # Leaf chain must reproduce an in-order traversal.
+        chained = [k for k, _v in self.scan()]
+        if chained != sorted(chained):
+            raise BTreeError("leaf chain is not sorted")
+        if len(chained) != self._size:
+            raise BTreeError("leaf chain misses entries")
+
+    def _check_node(
+        self,
+        node: _Node,
+        lo: Any,
+        hi: Any,
+        depth: int,
+        leaf_depths: List[int],
+        is_root: bool = False,
+    ) -> int:
+        keys = node.keys
+        if keys != sorted(keys):
+            raise BTreeError(f"unsorted keys in node: {keys}")
+        for key in keys:
+            if lo is not None and key < lo:
+                raise BTreeError(f"key {key!r} below subtree bound {lo!r}")
+            if hi is not None and key >= hi:
+                raise BTreeError(f"key {key!r} above subtree bound {hi!r}")
+        if node.is_leaf:
+            leaf = node  # type: ignore[assignment]
+            if not is_root and len(keys) < self._min_keys:
+                raise BTreeError(f"underfull leaf: {len(keys)} < {self._min_keys}")
+            if len(keys) > self.order:
+                raise BTreeError(f"overfull leaf: {len(keys)} > {self.order}")
+            if len(leaf.keys) != len(leaf.values):  # type: ignore[attr-defined]
+                raise BTreeError("leaf keys/values length mismatch")
+            leaf_depths.append(depth)
+            return len(keys)
+        internal = node  # type: ignore[assignment]
+        children = internal.children  # type: ignore[attr-defined]
+        if len(children) != len(keys) + 1:
+            raise BTreeError(
+                f"internal child count {len(children)} != keys+1 ({len(keys) + 1})"
+            )
+        min_children = 2 if is_root else self._min_keys + 1
+        if len(children) < min_children:
+            raise BTreeError(f"underfull internal: {len(children)} < {min_children}")
+        if len(keys) > self.order:
+            raise BTreeError(f"overfull internal: {len(keys)} > {self.order}")
+        total = 0
+        bounds = [lo] + list(keys) + [hi]
+        for i, child in enumerate(children):
+            total += self._check_node(child, bounds[i], bounds[i + 1], depth + 1, leaf_depths)
+        return total
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _visit(self, is_leaf: bool) -> None:
+        if self.visit_hook is not None:
+            self.visit_hook(is_leaf)
+
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            self._visit(False)
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]  # type: ignore[attr-defined]
+        self._visit(True)
+        return node  # type: ignore[return-value]
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            self._visit(False)
+            node = node.children[0]  # type: ignore[attr-defined]
+        return node  # type: ignore[return-value]
+
+    def _insert_into(
+        self, node: _Node, key: Any, value: Any
+    ) -> Optional[Tuple[Any, _Node]]:
+        if node.is_leaf:
+            leaf: _Leaf = node  # type: ignore[assignment]
+            idx = bisect.bisect_left(leaf.keys, key)
+            if idx < len(leaf.keys) and leaf.keys[idx] == key:
+                raise BTreeError(f"duplicate key {key!r}")
+            leaf.keys.insert(idx, key)
+            leaf.values.insert(idx, value)
+            if len(leaf.keys) <= self.order:
+                return None
+            return self._split_leaf(leaf)
+        internal: _Internal = node  # type: ignore[assignment]
+        idx = bisect.bisect_right(internal.keys, key)
+        split = self._insert_into(internal.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        internal.keys.insert(idx, sep)
+        internal.children.insert(idx + 1, right)
+        if len(internal.keys) <= self.order:
+            return None
+        return self._split_internal(internal)
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Node]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> Tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    def _delete_from(self, node: _Node, key: Any) -> Any:
+        if node.is_leaf:
+            leaf: _Leaf = node  # type: ignore[assignment]
+            idx = bisect.bisect_left(leaf.keys, key)
+            if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+                raise BTreeError(f"key not found: {key!r}")
+            leaf.keys.pop(idx)
+            return leaf.values.pop(idx)
+        internal: _Internal = node  # type: ignore[assignment]
+        idx = bisect.bisect_right(internal.keys, key)
+        value = self._delete_from(internal.children[idx], key)
+        self._fix_underflow(internal, idx)
+        return value
+
+    def _fix_underflow(self, parent: _Internal, idx: int) -> None:
+        child = parent.children[idx]
+        min_needed = self._min_keys if child.is_leaf else self._min_keys
+        if len(child.keys) >= min_needed:
+            return
+        # Try borrowing from the left sibling, then the right, else merge.
+        if idx > 0 and len(parent.children[idx - 1].keys) > min_needed:
+            self._borrow_left(parent, idx)
+        elif idx < len(parent.children) - 1 and len(parent.children[idx + 1].keys) > min_needed:
+            self._borrow_right(parent, idx)
+        elif idx > 0:
+            self._merge(parent, idx - 1)
+        else:
+            self._merge(parent, idx)
+
+    def _borrow_left(self, parent: _Internal, idx: int) -> None:
+        left, child = parent.children[idx - 1], parent.children[idx]
+        if child.is_leaf:
+            lleaf, cleaf = left, child  # type: ignore[assignment]
+            cleaf.keys.insert(0, lleaf.keys.pop())
+            cleaf.values.insert(0, lleaf.values.pop())  # type: ignore[attr-defined]
+            parent.keys[idx - 1] = cleaf.keys[0]
+        else:
+            lint, cint = left, child  # type: ignore[assignment]
+            cint.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = lint.keys.pop()
+            cint.children.insert(0, lint.children.pop())  # type: ignore[attr-defined]
+
+    def _borrow_right(self, parent: _Internal, idx: int) -> None:
+        child, right = parent.children[idx], parent.children[idx + 1]
+        if child.is_leaf:
+            cleaf, rleaf = child, right  # type: ignore[assignment]
+            cleaf.keys.append(rleaf.keys.pop(0))
+            cleaf.values.append(rleaf.values.pop(0))  # type: ignore[attr-defined]
+            parent.keys[idx] = rleaf.keys[0]
+        else:
+            cint, rint = child, right  # type: ignore[assignment]
+            cint.keys.append(parent.keys[idx])
+            parent.keys[idx] = rint.keys.pop(0)
+            cint.children.append(rint.children.pop(0))  # type: ignore[attr-defined]
+
+    def _merge(self, parent: _Internal, left_idx: int) -> None:
+        left = parent.children[left_idx]
+        right = parent.children[left_idx + 1]
+        if left.is_leaf:
+            lleaf, rleaf = left, right  # type: ignore[assignment]
+            lleaf.keys.extend(rleaf.keys)
+            lleaf.values.extend(rleaf.values)  # type: ignore[attr-defined]
+            lleaf.next = rleaf.next  # type: ignore[attr-defined]
+        else:
+            lint, rint = left, right  # type: ignore[assignment]
+            lint.keys.append(parent.keys[left_idx])
+            lint.keys.extend(rint.keys)
+            lint.children.extend(rint.children)  # type: ignore[attr-defined]
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)

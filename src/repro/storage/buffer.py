@@ -1,0 +1,155 @@
+"""LRU buffer cache over a :class:`~repro.storage.pager.Pager`.
+
+The buffer cache is where the simulated cost model hooks in: every *logical*
+page access is visible here, whether or not it hits the cache, so the
+executor can charge buffer-get vs physical-read costs the way a real server
+distinguishes logical and physical I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager
+
+__all__ = ["BufferStats", "BufferPool"]
+
+
+@dataclass
+class BufferStats:
+    """Logical/physical access counters for one buffer pool."""
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+    def reset(self) -> None:
+        self.gets = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
+
+
+class _Frame:
+    __slots__ = ("data", "dirty")
+
+    def __init__(self, data: bytearray):
+        self.data = data
+        self.dirty = False
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache.
+
+    ``get`` returns the cached page bytes; ``put`` installs new content and
+    marks the frame dirty.  Dirty frames are written back on eviction and on
+    :meth:`flush`.  An optional ``access_hook`` is called with
+    ``(page_id, hit)`` on every logical get — the simulated-time executor
+    registers its cost-charging callback there.
+    """
+
+    def __init__(
+        self,
+        pager: Pager,
+        capacity: int = 256,
+        access_hook: Optional[Callable[[int, bool], None]] = None,
+    ):
+        if capacity < 1:
+            raise StorageError(f"buffer capacity must be >= 1, got {capacity}")
+        self._pager = pager
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.stats = BufferStats()
+        self.access_hook = access_hook
+
+    @property
+    def pager(self) -> Pager:
+        return self._pager
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def page_size(self) -> int:
+        return self._pager.page_size
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """Allocate a fresh page and cache its (zeroed) frame."""
+        page_id = self._pager.allocate()
+        self._install(page_id, bytearray(self._pager.page_size), dirty=False)
+        return page_id
+
+    def get(self, page_id: int) -> bytes:
+        """Read a page through the cache."""
+        self.stats.gets += 1
+        frame = self._frames.get(page_id)
+        hit = frame is not None
+        if hit:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+        else:
+            self.stats.misses += 1
+            data = bytearray(self._pager.read(page_id))
+            frame = self._install(page_id, data, dirty=False)
+        if self.access_hook is not None:
+            self.access_hook(page_id, hit)
+        assert frame is not None
+        return bytes(frame.data)
+
+    def put(self, page_id: int, data: bytes) -> None:
+        """Write new page content through the cache (write-back)."""
+        if len(data) != self._pager.page_size:
+            raise StorageError(
+                f"page payload must be {self._pager.page_size} bytes, got {len(data)}"
+            )
+        frame = self._frames.get(page_id)
+        if frame is None:
+            frame = self._install(page_id, bytearray(data), dirty=True)
+        else:
+            frame.data[:] = data
+            frame.dirty = True
+            self._frames.move_to_end(page_id)
+
+    def flush(self) -> None:
+        """Write every dirty frame back to the pager."""
+        for page_id, frame in self._frames.items():
+            if frame.dirty:
+                self._pager.write(page_id, bytes(frame.data))
+                frame.dirty = False
+                self.stats.dirty_writebacks += 1
+
+    def invalidate(self) -> None:
+        """Flush then drop every frame (used between benchmark runs)."""
+        self.flush()
+        self._frames.clear()
+
+    def cached_page_ids(self) -> List[int]:
+        return list(self._frames.keys())
+
+    # ------------------------------------------------------------------
+    def _install(self, page_id: int, data: bytearray, dirty: bool) -> _Frame:
+        while len(self._frames) >= self._capacity:
+            self._evict_one()
+        frame = _Frame(data)
+        frame.dirty = dirty
+        self._frames[page_id] = frame
+        return frame
+
+    def _evict_one(self) -> None:
+        victim_id, victim = self._frames.popitem(last=False)
+        self.stats.evictions += 1
+        if victim.dirty:
+            self._pager.write(victim_id, bytes(victim.data))
+            self.stats.dirty_writebacks += 1

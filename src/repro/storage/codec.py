@@ -1,0 +1,192 @@
+"""Self-describing binary codec for row values.
+
+Heap tables store rows as byte strings; this codec defines the format.  It
+is a compact tag-length-value encoding covering every type the engine's
+rows can contain, including geometries (stored in their SDO array form, the
+same flattening the original system keeps on disk).
+
+The format is deliberately independent of ``pickle`` so that on-disk bytes
+are stable across Python versions and safe to read back.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import MBR
+from repro.geometry.sdo import SdoGeometry, from_sdo, to_sdo
+from repro.storage.heap import RowId
+
+__all__ = ["encode_row", "decode_row", "encode_value", "decode_value"]
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_BYTES = 6
+_TAG_TUPLE = 7
+_TAG_GEOMETRY = 8
+_TAG_MBR = 9
+_TAG_ROWID = 10
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_I64 = struct.Struct("<q")
+
+
+def encode_row(values: Sequence[Any]) -> bytes:
+    """Encode a row (sequence of values) to bytes."""
+    out = bytearray()
+    out += _U32.pack(len(values))
+    for value in values:
+        _encode_into(out, value)
+    return bytes(out)
+
+
+def decode_row(data: bytes) -> Tuple[Any, ...]:
+    """Decode bytes produced by :func:`encode_row`."""
+    (count,) = _U32.unpack_from(data, 0)
+    offset = _U32.size
+    values: List[Any] = []
+    for _ in range(count):
+        value, offset = _decode_from(data, offset)
+        values.append(value)
+    if offset != len(data):
+        raise StorageError(f"trailing bytes after row decode: {len(data) - offset}")
+    return tuple(values)
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a single value (used for index keys stored out-of-line)."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode_value`."""
+    value, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise StorageError("trailing bytes after value decode")
+    return value
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        out += _I64.pack(value)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif isinstance(value, tuple):
+        out.append(_TAG_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, Geometry):
+        sdo = to_sdo(value)
+        out.append(_TAG_GEOMETRY)
+        out += _U32.pack(sdo.gtype)
+        out += _U32.pack(len(sdo.elem_info))
+        for v in sdo.elem_info:
+            out += _U32.pack(v)
+        out += _U32.pack(len(sdo.ordinates))
+        for f in sdo.ordinates:
+            out += _F64.pack(f)
+    elif isinstance(value, MBR):
+        out.append(_TAG_MBR)
+        out += _F64.pack(value.min_x)
+        out += _F64.pack(value.min_y)
+        out += _F64.pack(value.max_x)
+        out += _F64.pack(value.max_y)
+    elif isinstance(value, RowId):
+        out.append(_TAG_ROWID)
+        out += _U32.pack(value.page)
+        out += _U32.pack(value.slot)
+    else:
+        raise StorageError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_INT:
+        (v,) = _I64.unpack_from(data, offset)
+        return v, offset + _I64.size
+    if tag == _TAG_FLOAT:
+        (f,) = _F64.unpack_from(data, offset)
+        return f, offset + _F64.size
+    if tag == _TAG_STR:
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        return data[offset : offset + n].decode("utf-8"), offset + n
+    if tag == _TAG_BYTES:
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        return bytes(data[offset : offset + n]), offset + n
+    if tag == _TAG_TUPLE:
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        items: List[Any] = []
+        for _ in range(n):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    if tag == _TAG_GEOMETRY:
+        (gtype,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        (n_elem,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        elem_info = []
+        for _ in range(n_elem):
+            (v,) = _U32.unpack_from(data, offset)
+            elem_info.append(v)
+            offset += _U32.size
+        (n_ord,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        ordinates = []
+        for _ in range(n_ord):
+            (f,) = _F64.unpack_from(data, offset)
+            ordinates.append(f)
+            offset += _F64.size
+        return from_sdo(SdoGeometry(gtype, elem_info, ordinates)), offset
+    if tag == _TAG_MBR:
+        vals = []
+        for _ in range(4):
+            (f,) = _F64.unpack_from(data, offset)
+            vals.append(f)
+            offset += _F64.size
+        return MBR(*vals), offset
+    if tag == _TAG_ROWID:
+        (page,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        (slot,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        return RowId(page, slot), offset
+    raise StorageError(f"unknown codec tag {tag} at offset {offset - 1}")

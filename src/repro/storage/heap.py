@@ -1,0 +1,368 @@
+"""Heap tables: slotted pages, stable rowids, overflow chains.
+
+A :class:`HeapFile` stores variable-length records (already encoded to
+bytes by :mod:`repro.storage.codec`) and hands out :class:`RowId` values
+that stay stable for the life of the record — updates never move a rowid.
+Rowids order by ``(page, slot)``, i.e. physical order; the spatial join
+sorts its candidate pairs by first rowid precisely because that makes the
+secondary filter's fetches sweep the heap sequentially (paper §4.2).
+
+Records larger than a page spill into an overflow chain, which is what
+lets block-group polygons with thousands of vertices live in ordinary
+tables.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.errors import PageError, RowIdError, StorageError
+from repro.storage.buffer import BufferPool
+
+__all__ = ["RowId", "HeapFile"]
+
+_HDR = struct.Struct("<HH")  # num_slots, free_offset
+_SLOT = struct.Struct("<HH")  # record offset, record length
+_OVF_HDR = struct.Struct("<IH")  # next page id (0xFFFFFFFF = none), chunk length
+_OVF_PTR = struct.Struct("<II")  # first overflow page, total record length
+_INLINE_LEN = struct.Struct("<H")  # actual record length inside an inline payload
+
+# Every slot payload is at least overflow-pointer sized, so any record can
+# later be converted to an overflow chain *in place* — the guarantee that
+# keeps rowids stable under growth on an otherwise-full page.
+_MIN_PAYLOAD = 1 + _OVF_PTR.size
+
+_DEAD = 0xFFFF
+_NO_PAGE = 0xFFFFFFFF
+
+_FLAG_INLINE = 0
+_FLAG_OVERFLOW = 1
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class RowId:
+    """Physical row address: (page, slot).  Totally ordered, hashable."""
+
+    page: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"RowId({self.page}:{self.slot})"
+
+
+class HeapFile:
+    """A heap of variable-length records over a buffer pool.
+
+    One HeapFile owns a set of page ids inside the pool's pager; several
+    heaps can share a pool (that is how a database keeps base tables and
+    index tables in one buffer cache, as the paper's system does).
+    """
+
+    def __init__(self, pool: BufferPool, name: str = "heap"):
+        self._pool = pool
+        self.name = name
+        self._pages: List[int] = []  # heap data pages, in allocation order
+        self._page_index: dict[int, int] = {}  # page id -> position in _pages
+        self._free_candidates: Set[int] = set()  # pages with reclaimed space
+        self._row_count = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    def insert(self, record: bytes) -> RowId:
+        """Store a record, returning its stable rowid."""
+        payload = self._make_payload(record)
+        page_id, slot = self._place_payload(payload)
+        self._row_count += 1
+        return RowId(page_id, slot)
+
+    def read(self, rowid: RowId) -> bytes:
+        """Fetch the record bytes for a live rowid."""
+        page = bytearray(self._pool.get(self._check_page(rowid)))
+        offset, length = self._slot_entry(page, rowid)
+        payload = bytes(page[offset : offset + length])
+        return self._resolve_payload(payload)
+
+    def delete(self, rowid: RowId) -> None:
+        """Remove a record; its rowid becomes invalid."""
+        page_id = self._check_page(rowid)
+        page = bytearray(self._pool.get(page_id))
+        offset, length = self._slot_entry(page, rowid)
+        payload = bytes(page[offset : offset + length])
+        if payload and payload[0] == _FLAG_OVERFLOW:
+            first, _total = _OVF_PTR.unpack_from(payload, 1)
+            self._free_overflow_chain(first)
+        _SLOT.pack_into(page, self._slot_dir_offset(rowid.slot), _DEAD, 0)
+        self._pool.put(page_id, bytes(page))
+        self._free_candidates.add(page_id)
+        self._row_count -= 1
+
+    def update(self, rowid: RowId, record: bytes) -> None:
+        """Replace a record in place; the rowid remains valid."""
+        page_id = self._check_page(rowid)
+        page = bytearray(self._pool.get(page_id))
+        offset, old_length = self._slot_entry(page, rowid)
+        old_payload = bytes(page[offset : offset + old_length])
+        if old_payload and old_payload[0] == _FLAG_OVERFLOW:
+            first, _total = _OVF_PTR.unpack_from(old_payload, 1)
+            self._free_overflow_chain(first)
+
+        payload = self._make_payload(record)
+        if len(payload) <= old_length:
+            page[offset : offset + len(payload)] = payload
+            _SLOT.pack_into(
+                page, self._slot_dir_offset(rowid.slot), offset, len(payload)
+            )
+            self._pool.put(page_id, bytes(page))
+            return
+        # Doesn't fit in the old hole: compact the page and retry, spilling
+        # to an overflow chain if the compacted page still lacks room.
+        if not self._replace_with_compaction(page_id, rowid.slot, payload):
+            overflow = self._spill(record)
+            if not self._replace_with_compaction(page_id, rowid.slot, overflow):
+                raise StorageError(
+                    f"page {page_id} cannot hold even an overflow pointer"
+                )
+
+    def scan(self) -> Iterator[Tuple[RowId, bytes]]:
+        """Yield every live record in physical (rowid) order."""
+        for page_id in self._pages:
+            page = self._pool.get(page_id)
+            num_slots, _free = _HDR.unpack_from(page, 0)
+            for slot in range(num_slots):
+                offset, length = _SLOT.unpack_from(
+                    page, len(page) - _SLOT.size * (slot + 1)
+                )
+                if offset == _DEAD:
+                    continue
+                payload = bytes(page[offset : offset + length])
+                yield RowId(page_id, slot), self._resolve_payload(payload)
+
+    def rowids(self) -> Iterator[RowId]:
+        for rowid, _record in self.scan():
+            yield rowid
+
+    # ------------------------------------------------------------------
+    # Payload framing (inline vs overflow)
+    # ------------------------------------------------------------------
+    def _max_inline(self) -> int:
+        # one slot entry + header must also fit on an otherwise empty page
+        return self._pool.page_size - _HDR.size - _SLOT.size - 1 - _INLINE_LEN.size
+
+    def _make_payload(self, record: bytes) -> bytes:
+        if len(record) <= self._max_inline():
+            payload = (
+                bytes((_FLAG_INLINE,)) + _INLINE_LEN.pack(len(record)) + record
+            )
+            if len(payload) < _MIN_PAYLOAD:
+                payload += bytes(_MIN_PAYLOAD - len(payload))
+            return payload
+        return self._spill(record)
+
+    def _spill(self, record: bytes) -> bytes:
+        """Write ``record`` to an overflow chain; return the pointer payload."""
+        chunk_cap = self._pool.page_size - _OVF_HDR.size
+        chunks = [record[i : i + chunk_cap] for i in range(0, len(record), chunk_cap)]
+        next_page = _NO_PAGE
+        # Build the chain back-to-front so each page knows its successor.
+        for chunk in reversed(chunks):
+            page_id = self._pool.allocate()
+            page = bytearray(self._pool.page_size)
+            _OVF_HDR.pack_into(page, 0, next_page, len(chunk))
+            page[_OVF_HDR.size : _OVF_HDR.size + len(chunk)] = chunk
+            self._pool.put(page_id, bytes(page))
+            next_page = page_id
+        return bytes((_FLAG_OVERFLOW,)) + _OVF_PTR.pack(next_page, len(record))
+
+    def _resolve_payload(self, payload: bytes) -> bytes:
+        if not payload:
+            raise StorageError("empty payload in live slot")
+        flag = payload[0]
+        if flag == _FLAG_INLINE:
+            (length,) = _INLINE_LEN.unpack_from(payload, 1)
+            return payload[1 + _INLINE_LEN.size : 1 + _INLINE_LEN.size + length]
+        if flag == _FLAG_OVERFLOW:
+            first, total = _OVF_PTR.unpack_from(payload, 1)
+            return self._read_overflow_chain(first, total)
+        raise StorageError(f"bad payload flag {flag}")
+
+    def _read_overflow_chain(self, first: int, total: int) -> bytes:
+        out = bytearray()
+        page_id = first
+        while page_id != _NO_PAGE:
+            page = self._pool.get(page_id)
+            next_page, chunk_len = _OVF_HDR.unpack_from(page, 0)
+            out += page[_OVF_HDR.size : _OVF_HDR.size + chunk_len]
+            page_id = next_page
+        if len(out) != total:
+            raise StorageError(
+                f"overflow chain length mismatch: expected {total}, got {len(out)}"
+            )
+        return bytes(out)
+
+    def _free_overflow_chain(self, first: int) -> None:
+        # Pages are not returned to the pager (no global free list); they are
+        # simply orphaned.  Space reclamation is out of scope, as it is for
+        # the paper's experiments (bulk-loaded, append-mostly workloads).
+        _ = first
+
+    # ------------------------------------------------------------------
+    # Slotted-page mechanics
+    # ------------------------------------------------------------------
+    def _place_payload(self, payload: bytes) -> Tuple[int, int]:
+        need = len(payload) + _SLOT.size
+        # Try the newest page first (append-friendly), then pages known to
+        # have reclaimed space, then allocate.
+        candidates: List[int] = []
+        if self._pages:
+            candidates.append(self._pages[-1])
+        candidates.extend(list(self._free_candidates)[:8])
+        for page_id in candidates:
+            slot = self._try_append(page_id, payload, need)
+            if slot is not None:
+                return page_id, slot
+        page_id = self._new_heap_page()
+        slot = self._try_append(page_id, payload, need)
+        if slot is None:
+            raise PageError(
+                f"record payload of {len(payload)} bytes cannot fit on a fresh page"
+            )
+        return page_id, slot
+
+    def _new_heap_page(self) -> int:
+        page_id = self._pool.allocate()
+        page = bytearray(self._pool.page_size)
+        _HDR.pack_into(page, 0, 0, _HDR.size)
+        self._pool.put(page_id, bytes(page))
+        self._page_index[page_id] = len(self._pages)
+        self._pages.append(page_id)
+        return page_id
+
+    def _try_append(
+        self, page_id: int, payload: bytes, need: int
+    ) -> Optional[int]:
+        page = bytearray(self._pool.get(page_id))
+        num_slots, free_offset = _HDR.unpack_from(page, 0)
+        dir_top = len(page) - _SLOT.size * num_slots
+        # Prefer recycling a dead slot (no new directory entry needed).
+        reuse_slot = None
+        for slot in range(num_slots):
+            offset, _length = _SLOT.unpack_from(
+                page, len(page) - _SLOT.size * (slot + 1)
+            )
+            if offset == _DEAD:
+                reuse_slot = slot
+                break
+        extra_dir = 0 if reuse_slot is not None else _SLOT.size
+        if free_offset + len(payload) > dir_top - extra_dir:
+            contiguous_ok = self._compact_in(page)
+            num_slots, free_offset = _HDR.unpack_from(page, 0)
+            dir_top = len(page) - _SLOT.size * num_slots
+            if not contiguous_ok or free_offset + len(payload) > dir_top - extra_dir:
+                self._free_candidates.discard(page_id)
+                return None
+        if reuse_slot is None:
+            slot = num_slots
+            num_slots += 1
+        else:
+            slot = reuse_slot
+        page[free_offset : free_offset + len(payload)] = payload
+        _SLOT.pack_into(
+            page, len(page) - _SLOT.size * (slot + 1), free_offset, len(payload)
+        )
+        _HDR.pack_into(page, 0, num_slots, free_offset + len(payload))
+        self._pool.put(page_id, bytes(page))
+        return slot
+
+    def _compact_in(self, page: bytearray) -> bool:
+        """Slide live records together, rewriting the slot directory."""
+        num_slots, _free = _HDR.unpack_from(page, 0)
+        entries = []
+        for slot in range(num_slots):
+            offset, length = _SLOT.unpack_from(
+                page, len(page) - _SLOT.size * (slot + 1)
+            )
+            if offset == _DEAD:
+                entries.append((slot, None))
+            else:
+                entries.append((slot, bytes(page[offset : offset + length])))
+        write_at = _HDR.size
+        for slot, payload in entries:
+            if payload is None:
+                _SLOT.pack_into(page, len(page) - _SLOT.size * (slot + 1), _DEAD, 0)
+                continue
+            page[write_at : write_at + len(payload)] = payload
+            _SLOT.pack_into(
+                page, len(page) - _SLOT.size * (slot + 1), write_at, len(payload)
+            )
+            write_at += len(payload)
+        _HDR.pack_into(page, 0, num_slots, write_at)
+        return True
+
+    def _replace_with_compaction(
+        self, page_id: int, slot: int, payload: bytes
+    ) -> bool:
+        """Rewrite the page with ``slot`` holding ``payload``; False if too big."""
+        page = bytearray(self._pool.get(page_id))
+        num_slots, _free = _HDR.unpack_from(page, 0)
+        entries = []
+        for s in range(num_slots):
+            offset, length = _SLOT.unpack_from(page, len(page) - _SLOT.size * (s + 1))
+            if s == slot:
+                entries.append((s, payload))
+            elif offset == _DEAD:
+                entries.append((s, None))
+            else:
+                entries.append((s, bytes(page[offset : offset + length])))
+        live_bytes = sum(len(p) for _s, p in entries if p is not None)
+        if _HDR.size + live_bytes > len(page) - _SLOT.size * num_slots:
+            return False
+        fresh = bytearray(len(page))
+        _HDR.pack_into(fresh, 0, num_slots, _HDR.size)
+        write_at = _HDR.size
+        for s, pay in entries:
+            if pay is None:
+                _SLOT.pack_into(fresh, len(fresh) - _SLOT.size * (s + 1), _DEAD, 0)
+                continue
+            fresh[write_at : write_at + len(pay)] = pay
+            _SLOT.pack_into(
+                fresh, len(fresh) - _SLOT.size * (s + 1), write_at, len(pay)
+            )
+            write_at += len(pay)
+        _HDR.pack_into(fresh, 0, num_slots, write_at)
+        self._pool.put(page_id, bytes(fresh))
+        return True
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_page(self, rowid: RowId) -> int:
+        if rowid.page not in self._page_index:
+            raise RowIdError(f"{rowid} does not belong to heap {self.name!r}")
+        return rowid.page
+
+    def _slot_entry(self, page: bytearray, rowid: RowId) -> Tuple[int, int]:
+        num_slots, _free = _HDR.unpack_from(page, 0)
+        if not 0 <= rowid.slot < num_slots:
+            raise RowIdError(f"{rowid}: slot out of range (page has {num_slots})")
+        offset, length = _SLOT.unpack_from(page, self._slot_dir_offset(rowid.slot))
+        if offset == _DEAD:
+            raise RowIdError(f"{rowid} refers to a deleted row")
+        return offset, length
+
+    def _slot_dir_offset(self, slot: int) -> int:
+        return self._pool.page_size - _SLOT.size * (slot + 1)

@@ -1,0 +1,173 @@
+"""Page-oriented storage backends.
+
+Everything persistent in this library (heap tables, index tables) sits on
+fixed-size pages addressed by integer page ids.  Two backends are provided:
+
+* :class:`MemoryPager` — pages live in a Python list; the default for tests
+  and benchmarks (the benchmarks charge *simulated* I/O cost per logical
+  page access, so a RAM backend does not distort the reported shapes).
+* :class:`FilePager` — pages live in a single file; used by the examples to
+  demonstrate durable databases.
+
+Both backends count physical reads/writes so the buffer cache's hit ratio
+can be asserted in tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import PageError
+
+__all__ = ["PAGE_SIZE", "PagerStats", "Pager", "MemoryPager", "FilePager"]
+
+PAGE_SIZE = 4096
+
+
+@dataclass
+class PagerStats:
+    """Physical I/O counters for one pager."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+
+class Pager:
+    """Abstract page store: allocate / read / write fixed-size pages."""
+
+    page_size: int
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        if page_size < 64:
+            raise PageError(f"page size {page_size} too small")
+        self.page_size = page_size
+        self.stats = PagerStats()
+
+    # -- interface -----------------------------------------------------
+    def allocate(self) -> int:
+        """Allocate a zeroed page, returning its page id."""
+        raise NotImplementedError
+
+    def read(self, page_id: int) -> bytes:
+        raise NotImplementedError
+
+    def write(self, page_id: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    @property
+    def num_pages(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    # -- shared validation ----------------------------------------------
+    def _check_data(self, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise PageError(
+                f"page payload must be exactly {self.page_size} bytes, "
+                f"got {len(data)}"
+            )
+
+
+class MemoryPager(Pager):
+    """In-memory page store."""
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        super().__init__(page_size)
+        self._pages: List[bytes] = []
+
+    def allocate(self) -> int:
+        self._pages.append(bytes(self.page_size))
+        self.stats.allocations += 1
+        return len(self._pages) - 1
+
+    def read(self, page_id: int) -> bytes:
+        self._check_id(page_id)
+        self.stats.reads += 1
+        return self._pages[page_id]
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check_id(page_id)
+        self._check_data(data)
+        self.stats.writes += 1
+        self._pages[page_id] = bytes(data)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def _check_id(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise PageError(f"page id {page_id} out of range (0..{len(self._pages) - 1})")
+
+
+class FilePager(Pager):
+    """Single-file page store.
+
+    The file is a dense array of pages; page id N starts at byte
+    ``N * page_size``.  Durability is best-effort (`flush` calls
+    ``os.fsync``); there is no write-ahead log — crash recovery is out of
+    scope for the reproduction, which matches the paper's focus (it relies
+    on Oracle's recovery, which we do not re-implement).
+    """
+
+    def __init__(self, path: str, page_size: int = PAGE_SIZE):
+        super().__init__(page_size)
+        self._path = path
+        exists = os.path.exists(path)
+        self._file = open(path, "r+b" if exists else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size != 0:
+            raise PageError(
+                f"file {path} size {size} is not a multiple of page size {page_size}"
+            )
+        self._num_pages = size // page_size
+
+    def allocate(self) -> int:
+        page_id = self._num_pages
+        self._file.seek(page_id * self.page_size)
+        self._file.write(bytes(self.page_size))
+        self._num_pages += 1
+        self.stats.allocations += 1
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        self._check_id(page_id)
+        self.stats.reads += 1
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise PageError(f"short read on page {page_id}")
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check_id(page_id)
+        self._check_data(data)
+        self.stats.writes += 1
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def flush(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+    def _check_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self._num_pages:
+            raise PageError(f"page id {page_id} out of range (0..{self._num_pages - 1})")

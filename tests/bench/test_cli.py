@@ -1,0 +1,27 @@
+"""Unit tests for the ``python -m repro.bench`` CLI (fast paths only)."""
+
+import pytest
+
+
+class TestCli:
+    def test_unknown_experiment_rejected(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(["prog", "table9000"])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_module_loader_finds_bench_files(self):
+        from repro.bench.__main__ import _load_bench_module
+
+        module = _load_bench_module("table1")
+        assert hasattr(module, "run_table1")
+        module = _load_bench_module("figure2")
+        assert hasattr(module, "run_figure2")
+
+    def test_experiment_registry_complete(self):
+        from repro.bench.__main__ import EXPERIMENTS, _load_bench_module
+
+        for name in EXPERIMENTS:
+            module = _load_bench_module(name)
+            assert hasattr(module, f"run_{name}"), name

@@ -1,0 +1,72 @@
+"""Unit tests for the benchmark reporting helpers."""
+
+import os
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable, results_dir
+
+
+class TestExperimentTable:
+    def test_render_aligns_columns(self):
+        t = ExperimentTable(
+            experiment="demo", title="Demo", columns=["name", "value"],
+        )
+        t.add_row("a", 1.5)
+        t.add_row("longer-name", 100.0)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "== Demo =="
+        header, rule, row1, row2 = lines[1:5]
+        assert len(header) == len(rule) == len(row1) == len(row2)
+
+    def test_row_width_validated(self):
+        t = ExperimentTable("demo", "Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_paper_note_rendered(self):
+        t = ExperimentTable("demo", "Demo", ["a"], paper_note="shape holds")
+        t.add_row(1)
+        assert "paper: shape holds" in t.render()
+
+    def test_float_formatting(self):
+        t = ExperimentTable("demo", "Demo", ["v"])
+        t.add_row(0.00123)
+        t.add_row(3.14159)
+        t.add_row(1234.5)
+        body = t.render()
+        assert "0.001" in body
+        assert "3.14" in body
+        assert "1234" in body and "1234.5" not in body
+
+    def test_emit_writes_results_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        t = ExperimentTable("demo_emit", "Demo", ["v"])
+        t.add_row(42)
+        t.emit(echo=False)
+        path = tmp_path / "demo_emit.md"
+        assert path.exists()
+        assert "42" in path.read_text()
+
+
+class TestWorkloadProfiles:
+    def test_profile_env(self, monkeypatch):
+        from repro.bench.workloads import profile
+
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert profile() == "small"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "paper")
+        assert profile() == "paper"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "bogus")
+        with pytest.raises(ValueError):
+            profile()
+
+    def test_counties_workload_builds_indexed_db(self):
+        from repro.bench.workloads import CountiesWorkload
+
+        w = CountiesWorkload.build("small")
+        assert w.db.table("counties").row_count == w.n
+        assert w.db.catalog.has_index("counties_sidx")
+        result = w.index_join(0.0)
+        assert len(result.pairs) >= w.n  # at least the identity pairs

@@ -1,0 +1,65 @@
+"""Unit tests for the nested-loop join baseline."""
+
+import pytest
+
+from repro import Database
+from repro.datasets import load_geometries
+from repro.core.secondary_filter import JoinPredicate
+
+
+@pytest.fixture
+def nl_db(random_rects):
+    db = Database()
+    load_geometries(db, "outer_tab", random_rects(60, seed=61))
+    load_geometries(db, "inner_tab", random_rects(70, seed=62))
+    db.create_spatial_index("o_idx", "outer_tab", "geom", kind="RTREE", fanout=8)
+    db.create_spatial_index("i_idx", "inner_tab", "geom", kind="RTREE", fanout=8)
+    return db
+
+
+class TestCorrectness:
+    def test_equals_index_join(self, nl_db):
+        nl = nl_db.nested_loop_join("outer_tab", "geom", "inner_tab", "geom")
+        ij = nl_db.spatial_join("outer_tab", "geom", "inner_tab", "geom")
+        assert sorted(nl.pairs) == sorted(ij.pairs)
+
+    def test_distance_variant(self, nl_db):
+        nl = nl_db.nested_loop_join(
+            "outer_tab", "geom", "inner_tab", "geom", distance=4.0
+        )
+        ij = nl_db.spatial_join("outer_tab", "geom", "inner_tab", "geom", distance=4.0)
+        assert sorted(nl.pairs) == sorted(ij.pairs)
+
+    def test_asymmetric_masks(self, nl_db):
+        nl = nl_db.nested_loop_join(
+            "outer_tab", "geom", "inner_tab", "geom", mask="CONTAINS"
+        )
+        # verify against brute force since CONTAINS is order-sensitive
+        from repro.geometry.predicates import contains
+
+        expected = set()
+        for ra, rowa in nl_db.table("outer_tab").scan():
+            for rb, rowb in nl_db.table("inner_tab").scan():
+                # operator semantics: inner geometry CONTAINS probe geometry
+                if contains(rowb[1], rowa[1]):
+                    expected.add((ra, rb))
+        assert set(nl.pairs) == expected
+
+
+class TestCostShape:
+    def test_nested_loop_costs_more_than_index_join(self, nl_db):
+        """The paper's headline: the table-function join beats per-row
+        probing (for non-tiny inputs)."""
+        nl = nl_db.nested_loop_join("outer_tab", "geom", "inner_tab", "geom")
+        ij = nl_db.spatial_join("outer_tab", "geom", "inner_tab", "geom")
+        assert nl.makespan_seconds > ij.makespan_seconds
+
+    def test_probe_count_scales_with_outer_table(self, random_rects):
+        db = Database()
+        load_geometries(db, "outer_tab", random_rects(30, seed=63))
+        load_geometries(db, "inner_tab", random_rects(100, seed=64))
+        db.create_spatial_index("i_idx", "inner_tab", "geom", kind="RTREE")
+        result = db.nested_loop_join("outer_tab", "geom", "inner_tab", "geom")
+        meter = result.run.combined_meter()
+        # one outer-geometry fetch per row
+        assert meter.counts["geom_fetch_base"] >= 30

@@ -1,0 +1,142 @@
+"""Unit tests for the spatial_join pipelined table function."""
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.engine.cursor import ListCursor
+from repro.engine.parallel import WorkerContext
+from repro.engine.table_function import collect, pipeline
+from repro.errors import JoinError, TableFunctionError
+from repro.core.secondary_filter import FetchOrder, JoinPredicate
+from repro.core.spatial_join import SpatialJoinFunction
+
+
+@pytest.fixture
+def join_db(random_rects):
+    db = Database()
+    load_geometries(db, "a_tab", random_rects(80, seed=41))
+    load_geometries(db, "b_tab", random_rects(90, seed=42))
+    db.create_spatial_index("a_idx", "a_tab", "geom", kind="RTREE", fanout=8)
+    db.create_spatial_index("b_idx", "b_tab", "geom", kind="RTREE", fanout=8)
+    return db
+
+
+def make_join(db, **kwargs):
+    return SpatialJoinFunction(
+        db.table("a_tab"), "geom", db.spatial_index("a_idx").tree,
+        db.table("b_tab"), "geom", db.spatial_index("b_idx").tree,
+        **kwargs,
+    )
+
+
+def brute_force_pairs(db, predicate=JoinPredicate()):
+    rows_a = [(rid, row[1]) for rid, row in db.table("a_tab").scan()]
+    rows_b = [(rid, row[1]) for rid, row in db.table("b_tab").scan()]
+    out = set()
+    for ra, ga in rows_a:
+        for rb, gb in rows_b:
+            if predicate.evaluate(ga, gb):
+                out.add((ra, rb))
+    return out
+
+
+class TestCorrectness:
+    def test_matches_brute_force(self, join_db):
+        fn = make_join(join_db)
+        pairs = set(collect(fn))
+        assert pairs == brute_force_pairs(join_db)
+
+    def test_distance_join_matches_brute_force(self, join_db):
+        pred = JoinPredicate(distance=5.0)
+        fn = make_join(join_db, predicate=pred)
+        assert set(collect(fn)) == brute_force_pairs(join_db, pred)
+
+    def test_no_duplicate_pairs(self, join_db):
+        rows = collect(make_join(join_db))
+        assert len(rows) == len(set(rows))
+
+    def test_empty_tree_side(self, random_rects):
+        db = Database()
+        load_geometries(db, "a_tab", random_rects(10, seed=1))
+        load_geometries(db, "b_tab", [])
+        db.create_spatial_index("a_idx", "a_tab", "geom", kind="RTREE")
+        db.create_spatial_index("b_idx", "b_tab", "geom", kind="RTREE")
+        fn = SpatialJoinFunction(
+            db.table("a_tab"), "geom", db.spatial_index("a_idx").tree,
+            db.table("b_tab"), "geom", db.spatial_index("b_idx").tree,
+        )
+        assert collect(fn) == []
+
+
+class TestPipelining:
+    def test_small_fetch_batches_cover_everything(self, join_db):
+        expected = brute_force_pairs(join_db)
+        fn = make_join(join_db)
+        ctx = WorkerContext(0)
+        fn.start(ctx)
+        got = []
+        fetches = 0
+        while True:
+            batch = fn.fetch(ctx, 5)
+            if not batch:
+                break
+            fetches += 1
+            assert len(batch) <= 5
+            got.extend(batch)
+        fn.close(ctx)
+        assert set(got) == expected
+        assert fetches > 1  # really was pipelined
+
+    def test_candidate_array_bound_respected(self, join_db):
+        """A small candidate array forces multiple filter rounds but must
+        not change the result."""
+        expected = brute_force_pairs(join_db)
+        fn = make_join(join_db, candidate_array_size=16)
+        assert set(collect(fn)) == expected
+
+    def test_stats_populated(self, join_db):
+        fn = make_join(join_db)
+        collect(fn)
+        assert fn.stats.candidate_pairs >= fn.stats.result_pairs
+        assert fn.stats.result_pairs == len(brute_force_pairs(join_db))
+        assert fn.stats.mbr_tests > 0
+        assert fn.stats.fetch_calls >= 1
+
+    def test_protocol_violations(self, join_db):
+        fn = make_join(join_db)
+        ctx = WorkerContext(0)
+        with pytest.raises(TableFunctionError):
+            fn.fetch(ctx)
+        fn.start(ctx)
+        fn.close(ctx)
+        with pytest.raises(TableFunctionError):
+            fn.fetch(ctx)
+
+    def test_bad_candidate_array_size(self, join_db):
+        with pytest.raises(JoinError):
+            make_join(join_db, candidate_array_size=0)
+
+
+class TestSubtreePairCursor:
+    def test_explicit_pair_cursor_equals_whole_join(self, join_db):
+        tree_a = join_db.spatial_index("a_idx").tree
+        tree_b = join_db.spatial_index("b_idx").tree
+        roots_a = tree_a.subtree_roots(1)
+        roots_b = tree_b.subtree_roots(1)
+        pair_rows = [(a, b) for a in roots_a for b in roots_b]
+        fn = make_join(join_db, subtree_pair_cursor=ListCursor(pair_rows))
+        assert set(collect(fn)) == brute_force_pairs(join_db)
+
+    def test_bad_cursor_rows_rejected(self, join_db):
+        fn = make_join(join_db, subtree_pair_cursor=ListCursor([(1, 2)]))
+        ctx = WorkerContext(0)
+        with pytest.raises(JoinError):
+            fn.start(ctx)
+
+
+class TestFetchOrderOptions:
+    @pytest.mark.parametrize("order", list(FetchOrder))
+    def test_all_orders_same_result(self, join_db, order):
+        fn = make_join(join_db, fetch_order=order)
+        assert set(collect(fn)) == brute_force_pairs(join_db)

@@ -1,0 +1,111 @@
+"""Unit tests for the subtree_root table function and descent policy."""
+
+import pytest
+
+from repro.engine.table_function import collect
+from repro.core.subtree import (
+    SubtreeRootFunction,
+    pick_descent_level,
+    subtree_pairs,
+    subtree_roots,
+)
+from repro.geometry.mbr import MBR
+from repro.index.rtree.bulkload import str_pack
+from repro.storage.heap import RowId
+import random
+
+
+def build_tree(n, seed=0, fanout=6):
+    rng = random.Random(seed)
+    entries = []
+    for i in range(n):
+        x, y = rng.uniform(0, 500), rng.uniform(0, 500)
+        entries.append((MBR(x, y, x + 3, y + 3), RowId(0, i)))
+    return str_pack(entries, fanout=fanout)
+
+
+class TestSubtreeRootFunction:
+    def test_level_zero_is_root(self):
+        tree = build_tree(100)
+        rows = collect(SubtreeRootFunction(tree, 0))
+        assert rows == [(tree.root,)]
+
+    def test_level_one_matches_children(self):
+        tree = build_tree(200)
+        rows = collect(SubtreeRootFunction(tree, 1))
+        assert [r[0] for r in rows] == list(tree.root.children())
+
+    def test_pipelined_in_small_batches(self):
+        tree = build_tree(400, fanout=4)
+        fn = SubtreeRootFunction(tree, 2)
+        from repro.engine.parallel import WorkerContext
+
+        ctx = WorkerContext(0)
+        fn.start(ctx)
+        total = []
+        while True:
+            batch = fn.fetch(ctx, 3)
+            if not batch:
+                break
+            assert len(batch) <= 3
+            total.extend(batch)
+        fn.close(ctx)
+        assert len(total) == len(tree.subtree_roots(2))
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            SubtreeRootFunction(build_tree(10), -1)
+
+    def test_subtree_roots_cover_all_leaf_entries(self):
+        tree = build_tree(300, fanout=4)
+        for level in range(tree.root.level + 1):
+            roots = subtree_roots(tree, level)
+            total = 0
+            for node in roots:
+                stack = [node]
+                while stack:
+                    cur = stack.pop()
+                    if cur.is_leaf:
+                        total += len(cur.entries)
+                    else:
+                        stack.extend(cur.children())
+            assert total == len(tree)
+
+
+class TestSubtreePairs:
+    def test_cross_product_size(self):
+        ta, tb = build_tree(150, seed=1), build_tree(150, seed=2)
+        pairs = subtree_pairs(ta, tb, 1, 1)
+        assert len(pairs) == len(ta.subtree_roots(1)) * len(tb.subtree_roots(1))
+
+    def test_figure1_example_shape(self):
+        """Figure 1: descending one level on both sides yields the full
+        cross product of the level-1 subtrees."""
+        ta, tb = build_tree(60, fanout=30), build_tree(60, fanout=30)
+        na, nb = len(ta.subtree_roots(1)), len(tb.subtree_roots(1))
+        pairs = subtree_pairs(ta, tb, 1, 1)
+        seen_a = {id(a) for a, _b in pairs}
+        seen_b = {id(b) for _a, b in pairs}
+        assert len(seen_a) == na and len(seen_b) == nb
+        assert len(pairs) == na * nb
+
+
+class TestPickDescentLevel:
+    def test_enough_pairs_for_degree(self):
+        ta, tb = build_tree(500, fanout=5), build_tree(500, fanout=5)
+        for degree in (2, 4, 8):
+            la, lb = pick_descent_level(ta, tb, degree)
+            pairs = len(ta.subtree_roots(la)) * len(tb.subtree_roots(lb))
+            assert pairs >= degree * 2
+
+    def test_degree_one_stays_at_roots(self):
+        ta, tb = build_tree(500, fanout=5), build_tree(500, fanout=5)
+        # One pair is already >= 1 slave * min 2?  No: target = 2, so some
+        # descent may occur; with min_pairs_per_slave=1 no descent needed.
+        la, lb = pick_descent_level(ta, tb, 1, min_pairs_per_slave=1)
+        assert (la, lb) == (0, 0)
+
+    def test_shallow_trees_capped_at_leaves(self):
+        ta, tb = build_tree(5, fanout=8), build_tree(5, fanout=8)
+        la, lb = pick_descent_level(ta, tb, 16)
+        assert la <= ta.root.level and lb <= tb.root.level

@@ -1,0 +1,38 @@
+"""Structural checks that the generators scale to the paper's full sizes.
+
+We cannot afford full-size joins in unit tests, but generation itself must
+work at paper scale and keep the structural properties the experiments
+rely on.  These tests are the guardrail for ``REPRO_BENCH_PROFILE=paper``.
+"""
+
+import pytest
+
+from repro.datasets import blockgroups, counties, stars
+
+
+class TestPaperScaleGeneration:
+    def test_full_county_count(self):
+        layer = counties(3230, seed=42)
+        assert len(layer) == 3230
+        # contiguity: total area tiles the CONUS extent
+        total = sum(g.area for g in layer)
+        assert total == pytest.approx(57.5 * 25.0, rel=0.02)
+
+    def test_star_subset_prefix_property(self):
+        """Table 2 subsets are prefixes; a prefix must equal regenerating
+        the smaller size with the same seed (same cluster stream)."""
+        big = stars(5000, seed=1234)
+        small = stars(1200, seed=1234)
+        assert big[:1200] == small
+
+    def test_blockgroups_tail_at_scale(self):
+        layer = blockgroups(5000, seed=7)
+        counts = sorted(g.num_vertices for g in layer)
+        assert counts[-1] >= 300  # the heavy tail is present
+        assert counts[len(counts) // 2] <= 40
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_tiny_sizes_still_work(self, n):
+        assert len(counties(n, seed=1)) == n
+        assert len(stars(n, seed=1)) == n
+        assert len(blockgroups(n, seed=1)) == n

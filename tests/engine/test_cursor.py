@@ -1,0 +1,107 @@
+"""Unit tests for cursors and cursor partitioning."""
+
+import pytest
+
+from repro.errors import CursorError
+from repro.engine.cursor import (
+    GeneratorCursor,
+    ListCursor,
+    PartitionMethod,
+    partition_cursor,
+)
+
+
+def rows(n):
+    return [(i, f"row{i}") for i in range(n)]
+
+
+class TestCursorProtocol:
+    def test_fetch_in_batches(self):
+        c = ListCursor(rows(7))
+        assert len(c.fetch(3)) == 3
+        assert len(c.fetch(3)) == 3
+        assert len(c.fetch(3)) == 1
+        assert c.fetch(3) == []
+
+    def test_iteration(self):
+        assert list(ListCursor(rows(4))) == rows(4)
+
+    def test_fetch_after_close_raises(self):
+        c = ListCursor(rows(2))
+        c.close()
+        with pytest.raises(CursorError):
+            c.fetch(1)
+
+    def test_bad_fetch_size(self):
+        with pytest.raises(CursorError):
+            ListCursor(rows(2)).fetch(0)
+
+    def test_generator_cursor_is_lazy(self):
+        consumed = []
+
+        def produce():
+            for i in range(5):
+                consumed.append(i)
+                yield (i,)
+
+        c = GeneratorCursor(produce())
+        c.fetch(2)
+        assert consumed == [0, 1]
+        c.fetch(10)
+        assert consumed == [0, 1, 2, 3, 4]
+
+
+class TestPartitioning:
+    def test_degree_one_passthrough(self):
+        parts = partition_cursor(ListCursor(rows(5)), 1)
+        assert len(parts) == 1
+        assert list(parts[0]) == rows(5)
+
+    def test_any_round_robin_covers_all(self):
+        parts = partition_cursor(ListCursor(rows(10)), 3, PartitionMethod.ANY)
+        assert len(parts) == 3
+        combined = sorted(r for p in parts for r in p)
+        assert combined == rows(10)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_hash_groups_equal_keys(self):
+        data = [(i % 4, i) for i in range(40)]
+        parts = partition_cursor(
+            ListCursor(data), 3, PartitionMethod.HASH, key=lambda r: r[0]
+        )
+        for part in parts:
+            keys = {r[0] for r in part}
+            for other in parts:
+                if other is part:
+                    continue
+                assert keys.isdisjoint({r[0] for r in other})
+
+    def test_hash_requires_key(self):
+        with pytest.raises(CursorError):
+            partition_cursor(ListCursor(rows(4)), 2, PartitionMethod.HASH)
+
+    def test_range_partitions_are_contiguous(self):
+        data = [(i,) for i in (5, 3, 9, 1, 7, 2, 8, 0, 6, 4)]
+        parts = [
+            list(p)
+            for p in partition_cursor(
+                ListCursor(data), 3, PartitionMethod.RANGE, key=lambda r: r[0]
+            )
+        ]
+        flat = [r[0] for p in parts for r in p]
+        assert flat == sorted(flat)
+        # each partition's max < next partition's min
+        maxes = [max(r[0] for r in p) for p in parts if p]
+        mins = [min(r[0] for r in p) for p in parts if p]
+        for i in range(len(maxes) - 1):
+            assert maxes[i] <= mins[i + 1]
+
+    def test_more_partitions_than_rows(self):
+        parts = partition_cursor(ListCursor(rows(2)), 5, PartitionMethod.ANY)
+        assert len(parts) == 5
+        assert sum(len(p) for p in parts) == 2
+
+    def test_bad_degree(self):
+        with pytest.raises(CursorError):
+            partition_cursor(ListCursor(rows(2)), 0)

@@ -1,0 +1,68 @@
+"""Determinism tests: DESIGN.md promises byte-identical reruns.
+
+Seeded datasets, simulated time, and the greedy scheduler must all be
+pure functions of their inputs — these tests pin that down, because the
+benchmarks' credibility rests on it.
+"""
+
+import pytest
+
+from repro import Database
+from repro.datasets import blockgroups, counties, load_geometries, stars
+
+
+class TestDatasetDeterminism:
+    @pytest.mark.parametrize(
+        "generator,kwargs",
+        [
+            (counties, {"n": 60, "seed": 5}),
+            (stars, {"n": 200, "seed": 5}),
+            (blockgroups, {"n": 80, "seed": 5}),
+        ],
+    )
+    def test_generators_are_pure(self, generator, kwargs):
+        assert generator(**kwargs) == generator(**kwargs)
+
+
+class TestSimulatedTimeDeterminism:
+    def build(self):
+        db = Database()
+        load_geometries(db, "t", stars(400, seed=31))
+        db.create_spatial_index("t_idx", "t", "geom", kind="RTREE")
+        return db
+
+    def test_join_simulated_time_reproducible(self):
+        results = []
+        for _ in range(2):
+            db = self.build()
+            r = db.spatial_join("t", "geom", "t", "geom", parallel=3)
+            results.append((sorted(r.pairs), r.makespan_seconds, r.total_work_seconds))
+        assert results[0] == results[1]
+
+    def test_build_report_reproducible(self):
+        reports = []
+        for _ in range(2):
+            db = self.build()
+            _idx, report = db.create_spatial_index(
+                "t_q", "t", "geom", kind="QUADTREE", tiling_level=6, parallel=4
+            )
+            reports.append(
+                (report.makespan_seconds, report.tiles_created, report.rows_indexed)
+            )
+        assert reports[0] == reports[1]
+
+    def test_worker_assignment_reproducible(self):
+        from repro.engine.parallel import SimulatedExecutor
+
+        def charge(n):
+            def task(ctx):
+                ctx.charge("mbr_test", n)
+                return ctx.worker_id
+
+            return task
+
+        tasks = [charge(n) for n in (5, 3, 8, 1, 9, 2)]
+        a = SimulatedExecutor(3).run(tasks)
+        b = SimulatedExecutor(3).run(tasks)
+        assert a.results == b.results
+        assert a.worker_seconds == b.worker_seconds

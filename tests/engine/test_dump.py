@@ -1,0 +1,86 @@
+"""Unit tests for logical database export/import."""
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.engine.dump import export_database, import_database
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def source_db(random_rects):
+    db = Database()
+    load_geometries(db, "shapes", random_rects(50, seed=151))
+    db.create_table("notes", [("id", "NUMBER"), ("body", "VARCHAR")])
+    db.table("notes").insert((1, "hello"))
+    db.table("notes").insert((2, "world"))
+    db.create_spatial_index("shapes_ridx", "shapes", "geom", kind="RTREE", fanout=8)
+    db.create_spatial_index(
+        "shapes_qidx", "shapes", "geom", kind="QUADTREE", tiling_level=5
+    )
+    return db
+
+
+class TestExportImport:
+    def test_stats(self, source_db, tmp_path):
+        path = str(tmp_path / "db.dmp")
+        stats = export_database(source_db, path)
+        assert stats == {"tables": 2, "rows": 52, "indexes": 2}
+
+    def test_roundtrip_rows(self, source_db, tmp_path):
+        path = str(tmp_path / "db.dmp")
+        export_database(source_db, path)
+        restored = import_database(path)
+        src_rows = sorted(row for _r, row in source_db.table("shapes").scan())
+        dst_rows = sorted(row for _r, row in restored.table("shapes").scan())
+        assert src_rows == dst_rows
+        assert restored.table("notes").row_count == 2
+
+    def test_indexes_rebuilt_and_answer_queries(self, source_db, tmp_path):
+        path = str(tmp_path / "db.dmp")
+        export_database(source_db, path)
+        restored = import_database(path)
+        assert restored.catalog.has_index("shapes_ridx")
+        assert restored.catalog.has_index("shapes_qidx")
+        window = Geometry.rectangle(10, 10, 50, 50)
+        src = sorted(
+            source_db.table("shapes").fetch(r)[0]
+            for r in source_db.select_rowids("shapes", "geom", "SDO_RELATE", (window, "ANYINTERACT"))
+        )
+        dst = sorted(
+            restored.table("shapes").fetch(r)[0]
+            for r in restored.select_rowids("shapes", "geom", "SDO_RELATE", (window, "ANYINTERACT"))
+        )
+        assert src == dst
+
+    def test_index_parameters_preserved(self, source_db, tmp_path):
+        path = str(tmp_path / "db.dmp")
+        export_database(source_db, path)
+        restored = import_database(path)
+        meta = restored.catalog.index("shapes_qidx")
+        assert meta.parameters["tiling_level"] == 5
+        rmeta = restored.catalog.index("shapes_ridx")
+        assert rmeta.parameters["fanout"] == 8
+
+    def test_joins_work_after_import(self, source_db, tmp_path):
+        path = str(tmp_path / "db.dmp")
+        export_database(source_db, path)
+        restored = import_database(path)
+        src = source_db.spatial_join("shapes", "geom", "shapes", "geom")
+        dst = restored.spatial_join("shapes", "geom", "shapes", "geom")
+        assert len(src.pairs) == len(dst.pairs)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.dmp"
+        path.write_bytes(b"NOTADUMP")
+        with pytest.raises(EngineError):
+            import_database(str(path))
+
+    def test_truncated_file_rejected(self, source_db, tmp_path):
+        path = tmp_path / "db.dmp"
+        export_database(source_db, str(path))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(EngineError):
+            import_database(str(path))

@@ -1,0 +1,241 @@
+"""Unit tests for the SQL front-end: lexer, parser and executor."""
+
+import pytest
+
+from repro import Database
+from repro.errors import SqlPlanError, SqlSyntaxError
+from repro.engine.sql.ast import (
+    ColumnRef,
+    CreateIndex,
+    CreateTable,
+    InSubquery,
+    Insert,
+    Literal,
+    Select,
+    TableFunctionRef,
+    TableRef,
+)
+from repro.engine.sql.lexer import TokenType, tokenize
+from repro.engine.sql.parser import parse
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        types = [t.type for t in tokenize("select * from t where a = 1")]
+        assert TokenType.STAR in types
+        assert types[-1] is TokenType.EOF
+
+    def test_string_with_escaped_quote(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].text == "it's"
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 -3 1e4 2.5e-3")
+        values = [t.text for t in toks[:-1]]
+        assert values == ["1", "2.5", "-3", "1e4", "2.5e-3"]
+
+    def test_comparison_operators(self):
+        types = [t.type for t in tokenize("< <= > >= != <>")][:-1]
+        assert types == [
+            TokenType.LT, TokenType.LTE, TokenType.GT, TokenType.GTE,
+            TokenType.NEQ, TokenType.NEQ,
+        ]
+
+    def test_comment_skipped(self):
+        toks = tokenize("select -- a comment\n 1")
+        assert [t.text for t in toks[:-1]] == ["select", "1"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_garbage_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+
+class TestParser:
+    def test_create_table(self):
+        stmt = parse("create table t (id number, geom sdo_geometry)")
+        assert isinstance(stmt, CreateTable)
+        assert stmt.columns == (("id", "NUMBER"), ("geom", "SDO_GEOMETRY"))
+
+    def test_create_index_with_everything(self):
+        stmt = parse(
+            "create index t_idx on t(geom) indextype is spatial_index "
+            "parameters ('kind=QUADTREE tiling_level=8') parallel 4"
+        )
+        assert isinstance(stmt, CreateIndex)
+        assert stmt.indextype == "SPATIAL_INDEX"
+        assert stmt.parallel == 4
+        assert "tiling_level=8" in stmt.parameters
+
+    def test_insert_with_function(self):
+        stmt = parse("insert into t values (1, sdo_geometry('POINT (1 2)'))")
+        assert isinstance(stmt, Insert)
+        assert stmt.values[0] == Literal(1)
+
+    def test_select_star(self):
+        stmt = parse("select * from t")
+        assert isinstance(stmt, Select)
+        assert stmt.items[0].expr is None
+        assert stmt.from_items == (TableRef("t", None),)
+
+    def test_select_with_aliases(self):
+        stmt = parse("select a.id, b.id from t a, t b")
+        assert stmt.from_items == (TableRef("t", "a"), TableRef("t", "b"))
+        assert stmt.items[0].expr == ColumnRef("a", "id")
+
+    def test_count_star(self):
+        stmt = parse("select count(*) from t")
+        assert stmt.items[0].is_count_star
+
+    def test_table_function_in_from(self):
+        stmt = parse("select * from TABLE(spatial_join('a','g','b','g','intersect')) j")
+        tf = stmt.from_items[0]
+        assert isinstance(tf, TableFunctionRef)
+        assert tf.function == "spatial_join"
+        assert tf.alias == "j"
+        assert len(tf.args) == 5
+
+    def test_cursor_argument(self):
+        stmt = parse(
+            "select * from TABLE(spatial_join(CURSOR(select * from "
+            "table(subtree_root('i', 1))), 'a','g','b','g','intersect'))"
+        )
+        tf = stmt.from_items[0]
+        from repro.engine.sql.ast import CursorArg
+
+        assert isinstance(tf.args[0], CursorArg)
+
+    def test_rowid_pair_in_subquery(self):
+        stmt = parse(
+            "select count(*) from t a, t b where (a.rowid, b.rowid) in "
+            "(select rid1, rid2 from TABLE(spatial_join('t','g','t','g','intersect')))"
+        )
+        assert isinstance(stmt.where, InSubquery)
+
+    def test_conjunction(self):
+        stmt = parse("select * from t where a = 1 and b = 2 and c = 3")
+        from repro.engine.sql.ast import AndExpr
+
+        assert isinstance(stmt.where, AndExpr)
+        assert len(stmt.where.terms) == 3
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select * from t extra garbage ( ")
+
+    def test_semicolon_tolerated(self):
+        assert isinstance(parse("select * from t;"), Select)
+
+
+@pytest.fixture
+def sql_db():
+    db = Database()
+    db.sql("create table parks (id number, name varchar, geom sdo_geometry)")
+    shapes = [
+        (1, "north", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"),
+        (2, "mid", "POLYGON ((3 3, 7 3, 7 7, 3 7, 3 3))"),
+        (3, "south", "POLYGON ((10 10, 12 10, 12 12, 10 12, 10 10))"),
+    ]
+    for pid, name, wkt in shapes:
+        db.sql(f"insert into parks values ({pid}, '{name}', sdo_geometry('{wkt}'))")
+    db.sql(
+        "create index parks_sidx on parks(geom) indextype is spatial_index "
+        "parameters ('kind=RTREE fanout=8')"
+    )
+    return db
+
+
+class TestExecutor:
+    def test_select_all(self, sql_db):
+        r = sql_db.sql("select id, name from parks")
+        assert sorted(r.rows) == [(1, "north"), (2, "mid"), (3, "south")]
+
+    def test_where_scalar(self, sql_db):
+        r = sql_db.sql("select name from parks where id = 2")
+        assert r.rows == [("mid",)]
+
+    def test_where_comparison_operators(self, sql_db):
+        assert len(sql_db.sql("select id from parks where id > 1")) == 2
+        assert len(sql_db.sql("select id from parks where id <= 2")) == 2
+
+    def test_count_star(self, sql_db):
+        assert sql_db.sql("select count(*) from parks").scalar() == 3
+
+    def test_single_table_spatial_predicate(self, sql_db):
+        r = sql_db.sql(
+            "select id from parks where sdo_relate(geom, "
+            "sdo_geometry('POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))'), 'ANYINTERACT') = 'TRUE'"
+        )
+        assert r.rows == [(1,)]
+
+    def test_join_via_table_function(self, sql_db):
+        r = sql_db.sql(
+            "select a.id, b.id from parks a, parks b where (a.rowid, b.rowid) in "
+            "(select rid1, rid2 from TABLE(spatial_join('parks','geom','parks','geom','intersect')))"
+        )
+        assert sorted(r.rows) == [(1, 1), (1, 2), (2, 1), (2, 2), (3, 3)]
+
+    def test_join_generic_fallback_agrees(self, sql_db):
+        a = sql_db.sql(
+            "select count(*) from parks a, parks b where "
+            "sdo_relate(a.geom, b.geom, 'ANYINTERACT') = 'TRUE'"
+        ).scalar()
+        b = sql_db.sql(
+            "select count(*) from parks a, parks b where (a.rowid, b.rowid) in "
+            "(select rid1, rid2 from TABLE(spatial_join('parks','geom','parks','geom','intersect')))"
+        ).scalar()
+        assert a == b == 5
+
+    def test_within_distance_operator(self, sql_db):
+        r = sql_db.sql(
+            "select id from parks where sdo_within_distance(geom, "
+            "sdo_geometry('POINT (13 13)'), 2) = 'TRUE'"
+        )
+        assert r.rows == [(3,)]
+
+    def test_table_function_direct_from(self, sql_db):
+        r = sql_db.sql(
+            "select count(*) from TABLE(spatial_join('parks','geom','parks','geom','intersect'))"
+        )
+        assert r.scalar() == 5
+
+    def test_parallel_degree_argument(self, sql_db):
+        r = sql_db.sql(
+            "select count(*) from TABLE(spatial_join('parks','geom','parks','geom','intersect', 0, 2))"
+        )
+        assert r.scalar() == 5
+
+    def test_distance_argument(self, sql_db):
+        r = sql_db.sql(
+            "select count(*) from TABLE(spatial_join('parks','geom','parks','geom','anyinteract', 100))"
+        )
+        assert r.scalar() == 9  # everything within distance 100 of everything
+
+    def test_subtree_root_cursor_form(self, sql_db):
+        r = sql_db.sql(
+            "select count(*) from TABLE(spatial_join(CURSOR("
+            "select * from table(subtree_root('parks_sidx', 1)), "
+            "table(subtree_root('parks_sidx', 1))), "
+            "'parks','geom','parks','geom','intersect'))"
+        )
+        assert r.scalar() == 5
+
+    def test_drop_table(self, sql_db):
+        sql_db.sql("drop index parks_sidx")
+        sql_db.sql("drop table parks")
+        with pytest.raises(Exception):
+            sql_db.sql("select * from parks")
+
+    def test_quadtree_via_sql(self, sql_db):
+        msg = sql_db.sql(
+            "create index parks_qidx on parks(geom) indextype is spatial_index "
+            "parameters ('kind=QUADTREE tiling_level=5') parallel 2"
+        ).message
+        assert "QUADTREE" in msg and "parallel 2" in msg
+
+    def test_unknown_table_function(self, sql_db):
+        with pytest.raises(SqlPlanError):
+            sql_db.sql("select * from TABLE(mystery_fn(1))")

@@ -1,0 +1,57 @@
+"""Tests for SQL shapes outside the recognised plans (generic fallback)."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def fb_db():
+    db = Database()
+    db.sql("create table t (id number, geom sdo_geometry)")
+    shapes = [
+        (1, "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+        (2, "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"),
+        (3, "POLYGON ((8 8, 9 8, 9 9, 8 9, 8 8))"),
+    ]
+    for pid, wkt in shapes:
+        db.sql(f"insert into t values ({pid}, sdo_geometry('{wkt}'))")
+    db.sql(
+        "create index t_sidx on t(geom) indextype is spatial_index "
+        "parameters ('kind=RTREE')"
+    )
+    return db
+
+
+class TestGenericFallback:
+    def test_operator_equals_false(self, fb_db):
+        """= 'FALSE' is outside the index plans; the generic filter must
+        still evaluate it correctly."""
+        rows = fb_db.sql(
+            "select id from t where sdo_relate(geom, "
+            "sdo_geometry('POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))'), "
+            "'ANYINTERACT') = 'FALSE'"
+        ).rows
+        assert sorted(r[0] for r in rows) == [3]
+
+    def test_scalar_only_predicates(self, fb_db):
+        rows = fb_db.sql("select id from t where id != 2").rows
+        assert sorted(r[0] for r in rows) == [1, 3]
+
+    def test_scalar_in_subquery(self, fb_db):
+        rows = fb_db.sql(
+            "select id from t where id in (select id from t where id > 1)"
+        ).rows
+        assert sorted(r[0] for r in rows) == [2, 3]
+
+    def test_mixed_spatial_and_scalar(self, fb_db):
+        rows = fb_db.sql(
+            "select id from t where sdo_relate(geom, "
+            "sdo_geometry('POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))'), "
+            "'ANYINTERACT') = 'TRUE' and id > 1"
+        ).rows
+        assert sorted(r[0] for r in rows) == [2]
+
+    def test_three_table_cartesian(self, fb_db):
+        count = fb_db.sql("select count(*) from t a, t b, t c").scalar()
+        assert count == 27

@@ -1,0 +1,96 @@
+"""Unit tests for the single-table domain-index SQL plan and SDO_NN."""
+
+import pytest
+
+from repro import Database, Geometry
+from repro.errors import SqlPlanError
+from repro.geometry.predicates import intersects
+from repro.geometry.wkt import to_wkt
+
+
+@pytest.fixture
+def scan_db(random_rects):
+    db = Database()
+    db.sql("create table t (id number, geom sdo_geometry)")
+    geoms = random_rects(60, seed=131)
+    for i, g in enumerate(geoms):
+        db.sql(f"insert into t values ({i}, sdo_geometry('{to_wkt(g)}'))")
+    db.sql(
+        "create index t_sidx on t(geom) indextype is spatial_index "
+        "parameters ('kind=RTREE')"
+    )
+    return db, geoms
+
+
+WINDOW_WKT = "POLYGON ((20 20, 55 20, 55 50, 20 50, 20 20))"
+
+
+class TestIndexScanPlan:
+    def test_index_scan_matches_full_scan(self, scan_db):
+        db, geoms = scan_db
+        window = Geometry.polygon([(20, 20), (55, 20), (55, 50), (20, 50)])
+        got = sorted(
+            r[0]
+            for r in db.sql(
+                f"select id from t where sdo_relate(geom, "
+                f"sdo_geometry('{WINDOW_WKT}'), 'ANYINTERACT') = 'TRUE'"
+            ).rows
+        )
+        expected = sorted(i for i, g in enumerate(geoms) if intersects(g, window))
+        assert got == expected
+
+    def test_within_distance_through_index(self, scan_db):
+        db, geoms = scan_db
+        from repro.geometry.distance import within_distance
+
+        probe = Geometry.point(50, 50)
+        got = sorted(
+            r[0]
+            for r in db.sql(
+                "select id from t where sdo_within_distance(geom, "
+                "sdo_geometry('POINT (50 50)'), 10) = 'TRUE'"
+            ).rows
+        )
+        expected = sorted(
+            i for i, g in enumerate(geoms) if within_distance(g, probe, 10.0)
+        )
+        assert got == expected
+
+    def test_extra_predicates_compose(self, scan_db):
+        db, _geoms = scan_db
+        base = db.sql(
+            f"select count(*) from t where sdo_relate(geom, "
+            f"sdo_geometry('{WINDOW_WKT}'), 'ANYINTERACT') = 'TRUE'"
+        ).scalar()
+        filtered = db.sql(
+            f"select count(*) from t where sdo_relate(geom, "
+            f"sdo_geometry('{WINDOW_WKT}'), 'ANYINTERACT') = 'TRUE' and id < 10"
+        ).scalar()
+        assert filtered <= base
+
+
+class TestSdoNnInSql:
+    def test_k_nearest(self, scan_db):
+        db, geoms = scan_db
+        from repro.geometry.distance import distance
+
+        probe = Geometry.point(10, 10)
+        rows = db.sql(
+            "select id from t where sdo_nn(geom, sdo_geometry('POINT (10 10)'), 5) = 'TRUE'"
+        ).rows
+        assert len(rows) == 5
+        got_ids = {r[0] for r in rows}
+        ranked = sorted(range(len(geoms)), key=lambda i: distance(geoms[i], probe))
+        got_d = sorted(distance(geoms[i], probe) for i in got_ids)
+        exp_d = sorted(distance(geoms[i], probe) for i in ranked[:5])
+        assert got_d == pytest.approx(exp_d)
+
+    def test_sdo_nn_requires_index(self):
+        db = Database()
+        db.sql("create table bare (id number, geom sdo_geometry)")
+        db.sql("insert into bare values (1, sdo_geometry('POINT (0 0)'))")
+        with pytest.raises(SqlPlanError):
+            db.sql(
+                "select id from bare where sdo_nn(geom, "
+                "sdo_geometry('POINT (1 1)'), 2) = 'TRUE'"
+            )

@@ -1,0 +1,67 @@
+"""Negative tests: the SQL parser rejects malformed statements crisply."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.engine.sql.parser import parse
+
+
+BAD_STATEMENTS = [
+    # truncations
+    "select",
+    "select * from",
+    "select * from t where",
+    "create table",
+    "create table t",
+    "create table t (",
+    "create table t (id)",
+    "insert into t",
+    "insert into t values",
+    "insert into t values (1",
+    "drop",
+    "drop banana t",
+    # malformed clauses
+    "create index i on t geom",
+    "create index i on t(geom) indextype spatial_index",
+    "select * from t where id",
+    "select * from t where id = ",
+    "select * from TABLE()",
+    "select * from t where (a.rowid, b.rowid) in select 1",
+    # garbage
+    "frobnicate the database",
+    "select * from t; drop table t",  # one statement per call
+]
+
+
+class TestParserRejections:
+    @pytest.mark.parametrize("statement", BAD_STATEMENTS)
+    def test_rejected_with_syntax_error(self, statement):
+        with pytest.raises(SqlSyntaxError):
+            parse(statement)
+
+    def test_error_messages_carry_positions(self):
+        try:
+            parse("select * from t where @")
+        except SqlSyntaxError as exc:
+            assert "position" in str(exc) or "at" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected SqlSyntaxError")
+
+
+class TestParserTolerance:
+    """Things that look unusual but are legal must still parse."""
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "SELECT * FROM t",
+            "select\n  *\nfrom\n  t",
+            "select * from t;",
+            "select * from t -- trailing comment",
+            "select a.id from t a where a.id = -5",
+            "select id from t where id >= 1.5e3",
+            "insert into t values (1, 'it''s quoted')",
+        ],
+    )
+    def test_parses(self, statement):
+        parse(statement)

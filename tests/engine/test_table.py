@@ -1,0 +1,105 @@
+"""Unit tests for schema-aware tables and maintenance hooks."""
+
+import pytest
+
+from repro.errors import EngineError, RowIdError
+from repro.engine.table import Table
+from repro.geometry.geometry import Geometry
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import ColumnMeta, TableMeta
+from repro.storage.heap import HeapFile
+from repro.storage.pager import MemoryPager
+
+
+def make_table():
+    pool = BufferPool(MemoryPager(), capacity=32)
+    meta = TableMeta(
+        name="shapes",
+        columns=[ColumnMeta("id", "NUMBER"), ColumnMeta("geom", "SDO_GEOMETRY")],
+        heap_name="shapes_heap",
+    )
+    return Table(meta, HeapFile(pool))
+
+
+class TestDml:
+    def test_insert_fetch(self):
+        t = make_table()
+        rid = t.insert((1, Geometry.point(2, 3)))
+        row = t.fetch(rid)
+        assert row[0] == 1
+        assert row[1] == Geometry.point(2, 3)
+
+    def test_type_validation_on_insert(self):
+        t = make_table()
+        with pytest.raises(EngineError):
+            t.insert(("one", Geometry.point(0, 0)))
+        with pytest.raises(EngineError):
+            t.insert((1,))
+
+    def test_update(self):
+        t = make_table()
+        rid = t.insert((1, Geometry.point(0, 0)))
+        t.update(rid, (2, Geometry.point(5, 5)))
+        assert t.fetch(rid)[0] == 2
+
+    def test_delete(self):
+        t = make_table()
+        rid = t.insert((1, None))
+        t.delete(rid)
+        with pytest.raises(RowIdError):
+            t.fetch(rid)
+        assert t.row_count == 0
+
+    def test_null_geometry_allowed(self):
+        t = make_table()
+        rid = t.insert((1, None))
+        assert t.fetch(rid)[1] is None
+
+
+class TestScan:
+    def test_scan_order_and_content(self):
+        t = make_table()
+        rids = [t.insert((i, Geometry.point(i, i))) for i in range(10)]
+        scanned = list(t.scan())
+        assert [r for r, _row in scanned] == rids
+        assert [row[0] for _r, row in scanned] == list(range(10))
+
+    def test_scan_cursor_with_rowid(self):
+        t = make_table()
+        rid = t.insert((7, None))
+        rows = list(t.scan_cursor(with_rowid=True))
+        assert rows[0][0] == rid
+        assert rows[0][1] == 7
+
+    def test_column_values(self):
+        t = make_table()
+        t.insert((1, Geometry.point(0, 0)))
+        t.insert((2, Geometry.point(1, 1)))
+        values = [v for _r, v in t.column_values("id")]
+        assert values == [1, 2]
+
+
+class TestMaintenanceHooks:
+    def test_hooks_fire_for_all_dml(self):
+        t = make_table()
+        events = []
+        t.add_maintenance_hook(lambda op, rid, old, new: events.append(op))
+        rid = t.insert((1, Geometry.point(0, 0)))
+        t.update(rid, (1, Geometry.point(1, 1)))
+        t.delete(rid)
+        assert events == ["INSERT", "UPDATE", "DELETE"]
+
+    def test_hook_sees_old_and_new_rows(self):
+        t = make_table()
+        captured = {}
+
+        def hook(op, rid, old, new):
+            captured[op] = (old, new)
+
+        t.add_maintenance_hook(hook)
+        rid = t.insert((1, Geometry.point(0, 0)))
+        t.update(rid, (2, Geometry.point(3, 3)))
+        assert captured["INSERT"][0] is None
+        assert captured["INSERT"][1][0] == 1
+        assert captured["UPDATE"][0][0] == 1
+        assert captured["UPDATE"][1][0] == 2

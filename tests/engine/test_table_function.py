@@ -1,0 +1,139 @@
+"""Unit tests for the pipelined/parallel table-function machinery."""
+
+import pytest
+
+from repro.errors import TableFunctionError
+from repro.engine.cursor import Cursor, ListCursor, PartitionMethod
+from repro.engine.parallel import SerialExecutor, SimulatedExecutor, WorkerContext
+from repro.engine.table_function import (
+    TableFunction,
+    collect,
+    flatten_run,
+    pipeline,
+    run_parallel,
+)
+
+
+class CountdownFunction(TableFunction):
+    """Emits (n-1,), (n-2,), ..., (0,) across fetch calls."""
+
+    def __init__(self, n, batch=3):
+        super().__init__()
+        self.n = n
+        self.batch = batch
+        self.closed_calls = 0
+
+    def _start(self, ctx):
+        self._remaining = list(range(self.n - 1, -1, -1))
+
+    def _fetch(self, ctx, max_rows):
+        take = min(max_rows, self.batch, len(self._remaining))
+        out = [(v,) for v in self._remaining[:take]]
+        self._remaining = self._remaining[take:]
+        return out
+
+    def _close(self, ctx):
+        self.closed_calls += 1
+
+
+class EchoCursorFunction(TableFunction):
+    """Parallel-style function: copies its input cursor's rows through."""
+
+    def __init__(self, cursor: Cursor):
+        super().__init__()
+        self.cursor = cursor
+
+    def _fetch(self, ctx, max_rows):
+        return self.cursor.fetch(max_rows)
+
+
+class TestProtocol:
+    def test_fetch_before_start_rejected(self):
+        fn = CountdownFunction(3)
+        with pytest.raises(TableFunctionError):
+            fn.fetch(WorkerContext(0))
+
+    def test_double_start_rejected(self):
+        fn = CountdownFunction(3)
+        ctx = WorkerContext(0)
+        fn.start(ctx)
+        with pytest.raises(TableFunctionError):
+            fn.start(ctx)
+
+    def test_fetch_after_close_rejected(self):
+        fn = CountdownFunction(3)
+        ctx = WorkerContext(0)
+        fn.start(ctx)
+        fn.close(ctx)
+        with pytest.raises(TableFunctionError):
+            fn.fetch(ctx)
+
+    def test_double_close_rejected(self):
+        fn = CountdownFunction(3)
+        ctx = WorkerContext(0)
+        fn.start(ctx)
+        fn.close(ctx)
+        with pytest.raises(TableFunctionError):
+            fn.close(ctx)
+
+    def test_exhaustion_is_sticky(self):
+        fn = CountdownFunction(2, batch=10)
+        ctx = WorkerContext(0)
+        fn.start(ctx)
+        assert fn.fetch(ctx, 10) == [(1,), (0,)]
+        assert fn.fetch(ctx, 10) == []
+        assert fn.exhausted
+        assert fn.fetch(ctx, 10) == []
+
+    def test_fetch_size_respected(self):
+        fn = CountdownFunction(10, batch=100)
+        ctx = WorkerContext(0)
+        fn.start(ctx)
+        assert len(fn.fetch(ctx, 4)) == 4
+
+
+class TestPipeline:
+    def test_pipeline_yields_all_rows(self):
+        assert collect(CountdownFunction(7)) == [(v,) for v in range(6, -1, -1)]
+
+    def test_pipeline_closes_on_early_exit(self):
+        fn = CountdownFunction(100)
+        it = pipeline(fn)
+        next(it)
+        it.close()  # abandon the iterator
+        assert fn.closed_calls == 1
+
+    def test_pipeline_closes_on_completion(self):
+        fn = CountdownFunction(3)
+        list(pipeline(fn))
+        assert fn.closed_calls == 1
+
+    def test_small_fetch_size(self):
+        assert collect(CountdownFunction(5), fetch_size=1) == [
+            (4,), (3,), (2,), (1,), (0,),
+        ]
+
+
+class TestRunParallel:
+    def test_rows_preserved_across_partitions(self):
+        rows = [(i,) for i in range(20)]
+        run = run_parallel(
+            EchoCursorFunction, ListCursor(rows), SimulatedExecutor(4)
+        )
+        assert sorted(flatten_run(run)) == rows
+        assert run.degree == 4
+
+    def test_serial_executor(self):
+        rows = [(i,) for i in range(5)]
+        run = run_parallel(EchoCursorFunction, ListCursor(rows), SerialExecutor())
+        assert sorted(flatten_run(run)) == rows
+
+    def test_empty_input(self):
+        run = run_parallel(EchoCursorFunction, ListCursor([]), SimulatedExecutor(2))
+        assert flatten_run(run) == []
+
+    def test_partition_work_charged(self):
+        rows = [(i,) for i in range(100)]
+        run = run_parallel(EchoCursorFunction, ListCursor(rows), SimulatedExecutor(2))
+        combined = run.combined_meter()
+        assert combined.counts.get("partition_per_row") == 100

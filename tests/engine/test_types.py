@@ -1,0 +1,72 @@
+"""Unit tests for row schemas and type validation."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.engine.types import RowSchema, validate_value
+from repro.geometry.geometry import Geometry
+from repro.storage.catalog import ColumnMeta
+from repro.storage.heap import RowId
+
+
+class TestValidateValue:
+    def test_number_accepts_int_and_float(self):
+        validate_value(1, "NUMBER")
+        validate_value(1.5, "NUMBER")
+
+    def test_number_rejects_bool_and_str(self):
+        with pytest.raises(EngineError):
+            validate_value(True, "NUMBER")
+        with pytest.raises(EngineError):
+            validate_value("1", "NUMBER")
+
+    def test_null_accepted_everywhere(self):
+        for tag in ("NUMBER", "VARCHAR", "SDO_GEOMETRY", "ROWID", "RAW"):
+            validate_value(None, tag)
+
+    def test_geometry_column(self):
+        validate_value(Geometry.point(0, 0), "SDO_GEOMETRY")
+        with pytest.raises(EngineError):
+            validate_value("POINT(0 0)", "SDO_GEOMETRY")
+
+    def test_rowid_column(self):
+        validate_value(RowId(1, 2), "ROWID")
+
+    def test_unknown_type_tag(self):
+        with pytest.raises(EngineError):
+            validate_value(1, "BLOB")
+
+
+class TestRowSchema:
+    def make(self):
+        return RowSchema(
+            [ColumnMeta("id", "NUMBER"), ColumnMeta("geom", "SDO_GEOMETRY")]
+        )
+
+    def test_index_of_case_insensitive(self):
+        s = self.make()
+        assert s.index_of("ID") == 0
+        assert s.index_of("Geom") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(EngineError):
+            self.make().index_of("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(EngineError):
+            RowSchema([ColumnMeta("a", "NUMBER"), ColumnMeta("A", "NUMBER")])
+
+    def test_validate_row_width(self):
+        with pytest.raises(EngineError):
+            self.make().validate_row((1,))
+
+    def test_validate_row_types(self):
+        s = self.make()
+        s.validate_row((1, Geometry.point(0, 0)))
+        with pytest.raises(EngineError):
+            s.validate_row((1, "not a geometry"))
+
+    def test_value_by_name(self):
+        s = self.make()
+        row = (7, None)
+        assert s.value(row, "id") == 7

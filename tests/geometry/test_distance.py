@@ -1,0 +1,63 @@
+"""Unit tests for exact geometry distance / within-distance."""
+
+import math
+
+import pytest
+
+from repro.geometry.distance import distance, within_distance
+from repro.geometry.geometry import Geometry
+
+
+def square(x, y, s=2.0):
+    return Geometry.rectangle(x, y, x + s, y + s)
+
+
+class TestDistance:
+    def test_intersecting_is_zero(self):
+        assert distance(square(0, 0), square(1, 1)) == 0.0
+
+    def test_containment_is_zero(self):
+        assert distance(square(0, 0, 10), square(3, 3, 1)) == 0.0
+
+    def test_parallel_edges(self):
+        assert distance(square(0, 0), square(5, 0)) == pytest.approx(3.0)
+
+    def test_diagonal(self):
+        d = distance(square(0, 0), square(5, 6))
+        assert d == pytest.approx(math.hypot(3, 4))
+
+    def test_point_to_polygon(self):
+        assert distance(Geometry.point(5, 1), square(0, 0)) == pytest.approx(3.0)
+
+    def test_point_to_point(self):
+        assert distance(Geometry.point(0, 0), Geometry.point(3, 4)) == 5.0
+
+    def test_line_to_polygon(self):
+        line = Geometry.linestring([(0, 5), (2, 5)])
+        assert distance(line, square(0, 0)) == pytest.approx(3.0)
+
+    def test_symmetry(self):
+        a, b = square(0, 0), square(7, 3)
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+
+class TestWithinDistance:
+    def test_zero_distance_means_intersect(self):
+        assert within_distance(square(0, 0), square(1, 1), 0.0)
+        assert not within_distance(square(0, 0), square(5, 0), 0.0)
+
+    def test_threshold_inclusive(self):
+        assert within_distance(square(0, 0), square(5, 0), 3.0)
+        assert not within_distance(square(0, 0), square(5, 0), 2.9)
+
+    def test_negative_distance_is_false(self):
+        assert not within_distance(square(0, 0), square(0, 0), -1.0)
+
+    def test_mbr_prefilter_agrees_with_exact(self):
+        # Shapes whose MBRs are close but whose boundaries are farther:
+        # a thin diagonal-ish polygon vs a square.
+        tri = Geometry.polygon([(0, 0), (10, 10), (10, 10.1), (0, 0.1)])
+        target = square(8, 0, 1)
+        exact = distance(tri, target)
+        for d in (exact - 0.05, exact + 0.05):
+            assert within_distance(tri, target, d) == (exact <= d)

@@ -1,0 +1,169 @@
+"""Unit tests for the Geometry object model."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.geometry import Geometry, GeometryType, Ring
+
+
+SQUARE = [(0, 0), (4, 0), (4, 4), (0, 4)]
+HOLE = [(1, 1), (1, 3), (3, 3), (3, 1)]  # CW
+
+
+class TestRing:
+    def test_implicit_closure_normalisation(self):
+        ring = Ring([(0, 0), (2, 0), (2, 2), (0, 0)])
+        assert len(ring) == 3
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Ring([(0, 0), (1, 1)])
+
+    def test_signed_area_ccw_positive(self):
+        assert Ring(SQUARE).signed_area == 16.0
+
+    def test_signed_area_cw_negative(self):
+        assert Ring(list(reversed(SQUARE))).signed_area == -16.0
+
+    def test_oriented(self):
+        cw = Ring(list(reversed(SQUARE)))
+        assert cw.oriented(ccw=True).is_ccw
+        assert not cw.oriented(ccw=False).is_ccw
+
+    def test_contains_point_interior_boundary_exterior(self):
+        ring = Ring(SQUARE)
+        assert ring.contains_point(2, 2)
+        assert ring.contains_point(0, 2)  # edge
+        assert ring.contains_point(4, 4)  # vertex
+        assert not ring.contains_point(5, 2)
+
+    def test_contains_point_concave(self):
+        # L-shaped ring: the notch is outside.
+        ring = Ring([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert ring.contains_point(1, 3)
+        assert not ring.contains_point(3, 3)
+
+    def test_is_convex(self):
+        assert Ring(SQUARE).is_convex()
+        assert not Ring([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]).is_convex()
+
+    def test_mbr(self):
+        assert Ring(SQUARE).mbr.as_tuple() == (0, 0, 4, 4)
+
+
+class TestPointAndLine:
+    def test_point(self):
+        p = Geometry.point(3, 4)
+        assert p.geom_type is GeometryType.POINT
+        assert p.mbr.as_tuple() == (3, 4, 3, 4)
+        assert p.num_vertices == 1
+        assert p.area == 0.0
+
+    def test_point_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            Geometry.point(float("nan"), 0)
+
+    def test_linestring(self):
+        ls = Geometry.linestring([(0, 0), (3, 4), (3, 8)])
+        assert ls.geom_type is GeometryType.LINESTRING
+        assert ls.length == pytest.approx(9.0)
+        assert ls.num_vertices == 3
+        assert ls.mbr.as_tuple() == (0, 0, 3, 8)
+
+    def test_linestring_needs_two_points(self):
+        with pytest.raises(GeometryError):
+            Geometry.linestring([(1, 1)])
+
+    def test_contains_point_on_line(self):
+        ls = Geometry.linestring([(0, 0), (4, 0)])
+        assert ls.contains_point(2, 0)
+        assert not ls.contains_point(2, 1)
+
+
+class TestPolygon:
+    def test_simple_polygon(self):
+        poly = Geometry.polygon(SQUARE)
+        assert poly.geom_type is GeometryType.POLYGON
+        assert poly.area == 16.0
+        assert poly.length == 16.0
+        assert poly.exterior.is_ccw
+
+    def test_orientation_normalised(self):
+        poly = Geometry.polygon(list(reversed(SQUARE)), holes=[list(reversed(HOLE))])
+        assert poly.exterior.is_ccw
+        assert not poly.holes[0].is_ccw
+
+    def test_polygon_with_hole_area(self):
+        poly = Geometry.polygon(SQUARE, holes=[HOLE])
+        assert poly.area == 16.0 - 4.0
+
+    def test_hole_outside_rejected(self):
+        with pytest.raises(GeometryError):
+            Geometry.polygon(SQUARE, holes=[[(10, 10), (11, 10), (11, 11)]])
+
+    def test_contains_point_respects_holes(self):
+        poly = Geometry.polygon(SQUARE, holes=[HOLE])
+        assert poly.contains_point(0.5, 0.5)
+        assert not poly.contains_point(2, 2)  # inside the hole
+        assert poly.contains_point(1, 1)  # on the hole boundary
+        assert poly.contains_point(0, 0)  # on the exterior boundary
+
+    def test_rectangle_factory(self):
+        rect = Geometry.rectangle(0, 0, 2, 3)
+        assert rect.area == 6.0
+        with pytest.raises(GeometryError):
+            Geometry.rectangle(2, 0, 0, 3)
+
+    def test_from_mbr(self):
+        from repro.geometry.mbr import MBR
+
+        assert Geometry.from_mbr(MBR(0, 0, 2, 2)).geom_type is GeometryType.POLYGON
+        assert Geometry.from_mbr(MBR(1, 1, 1, 1)).geom_type is GeometryType.POINT
+        assert Geometry.from_mbr(MBR(0, 1, 4, 1)).geom_type is GeometryType.LINESTRING
+
+
+class TestMultiGeometries:
+    def test_multipoint(self):
+        mp = Geometry.multipoint([(0, 0), (1, 1), (2, 2)])
+        assert mp.geom_type is GeometryType.MULTIPOINT
+        assert mp.num_vertices == 3
+        assert len(list(mp.simple_parts())) == 3
+
+    def test_multipolygon_area(self):
+        mp = Geometry.multipolygon(
+            [(SQUARE, []), ([(10, 10), (12, 10), (12, 12), (10, 12)], [])]
+        )
+        assert mp.area == 16.0 + 4.0
+        assert mp.mbr.as_tuple() == (0, 0, 12, 12)
+
+    def test_collection_mixed(self):
+        c = Geometry.collection([Geometry.point(0, 0), Geometry.polygon(SQUARE)])
+        assert c.geom_type is GeometryType.COLLECTION
+        assert c.area == 16.0
+        assert len(list(c.simple_parts())) == 2
+
+    def test_empty_multi_rejected(self):
+        with pytest.raises(GeometryError):
+            Geometry.multipoint([])
+        with pytest.raises(GeometryError):
+            Geometry.collection([])
+
+
+class TestDecomposition:
+    def test_boundary_edges_polygon_with_hole(self):
+        poly = Geometry.polygon(SQUARE, holes=[HOLE])
+        edges = list(poly.boundary_edges())
+        assert len(edges) == 8  # 4 exterior + 4 hole
+
+    def test_vertices_iteration(self):
+        poly = Geometry.polygon(SQUARE, holes=[HOLE])
+        assert len(list(poly.vertices())) == 8
+
+    def test_equality_and_hash(self):
+        a = Geometry.polygon(SQUARE)
+        b = Geometry.polygon(SQUARE)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Geometry.polygon(HOLE)

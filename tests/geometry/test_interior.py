@@ -1,0 +1,132 @@
+"""Unit + property tests for interior rectangle approximations."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.geometry import Geometry
+from repro.geometry.interior import interior_rectangle
+from repro.geometry.predicates import contains
+
+
+class TestBasics:
+    def test_rectangle_interior_is_nearly_itself(self):
+        rect = Geometry.rectangle(0, 0, 10, 6)
+        inner = interior_rectangle(rect)
+        assert not inner.is_empty
+        assert inner.area > 0.9 * 60.0
+        assert contains(rect, Geometry.from_mbr(inner))
+
+    def test_point_and_line_have_no_interior(self):
+        assert interior_rectangle(Geometry.point(1, 1)).is_empty
+        assert interior_rectangle(Geometry.linestring([(0, 0), (5, 5)])).is_empty
+
+    def test_lshape_interior_avoids_the_notch(self):
+        lshape = Geometry.polygon(
+            [(0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10)]
+        )
+        inner = interior_rectangle(lshape)
+        assert not inner.is_empty
+        assert contains(lshape, Geometry.from_mbr(inner))
+
+    def test_donut_interior_respects_hole(self):
+        donut = Geometry.polygon(
+            [(0, 0), (20, 0), (20, 20), (0, 20)],
+            holes=[[(8, 8), (8, 12), (12, 12), (12, 8)]],
+        )
+        inner = interior_rectangle(donut)
+        if not inner.is_empty:
+            assert contains(donut, Geometry.from_mbr(inner))
+
+    def test_multipolygon_uses_largest_part(self):
+        mp = Geometry.multipolygon(
+            [
+                ([(0, 0), (1, 0), (1, 1), (0, 1)], []),
+                ([(10, 10), (20, 10), (20, 20), (10, 20)], []),
+            ]
+        )
+        inner = interior_rectangle(mp)
+        assert not inner.is_empty
+        assert inner.min_x >= 10  # inside the big part
+
+
+class TestSoundness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_interior_rect_always_inside(self, seed):
+        from repro.datasets.random_geom import radial_polygon
+
+        rng = random.Random(seed)
+        poly = radial_polygon(
+            rng,
+            rng.uniform(-50, 50),
+            rng.uniform(-50, 50),
+            rng.uniform(1, 20),
+            rng.randint(5, 60),
+            irregularity=rng.uniform(0.0, 0.6),
+        )
+        inner = interior_rectangle(poly)
+        if not inner.is_empty:
+            assert contains(poly, Geometry.from_mbr(inner))
+
+    @given(st.integers(3, 12), st.floats(1.0, 30.0))
+    @settings(max_examples=40, deadline=None)
+    def test_regular_polygon_interior_nonempty(self, sides, radius):
+        from repro.datasets.random_geom import regular_polygon
+
+        poly = regular_polygon(0, 0, radius, sides)
+        inner = interior_rectangle(poly)
+        assert not inner.is_empty
+        assert inner.area > 0.2 * poly.area
+
+
+class TestFastAcceptInJoin:
+    def test_interior_join_results_identical(self, random_rects):
+        from repro import Database
+        from repro.datasets import load_geometries
+        from repro.core.parallel_join import spatial_join
+
+        db = Database()
+        load_geometries(db, "t", random_rects(120, seed=101))
+        db.create_spatial_index("t_idx", "t", "geom", kind="RTREE")
+        table = db.table("t")
+        tree = db.spatial_index("t_idx").tree
+        plain = spatial_join(table, "geom", tree, table, "geom", tree)
+        fast = spatial_join(
+            table, "geom", tree, table, "geom", tree, use_interior=True
+        )
+        assert sorted(plain.pairs) == sorted(fast.pairs)
+
+    def test_fast_accepts_occur_on_rectangles(self, random_rects):
+        from repro import Database
+        from repro.datasets import load_geometries
+        from repro.engine.parallel import WorkerContext
+        from repro.engine.table_function import collect
+        from repro.core.spatial_join import SpatialJoinFunction
+
+        db = Database()
+        load_geometries(db, "t", random_rects(100, seed=102))
+        db.create_spatial_index("t_idx", "t", "geom", kind="RTREE")
+        fn = SpatialJoinFunction(
+            db.table("t"), "geom", db.spatial_index("t_idx").tree,
+            db.table("t"), "geom", db.spatial_index("t_idx").tree,
+            use_interior=True,
+        )
+        collect(fn, WorkerContext(0))
+        # Self-pairs alone guarantee overlapping interiors.
+        assert fn._filter.fast_accepts >= 100
+
+    def test_interior_disabled_for_distance_predicates(self, random_rects):
+        from repro import Database
+        from repro.datasets import load_geometries
+        from repro.core.secondary_filter import JoinPredicate, SecondaryFilter
+
+        db = Database()
+        load_geometries(db, "t", random_rects(10, seed=103))
+        f = SecondaryFilter(
+            db.table("t"), "geom", db.table("t"), "geom",
+            JoinPredicate(distance=2.0), use_interior=True,
+        )
+        assert not f.use_interior

@@ -1,0 +1,149 @@
+"""Unit tests for MBR algebra."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.mbr import EMPTY_MBR, MBR, mbr_of_points, union_all
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        m = MBR(0, 1, 4, 7)
+        assert m.width == 4
+        assert m.height == 6
+        assert m.area == 24
+        assert m.perimeter == 20
+        assert m.center == (2.0, 4.0)
+
+    def test_degenerate_point_mbr_is_valid(self):
+        m = MBR(3, 3, 3, 3)
+        assert m.area == 0
+        assert not m.is_empty
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(GeometryError):
+            MBR(5, 0, 1, 2)
+        with pytest.raises(GeometryError):
+            MBR(0, 5, 2, 1)
+
+    def test_empty_sentinel(self):
+        assert EMPTY_MBR.is_empty
+        assert EMPTY_MBR.area == 0.0
+        assert EMPTY_MBR.width == 0.0
+        with pytest.raises(GeometryError):
+            _ = EMPTY_MBR.center
+
+    def test_as_tuple_and_corners(self):
+        m = MBR(1, 2, 3, 4)
+        assert m.as_tuple() == (1, 2, 3, 4)
+        assert list(m.corners()) == [(1, 2), (3, 2), (3, 4), (1, 4)]
+
+
+class TestPredicates:
+    def test_overlapping(self):
+        assert MBR(0, 0, 4, 4).intersects(MBR(2, 2, 6, 6))
+
+    def test_edge_touch_counts_as_intersection(self):
+        assert MBR(0, 0, 2, 2).intersects(MBR(2, 0, 4, 2))
+
+    def test_corner_touch_counts(self):
+        assert MBR(0, 0, 2, 2).intersects(MBR(2, 2, 4, 4))
+
+    def test_disjoint(self):
+        assert not MBR(0, 0, 1, 1).intersects(MBR(2, 2, 3, 3))
+
+    def test_empty_never_intersects(self):
+        assert not EMPTY_MBR.intersects(MBR(0, 0, 1, 1))
+        assert not MBR(0, 0, 1, 1).intersects(EMPTY_MBR)
+
+    def test_contains(self):
+        outer = MBR(0, 0, 10, 10)
+        assert outer.contains(MBR(2, 2, 5, 5))
+        assert outer.contains(outer)
+        assert not MBR(2, 2, 5, 5).contains(outer)
+
+    def test_contains_point(self):
+        m = MBR(0, 0, 2, 2)
+        assert m.contains_point(1, 1)
+        assert m.contains_point(0, 0)  # boundary inclusive
+        assert not m.contains_point(3, 1)
+
+    def test_within_distance(self):
+        a = MBR(0, 0, 1, 1)
+        b = MBR(3, 0, 4, 1)
+        assert a.within_distance(b, 2.0)
+        assert not a.within_distance(b, 1.9)
+
+
+class TestMeasures:
+    def test_distance_overlapping_is_zero(self):
+        assert MBR(0, 0, 4, 4).distance(MBR(2, 2, 6, 6)) == 0.0
+
+    def test_distance_horizontal(self):
+        assert MBR(0, 0, 1, 1).distance(MBR(3, 0, 4, 1)) == 2.0
+
+    def test_distance_diagonal(self):
+        d = MBR(0, 0, 1, 1).distance(MBR(4, 5, 6, 7))
+        assert d == pytest.approx(math.hypot(3, 4))
+
+    def test_distance_to_point(self):
+        m = MBR(0, 0, 2, 2)
+        assert m.distance_to_point(1, 1) == 0.0
+        assert m.distance_to_point(5, 2) == 3.0
+
+    def test_intersection_area(self):
+        assert MBR(0, 0, 4, 4).intersection_area(MBR(2, 2, 6, 6)) == 4.0
+        assert MBR(0, 0, 1, 1).intersection_area(MBR(5, 5, 6, 6)) == 0.0
+
+    def test_enlargement(self):
+        base = MBR(0, 0, 2, 2)
+        assert base.enlargement(MBR(0, 0, 1, 1)) == 0.0
+        assert base.enlargement(MBR(0, 0, 4, 2)) == 4.0
+
+
+class TestConstructive:
+    def test_union(self):
+        u = MBR(0, 0, 1, 1).union(MBR(3, 4, 5, 6))
+        assert u.as_tuple() == (0, 0, 5, 6)
+
+    def test_union_with_empty_is_identity(self):
+        m = MBR(1, 2, 3, 4)
+        assert m.union(EMPTY_MBR) == m
+        assert EMPTY_MBR.union(m) == m
+
+    def test_intersection(self):
+        i = MBR(0, 0, 4, 4).intersection(MBR(2, 2, 6, 6))
+        assert i.as_tuple() == (2, 2, 4, 4)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert MBR(0, 0, 1, 1).intersection(MBR(5, 5, 6, 6)).is_empty
+
+    def test_expand(self):
+        assert MBR(2, 2, 4, 4).expand(1).as_tuple() == (1, 1, 5, 5)
+        assert EMPTY_MBR.expand(1).is_empty
+
+    def test_quadrants_cover_and_partition(self):
+        m = MBR(0, 0, 4, 4)
+        quads = m.quadrants()
+        assert len(quads) == 4
+        assert union_all(quads) == m
+        assert sum(q.area for q in quads) == pytest.approx(m.area)
+        # SW, SE, NW, NE order
+        assert quads[0].as_tuple() == (0, 0, 2, 2)
+        assert quads[1].as_tuple() == (2, 0, 4, 2)
+        assert quads[2].as_tuple() == (0, 2, 2, 4)
+        assert quads[3].as_tuple() == (2, 2, 4, 4)
+
+
+class TestHelpers:
+    def test_mbr_of_points(self):
+        m = mbr_of_points([(1, 5), (-2, 3), (4, 0)])
+        assert m.as_tuple() == (-2, 0, 4, 5)
+
+    def test_mbr_of_no_points_is_empty(self):
+        assert mbr_of_points([]).is_empty
+
+    def test_union_all_empty_list(self):
+        assert union_all([]).is_empty

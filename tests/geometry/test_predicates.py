@@ -1,0 +1,150 @@
+"""Unit tests for the exact topological predicates."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.geometry.geometry import Geometry
+from repro.geometry.predicates import (
+    contains,
+    disjoint,
+    equals,
+    inside,
+    intersects,
+    relate,
+    touches,
+)
+
+
+def square(x, y, s=2.0):
+    return Geometry.rectangle(x, y, x + s, y + s)
+
+
+class TestIntersects:
+    def test_overlapping_polygons(self):
+        assert intersects(square(0, 0), square(1, 1))
+
+    def test_disjoint_polygons(self):
+        assert not intersects(square(0, 0), square(5, 5))
+
+    def test_edge_adjacent_polygons(self):
+        assert intersects(square(0, 0), square(2, 0))
+
+    def test_corner_touching_polygons(self):
+        assert intersects(square(0, 0), square(2, 2))
+
+    def test_containment_counts_as_intersection(self):
+        assert intersects(square(0, 0, 10), square(2, 2, 1))
+        assert intersects(square(2, 2, 1), square(0, 0, 10))
+
+    def test_point_in_polygon(self):
+        assert intersects(Geometry.point(1, 1), square(0, 0))
+        assert not intersects(Geometry.point(9, 9), square(0, 0))
+
+    def test_point_point(self):
+        assert intersects(Geometry.point(1, 1), Geometry.point(1, 1))
+        assert not intersects(Geometry.point(1, 1), Geometry.point(1, 2))
+
+    def test_line_crosses_polygon(self):
+        line = Geometry.linestring([(-1, 1), (3, 1)])
+        assert intersects(line, square(0, 0))
+
+    def test_line_fully_inside_polygon(self):
+        line = Geometry.linestring([(0.5, 0.5), (1.5, 1.5)])
+        assert intersects(line, square(0, 0))
+        assert intersects(square(0, 0), line)
+
+    def test_line_line(self):
+        a = Geometry.linestring([(0, 0), (2, 2)])
+        b = Geometry.linestring([(0, 2), (2, 0)])
+        c = Geometry.linestring([(5, 5), (6, 6)])
+        assert intersects(a, b)
+        assert not intersects(a, c)
+
+    def test_hole_blocks_intersection(self):
+        donut = Geometry.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (2, 8), (8, 8), (8, 2)]],
+        )
+        inner = square(4, 4, 1)  # entirely inside the hole
+        assert not intersects(donut, inner)
+        crossing = square(1, 1, 3)  # straddles the hole boundary
+        assert intersects(donut, crossing)
+
+    def test_multipolygon_parts(self):
+        mp = Geometry.multipolygon(
+            [([(0, 0), (1, 0), (1, 1), (0, 1)], []), ([(5, 5), (6, 5), (6, 6), (5, 6)], [])]
+        )
+        assert intersects(mp, square(5.5, 5.5, 0.2))
+        assert not intersects(mp, square(3, 3, 0.5))
+
+
+class TestContainsInside:
+    def test_proper_containment(self):
+        assert contains(square(0, 0, 10), square(2, 2, 2))
+        assert inside(square(2, 2, 2), square(0, 0, 10))
+
+    def test_not_contained_when_overlapping(self):
+        assert not contains(square(0, 0, 4), square(2, 2, 4))
+
+    def test_boundary_contact_allowed(self):
+        # COVERS semantics: shared edges still count as containment.
+        assert contains(square(0, 0, 4), square(0, 0, 2))
+
+    def test_hole_breaks_containment(self):
+        donut = Geometry.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (4, 6), (6, 6), (6, 4)]],
+        )
+        assert not contains(donut, square(4.4, 4.4, 1.0))
+        assert contains(donut, square(1, 1, 2))
+
+    def test_point_containment(self):
+        assert contains(square(0, 0), Geometry.point(1, 1))
+        assert not contains(square(0, 0), Geometry.point(5, 5))
+
+    def test_line_containment(self):
+        assert contains(square(0, 0, 4), Geometry.linestring([(1, 1), (3, 3)]))
+        assert not contains(square(0, 0, 4), Geometry.linestring([(1, 1), (9, 9)]))
+
+
+class TestTouchesEqualsDisjoint:
+    def test_edge_touch(self):
+        assert touches(square(0, 0), square(2, 0))
+
+    def test_corner_touch(self):
+        assert touches(square(0, 0), square(2, 2))
+
+    def test_overlap_is_not_touch(self):
+        assert not touches(square(0, 0), square(1, 1))
+
+    def test_disjoint_is_not_touch(self):
+        assert not touches(square(0, 0), square(5, 5))
+
+    def test_equals_ignores_vertex_rotation(self):
+        a = Geometry.polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        b = Geometry.polygon([(2, 0), (2, 2), (0, 2), (0, 0)])
+        assert equals(a, b)
+
+    def test_equals_differs(self):
+        assert not equals(square(0, 0), square(0, 0, 3))
+
+    def test_disjoint(self):
+        assert disjoint(square(0, 0), square(5, 5))
+        assert not disjoint(square(0, 0), square(1, 1))
+
+
+class TestRelateMasks:
+    def test_anyinteract(self):
+        assert relate(square(0, 0), square(1, 1), "ANYINTERACT")
+        assert relate(square(0, 0), square(1, 1), "intersect")
+
+    def test_mask_union(self):
+        # TOUCH fails but INSIDE holds for the second mask member.
+        assert relate(square(2, 2, 2), square(0, 0, 10), "TOUCH+INSIDE")
+
+    def test_unknown_mask(self):
+        with pytest.raises(OperatorError):
+            relate(square(0, 0), square(1, 1), "FROBNICATE")
+
+    def test_disjoint_mask(self):
+        assert relate(square(0, 0), square(9, 9), "DISJOINT")

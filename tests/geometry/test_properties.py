@@ -1,0 +1,157 @@
+"""Property-based tests for the geometry engine (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import distance, within_distance
+from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import MBR, mbr_of_points
+from repro.geometry.predicates import contains, intersects
+from repro.geometry.sdo import from_sdo, to_sdo
+from repro.geometry.wkt import from_wkt, to_wkt
+
+coord = st.floats(
+    min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def mbrs(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return MBR(x1, y1, x2, y2)
+
+
+@st.composite
+def convex_polygons(draw):
+    """Random convex polygons via points on an ellipse (always valid)."""
+    cx, cy = draw(coord), draw(coord)
+    rx = draw(st.floats(min_value=0.5, max_value=50))
+    ry = draw(st.floats(min_value=0.5, max_value=50))
+    n = draw(st.integers(min_value=3, max_value=12))
+    phase = draw(st.floats(min_value=0, max_value=2 * math.pi))
+    pts = [
+        (
+            cx + rx * math.cos(phase + 2 * math.pi * k / n),
+            cy + ry * math.sin(phase + 2 * math.pi * k / n),
+        )
+        for k in range(n)
+    ]
+    return Geometry.polygon(pts)
+
+
+class TestMbrProperties:
+    @given(mbrs(), mbrs())
+    def test_intersects_is_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(mbrs(), mbrs())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(mbrs(), mbrs())
+    def test_distance_symmetric_and_zero_iff_intersect(self, a, b):
+        d1, d2 = a.distance(b), b.distance(a)
+        assert d1 == d2
+        assert (d1 == 0.0) == a.intersects(b)
+
+    @given(mbrs(), mbrs())
+    def test_intersection_contained_in_both(self, a, b):
+        i = a.intersection(b)
+        if not i.is_empty:
+            assert a.contains(i) and b.contains(i)
+
+    @given(mbrs())
+    def test_quadrants_partition_area(self, m):
+        assume(m.area > 1e-9)
+        quads = m.quadrants()
+        assert sum(q.area for q in quads) == pytest_approx(m.area)
+
+    @given(mbrs(), st.floats(min_value=0, max_value=100))
+    def test_expand_monotone(self, m, margin):
+        assert m.expand(margin).contains(m)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=20))
+    def test_mbr_of_points_covers_all(self, pts):
+        m = mbr_of_points(pts)
+        for x, y in pts:
+            assert m.contains_point(x, y)
+
+
+class TestPredicateProperties:
+    @given(convex_polygons(), convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_intersects_symmetric(self, a, b):
+        assert intersects(a, b) == intersects(b, a)
+
+    @given(convex_polygons(), convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_intersects_implies_mbr_intersects(self, a, b):
+        if intersects(a, b):
+            assert a.mbr.intersects(b.mbr)
+
+    @given(convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_self_relations(self, g):
+        assert intersects(g, g)
+        assert contains(g, g)
+        assert distance(g, g) == 0.0
+
+    @given(convex_polygons(), convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_contains_implies_intersects(self, a, b):
+        if contains(a, b):
+            assert intersects(a, b)
+
+
+class TestDistanceProperties:
+    @given(convex_polygons(), convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_distance_consistent_with_intersects(self, a, b):
+        d = distance(a, b)
+        assert d >= 0.0
+        if intersects(a, b):
+            assert d == 0.0
+        else:
+            assert d > 0.0
+
+    @given(convex_polygons(), convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_mbr_distance_is_lower_bound(self, a, b):
+        assert a.mbr.distance(b.mbr) <= distance(a, b) + 1e-9
+
+    @given(convex_polygons(), convex_polygons(), st.floats(min_value=0.01, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_within_distance_matches_distance(self, a, b, d):
+        exact = distance(a, b)
+        assume(abs(exact - d) > 1e-6)  # avoid knife-edge float comparisons
+        assert within_distance(a, b, d) == (exact <= d)
+
+
+class TestCodecProperties:
+    @given(convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_sdo_roundtrip(self, g):
+        assert from_sdo(to_sdo(g)) == g
+
+    @given(convex_polygons())
+    @settings(max_examples=50, deadline=None)
+    def test_wkt_roundtrip_geometry_equivalent(self, g):
+        back = from_wkt(to_wkt(g))
+        assert back.num_vertices == g.num_vertices
+        assert back.mbr.min_x == pytest_approx(g.mbr.min_x)
+        assert back.area == pytest_approx(g.area)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=10))
+    def test_multipoint_sdo_roundtrip(self, pts):
+        g = Geometry.multipoint(pts)
+        assert from_sdo(to_sdo(g)) == g
+
+
+def pytest_approx(value, rel=1e-9, abs_tol=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=abs_tol)

@@ -1,0 +1,98 @@
+"""Unit tests for the SDO_GEOMETRY codec."""
+
+import pytest
+
+from repro.errors import SdoCodecError
+from repro.geometry.geometry import Geometry
+from repro.geometry.sdo import SdoGeometry, from_sdo, to_sdo
+
+
+SQUARE = [(0, 0), (4, 0), (4, 4), (0, 4)]
+HOLE = [(1, 1), (1, 3), (3, 3), (3, 1)]
+
+
+class TestEncode:
+    def test_point(self):
+        sdo = to_sdo(Geometry.point(1, 2))
+        assert sdo.gtype == 2001
+        assert sdo.elem_info == (1, 1, 1)
+        assert sdo.ordinates == (1.0, 2.0)
+
+    def test_linestring(self):
+        sdo = to_sdo(Geometry.linestring([(0, 0), (1, 1), (2, 0)]))
+        assert sdo.gtype == 2002
+        assert sdo.elem_info == (1, 2, 1)
+        assert len(sdo.ordinates) == 6
+
+    def test_polygon_closes_ring(self):
+        sdo = to_sdo(Geometry.polygon(SQUARE))
+        assert sdo.gtype == 2003
+        assert sdo.elem_info == (1, 1003, 1)
+        # 4 vertices + explicit closure = 5 coordinate pairs
+        assert len(sdo.ordinates) == 10
+        assert sdo.ordinates[:2] == sdo.ordinates[-2:]
+
+    def test_polygon_with_hole_elem_info(self):
+        sdo = to_sdo(Geometry.polygon(SQUARE, holes=[HOLE]))
+        triplets = [sdo.elem_info[i : i + 3] for i in range(0, len(sdo.elem_info), 3)]
+        assert triplets[0][1] == 1003
+        assert triplets[1][1] == 2003
+
+    def test_multipolygon(self):
+        mp = Geometry.multipolygon(
+            [(SQUARE, []), ([(10, 10), (12, 10), (12, 12), (10, 12)], [])]
+        )
+        sdo = to_sdo(mp)
+        assert sdo.gtype == 2007
+        assert len(sdo.elem_info) == 6
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "geom",
+        [
+            Geometry.point(3.5, -2.25),
+            Geometry.linestring([(0, 0), (5, 5), (10, 0)]),
+            Geometry.polygon(SQUARE),
+            Geometry.polygon(SQUARE, holes=[HOLE]),
+            Geometry.multipoint([(0, 0), (1, 2), (3, 4)]),
+            Geometry.multilinestring([[(0, 0), (1, 1)], [(2, 2), (3, 3), (4, 2)]]),
+            Geometry.multipolygon(
+                [(SQUARE, [HOLE]), ([(10, 10), (12, 10), (12, 12), (10, 12)], [])]
+            ),
+        ],
+    )
+    def test_roundtrip_preserves_geometry(self, geom):
+        assert from_sdo(to_sdo(geom)) == geom
+
+
+class TestDecodeValidation:
+    def test_rectangle_interpretation(self):
+        sdo = SdoGeometry(2003, (1, 1003, 3), (0, 0, 4, 4))
+        geom = from_sdo(sdo)
+        assert geom.area == 16.0
+
+    def test_bad_elem_info_length(self):
+        with pytest.raises(SdoCodecError):
+            SdoGeometry(2003, (1, 1003), (0, 0, 4, 4))
+
+    def test_odd_ordinates(self):
+        with pytest.raises(SdoCodecError):
+            SdoGeometry(2002, (1, 2, 1), (0, 0, 1))
+
+    def test_point_needs_two_ordinates(self):
+        with pytest.raises(SdoCodecError):
+            from_sdo(SdoGeometry(2001, (1, 1, 1), (0, 0, 1, 1)))
+
+    def test_interior_before_exterior_rejected(self):
+        sdo = SdoGeometry(2003, (1, 2003, 1), (0, 0, 0, 1, 1, 1, 1, 0, 0, 0))
+        with pytest.raises(SdoCodecError):
+            from_sdo(sdo)
+
+    def test_unknown_gtype(self):
+        with pytest.raises(SdoCodecError):
+            from_sdo(SdoGeometry(2999, (1, 1, 1), (0, 0)))
+
+    def test_bad_offsets(self):
+        with pytest.raises(SdoCodecError):
+            SdoGeometry(2003, (99, 1003, 1), (0, 0, 1, 0, 1, 1)).elements()

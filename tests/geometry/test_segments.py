@@ -1,0 +1,103 @@
+"""Unit tests for planar segment primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry.segments import (
+    on_segment,
+    orientation,
+    point_segment_distance,
+    segment_intersection_point,
+    segment_segment_distance,
+    segments_intersect,
+)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation((0, 0), (1, 0), (1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation((0, 0), (1, 1), (1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_near_collinear_with_large_coordinates(self):
+        # Tolerance scales with magnitude: these should still read collinear.
+        assert orientation((1e6, 1e6), (2e6, 2e6), (3e6, 3e6)) == 0
+
+
+class TestOnSegment:
+    def test_midpoint(self):
+        assert on_segment((1, 1), (0, 0), (2, 2))
+
+    def test_endpoint(self):
+        assert on_segment((0, 0), (0, 0), (2, 2))
+
+    def test_collinear_but_outside(self):
+        assert not on_segment((3, 3), (0, 0), (2, 2))
+
+    def test_off_line(self):
+        assert not on_segment((1, 0), (0, 0), (2, 2))
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_shared_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (2, 0), (1, -1), (1, 0))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_parallel_non_collinear(self):
+        assert not segments_intersect((0, 0), (2, 0), (0, 1), (2, 1))
+
+
+class TestIntersectionPoint:
+    def test_simple_cross(self):
+        p = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert p == pytest.approx((1, 1))
+
+    def test_parallel_returns_none(self):
+        assert segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_lines_cross_outside_segments(self):
+        assert segment_intersection_point((0, 0), (1, 1), (3, 0), (4, -1)) is None
+
+    def test_endpoint_touch(self):
+        p = segment_intersection_point((0, 0), (1, 1), (1, 1), (2, 0))
+        assert p == pytest.approx((1, 1))
+
+
+class TestDistances:
+    def test_point_to_segment_perpendicular(self):
+        assert point_segment_distance((1, 1), (0, 0), (2, 0)) == 1.0
+
+    def test_point_to_segment_beyond_endpoint(self):
+        assert point_segment_distance((4, 0), (0, 0), (2, 0)) == 2.0
+
+    def test_point_to_degenerate_segment(self):
+        assert point_segment_distance((3, 4), (0, 0), (0, 0)) == 5.0
+
+    def test_segment_distance_intersecting_is_zero(self):
+        assert segment_segment_distance((0, 0), (2, 2), (0, 2), (2, 0)) == 0.0
+
+    def test_segment_distance_parallel(self):
+        assert segment_segment_distance((0, 0), (2, 0), (0, 3), (2, 3)) == 3.0
+
+    def test_segment_distance_skew(self):
+        d = segment_segment_distance((0, 0), (1, 0), (3, 1), (3, 4))
+        assert d == pytest.approx(math.hypot(2, 1))

@@ -1,0 +1,85 @@
+"""Unit tests for WKT parsing and serialisation."""
+
+import pytest
+
+from repro.errors import WktError
+from repro.geometry.geometry import Geometry, GeometryType
+from repro.geometry.wkt import from_wkt, to_wkt
+
+
+class TestParse:
+    def test_point(self):
+        g = from_wkt("POINT (3 4)")
+        assert g.geom_type is GeometryType.POINT
+        assert g.coords == ((3.0, 4.0),)
+
+    def test_case_insensitive_tag(self):
+        assert from_wkt("point (1 2)").geom_type is GeometryType.POINT
+
+    def test_scientific_notation(self):
+        g = from_wkt("POINT (1e2 -2.5E-1)")
+        assert g.coords == ((100.0, -0.25),)
+
+    def test_linestring(self):
+        g = from_wkt("LINESTRING (0 0, 1 1, 2 0)")
+        assert g.num_vertices == 3
+
+    def test_polygon_with_hole(self):
+        g = from_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 2 4, 4 4, 4 2, 2 2))"
+        )
+        assert g.geom_type is GeometryType.POLYGON
+        assert len(g.holes) == 1
+        assert g.area == 100.0 - 4.0
+
+    def test_multipoint_both_syntaxes(self):
+        a = from_wkt("MULTIPOINT (1 2, 3 4)")
+        b = from_wkt("MULTIPOINT ((1 2), (3 4))")
+        assert a == b
+
+    def test_multipolygon(self):
+        g = from_wkt(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))"
+        )
+        assert g.geom_type is GeometryType.MULTIPOLYGON
+        assert len(g.parts) == 2
+
+    def test_geometrycollection(self):
+        g = from_wkt("GEOMETRYCOLLECTION (POINT (1 1), LINESTRING (0 0, 1 1))")
+        assert g.geom_type is GeometryType.COLLECTION
+        assert len(g.parts) == 2
+
+    def test_errors(self):
+        with pytest.raises(WktError):
+            from_wkt("POINT 1 2")
+        with pytest.raises(WktError):
+            from_wkt("POINT (1 2) garbage")
+        with pytest.raises(WktError):
+            from_wkt("TRIANGLE ((0 0, 1 0, 0 1, 0 0))")
+        with pytest.raises(WktError):
+            from_wkt("POINT (1 2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "wkt",
+        [
+            "POINT (3 4)",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 2 4, 4 4, 4 2, 2 2))",
+            "MULTIPOINT ((1 2), (3 4))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))",
+            "GEOMETRYCOLLECTION (POINT (1 1), POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0)))",
+        ],
+    )
+    def test_geometry_survives_roundtrip(self, wkt):
+        geom = from_wkt(wkt)
+        assert from_wkt(to_wkt(geom)) == geom
+
+    def test_canonical_output(self):
+        assert to_wkt(from_wkt("point(1 2)")) == "POINT (1 2)"
+
+    def test_float_formatting(self):
+        assert to_wkt(Geometry.point(1.5, 2)) == "POINT (1.5 2)"

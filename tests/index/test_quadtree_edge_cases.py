@@ -1,0 +1,70 @@
+"""Quadtree edge cases: domain boundaries and degenerate windows."""
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.geometry.mbr import MBR
+from repro.index.quadtree.quadtree import QuadtreeIndex
+
+
+DOMAIN = MBR(0, 0, 100, 100)
+
+
+@pytest.fixture
+def edge_index(random_rects):
+    db = Database()
+    geoms = random_rects(60, seed=191) + [
+        Geometry.rectangle(0, 0, 1, 1),       # touching the domain corner
+        Geometry.rectangle(98, 98, 99.9, 99.9),  # near the far corner
+    ]
+    load_geometries(db, "t", geoms)
+    index = QuadtreeIndex("t_q", db.table("t"), "geom", domain=DOMAIN, tiling_level=5)
+    index.create()
+    return db, index
+
+
+class TestDomainBoundaries:
+    def test_window_fully_outside_domain(self, edge_index):
+        _db, index = edge_index
+        window = Geometry.rectangle(500, 500, 510, 510)
+        assert list(index.fetch("SDO_RELATE", (window, "ANYINTERACT"))) == []
+
+    def test_within_distance_window_clipped_to_domain(self, edge_index):
+        """An expanded search window that pokes outside the tiled domain
+        must be clipped, not crash the tessellator."""
+        db, index = edge_index
+        probe = Geometry.rectangle(98, 98, 99, 99)
+        got = sorted(index.fetch("SDO_WITHIN_DISTANCE", (probe, 50.0)))
+        from repro.geometry.distance import within_distance
+
+        expected = sorted(
+            rid for rid, row in db.table("t").scan()
+            if within_distance(row[1], probe, 50.0)
+        )
+        assert got == expected
+
+    def test_within_distance_probe_outside_domain(self, edge_index):
+        db, index = edge_index
+        probe = Geometry.point(120, 120)
+        got = sorted(index.fetch("SDO_WITHIN_DISTANCE", (probe, 40.0)))
+        from repro.geometry.distance import within_distance
+
+        expected = sorted(
+            rid for rid, row in db.table("t").scan()
+            if within_distance(row[1], probe, 40.0)
+        )
+        assert got == expected
+
+    def test_corner_geometry_indexed_and_found(self, edge_index):
+        db, index = edge_index
+        window = Geometry.rectangle(0, 0, 0.5, 0.5)
+        hits = list(index.fetch("SDO_RELATE", (window, "ANYINTERACT")))
+        corner_ids = [db.table("t").fetch(r)[0] for r in hits]
+        assert 60 in corner_ids  # the corner rectangle's id
+
+    def test_tiny_window_single_tile(self, edge_index):
+        _db, index = edge_index
+        window = Geometry.rectangle(50.1, 50.1, 50.2, 50.2)
+        hits = list(index.fetch("SDO_RELATE", (window, "ANYINTERACT")))
+        assert len(hits) == len(set(hits))  # well-formed, no duplicates

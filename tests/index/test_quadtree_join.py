@@ -1,0 +1,86 @@
+"""Unit tests for the quadtree tile-merge join."""
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.engine.parallel import WorkerContext
+from repro.errors import JoinError
+from repro.geometry.mbr import MBR
+from repro.geometry.predicates import intersects
+from repro.index.quadtree.join import quadtree_join_candidates, quadtree_tile_join
+from repro.index.quadtree.quadtree import QuadtreeIndex
+
+
+DOMAIN = MBR(0, 0, 110, 110)
+
+
+@pytest.fixture
+def qj_db(random_rects):
+    db = Database()
+    load_geometries(db, "a_tab", random_rects(80, seed=121))
+    load_geometries(db, "b_tab", random_rects(70, seed=122))
+    idx_a = QuadtreeIndex("a_q", db.table("a_tab"), "geom", domain=DOMAIN, tiling_level=6)
+    idx_a.create()
+    idx_b = QuadtreeIndex("b_q", db.table("b_tab"), "geom", domain=DOMAIN, tiling_level=6)
+    idx_b.create()
+    return db, idx_a, idx_b
+
+
+def brute(db):
+    out = set()
+    for ra, rowa in db.table("a_tab").scan():
+        for rb, rowb in db.table("b_tab").scan():
+            if intersects(rowa[1], rowb[1]):
+                out.add((ra, rb))
+    return out
+
+
+class TestQuadtreeJoin:
+    def test_matches_brute_force(self, qj_db):
+        db, idx_a, idx_b = qj_db
+        got = set(quadtree_tile_join(idx_a, idx_b))
+        assert got == brute(db)
+
+    def test_candidates_are_superset(self, qj_db):
+        db, idx_a, idx_b = qj_db
+        candidates = set(quadtree_join_candidates(idx_a, idx_b))
+        assert brute(db) <= candidates
+
+    def test_certain_pairs_really_intersect(self, qj_db):
+        db, idx_a, idx_b = qj_db
+        for (ra, rb), certain in quadtree_join_candidates(idx_a, idx_b).items():
+            if certain:
+                ga = db.table("a_tab").fetch(ra)[1]
+                gb = db.table("b_tab").fetch(rb)[1]
+                assert intersects(ga, gb)
+
+    def test_mismatched_grids_rejected(self, qj_db):
+        db, idx_a, _idx_b = qj_db
+        other = QuadtreeIndex(
+            "b_q2", db.table("b_tab"), "geom", domain=DOMAIN, tiling_level=5
+        )
+        other.create()
+        with pytest.raises(JoinError):
+            quadtree_join_candidates(idx_a, other)
+
+    def test_agrees_with_rtree_join(self, qj_db):
+        db, idx_a, idx_b = qj_db
+        db.create_spatial_index("a_r", "a_tab", "geom", kind="RTREE")
+        db.create_spatial_index("b_r", "b_tab", "geom", kind="RTREE")
+        rtree_result = db.spatial_join("a_tab", "geom", "b_tab", "geom")
+        quad_result = quadtree_tile_join(idx_a, idx_b)
+        assert sorted(rtree_result.pairs) == sorted(quad_result)
+
+    def test_work_charged(self, qj_db):
+        _db, idx_a, idx_b = qj_db
+        ctx = WorkerContext(0)
+        quadtree_tile_join(idx_a, idx_b, ctx)
+        assert ctx.meter.counts["mbr_test"] > 0
+        assert ctx.meter.counts["sort_per_item"] > 0
+
+    def test_self_join(self, qj_db):
+        _db, idx_a, _idx_b = qj_db
+        pairs = set(quadtree_tile_join(idx_a, idx_a))
+        for rid in {r for r, _ in pairs}:
+            assert (rid, rid) in pairs

@@ -1,0 +1,71 @@
+"""Unit tests for quadtree index-table persistence."""
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.geometry.mbr import MBR
+from repro.index.quadtree.persist import dump_quadtree, load_quadtree
+from repro.index.quadtree.quadtree import QuadtreeIndex
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.pager import MemoryPager
+
+
+DOMAIN = MBR(0, 0, 110, 110)
+
+
+@pytest.fixture
+def built_index(random_rects):
+    db = Database()
+    load_geometries(db, "t", random_rects(80, seed=141))
+    index = QuadtreeIndex("t_q", db.table("t"), "geom", domain=DOMAIN, tiling_level=6)
+    index.create()
+    return db, index
+
+
+def make_index_table():
+    return HeapFile(BufferPool(MemoryPager(), capacity=64), name="t_q_idxtab")
+
+
+class TestRoundTrip:
+    def test_dump_row_count(self, built_index):
+        _db, index = built_index
+        heap = make_index_table()
+        count = dump_quadtree(index, heap)
+        assert count == index.tile_count()
+        assert heap.row_count == count
+
+    def test_load_restores_identical_index(self, built_index):
+        db, index = built_index
+        heap = make_index_table()
+        dump_quadtree(index, heap)
+        loaded = load_quadtree(
+            heap, "t_q2", db.table("t"), "geom",
+            domain=DOMAIN, tiling_level=6,
+        )
+        assert list(loaded.btree.items()) == list(index.btree.items())
+
+    def test_loaded_index_answers_queries(self, built_index):
+        db, index = built_index
+        heap = make_index_table()
+        dump_quadtree(index, heap)
+        loaded = load_quadtree(
+            heap, "t_q2", db.table("t"), "geom", domain=DOMAIN, tiling_level=6
+        )
+        window = Geometry.rectangle(10, 10, 60, 60)
+        assert sorted(loaded.fetch("SDO_RELATE", (window, "ANYINTERACT"))) == sorted(
+            index.fetch("SDO_RELATE", (window, "ANYINTERACT"))
+        )
+
+    def test_empty_index_roundtrip(self, random_rects):
+        db = Database()
+        load_geometries(db, "t", [])
+        index = QuadtreeIndex("t_q", db.table("t"), "geom", domain=DOMAIN, tiling_level=5)
+        index.create()
+        heap = make_index_table()
+        assert dump_quadtree(index, heap) == 0
+        loaded = load_quadtree(
+            heap, "t_q2", db.table("t"), "geom", domain=DOMAIN, tiling_level=5
+        )
+        assert loaded.tile_count() == 0

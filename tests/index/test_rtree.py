@@ -1,0 +1,172 @@
+"""Unit tests for the dynamic R-tree."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexBuildError
+from repro.geometry.mbr import MBR
+from repro.index.rtree.rtree import RTree
+from repro.storage.heap import RowId
+
+
+def rid(i):
+    return RowId(i // 100, i % 100)
+
+
+def random_mbrs(n, seed=0, extent=1000.0, size=10.0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x, y = rng.uniform(0, extent), rng.uniform(0, extent)
+        out.append(MBR(x, y, x + rng.uniform(0.1, size), y + rng.uniform(0.1, size)))
+    return out
+
+
+def brute_force(entries, query):
+    return sorted(r for m, r in entries if m.intersects(query))
+
+
+class TestInsertSearch:
+    def test_empty_tree(self):
+        t = RTree(fanout=4)
+        assert len(t) == 0
+        assert list(t.search(MBR(0, 0, 10, 10))) == []
+
+    def test_single_entry(self):
+        t = RTree(fanout=4)
+        t.insert(MBR(1, 1, 2, 2), rid(0))
+        assert len(t) == 1
+        assert [r for _m, r in t.search(MBR(0, 0, 3, 3))] == [rid(0)]
+        assert list(t.search(MBR(5, 5, 6, 6))) == []
+
+    def test_search_matches_brute_force(self):
+        mbrs = random_mbrs(300, seed=1)
+        entries = [(m, rid(i)) for i, m in enumerate(mbrs)]
+        t = RTree(fanout=8)
+        for m, r in entries:
+            t.insert(m, r)
+        for qseed in range(5):
+            q = random_mbrs(1, seed=100 + qseed, size=80)[0]
+            got = sorted(r for _m, r in t.search(q))
+            assert got == brute_force(entries, q)
+
+    def test_splits_keep_invariants(self):
+        t = RTree(fanout=4)
+        for i, m in enumerate(random_mbrs(200, seed=2)):
+            t.insert(m, rid(i))
+            if i % 29 == 0:
+                t.check_invariants()
+        t.check_invariants()
+        assert t.height >= 3
+
+    def test_duplicate_mbrs_allowed(self):
+        t = RTree(fanout=4)
+        m = MBR(0, 0, 1, 1)
+        for i in range(10):
+            t.insert(m, rid(i))
+        assert len(list(t.search(m))) == 10
+
+    def test_empty_mbr_rejected(self):
+        from repro.geometry.mbr import EMPTY_MBR
+
+        t = RTree(fanout=4)
+        with pytest.raises(IndexBuildError):
+            t.insert(EMPTY_MBR, rid(0))
+
+    def test_fanout_validation(self):
+        with pytest.raises(IndexBuildError):
+            RTree(fanout=3)
+
+
+class TestDelete:
+    def test_delete_present_entry(self):
+        t = RTree(fanout=4)
+        mbrs = random_mbrs(50, seed=3)
+        for i, m in enumerate(mbrs):
+            t.insert(m, rid(i))
+        assert t.delete(mbrs[10], rid(10))
+        assert len(t) == 49
+        assert rid(10) not in [r for _m, r in t.search(mbrs[10])]
+        t.check_invariants()
+
+    def test_delete_absent_returns_false(self):
+        t = RTree(fanout=4)
+        t.insert(MBR(0, 0, 1, 1), rid(0))
+        assert not t.delete(MBR(5, 5, 6, 6), rid(9))
+        assert len(t) == 1
+
+    def test_delete_everything(self):
+        t = RTree(fanout=4)
+        mbrs = random_mbrs(120, seed=4)
+        for i, m in enumerate(mbrs):
+            t.insert(m, rid(i))
+        order = list(range(120))
+        random.Random(5).shuffle(order)
+        for count, i in enumerate(order):
+            assert t.delete(mbrs[i], rid(i))
+            if count % 17 == 0:
+                t.check_invariants()
+        assert len(t) == 0
+
+    def test_interleaved_insert_delete_matches_model(self):
+        t = RTree(fanout=5)
+        model = {}
+        rng = random.Random(6)
+        pool = random_mbrs(80, seed=7)
+        for step in range(400):
+            i = rng.randrange(80)
+            if i in model:
+                assert t.delete(pool[i], rid(i))
+                del model[i]
+            else:
+                t.insert(pool[i], rid(i))
+                model[i] = pool[i]
+        q = MBR(0, 0, 1000, 1000)
+        assert sorted(r for _m, r in t.search(q)) == sorted(rid(i) for i in model)
+        t.check_invariants()
+
+
+class TestStructure:
+    def test_leaf_entries_iterates_everything(self):
+        t = RTree(fanout=4)
+        mbrs = random_mbrs(60, seed=8)
+        for i, m in enumerate(mbrs):
+            t.insert(m, rid(i))
+        assert sorted(r for _m, r in t.leaf_entries()) == sorted(rid(i) for i in range(60))
+
+    def test_subtree_roots_levels(self):
+        t = RTree(fanout=4)
+        for i, m in enumerate(random_mbrs(100, seed=9)):
+            t.insert(m, rid(i))
+        assert t.subtree_roots(0) == [t.root]
+        level1 = t.subtree_roots(1)
+        assert len(level1) == len(t.root.entries)
+        # all leaves ultimately reachable
+        deep = t.subtree_roots(t.root.level)
+        assert all(n.is_leaf for n in deep)
+        # descending past the leaves stops at the leaves
+        deeper = t.subtree_roots(t.root.level + 5)
+        assert len(deeper) == len(deep)
+
+    def test_search_within_expands_window(self):
+        t = RTree(fanout=4)
+        t.insert(MBR(10, 10, 11, 11), rid(0))
+        q = MBR(0, 0, 5, 5)
+        assert list(t.search_within(q, 4.0)) == []
+        assert len(list(t.search_within(q, 7.0))) == 1
+
+    def test_node_count_grows_with_size(self):
+        t = RTree(fanout=4)
+        for i, m in enumerate(random_mbrs(100, seed=10)):
+            t.insert(m, rid(i))
+        assert t.node_count() > 25  # at least the leaf layer
+
+    def test_mbr_is_union_of_entries(self):
+        t = RTree(fanout=4)
+        mbrs = random_mbrs(40, seed=11)
+        for i, m in enumerate(mbrs):
+            t.insert(m, rid(i))
+        total = t.mbr
+        for m in mbrs:
+            assert total.contains(m)

@@ -1,0 +1,103 @@
+"""Property-based tests for the R-tree (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.mbr import MBR
+from repro.index.rtree.bulkload import merge_subtrees, str_pack
+from repro.index.rtree.rtree import RTree
+from repro.storage.heap import RowId
+
+coord = st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def small_mbrs(draw):
+    x = draw(coord)
+    y = draw(coord)
+    w = draw(st.floats(min_value=0.01, max_value=30))
+    h = draw(st.floats(min_value=0.01, max_value=30))
+    return MBR(x, y, x + w, y + h)
+
+
+entry_lists = st.lists(small_mbrs(), min_size=0, max_size=120)
+
+
+class TestDynamicTree:
+    @given(entry_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_insert_preserves_invariants_and_content(self, mbrs):
+        tree = RTree(fanout=4)
+        for i, m in enumerate(mbrs):
+            tree.insert(m, RowId(0, i))
+        tree.check_invariants()
+        assert len(tree) == len(mbrs)
+        found = sorted(r.slot for _m, r in tree.leaf_entries())
+        assert found == list(range(len(mbrs)))
+
+    @given(entry_lists, small_mbrs())
+    @settings(max_examples=50, deadline=None)
+    def test_search_equals_brute_force(self, mbrs, query):
+        tree = RTree(fanout=4)
+        for i, m in enumerate(mbrs):
+            tree.insert(m, RowId(0, i))
+        expected = sorted(i for i, m in enumerate(mbrs) if m.intersects(query))
+        got = sorted(r.slot for _m, r in tree.search(query))
+        assert got == expected
+
+    @given(entry_lists, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_delete_subset_keeps_rest(self, mbrs, data):
+        tree = RTree(fanout=4)
+        for i, m in enumerate(mbrs):
+            tree.insert(m, RowId(0, i))
+        if mbrs:
+            victims = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=len(mbrs) - 1), unique=True
+                )
+            )
+        else:
+            victims = []
+        for i in victims:
+            assert tree.delete(mbrs[i], RowId(0, i))
+        tree.check_invariants()
+        remaining = sorted(set(range(len(mbrs))) - set(victims))
+        assert sorted(r.slot for _m, r in tree.leaf_entries()) == remaining
+
+
+class TestBulkLoad:
+    @given(entry_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_str_pack_invariants(self, mbrs):
+        entries = [(m, RowId(0, i)) for i, m in enumerate(mbrs)]
+        tree = str_pack(entries, fanout=6)
+        if entries:
+            tree.check_invariants()
+        assert len(tree) == len(entries)
+
+    @given(entry_lists, small_mbrs())
+    @settings(max_examples=50, deadline=None)
+    def test_packed_search_equals_dynamic_search(self, mbrs, query):
+        entries = [(m, RowId(0, i)) for i, m in enumerate(mbrs)]
+        packed = str_pack(entries, fanout=5)
+        dynamic = RTree(fanout=5)
+        for m, r in entries:
+            dynamic.insert(m, r)
+        assert sorted(r.slot for _m, r in packed.search(query)) == sorted(
+            r.slot for _m, r in dynamic.search(query)
+        )
+
+    @given(entry_lists, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_partitions_preserves_content(self, mbrs, k):
+        entries = [(m, RowId(0, i)) for i, m in enumerate(mbrs)]
+        chunks = [entries[i::k] for i in range(k)]
+        trees = [str_pack(c, fanout=5) for c in chunks]
+        merged = merge_subtrees(trees, fanout=5)
+        assert len(merged) == len(entries)
+        assert sorted(r.slot for _m, r in merged.leaf_entries()) == list(
+            range(len(entries))
+        )
+        if len(merged) > 0:
+            merged.check_invariants()

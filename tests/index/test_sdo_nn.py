@@ -1,0 +1,74 @@
+"""Unit tests for the sdo_nn operator through the R-tree indextype."""
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.errors import OperatorError
+from repro.geometry.distance import distance
+
+
+@pytest.fixture
+def nn_db(random_rects):
+    db = Database()
+    load_geometries(db, "t", random_rects(150, seed=111))
+    db.create_spatial_index("t_idx", "t", "geom", kind="RTREE", fanout=8)
+    return db
+
+
+def brute_force_nn(db, query, k):
+    scored = []
+    for rid, row in db.table("t").scan():
+        scored.append((distance(row[1], query), rid))
+    scored.sort()
+    return [rid for _d, rid in scored[:k]]
+
+
+class TestSdoNn:
+    def test_matches_brute_force_point_query(self, nn_db):
+        query = Geometry.point(43.0, 57.0)
+        index = nn_db.spatial_index("t_idx")
+        got = list(index.fetch("SDO_NN", (query, 10)))
+        expected = brute_force_nn(nn_db, query, 10)
+        # distances may tie; compare by distance profile
+        got_d = [distance(nn_db.table("t").fetch(r)[1], query) for r in got]
+        exp_d = [distance(nn_db.table("t").fetch(r)[1], query) for r in expected]
+        assert got_d == pytest.approx(exp_d)
+
+    def test_k_one_default(self, nn_db):
+        query = Geometry.point(10.0, 10.0)
+        index = nn_db.spatial_index("t_idx")
+        got = list(index.fetch("SDO_NN", (query,)))
+        assert len(got) == 1
+        assert got == brute_force_nn(nn_db, query, 1)
+
+    def test_extended_query_geometry(self, nn_db):
+        query = Geometry.rectangle(40, 40, 60, 60)
+        index = nn_db.spatial_index("t_idx")
+        got = list(index.fetch("SDO_NN", (query, 5)))
+        got_d = sorted(distance(nn_db.table("t").fetch(r)[1], query) for r in got)
+        exp = brute_force_nn(nn_db, query, 5)
+        exp_d = sorted(distance(nn_db.table("t").fetch(r)[1], query) for r in exp)
+        assert got_d == pytest.approx(exp_d)
+
+    def test_k_larger_than_table(self, nn_db):
+        query = Geometry.point(0, 0)
+        index = nn_db.spatial_index("t_idx")
+        got = list(index.fetch("SDO_NN", (query, 1000)))
+        assert len(got) == 150
+
+    def test_inexact_mode_returns_mbr_ranking(self, nn_db):
+        query = Geometry.point(50, 50)
+        index = nn_db.spatial_index("t_idx")
+        got = list(index.fetch("SDO_NN", (query, 5), exact=False))
+        assert len(got) == 5
+
+    def test_bad_k(self, nn_db):
+        index = nn_db.spatial_index("t_idx")
+        with pytest.raises(OperatorError):
+            list(index.fetch("SDO_NN", (Geometry.point(0, 0), 0)))
+
+    def test_missing_query(self, nn_db):
+        index = nn_db.spatial_index("t_idx")
+        with pytest.raises(OperatorError):
+            list(index.fetch("SDO_NN", ()))

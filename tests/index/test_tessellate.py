@@ -1,0 +1,103 @@
+"""Unit tests for geometry tessellation into quadtree tiles."""
+
+from repro.engine.parallel import WorkerContext
+from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import MBR
+from repro.geometry.predicates import contains, intersects
+from repro.index.quadtree.codes import TileGrid, morton_decode
+from repro.index.quadtree.tessellate import tessellate
+
+
+GRID = TileGrid(domain=MBR(0, 0, 16, 16), level=4)  # 16x16 unit tiles
+
+
+class TestCoverage:
+    def test_point_gets_its_tile(self):
+        tiles = tessellate(Geometry.point(3.5, 5.5), GRID)
+        assert len(tiles) == 1
+        assert morton_decode(tiles[0].code) == (3, 5)
+        assert not tiles[0].interior
+
+    def test_tile_aligned_square(self):
+        # A square covering exactly tiles (4..7, 4..7) - 16 tiles.
+        geom = Geometry.rectangle(4, 4, 8, 8)
+        tiles = tessellate(geom, GRID)
+        covered = {morton_decode(t.code) for t in tiles}
+        for ix in range(4, 8):
+            for iy in range(4, 8):
+                assert (ix, iy) in covered
+
+    def test_tiles_exactly_the_intersecting_set(self):
+        geom = Geometry.rectangle(2.5, 2.5, 5.5, 4.5)
+        tiles = {morton_decode(t.code) for t in tessellate(geom, GRID)}
+        expected = set()
+        for ix in range(16):
+            for iy in range(16):
+                if intersects(Geometry.from_mbr(GRID.tile_mbr(ix, iy)), geom):
+                    expected.add((ix, iy))
+        assert tiles == expected
+
+    def test_codes_sorted_and_unique(self):
+        geom = Geometry.rectangle(1.3, 1.3, 9.7, 8.2)
+        codes = [t.code for t in tessellate(geom, GRID)]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+
+    def test_line_tessellation(self):
+        line = Geometry.linestring([(0.5, 0.5), (7.5, 0.5)])
+        tiles = {morton_decode(t.code) for t in tessellate(line, GRID)}
+        assert tiles == {(ix, 0) for ix in range(8)}
+        # lines have no interior tiles
+        assert all(not t.interior for t in tessellate(line, GRID))
+
+
+class TestInteriorClassification:
+    def test_large_polygon_has_interior_tiles(self):
+        geom = Geometry.rectangle(1, 1, 15, 15)
+        tiles = tessellate(geom, GRID)
+        interior = [t for t in tiles if t.interior]
+        boundary = [t for t in tiles if not t.interior]
+        assert interior and boundary
+        # every interior tile really is inside the polygon
+        for t in interior:
+            tile_geom = Geometry.from_mbr(GRID.code_mbr(t.code))
+            assert contains(geom, tile_geom)
+
+    def test_boundary_tiles_touch_the_boundary(self):
+        geom = Geometry.rectangle(1.5, 1.5, 6.5, 6.5)
+        for t in tessellate(geom, GRID):
+            tile_geom = Geometry.from_mbr(GRID.code_mbr(t.code))
+            if not t.interior:
+                assert not contains(geom, tile_geom) or True  # boundary or partial
+
+    def test_polygon_with_hole_excludes_hole_interior(self):
+        donut = Geometry.polygon(
+            [(1, 1), (15, 1), (15, 15), (1, 15)],
+            holes=[[(5, 5), (5, 11), (11, 11), (11, 5)]],
+        )
+        tiles = {morton_decode(t.code) for t in tessellate(donut, GRID)}
+        # tile (7,7) .. (8,8) are strictly inside the hole
+        assert (7, 7) not in tiles
+        assert (8, 8) not in tiles
+        # the ring part is covered
+        assert (2, 2) in tiles
+
+
+class TestCostCharging:
+    def test_work_units_recorded(self):
+        ctx = WorkerContext(0)
+        geom = Geometry.rectangle(1, 1, 9, 9)
+        tessellate(geom, GRID, ctx)
+        assert ctx.meter.counts["tessellate_per_vertex"] == geom.num_vertices
+        assert ctx.meter.counts["tessellate_per_tile"] > 0
+
+    def test_complex_geometry_costs_more(self):
+        from repro.datasets.random_geom import radial_polygon
+        import random
+
+        simple = Geometry.rectangle(4, 4, 6, 6)
+        complex_geom = radial_polygon(random.Random(1), 8, 8, 6.0, 120)
+        ctx_simple, ctx_complex = WorkerContext(0), WorkerContext(0)
+        tessellate(simple, GRID, ctx_simple)
+        tessellate(complex_geom, GRID, ctx_complex)
+        assert ctx_complex.meter.seconds() > ctx_simple.meter.seconds()

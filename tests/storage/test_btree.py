@@ -1,0 +1,214 @@
+"""Unit tests for the B+-tree."""
+
+import random
+
+import pytest
+
+from repro.errors import BTreeError
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        t = BPlusTree(order=4)
+        t.insert(5, "five")
+        t.insert(3, "three")
+        assert t.get(5) == "five"
+        assert t.get(3) == "three"
+        assert t.get(7) is None
+        assert t.get(7, "dflt") == "dflt"
+        assert len(t) == 2
+
+    def test_contains(self):
+        t = BPlusTree(order=4)
+        t.insert(1, None)  # None values are fine
+        assert 1 in t
+        assert 2 not in t
+
+    def test_duplicate_insert_rejected(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "a")
+        with pytest.raises(BTreeError):
+            t.insert(1, "b")
+
+    def test_upsert(self):
+        t = BPlusTree(order=4)
+        assert t.upsert(1, "a") is True
+        assert t.upsert(1, "b") is False
+        assert t.get(1) == "b"
+        assert len(t) == 1
+
+    def test_order_too_small(self):
+        with pytest.raises(BTreeError):
+            BPlusTree(order=2)
+
+    def test_tuple_keys(self):
+        t = BPlusTree(order=4)
+        t.insert((5, 1), "a")
+        t.insert((5, 0), "b")
+        t.insert((4, 9), "c")
+        assert [k for k, _ in t.items()] == [(4, 9), (5, 0), (5, 1)]
+
+
+class TestGrowth:
+    def test_many_inserts_sorted_scan(self):
+        t = BPlusTree(order=4)
+        keys = list(range(500))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            t.insert(k, k * 2)
+        assert len(t) == 500
+        assert t.height > 1
+        assert [k for k, _ in t.items()] == list(range(500))
+        t.check_invariants()
+
+    def test_min_max(self):
+        t = BPlusTree(order=4)
+        for k in [5, 1, 9, 3]:
+            t.insert(k, None)
+        assert t.min_key() == 1
+        assert t.max_key() == 9
+
+    def test_min_max_empty(self):
+        t = BPlusTree(order=4)
+        with pytest.raises(BTreeError):
+            t.min_key()
+
+
+class TestRangeScan:
+    def make_tree(self):
+        t = BPlusTree(order=4)
+        for k in range(0, 100, 2):  # evens 0..98
+            t.insert(k, str(k))
+        return t
+
+    def test_closed_range(self):
+        t = self.make_tree()
+        assert [k for k, _ in t.scan(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_open_ends(self):
+        t = self.make_tree()
+        assert [k for k, _ in t.scan(10, 20, include_lo=False, include_hi=False)] == [
+            12, 14, 16, 18,
+        ]
+
+    def test_unbounded_low(self):
+        t = self.make_tree()
+        assert [k for k, _ in t.scan(None, 6)] == [0, 2, 4, 6]
+
+    def test_unbounded_high(self):
+        t = self.make_tree()
+        assert [k for k, _ in t.scan(94, None)] == [94, 96, 98]
+
+    def test_bounds_between_keys(self):
+        t = self.make_tree()
+        assert [k for k, _ in t.scan(9, 15)] == [10, 12, 14]
+
+    def test_empty_range(self):
+        t = self.make_tree()
+        assert list(t.scan(200, 300)) == []
+
+    def test_prefix_tuple_range(self):
+        # The quadtree's (code, rowid) range-scan idiom.
+        t = BPlusTree(order=4)
+        for code in (5, 6, 7):
+            for sub in (1, 2):
+                t.insert((code, sub), None)
+        hits = [k for k, _ in t.scan((6,), (7,), include_hi=False)]
+        assert hits == [(6, 1), (6, 2)]
+
+
+class TestDelete:
+    def test_delete_returns_value(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "one")
+        assert t.delete(1) == "one"
+        assert len(t) == 0
+        assert 1 not in t
+
+    def test_delete_missing(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "one")
+        with pytest.raises(BTreeError):
+            t.delete(2)
+
+    def test_delete_all_random_order(self):
+        t = BPlusTree(order=4)
+        keys = list(range(300))
+        rng = random.Random(2)
+        rng.shuffle(keys)
+        for k in keys:
+            t.insert(k, k)
+        rng.shuffle(keys)
+        for i, k in enumerate(keys):
+            assert t.delete(k) == k
+            if i % 37 == 0:
+                t.check_invariants()
+        assert len(t) == 0
+        t.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        t = BPlusTree(order=4)
+        model = {}
+        rng = random.Random(3)
+        for i in range(1000):
+            k = rng.randrange(100)
+            if k in model:
+                assert t.delete(k) == model.pop(k)
+            else:
+                t.insert(k, i)
+                model[k] = i
+        assert sorted(model) == [k for k, _ in t.items()]
+        t.check_invariants()
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self):
+        items = [(k, k * 10) for k in range(250)]
+        t = BPlusTree.bulk_load(items, order=8)
+        assert len(t) == 250
+        assert t.get(123) == 1230
+        assert [k for k, _ in t.items()] == list(range(250))
+        t.check_invariants()
+
+    def test_bulk_load_unsorted_rejected(self):
+        with pytest.raises(BTreeError):
+            BPlusTree.bulk_load([(2, None), (1, None)], order=4)
+
+    def test_bulk_load_duplicates_rejected(self):
+        with pytest.raises(BTreeError):
+            BPlusTree.bulk_load([(1, None), (1, None)], order=4)
+
+    def test_bulk_load_empty_and_tiny(self):
+        assert len(BPlusTree.bulk_load([], order=4)) == 0
+        t = BPlusTree.bulk_load([(1, "a")], order=4)
+        assert t.get(1) == "a"
+        t.check_invariants()
+
+    def test_bulk_load_then_mutate(self):
+        t = BPlusTree.bulk_load([(k, k) for k in range(0, 100, 2)], order=6)
+        t.insert(51, 51)
+        t.delete(50)
+        assert 51 in t and 50 not in t
+        t.check_invariants()
+
+    def test_bulk_load_runs_merges(self):
+        run_a = [(k, k) for k in range(0, 50, 2)]
+        run_b = [(k, k) for k in range(1, 50, 2)]
+        t = BPlusTree.bulk_load_runs([run_a, run_b], order=8)
+        assert [k for k, _ in t.items()] == list(range(49)) + [49]
+        t.check_invariants()
+
+    def test_bulk_load_runs_duplicate_across_runs_rejected(self):
+        with pytest.raises(BTreeError):
+            BPlusTree.bulk_load_runs([[(1, None)], [(1, None)]], order=4)
+
+
+class TestVisitHook:
+    def test_hook_called_during_search(self):
+        visits = []
+        t = BPlusTree.bulk_load(
+            [(k, k) for k in range(200)], order=4, visit_hook=lambda leaf: visits.append(leaf)
+        )
+        t.get(100)
+        assert len(visits) >= t.height - 1

@@ -1,0 +1,99 @@
+"""Property-based tests: the B+-tree vs a dict/sorted-list model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.btree import BPlusTree
+
+keys = st.integers(min_value=-10_000, max_value=10_000)
+
+
+class TestAgainstModel:
+    @given(st.lists(st.tuples(keys, st.integers()), unique_by=lambda kv: kv[0]))
+    @settings(max_examples=100, deadline=None)
+    def test_inserts_match_dict(self, items):
+        t = BPlusTree(order=5)
+        model = {}
+        for k, v in items:
+            t.insert(k, v)
+            model[k] = v
+        assert len(t) == len(model)
+        assert [k for k, _ in t.items()] == sorted(model)
+        for k, v in model.items():
+            assert t.get(k) == v
+        t.check_invariants()
+
+    @given(
+        st.lists(keys, unique=True, min_size=1),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partial_deletion(self, ks, data):
+        t = BPlusTree(order=4)
+        for k in ks:
+            t.insert(k, k)
+        to_delete = data.draw(st.lists(st.sampled_from(ks), unique=True))
+        for k in to_delete:
+            t.delete(k)
+        remaining = sorted(set(ks) - set(to_delete))
+        assert [k for k, _ in t.items()] == remaining
+        t.check_invariants()
+
+    @given(st.lists(keys, unique=True), keys, keys)
+    @settings(max_examples=100, deadline=None)
+    def test_range_scan_matches_filter(self, ks, a, b):
+        lo, hi = min(a, b), max(a, b)
+        t = BPlusTree(order=4)
+        for k in ks:
+            t.insert(k, None)
+        expected = sorted(k for k in ks if lo <= k <= hi)
+        assert [k for k, _ in t.scan(lo, hi)] == expected
+
+    @given(st.lists(keys, unique=True, min_size=0, max_size=400))
+    @settings(max_examples=50, deadline=None)
+    def test_bulk_load_equals_incremental(self, ks):
+        items = [(k, str(k)) for k in sorted(ks)]
+        bulk = BPlusTree.bulk_load(items, order=6)
+        incremental = BPlusTree(order=6)
+        for k, v in items:
+            incremental.insert(k, v)
+        assert list(bulk.items()) == list(incremental.items())
+        bulk.check_invariants()
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful fuzz of insert/delete/upsert against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)
+        self.model = {}
+
+    @rule(k=keys, v=st.integers())
+    def upsert(self, k, v):
+        self.tree.upsert(k, v)
+        self.model[k] = v
+
+    @rule(k=keys)
+    def delete_if_present(self, k):
+        if k in self.model:
+            assert self.tree.delete(k) == self.model.pop(k)
+
+    @rule(k=keys)
+    def lookup(self, k):
+        assert self.tree.get(k) == self.model.get(k)
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+
+
+TestBTreeStateMachine = BTreeMachine.TestCase
+TestBTreeStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,96 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import MemoryPager
+
+
+def make_pool(capacity=3, page_size=64):
+    pager = MemoryPager(page_size=page_size)
+    return pager, BufferPool(pager, capacity=capacity)
+
+
+class TestBasics:
+    def test_allocate_then_get_hits_cache(self):
+        pager, pool = make_pool()
+        pid = pool.allocate()
+        pool.get(pid)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 0
+        assert pager.stats.reads == 0  # never touched the backend
+
+    def test_put_then_get_returns_content(self):
+        _pager, pool = make_pool()
+        pid = pool.allocate()
+        data = bytes([9] * 64)
+        pool.put(pid, data)
+        assert pool.get(pid) == data
+
+    def test_put_wrong_size_rejected(self):
+        _pager, pool = make_pool()
+        pid = pool.allocate()
+        with pytest.raises(StorageError):
+            pool.put(pid, b"nope")
+
+    def test_capacity_must_be_positive(self):
+        pager = MemoryPager(page_size=64)
+        with pytest.raises(StorageError):
+            BufferPool(pager, capacity=0)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        pager, pool = make_pool(capacity=2)
+        a, b, c = pool.allocate(), pool.allocate(), pool.allocate()
+        # c's allocation evicted a (oldest).  Touch b, then pull a back:
+        pool.get(b)
+        pool.get(a)  # miss: a was evicted
+        assert pool.stats.misses == 1
+        assert pool.stats.evictions >= 2
+
+    def test_dirty_page_written_back_on_eviction(self):
+        pager, pool = make_pool(capacity=1)
+        a = pool.allocate()
+        payload = bytes([5] * 64)
+        pool.put(a, payload)
+        b = pool.allocate()  # evicts a, which is dirty
+        assert pager.read(a) == payload
+
+    def test_flush_writes_all_dirty(self):
+        pager, pool = make_pool(capacity=4)
+        pids = [pool.allocate() for _ in range(3)]
+        for i, pid in enumerate(pids):
+            pool.put(pid, bytes([i] * 64))
+        pool.flush()
+        for i, pid in enumerate(pids):
+            assert pager.read(pid) == bytes([i] * 64)
+
+    def test_invalidate_flushes_then_misses(self):
+        pager, pool = make_pool(capacity=4)
+        pid = pool.allocate()
+        pool.put(pid, bytes([1] * 64))
+        pool.invalidate()
+        assert pool.cached_page_ids() == []
+        assert pool.get(pid) == bytes([1] * 64)
+        assert pool.stats.misses == 1
+
+
+class TestHooks:
+    def test_access_hook_sees_hits_and_misses(self):
+        events = []
+        pager = MemoryPager(page_size=64)
+        pool = BufferPool(pager, capacity=1, access_hook=lambda pid, hit: events.append(hit))
+        a = pool.allocate()
+        b = pool.allocate()  # evicts a
+        pool.get(b)  # hit
+        pool.get(a)  # miss
+        assert events == [True, False]
+
+    def test_hit_ratio(self):
+        _pager, pool = make_pool(capacity=4)
+        pid = pool.allocate()
+        for _ in range(4):
+            pool.get(pid)
+        assert pool.stats.hit_ratio == 1.0

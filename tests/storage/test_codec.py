@@ -1,0 +1,77 @@
+"""Unit tests for the row/value binary codec."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import MBR
+from repro.storage.codec import decode_row, decode_value, encode_row, encode_value
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -1, 2**40, 3.14159, -1e300, "", "hello", "ünïcødé",
+         b"", b"\x00\xff raw"],
+    )
+    def test_value_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+
+class TestComposites:
+    def test_tuple_roundtrip(self):
+        value = (1, "two", 3.0, None, (4, "five"))
+        assert decode_value(encode_value(value)) == value
+
+    def test_geometry_roundtrip(self):
+        poly = Geometry.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (2, 4), (4, 4), (4, 2)]],
+        )
+        assert decode_value(encode_value(poly)) == poly
+
+    def test_all_geometry_types_roundtrip(self):
+        geoms = [
+            Geometry.point(1, 2),
+            Geometry.linestring([(0, 0), (1, 1)]),
+            Geometry.multipoint([(0, 0), (2, 2)]),
+            Geometry.multilinestring([[(0, 0), (1, 1)], [(2, 2), (3, 3)]]),
+            Geometry.multipolygon([([(0, 0), (1, 0), (1, 1), (0, 1)], [])]),
+        ]
+        for g in geoms:
+            assert decode_value(encode_value(g)) == g
+
+    def test_mbr_roundtrip(self):
+        m = MBR(-1.5, 2.5, 3.5, 4.5)
+        assert decode_value(encode_value(m)) == m
+
+
+class TestRows:
+    def test_row_roundtrip(self):
+        row = (42, "name", Geometry.point(1, 2), None, 2.5)
+        assert decode_row(encode_row(row)) == row
+
+    def test_empty_row(self):
+        assert decode_row(encode_row(())) == ()
+
+    def test_row_width_preserved(self):
+        row = (None, None, None)
+        assert len(decode_row(encode_row(row))) == 3
+
+    def test_trailing_garbage_detected(self):
+        data = encode_row((1, 2)) + b"junk"
+        with pytest.raises(StorageError):
+            decode_row(data)
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(StorageError):
+            encode_value(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(StorageError):
+            decode_value(b"\xee")

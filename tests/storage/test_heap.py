@@ -1,0 +1,148 @@
+"""Unit tests for heap files and rowids."""
+
+import pytest
+
+from repro.errors import RowIdError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile, RowId
+from repro.storage.pager import MemoryPager
+
+
+def make_heap(page_size=256, capacity=16):
+    pool = BufferPool(MemoryPager(page_size=page_size), capacity=capacity)
+    return HeapFile(pool, name="t")
+
+
+class TestInsertRead:
+    def test_roundtrip(self):
+        heap = make_heap()
+        rid = heap.insert(b"hello")
+        assert heap.read(rid) == b"hello"
+        assert heap.row_count == 1
+
+    def test_many_records_span_pages(self):
+        heap = make_heap(page_size=128)
+        rids = [heap.insert(bytes([i % 256]) * 20) for i in range(50)]
+        assert heap.page_count > 1
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == bytes([i % 256]) * 20
+
+    def test_rowids_are_stable_and_ordered(self):
+        heap = make_heap()
+        rids = [heap.insert(b"x" * 10) for _ in range(30)]
+        assert rids == sorted(rids)
+        assert len(set(rids)) == 30
+
+    def test_empty_record(self):
+        heap = make_heap()
+        rid = heap.insert(b"")
+        assert heap.read(rid) == b""
+
+
+class TestOverflow:
+    def test_record_larger_than_page(self):
+        heap = make_heap(page_size=128)
+        big = bytes(range(256)) * 8  # 2 KiB on 128-byte pages
+        rid = heap.insert(big)
+        assert heap.read(rid) == big
+
+    def test_mixed_inline_and_overflow(self):
+        heap = make_heap(page_size=128)
+        small = heap.insert(b"small")
+        big = heap.insert(b"B" * 1000)
+        small2 = heap.insert(b"again")
+        assert heap.read(small) == b"small"
+        assert heap.read(big) == b"B" * 1000
+        assert heap.read(small2) == b"again"
+
+    def test_delete_overflow_record(self):
+        heap = make_heap(page_size=128)
+        rid = heap.insert(b"B" * 1000)
+        heap.delete(rid)
+        with pytest.raises(RowIdError):
+            heap.read(rid)
+
+
+class TestDelete:
+    def test_delete_makes_rowid_invalid(self):
+        heap = make_heap()
+        rid = heap.insert(b"gone")
+        heap.delete(rid)
+        assert heap.row_count == 0
+        with pytest.raises(RowIdError):
+            heap.read(rid)
+        with pytest.raises(RowIdError):
+            heap.delete(rid)
+
+    def test_deleted_space_reused(self):
+        heap = make_heap(page_size=128)
+        rids = [heap.insert(b"A" * 30) for _ in range(3)]
+        pages_before = heap.page_count
+        heap.delete(rids[1])
+        new_rid = heap.insert(b"B" * 30)
+        assert heap.page_count == pages_before  # no growth
+        assert heap.read(new_rid) == b"B" * 30
+
+    def test_foreign_rowid_rejected(self):
+        heap = make_heap()
+        heap.insert(b"x")
+        with pytest.raises(RowIdError):
+            heap.read(RowId(999, 0))
+        with pytest.raises(RowIdError):
+            heap.read(RowId(0, 99))
+
+
+class TestUpdate:
+    def test_update_in_place_same_size(self):
+        heap = make_heap()
+        rid = heap.insert(b"aaaa")
+        heap.update(rid, b"bbbb")
+        assert heap.read(rid) == b"bbbb"
+
+    def test_update_shrink(self):
+        heap = make_heap()
+        rid = heap.insert(b"a" * 50)
+        heap.update(rid, b"b")
+        assert heap.read(rid) == b"b"
+
+    def test_update_grow_keeps_rowid(self):
+        heap = make_heap(page_size=256)
+        rid = heap.insert(b"tiny")
+        other = heap.insert(b"neighbor")
+        heap.update(rid, b"G" * 100)
+        assert heap.read(rid) == b"G" * 100
+        assert heap.read(other) == b"neighbor"
+
+    def test_update_grow_to_overflow(self):
+        heap = make_heap(page_size=128)
+        rid = heap.insert(b"tiny")
+        heap.update(rid, b"H" * 2000)
+        assert heap.read(rid) == b"H" * 2000
+        heap.update(rid, b"back")
+        assert heap.read(rid) == b"back"
+
+
+class TestScan:
+    def test_scan_returns_live_rows_in_rowid_order(self):
+        heap = make_heap(page_size=128)
+        rids = [heap.insert(bytes([i]) * 10) for i in range(20)]
+        heap.delete(rids[5])
+        heap.delete(rids[13])
+        scanned = list(heap.scan())
+        assert [r for r, _d in scanned] == sorted(r for r, _d in scanned)
+        assert len(scanned) == 18
+        live = {rid: data for rid, data in scanned}
+        assert rids[5] not in live
+        assert live[rids[0]] == bytes([0]) * 10
+
+    def test_scan_empty_heap(self):
+        heap = make_heap()
+        assert list(heap.scan()) == []
+
+
+class TestRowIdOrdering:
+    def test_total_order(self):
+        assert RowId(0, 1) < RowId(0, 2) < RowId(1, 0)
+
+    def test_hashable(self):
+        assert len({RowId(0, 1), RowId(0, 1), RowId(1, 1)}) == 2

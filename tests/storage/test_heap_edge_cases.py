@@ -1,0 +1,81 @@
+"""Edge-case tests for the heap: boundary sizes, churn, compaction."""
+
+import random
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.pager import MemoryPager
+
+
+def make_heap(page_size=256, capacity=16):
+    return HeapFile(BufferPool(MemoryPager(page_size=page_size), capacity=capacity))
+
+
+class TestBoundarySizes:
+    def test_record_exactly_at_inline_limit(self):
+        heap = make_heap(page_size=256)
+        limit = heap._max_inline()
+        record = b"x" * limit
+        rid = heap.insert(record)
+        assert heap.read(rid) == record
+        # one byte more must spill to overflow and still round-trip
+        rid2 = heap.insert(b"y" * (limit + 1))
+        assert heap.read(rid2) == b"y" * (limit + 1)
+
+    def test_single_byte_records(self):
+        heap = make_heap(page_size=128)
+        rids = [heap.insert(bytes([i])) for i in range(200)]
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == bytes([i])
+
+    def test_overflow_chunk_boundary(self):
+        heap = make_heap(page_size=128)
+        chunk_cap = 128 - 6  # page minus overflow header
+        for n in (chunk_cap - 1, chunk_cap, chunk_cap + 1, chunk_cap * 3):
+            rid = heap.insert(b"z" * n)
+            assert heap.read(rid) == b"z" * n
+
+
+class TestChurn:
+    def test_insert_delete_reinsert_cycles(self):
+        heap = make_heap(page_size=256, capacity=8)
+        rng = random.Random(7)
+        live = {}
+        for step in range(800):
+            if live and rng.random() < 0.45:
+                rid = rng.choice(list(live))
+                assert heap.read(rid) == live.pop(rid)
+                heap.delete(rid)
+            else:
+                record = bytes([rng.randrange(256)]) * rng.randrange(1, 60)
+                rid = heap.insert(record)
+                assert rid not in live
+                live[rid] = record
+        assert heap.row_count == len(live)
+        scanned = dict(heap.scan())
+        assert scanned == live
+
+    def test_update_churn_keeps_rowids_stable(self):
+        heap = make_heap(page_size=256)
+        rng = random.Random(8)
+        rids = {heap.insert(b"init"): b"init" for _ in range(20)}
+        for _ in range(300):
+            rid = rng.choice(list(rids))
+            record = bytes([rng.randrange(256)]) * rng.randrange(1, 400)
+            heap.update(rid, record)
+            rids[rid] = record
+        for rid, expected in rids.items():
+            assert heap.read(rid) == expected
+
+    def test_page_count_stays_bounded_under_balanced_churn(self):
+        heap = make_heap(page_size=256)
+        rids = [heap.insert(b"a" * 40) for _ in range(50)]
+        baseline = heap.page_count
+        for cycle in range(10):
+            for rid in rids:
+                heap.delete(rid)
+            rids = [heap.insert(b"b" * 40) for _ in range(50)]
+        # deleted space must be reused, not leaked
+        assert heap.page_count <= baseline * 2

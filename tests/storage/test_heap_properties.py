@@ -1,0 +1,66 @@
+"""Stateful property test: the heap vs a dict model (hypothesis)."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.pager import MemoryPager
+
+records = st.binary(min_size=0, max_size=400)
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """insert/read/update/delete fuzz against a dict model.
+
+    Uses a small page size (256B) and tiny buffer pool (4 frames) so page
+    splits, overflow chains and evictions all happen constantly.
+    """
+
+    rowids = Bundle("rowids")
+
+    def __init__(self):
+        super().__init__()
+        self.heap = HeapFile(
+            BufferPool(MemoryPager(page_size=256), capacity=4)
+        )
+        self.model = {}
+
+    @rule(target=rowids, record=records)
+    def insert(self, record):
+        rowid = self.heap.insert(record)
+        assert rowid not in self.model
+        self.model[rowid] = record
+        return rowid
+
+    @rule(rowid=rowids, record=records)
+    def update(self, rowid, record):
+        if rowid in self.model:
+            self.heap.update(rowid, record)
+            self.model[rowid] = record
+
+    @rule(rowid=rowids)
+    def delete(self, rowid):
+        if rowid in self.model:
+            self.heap.delete(rowid)
+            del self.model[rowid]
+
+    @rule(rowid=rowids)
+    def read(self, rowid):
+        if rowid in self.model:
+            assert self.heap.read(rowid) == self.model[rowid]
+
+    @invariant()
+    def row_count_matches(self):
+        assert self.heap.row_count == len(self.model)
+
+    @invariant()
+    def scan_matches_model(self):
+        assert dict(self.heap.scan()) == self.model
+
+
+TestHeapStateMachine = HeapMachine.TestCase
+TestHeapStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

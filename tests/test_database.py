@@ -1,0 +1,97 @@
+"""Integration tests for the Database façade."""
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.errors import CatalogError, JoinError
+from repro.storage.pager import FilePager
+
+
+class TestDdl:
+    def test_create_and_drop_table(self):
+        db = Database()
+        db.create_table("t", [("id", "NUMBER"), ("geom", "SDO_GEOMETRY")])
+        assert db.catalog.has_table("t")
+        db.drop_table("t")
+        assert not db.catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            db.table("t")
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("t", [("id", "NUMBER")])
+        with pytest.raises(CatalogError):
+            db.create_table("T", [("id", "NUMBER")])
+
+    def test_index_requires_table(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.create_spatial_index("idx", "missing", "geom")
+
+    def test_index_metadata_recorded(self, random_rects):
+        db = Database()
+        load_geometries(db, "t", random_rects(20, seed=1))
+        db.create_spatial_index("t_idx", "t", "geom", kind="RTREE", fanout=16)
+        meta = db.catalog.index("t_idx")
+        assert meta.index_kind == "RTREE"
+        assert meta.table_name == "t"
+        assert meta.parameters["fanout"] == 16
+        assert meta.index_table_name == "t_idx_idxtab"
+
+    def test_drop_index(self, random_rects):
+        db = Database()
+        load_geometries(db, "t", random_rects(10, seed=2))
+        db.create_spatial_index("t_idx", "t", "geom")
+        db.drop_index("t_idx")
+        with pytest.raises(CatalogError):
+            db.spatial_index("t_idx")
+
+
+class TestQueryPaths:
+    def test_select_rowids_through_index(self, indexed_db):
+        window = Geometry.rectangle(10, 10, 40, 40)
+        rowids = list(indexed_db.select_rowids("shapes", "geom", "SDO_RELATE", (window, "ANYINTERACT")))
+        from repro.geometry.predicates import intersects
+
+        expected = sorted(
+            rid for rid, row in indexed_db.table("shapes").scan()
+            if intersects(row[1], window)
+        )
+        assert sorted(rowids) == expected
+
+    def test_join_requires_rtree(self, random_rects):
+        db = Database()
+        load_geometries(db, "t", random_rects(10, seed=3))
+        db.create_spatial_index("t_q", "t", "geom", kind="QUADTREE", tiling_level=4)
+        with pytest.raises(JoinError):
+            db.spatial_join("t", "geom", "t", "geom")
+
+    def test_join_requires_index(self, random_rects):
+        db = Database()
+        load_geometries(db, "t", random_rects(10, seed=4))
+        with pytest.raises(CatalogError):
+            db.spatial_join("t", "geom", "t", "geom")
+
+
+class TestFileBacked:
+    def test_database_on_file_pager(self, tmp_path, random_rects):
+        pager = FilePager(str(tmp_path / "db.pages"))
+        db = Database(pager=pager)
+        geoms = random_rects(30, seed=5)
+        load_geometries(db, "t", geoms)
+        db.create_spatial_index("t_idx", "t", "geom", kind="RTREE")
+        result = db.spatial_join("t", "geom", "t", "geom")
+        assert len(result.pairs) >= 30  # identity pairs at least
+        db.pool.flush()
+        pager.flush()
+        pager.close()
+
+    def test_rows_survive_buffer_invalidation(self, random_rects):
+        db = Database(buffer_capacity=4)  # tiny cache: constant eviction
+        geoms = random_rects(40, seed=6)
+        table = load_geometries(db, "t", geoms)
+        db.pool.invalidate()
+        rows = [row for _rid, row in table.scan()]
+        assert len(rows) == 40
+        assert rows[7][1] == geoms[7]

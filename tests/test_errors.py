@@ -1,0 +1,40 @@
+"""Sanity tests for the exception hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        exception_types = [
+            getattr(errors, name)
+            for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), Exception)
+        ]
+        assert len(exception_types) > 15
+        for exc_type in exception_types:
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_subsystem_groupings(self):
+        assert issubclass(errors.WktError, errors.GeometryError)
+        assert issubclass(errors.SdoCodecError, errors.GeometryError)
+        assert issubclass(errors.PageError, errors.StorageError)
+        assert issubclass(errors.RowIdError, errors.StorageError)
+        assert issubclass(errors.BTreeError, errors.StorageError)
+        assert issubclass(errors.SqlSyntaxError, errors.SqlError)
+        assert issubclass(errors.SqlPlanError, errors.SqlError)
+        assert issubclass(errors.SqlError, errors.EngineError)
+        assert issubclass(errors.CursorError, errors.EngineError)
+        assert issubclass(errors.TableFunctionError, errors.EngineError)
+
+    def test_single_catch_all(self):
+        """A caller can wrap the whole library with one except clause."""
+        from repro import Database
+
+        db = Database()
+        with pytest.raises(errors.ReproError):
+            db.table("missing")
+        with pytest.raises(errors.ReproError):
+            db.sql("not sql at all")

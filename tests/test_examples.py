@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; these tests import each
+one (scaled down where the module exposes size constants) and run its
+``main()``.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "city/river intersections" in out
+        assert "Aton <- Green" in out
+
+    def test_gis_county_analysis(self, capsys):
+        module = load_example("gis_county_analysis")
+        module.N_COUNTIES = 80  # scale down for test speed
+        module.main()
+        out = capsys.readouterr().out
+        assert "adjacency pairs" in out
+        assert "R-tree and quadtree agree" in out
+
+    def test_star_catalog(self, capsys):
+        module = load_example("star_catalog")
+        module.N_STARS = 300
+        module.main()
+        out = capsys.readouterr().out
+        assert "cross-match" in out
+        assert "streamed the first" in out
+
+    def test_parallel_index_build(self, capsys):
+        module = load_example("parallel_index_build")
+        module.N_POLYGONS = 200
+        module.main()
+        out = capsys.readouterr().out
+        assert "quadtree (sim s)" in out
+        assert "cost breakdown" in out
+
+    def test_data_pipeline(self, capsys):
+        load_example("data_pipeline").main()
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        assert "estimated rows" in out
+        assert "matches original" in out

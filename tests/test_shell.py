@@ -1,0 +1,79 @@
+"""Unit tests for the interactive SQL shell."""
+
+import io
+
+from repro import Database
+from repro.shell import format_result, repl, run_statement
+
+
+class TestFormatResult:
+    def test_rows_rendered_as_table(self):
+        db = Database()
+        db.sql("create table t (id number, name varchar)")
+        db.sql("insert into t values (1, 'one')")
+        text = format_result(db.sql("select id, name from t"))
+        assert "ID" in text and "NAME" in text
+        assert "one" in text
+        assert "(1 row)" in text
+
+    def test_message_passthrough(self):
+        db = Database()
+        text = format_result(db.sql("create table t (id number)"))
+        assert text == "table t created"
+
+    def test_null_rendering(self):
+        db = Database()
+        db.sql("create table t (id number, geom sdo_geometry)")
+        db.table("t").insert((1, None))
+        text = format_result(db.sql("select geom from t"))
+        assert "NULL" in text
+
+
+class TestRunStatement:
+    def test_error_reported_not_raised(self):
+        db = Database()
+        out = run_statement(db, "select * from missing_table")
+        assert out.startswith("ERROR:")
+
+    def test_syntax_error_reported(self):
+        db = Database()
+        out = run_statement(db, "selekt things")
+        assert out.startswith("ERROR:")
+
+
+class TestRepl:
+    def run_script(self, script: str):
+        stdin = io.StringIO(script)
+        stdout = io.StringIO()
+        db = repl(stdin=stdin, stdout=stdout, interactive=False)
+        return db, stdout.getvalue()
+
+    def test_full_session(self):
+        script = (
+            "create table t (id number, geom sdo_geometry);\n"
+            "insert into t values (1, sdo_geometry('POINT (1 2)'));\n"
+            "select count(*) from t;\n"
+            "quit\n"
+        )
+        db, out = self.run_script(script)
+        assert "table t created" in out
+        assert "1 row inserted" in out
+        assert db.table("t").row_count == 1
+
+    def test_multiline_statement(self):
+        script = (
+            "create table t\n"
+            "  (id number);\n"
+            "exit\n"
+        )
+        _db, out = self.run_script(script)
+        assert "table t created" in out
+
+    def test_errors_do_not_kill_session(self):
+        script = (
+            "bogus statement;\n"
+            "create table t (id number);\n"
+        )
+        db, out = self.run_script(script)
+        assert "ERROR:" in out
+        assert db.catalog.has_table("t")
