@@ -33,6 +33,11 @@ def run_table1(workload):
                 "nested_s": nested.makespan_seconds,
                 "index_s": index.makespan_seconds,
                 "ratio": nested.makespan_seconds / index.makespan_seconds,
+                # raw operation counters (JSON sidecar only, not tabulated)
+                "ops": {
+                    "index": dict(index.run.combined_meter().counts),
+                    "nested": dict(nested.run.combined_meter().counts),
+                },
             }
         )
     return rows

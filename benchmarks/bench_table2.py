@@ -38,6 +38,12 @@ def run_table2(workload):
                 "i2_s": i2.makespan_seconds,
                 "nested_over_i1": nested.makespan_seconds / i1.makespan_seconds,
                 "i1_over_i2": i1.makespan_seconds / i2.makespan_seconds,
+                # raw operation counters (JSON sidecar only, not tabulated)
+                "ops": {
+                    "i1": dict(i1.run.combined_meter().counts),
+                    "i2": dict(i2.run.combined_meter().counts),
+                    "nested": dict(nested.run.combined_meter().counts),
+                },
             }
         )
     return rows

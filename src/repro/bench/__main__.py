@@ -1,12 +1,19 @@
 """Standalone benchmark runner: ``python -m repro.bench [experiment ...]``.
 
 Runs the paper-table regenerators without pytest and prints each table.
-Valid experiment names: table1 table2 table3 figure1 figure2 (default: all).
-Honours ``REPRO_BENCH_PROFILE=small|paper``.
+Valid experiment names: table1 table2 table3 figure1 figure2
+ablation_sweep (default: all).  Honours ``REPRO_BENCH_PROFILE=small|paper``.
+
+Besides the human-readable table, each experiment writes a
+machine-readable ``BENCH_<name>.json`` next to the rendered tables
+(simulated seconds plus raw operation counters per row) so CI can diff
+benchmark output across commits.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
@@ -16,15 +23,21 @@ from repro.bench.workloads import (
     StarsWorkload,
     profile,
 )
-from repro.bench.reporting import ExperimentTable
+from repro.bench.reporting import ExperimentTable, results_dir
 
-EXPERIMENTS = ("table1", "table2", "table3", "figure1", "figure2")
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "figure1",
+    "figure2",
+    "ablation_sweep",
+)
 
 
 def _load_bench_module(name: str):
     """Import the bench module by path (benchmarks/ is not a package)."""
     import importlib.util
-    import os
 
     here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
     path = os.path.join(here, "benchmarks", f"bench_{name}.py")
@@ -33,6 +46,21 @@ def _load_bench_module(name: str):
     assert spec.loader is not None
     spec.loader.exec_module(module)
     return module
+
+
+def _write_json(name: str, prof: str, elapsed: float, rows) -> str:
+    """Persist one experiment's rows as ``BENCH_<name>.json``."""
+    path = os.path.join(results_dir(), f"BENCH_{name}.json")
+    payload = {
+        "experiment": name,
+        "profile": prof,
+        "driver_wall_seconds": round(elapsed, 3),
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return path
 
 
 def main(argv) -> int:
@@ -57,19 +85,34 @@ def main(argv) -> int:
         elif name == "table2":
             stars = stars or StarsWorkload.build(prof)
             rows = module.run_table2(stars)
+        elif name == "ablation_sweep":
+            counties = counties or CountiesWorkload.build(prof)
+            stars = stars or StarsWorkload.build(prof)
+            rows = module.run_ablation_sweep(counties, stars)
         else:  # table3 / figure2
             blockgroups = blockgroups or BlockgroupsWorkload.build(prof)
             runner = getattr(module, f"run_{name}")
             rows = runner(blockgroups)
         elapsed = time.perf_counter() - started
+        # Nested values (op-counter dicts) go to the JSON sidecar only;
+        # the printed table keeps the scalar columns.
+        scalar_cols = (
+            sorted(
+                k for k, v in rows[0].items() if not isinstance(v, (dict, list))
+            )
+            if rows
+            else ["(empty)"]
+        )
         table = ExperimentTable(
             experiment=f"{name}_cli",
             title=f"{name} (driver wall time {elapsed:.1f}s)",
-            columns=sorted(rows[0].keys()) if rows else ["(empty)"],
+            columns=scalar_cols,
         )
         for row in rows:
             table.add_row(*(row[k] for k in table.columns))
         table.emit()
+        json_path = _write_json(name, prof, elapsed, rows)
+        print(f"wrote {json_path}")
     return 0
 
 

@@ -7,6 +7,14 @@ single table at a time.  This module is that baseline, implemented
 *through* the framework's :meth:`DomainIndex.fetch` so it pays exactly the
 costs the paper attributes to it: a root-to-leaf descent per outer row and
 no sharing of secondary-filter work across probes.
+
+Each probe's window search runs over the R-tree's flat-array node layout
+(:meth:`RTreeNode.coords`), so the baseline benefits from the cheaper
+per-comparison MBR tests too — the charged work units (one ``mbr_test``
+per entry per visited node, plus the fixed ``index_probe`` cost) are
+unchanged, keeping the nested-loop's simulated numbers comparable across
+releases.  What it can never share is work *between* probes, which is the
+paper's point.
 """
 
 from __future__ import annotations

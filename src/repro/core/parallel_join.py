@@ -25,6 +25,7 @@ from repro.engine.cursor import Cursor, ListCursor, PartitionMethod
 from repro.engine.parallel import ParallelExecutor, ParallelRun, SerialExecutor
 from repro.engine.table import Table
 from repro.engine.table_function import flatten_run, run_parallel
+from repro.index.rtree.join import JoinStrategy
 from repro.index.rtree.rtree import RTree
 from repro.core.secondary_filter import FetchOrder, JoinPredicate
 from repro.core.spatial_join import (
@@ -70,8 +71,14 @@ def spatial_join(
     fetch_order: FetchOrder = FetchOrder.SORTED,
     executor: Optional[ParallelExecutor] = None,
     use_interior: bool = False,
+    strategy: JoinStrategy = JoinStrategy.SWEEP,
+    use_flat_arrays: bool = True,
 ) -> JoinResult:
-    """Serial (single input stream) index-based spatial join."""
+    """Serial (single input stream) index-based spatial join.
+
+    ``strategy`` selects the primary-filter pairing policy (plane sweep by
+    default; ``JoinStrategy.NESTED`` restores the naive double loop).
+    """
     executor = executor or SerialExecutor()
 
     def factory(_cursor: Cursor) -> SpatialJoinFunction:
@@ -86,6 +93,8 @@ def spatial_join(
             candidate_array_size=candidate_array_size,
             fetch_order=fetch_order,
             use_interior=use_interior,
+            strategy=strategy,
+            use_flat_arrays=use_flat_arrays,
         )
 
     run = run_parallel(factory, ListCursor([()]), SerialExecutor(executor.cost_model))
@@ -110,6 +119,8 @@ def parallel_spatial_join(
     descent_levels: Optional[Tuple[int, int]] = None,
     min_pairs_per_slave: int = 2,
     use_interior: bool = False,
+    strategy: JoinStrategy = JoinStrategy.SWEEP,
+    use_flat_arrays: bool = True,
 ) -> JoinResult:
     """Parallel spatial join over subtree-pair decomposition.
 
@@ -146,6 +157,8 @@ def parallel_spatial_join(
             candidate_array_size=candidate_array_size,
             fetch_order=fetch_order,
             use_interior=use_interior,
+            strategy=strategy,
+            use_flat_arrays=use_flat_arrays,
         )
 
     run = run_parallel(

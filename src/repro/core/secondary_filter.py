@@ -16,6 +16,7 @@ through exactly this code path).
 from __future__ import annotations
 
 import enum
+import math
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -25,6 +26,7 @@ from repro.engine.parallel import WorkerContext
 from repro.engine.table import Table
 from repro.geometry.distance import within_distance
 from repro.geometry.geometry import Geometry
+from repro.geometry.interior import interior_rectangle
 from repro.geometry.predicates import relate
 from repro.index.rtree.join import CandidatePair
 from repro.storage.heap import RowId
@@ -117,6 +119,7 @@ class SecondaryFilter:
         cache_capacity: int = 4096,
         rng_seed: int = 0,
         use_interior: bool = False,
+        interior_cache_capacity: Optional[int] = None,
     ):
         self.table_a = table_a
         self.table_b = table_b
@@ -132,7 +135,16 @@ class SecondaryFilter:
         # only sound for plain intersection semantics.
         self.use_interior = use_interior and self._is_intersect_predicate()
         self.fast_accepts = 0
-        self._interior: dict = {}
+        # Interior rectangles get the same LRU discipline and capacity knob
+        # as the geometry cache (defaulting to the same capacity) so one
+        # long join cannot grow the cache without bound.
+        self._interior_capacity = max(
+            1,
+            cache_capacity
+            if interior_cache_capacity is None
+            else interior_cache_capacity,
+        )
+        self._interior: "OrderedDict[Tuple[str, RowId], object]" = OrderedDict()
 
     def _is_intersect_predicate(self) -> bool:
         return self.predicate.distance == 0.0 and self.predicate.mask.upper() in (
@@ -143,15 +155,22 @@ class SecondaryFilter:
     def _interior_of(self, table: Table, rowid: RowId, column_index: int, ctx):
         """Interior rectangle for a row (cached; the real system stores
         these in the spatial index at creation time)."""
-        from repro.geometry.interior import interior_rectangle
-
         key = (table.name, rowid)
         rect = self._interior.get(key)
         if rect is None:
             geom = self.cache.fetch(table, rowid, column_index, ctx)
             rect = interior_rectangle(geom)
             self._interior[key] = rect
+            while len(self._interior) > self._interior_capacity:
+                self._interior.popitem(last=False)
+        else:
+            self._interior.move_to_end(key)
         return rect
+
+    def clear_caches(self) -> None:
+        """Release both the geometry and interior-rectangle caches."""
+        self.cache.clear()
+        self._interior.clear()
 
     def order_candidates(self, candidates: List[CandidatePair]) -> List[CandidatePair]:
         if self.fetch_order is FetchOrder.SORTED:
@@ -173,8 +192,6 @@ class SecondaryFilter:
             # Ordering the array is itself work (paper §4.2 sorts it).
             n = len(candidates)
             if n > 1 and self.fetch_order is FetchOrder.SORTED:
-                import math
-
                 ctx.charge("sort_per_item", n * math.log2(n))
         for rid_a, rid_b, mbr_a, mbr_b in self.order_candidates(candidates):
             self.candidates_seen += 1

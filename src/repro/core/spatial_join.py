@@ -22,15 +22,16 @@ Evaluation is the start/fetch/close protocol of §4.2:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.errors import JoinError
 from repro.engine.cursor import Cursor
 from repro.engine.parallel import WorkerContext
 from repro.engine.table_function import TableFunction
 from repro.engine.types import Row
-from repro.index.rtree.join import RTreeJoinCursor
+from repro.index.rtree.join import JoinStrategy, RTreeJoinCursor
 from repro.index.rtree.node import RTreeNode
 from repro.index.rtree.rtree import RTree
 from repro.core.secondary_filter import (
@@ -79,6 +80,8 @@ class SpatialJoinFunction(TableFunction):
         fetch_order: FetchOrder = FetchOrder.SORTED,
         cache_capacity: int = 4096,
         use_interior: bool = False,
+        strategy: JoinStrategy = JoinStrategy.SWEEP,
+        use_flat_arrays: bool = True,
     ):
         super().__init__()
         if candidate_array_size < 1:
@@ -87,6 +90,8 @@ class SpatialJoinFunction(TableFunction):
             )
         self.predicate = predicate
         self.candidate_array_size = candidate_array_size
+        self.strategy = strategy
+        self.use_flat_arrays = use_flat_arrays
         self._tree_a = tree_a
         self._tree_b = tree_b
         self._pair_cursor = subtree_pair_cursor
@@ -101,7 +106,7 @@ class SpatialJoinFunction(TableFunction):
             use_interior=use_interior,
         )
         self._join: Optional[RTreeJoinCursor] = None
-        self._out_buffer: List[Tuple] = []
+        self._out_buffer: Deque[Tuple] = deque()
         self.stats = JoinStats()
 
     # ------------------------------------------------------------------
@@ -123,15 +128,21 @@ class SpatialJoinFunction(TableFunction):
                 pairs = []
             else:
                 pairs = [(self._tree_a.root, self._tree_b.root)]
-        self._join = RTreeJoinCursor(pairs, distance=self.predicate.distance)
+        self._join = RTreeJoinCursor(
+            pairs,
+            distance=self.predicate.distance,
+            strategy=self.strategy,
+            use_flat_arrays=self.use_flat_arrays,
+        )
 
     def _fetch(self, ctx: WorkerContext, max_rows: int) -> List[Row]:
         assert self._join is not None
         self.stats.fetch_calls += 1
         out: List[Row] = []
-        # Serve leftovers from the previous candidate array first.
+        # Serve leftovers from the previous candidate array first (FIFO,
+        # preserving the secondary filter's emission order across fetches).
         while self._out_buffer and len(out) < max_rows:
-            out.append(self._out_buffer.pop())
+            out.append(self._out_buffer.popleft())
         while len(out) < max_rows:
             # Fill the bounded candidate array by resuming the index join.
             candidates = self._join.next_candidates(self.candidate_array_size, ctx)
@@ -152,5 +163,5 @@ class SpatialJoinFunction(TableFunction):
     def _close(self, ctx: WorkerContext) -> None:
         # "memory resources are cleaned up in the subsequent close call"
         self._join = None
-        self._out_buffer = []
-        self._filter.cache.clear()
+        self._out_buffer = deque()
+        self._filter.clear_caches()

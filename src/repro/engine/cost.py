@@ -39,6 +39,11 @@ class CostModel:
     rtree_node_visit: float = 6e-6
     # filters
     mbr_test: float = 4e-7  # one rectangle-rectangle comparison
+    sweep_sort_per_item: float = 2.5e-7  # one comparison in the plane
+    # sweep's min-x sort — cheaper than mbr_test because it orders packed
+    # floats from the flat-array node layout, not full rectangle pairs
+    sweep_pair_emit: float = 2e-7  # emitting one interacting pair found
+    # by the sweep (bookkeeping that the nested loop folds into its test)
     geom_fetch_per_vertex: float = 1.5e-6  # decode a fetched geometry
     geom_fetch_base: float = 2e-4  # cache-missing geometry fetch (page read)
     exact_test_per_vertex: float = 3e-6  # secondary filter, per vertex visited

@@ -15,7 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.errors import IndexBuildError
 from repro.engine.parallel import ParallelExecutor, WorkerContext
 from repro.geometry.mbr import MBR, union_all
-from repro.index.rtree.node import Entry, RTreeNode
+from repro.index.rtree.node import Entry, RTreeNode, entry_coords
 from repro.index.rtree.rtree import DEFAULT_FANOUT, RTree
 from repro.storage.heap import RowId
 
@@ -82,12 +82,21 @@ def _str_level(
     # Round slice size up to a node multiple so slices cut on node edges.
     slice_size = math.ceil(slice_size / node_cap) * node_cap
 
-    by_x = sorted(entries, key=lambda e: e.mbr.center[0])
+    # Sort index vectors over the flat-array coordinate layout: the STR
+    # center keys (min+max, monotone in the center) come from packed float
+    # vectors instead of per-entry MBR.center property calls.
+    x0, y0, x1, y1 = entry_coords(entries)
+    by_x = sorted(range(n), key=lambda i: x0[i] + x1[i])
     nodes: List[RTreeNode] = []
     for s in range(0, n, slice_size):
-        strip = sorted(by_x[s : s + slice_size], key=lambda e: e.mbr.center[1])
+        strip = sorted(by_x[s : s + slice_size], key=lambda i: y0[i] + y1[i])
         for t in range(0, len(strip), node_cap):
-            nodes.append(RTreeNode(level=level, entries=strip[t : t + node_cap]))
+            nodes.append(
+                RTreeNode(
+                    level=level,
+                    entries=[entries[i] for i in strip[t : t + node_cap]],
+                )
+            )
     return rebalance_level(nodes, min_entries=min_entries, fanout=fanout)
 
 
@@ -111,10 +120,13 @@ def rebalance_level(
             combined = prev.entries + node.entries
             if len(combined) <= fanout:
                 prev.entries = combined
+                prev.invalidate_coords()
             else:
                 split = len(combined) // 2
                 prev.entries = combined[:split]
+                prev.invalidate_coords()
                 node.entries = combined[split:]
+                node.invalidate_coords()
                 result.append(node)
         else:
             result.append(node)
@@ -124,11 +136,14 @@ def rebalance_level(
         combined = first.entries + second.entries
         if len(combined) <= fanout:
             second.entries = combined
+            second.invalidate_coords()
             result.pop(0)
         else:
             split = len(combined) // 2
             first.entries = combined[:split]
+            first.invalidate_coords()
             second.entries = combined[split:]
+            second.invalidate_coords()
     return result
 
 

@@ -5,16 +5,49 @@ Nodes hold entries; each entry pairs an MBR with either a child node
 the leaf level, so a node's ``level`` equals the height of the subtree it
 roots minus one — the quantity the ``subtree_root(index, level)`` descent
 works in.
+
+Flat-array layout: alongside its entry list every node can materialise a
+struct-of-arrays view of the entry MBRs — four parallel ``array('d')``
+coordinate vectors (min_x, min_y, max_x, max_y) — via :meth:`RTreeNode.
+coords`.  Batched MBR comparisons (window search, the spatial-join plane
+sweep, STR packing) index those float vectors directly instead of chasing
+``Entry -> MBR -> attribute`` pointer chains, which is the hot-path layout
+SIMD-style R-tree engines use.  The view is cached and must be dropped with
+:meth:`RTreeNode.invalidate_coords` whenever entries (or their MBRs) are
+mutated in place; a length check catches forgotten append/pop sites as a
+safety net.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Union
+from array import array
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.geometry.mbr import EMPTY_MBR, MBR, union_all
+from repro.geometry.mbr import EMPTY_MBR, MBR
 from repro.storage.heap import RowId
 
-__all__ = ["Entry", "RTreeNode"]
+__all__ = ["Entry", "RTreeNode", "NodeCoords", "entry_coords"]
+
+#: Struct-of-arrays MBR view: (min_x, min_y, max_x, max_y) vectors, each
+#: parallel to the owning node's entry list.
+NodeCoords = Tuple[array, array, array, array]
+
+
+def entry_coords(entries: Sequence["Entry"]) -> NodeCoords:
+    """Build the flat-array coordinate view of an entry sequence."""
+    min_x = array("d")
+    min_y = array("d")
+    max_x = array("d")
+    max_y = array("d")
+    ax, ay = min_x.append, min_y.append
+    bx, by = max_x.append, max_y.append
+    for e in entries:
+        m = e.mbr
+        ax(m.min_x)
+        ay(m.min_y)
+        bx(m.max_x)
+        by(m.max_y)
+    return min_x, min_y, max_x, max_y
 
 
 class Entry:
@@ -44,7 +77,7 @@ class Entry:
 class RTreeNode:
     """A node at a given level (0 = leaf)."""
 
-    __slots__ = ("level", "entries", "node_id")
+    __slots__ = ("level", "entries", "node_id", "_coords")
 
     _next_id = 0
 
@@ -52,16 +85,32 @@ class RTreeNode:
         self.level = level
         self.entries: List[Entry] = entries if entries is not None else []
         self.node_id = RTreeNode._next_id
+        self._coords: Optional[NodeCoords] = None
         RTreeNode._next_id += 1
 
     @property
     def is_leaf(self) -> bool:
         return self.level == 0
 
+    def coords(self) -> NodeCoords:
+        """Cached flat-array (min_x, min_y, max_x, max_y) view of the entries."""
+        cached = self._coords
+        if cached is None or len(cached[0]) != len(self.entries):
+            cached = entry_coords(self.entries)
+            self._coords = cached
+        return cached
+
+    def invalidate_coords(self) -> None:
+        """Drop the cached flat-array view after an in-place mutation."""
+        self._coords = None
+
     @property
     def mbr(self) -> MBR:
         """Tight bounding box over the node's entries (computed on demand)."""
-        return union_all([e.mbr for e in self.entries])
+        if not self.entries:
+            return EMPTY_MBR
+        min_x, min_y, max_x, max_y = self.coords()
+        return MBR(min(min_x), min(min_y), max(max_x), max(max_y))
 
     def __len__(self) -> int:
         return len(self.entries)

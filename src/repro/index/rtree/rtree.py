@@ -110,12 +110,14 @@ class RTree:
             ctx.charge("rtree_node_visit")
         if node.level == level:
             node.entries.append(entry)
+            node.invalidate_coords()
             if len(node.entries) > self.fanout:
                 return self._split(node, ctx)
             return None
         child_entry = self._choose_subtree(node, entry.mbr, ctx)
         split = self._insert_at(child_entry.child, entry, level, ctx)  # type: ignore[arg-type]
         child_entry.mbr = child_entry.child.mbr  # type: ignore[union-attr]
+        node.invalidate_coords()  # entry MBR changed in place
         if split is not None:
             node.entries.append(Entry(split.mbr, child=split))
             if len(node.entries) > self.fanout:
@@ -188,6 +190,7 @@ class RTree:
                 mbr_b = mbr_b.union(chosen.mbr)
 
         node.entries = group_a
+        node.invalidate_coords()
         return RTreeNode(level=node.level, entries=group_b)
 
     @staticmethod
@@ -262,6 +265,7 @@ class RTree:
                     ctx.charge("mbr_test")
                 if entry.rowid == rowid and entry.mbr == mbr:
                     node.entries.pop(i)
+                    node.invalidate_coords()
                     return True
             return False
         for i, entry in enumerate(node.entries):
@@ -278,6 +282,7 @@ class RTree:
                     orphans.extend(child.entries)
                 else:
                     entry.mbr = child.mbr
+                node.invalidate_coords()
                 return True
         return False
 
@@ -287,20 +292,35 @@ class RTree:
     def search(
         self, query: MBR, ctx: Optional[WorkerContext] = None
     ) -> Iterator[Tuple[MBR, RowId]]:
-        """Yield (mbr, rowid) for leaf entries whose MBR intersects ``query``."""
-        if self._size == 0:
+        """Yield (mbr, rowid) for leaf entries whose MBR intersects ``query``.
+
+        Interaction tests run against each node's flat-array coordinate
+        vectors (struct-of-arrays layout) so one window probe compares raw
+        floats instead of chasing per-entry MBR objects.
+        """
+        if self._size == 0 or query.is_empty:
             return
+        q_lo_x, q_lo_y, q_hi_x, q_hi_y = query.as_tuple()
         stack = [self.root]
         while stack:
             node = stack.pop()
             if ctx is not None:
                 ctx.charge("rtree_node_visit")
-            for entry in node.entries:
-                if ctx is not None:
-                    ctx.charge("mbr_test")
-                if not entry.mbr.intersects(query):
+            entries = node.entries
+            x0, y0, x1, y1 = node.coords()
+            if ctx is not None:
+                ctx.charge("mbr_test", len(entries))
+            is_leaf = node.is_leaf
+            for i in range(len(entries)):
+                if (
+                    x0[i] > q_hi_x
+                    or q_lo_x > x1[i]
+                    or y0[i] > q_hi_y
+                    or q_lo_y > y1[i]
+                ):
                     continue
-                if node.is_leaf:
+                entry = entries[i]
+                if is_leaf:
                     assert entry.rowid is not None
                     yield entry.mbr, entry.rowid
                 else:

@@ -130,3 +130,23 @@ class TestSecondaryFilter:
         cands = [(rid, rid, g.mbr, g.mbr) for rid, g in rows]
         f = self.make_filter(filter_db)
         assert len(f.process(cands)) == len(cands)
+
+    def test_interior_cache_is_bounded(self, filter_db):
+        """The interior-rectangle cache obeys its LRU capacity knob."""
+        f = SecondaryFilter(
+            filter_db.table("t"), "geom", filter_db.table("t"), "geom",
+            JoinPredicate(), use_interior=True, interior_cache_capacity=7,
+        )
+        assert f.use_interior
+        f.process(candidates_of(filter_db))
+        assert 0 < len(f._interior) <= 7
+        f.clear_caches()
+        assert len(f._interior) == 0
+        assert len(f.cache._entries) == 0
+
+    def test_interior_capacity_defaults_to_geometry_capacity(self, filter_db):
+        f = SecondaryFilter(
+            filter_db.table("t"), "geom", filter_db.table("t"), "geom",
+            JoinPredicate(), cache_capacity=13, use_interior=True,
+        )
+        assert f._interior_capacity == 13
