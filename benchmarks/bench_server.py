@@ -1,0 +1,187 @@
+"""Query-service benchmark: wire-join smoke test + concurrency sweep.
+
+Standalone (CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py
+
+Two parts:
+
+1. **Smoke** — a paged ``spatial_join`` over the wire must return exactly
+   the pairs (values *and* order) of the in-process
+   ``Database.spatial_join``; the run aborts if it does not.
+2. **Sweep** — 1 / 4 / 16 concurrent clients each page window-query
+   sessions against one server; reports throughput (sessions/s) and
+   p50/p99 session latency, and writes ``BENCH_server.json`` next to the
+   other benchmark sidecars.
+
+The sweep measures the *service* (paging, admission, thread bridge), not
+the spatial kernels — the per-query work is deliberately small so the
+concurrency effects dominate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import threading
+import time
+
+from repro import Database, Geometry
+from repro.bench.reporting import ExperimentTable, results_dir
+from repro.datasets import load_geometries
+from repro.geometry.wkt import to_wkt
+from repro.server import BackgroundServer, QueryClient
+
+CONCURRENCIES = (1, 4, 16)
+TOTAL_SESSIONS = 96  # split across the clients of each sweep point
+TABLE_ROWS = 400
+PAGE = 64
+
+
+def build_db() -> Database:
+    rng = random.Random(1234)
+    geoms = []
+    for _ in range(TABLE_ROWS):
+        x = rng.uniform(0, 96)
+        y = rng.uniform(0, 96)
+        geoms.append(
+            Geometry.rectangle(
+                x, y, x + rng.uniform(0.8, 4.0), y + rng.uniform(0.8, 4.0)
+            )
+        )
+    db = Database()
+    load_geometries(db, "shapes", geoms)
+    load_geometries(db, "probes", geoms[: TABLE_ROWS // 2])
+    db.create_spatial_index("shapes_idx", "shapes", "geom", kind="RTREE", fanout=8)
+    db.create_spatial_index("probes_idx", "probes", "geom", kind="RTREE", fanout=8)
+    return db
+
+
+def smoke_wire_join(db: Database, port: int) -> int:
+    """Assert the paged wire join is byte-identical to the in-process one."""
+    want = [
+        ((ra.page, ra.slot), (rb.page, rb.slot))
+        for ra, rb in db.spatial_join("shapes", "geom", "probes", "geom").pairs
+    ]
+    with QueryClient(port=port) as client:
+        session = client.start(
+            "spatial_join",
+            {
+                "table_a": "shapes",
+                "column_a": "geom",
+                "table_b": "probes",
+                "column_b": "geom",
+            },
+        )
+        got = [
+            ((a[0], a[1]), (b[0], b[1]))
+            for a, b in session.rows(page=PAGE)
+        ]
+    if got != want:
+        raise AssertionError(
+            f"wire join diverged from in-process join: "
+            f"{len(got)} vs {len(want)} pairs"
+        )
+    return len(got)
+
+
+def _client_worker(port, n_sessions, seed, latencies, errors):
+    rng = random.Random(seed)
+    try:
+        with QueryClient(port=port) as client:
+            for _ in range(n_sessions):
+                x = rng.uniform(0, 80)
+                y = rng.uniform(0, 80)
+                window = Geometry.rectangle(x, y, x + 16, y + 16)
+                started = time.perf_counter()
+                session = client.start(
+                    "window",
+                    {"table": "shapes", "column": "geom",
+                     "wkt": to_wkt(window)},
+                )
+                list(session.rows(page=PAGE))
+                latencies.append(time.perf_counter() - started)
+    except Exception as exc:  # noqa: BLE001 - reported by the driver
+        errors.append(exc)
+
+
+def sweep_point(port: int, concurrency: int) -> dict:
+    """Run TOTAL_SESSIONS window sessions across `concurrency` clients."""
+    per_client = TOTAL_SESSIONS // concurrency
+    latencies: list = []
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(port, per_client, 1000 + i, latencies, errors),
+        )
+        for i in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise AssertionError(f"client errors during sweep: {errors[:3]}")
+    done = sorted(latencies)
+    pct = lambda p: done[min(len(done) - 1, int(p / 100.0 * len(done)))]  # noqa: E731
+    return {
+        "clients": concurrency,
+        "sessions": len(done),
+        "throughput_per_s": len(done) / wall,
+        "p50_ms": pct(50) * 1000.0,
+        "p99_ms": pct(99) * 1000.0,
+        "wall_seconds": wall,
+    }
+
+
+def main() -> int:
+    db = build_db()
+    started = time.perf_counter()
+    with BackgroundServer(db, max_inflight=64, max_sessions=128) as handle:
+        pairs = smoke_wire_join(db, handle.port)
+        print(f"smoke: paged wire join == in-process join ({pairs} pairs)")
+
+        rows = [sweep_point(handle.port, c) for c in CONCURRENCIES]
+
+        # one stats probe so the sidecar records server-side counters too
+        with QueryClient(port=handle.port) as client:
+            stats = client.stats()
+    elapsed = time.perf_counter() - started
+
+    table = ExperimentTable(
+        experiment="server",
+        title="Query service throughput (window sessions, paged fetch)",
+        columns=["clients", "sessions", "sessions/s", "p50 ms", "p99 ms"],
+        paper_note=(
+            "no paper counterpart: service-layer benchmark for the wire "
+            "start/fetch/close protocol (ODCITable on a socket)"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row["clients"], row["sessions"], row["throughput_per_s"],
+            row["p50_ms"], row["p99_ms"],
+        )
+    table.emit()
+
+    path = os.path.join(results_dir(), "BENCH_server.json")
+    payload = {
+        "experiment": "server",
+        "profile": "smoke",
+        "driver_wall_seconds": round(elapsed, 3),
+        "rows": rows + [{"join_smoke_pairs": pairs, "server_stats": stats}],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

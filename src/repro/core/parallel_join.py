@@ -35,7 +35,56 @@ from repro.core.spatial_join import (
 from repro.core.subtree import pick_descent_level, subtree_pairs
 from repro.storage.heap import RowId
 
-__all__ = ["JoinResult", "spatial_join", "parallel_spatial_join"]
+__all__ = [
+    "JoinResult",
+    "SpatialJoinFactory",
+    "spatial_join",
+    "parallel_spatial_join",
+]
+
+
+@dataclass
+class SpatialJoinFactory:
+    """Picklable factory for :class:`SpatialJoinFunction` instances.
+
+    ``run_parallel`` wraps each cursor partition in a
+    :class:`~repro.engine.table_function.PartitionTask` holding this
+    factory; keeping it a module-level class (instead of a closure) keeps
+    those tasks pickling-safe for process-pool execution.  With
+    ``use_pair_cursor=True`` each instance consumes its partition of the
+    subtree-pair cursor (§4.1); otherwise instances join the full trees.
+    """
+
+    table_a: Table
+    column_a: str
+    tree_a: RTree
+    table_b: Table
+    column_b: str
+    tree_b: RTree
+    predicate: JoinPredicate
+    candidate_array_size: int = DEFAULT_CANDIDATE_ARRAY_SIZE
+    fetch_order: FetchOrder = FetchOrder.SORTED
+    use_interior: bool = False
+    strategy: JoinStrategy = JoinStrategy.SWEEP
+    use_flat_arrays: bool = True
+    use_pair_cursor: bool = False
+
+    def __call__(self, cursor: Cursor) -> SpatialJoinFunction:
+        return SpatialJoinFunction(
+            self.table_a,
+            self.column_a,
+            self.tree_a,
+            self.table_b,
+            self.column_b,
+            self.tree_b,
+            predicate=self.predicate,
+            subtree_pair_cursor=cursor if self.use_pair_cursor else None,
+            candidate_array_size=self.candidate_array_size,
+            fetch_order=self.fetch_order,
+            use_interior=self.use_interior,
+            strategy=self.strategy,
+            use_flat_arrays=self.use_flat_arrays,
+        )
 
 
 @dataclass
@@ -81,21 +130,21 @@ def spatial_join(
     """
     executor = executor or SerialExecutor()
 
-    def factory(_cursor: Cursor) -> SpatialJoinFunction:
-        return SpatialJoinFunction(
-            table_a,
-            column_a,
-            tree_a,
-            table_b,
-            column_b,
-            tree_b,
-            predicate=predicate,
-            candidate_array_size=candidate_array_size,
-            fetch_order=fetch_order,
-            use_interior=use_interior,
-            strategy=strategy,
-            use_flat_arrays=use_flat_arrays,
-        )
+    factory = SpatialJoinFactory(
+        table_a,
+        column_a,
+        tree_a,
+        table_b,
+        column_b,
+        tree_b,
+        predicate=predicate,
+        candidate_array_size=candidate_array_size,
+        fetch_order=fetch_order,
+        use_interior=use_interior,
+        strategy=strategy,
+        use_flat_arrays=use_flat_arrays,
+        use_pair_cursor=False,
+    )
 
     run = run_parallel(factory, ListCursor([()]), SerialExecutor(executor.cost_model))
     return JoinResult(
@@ -144,22 +193,21 @@ def parallel_spatial_join(
     pairs = subtree_pairs(tree_a, tree_b, level_a, level_b)
     pair_rows = [(a, b) for a, b in pairs]
 
-    def factory(cursor: Cursor) -> SpatialJoinFunction:
-        return SpatialJoinFunction(
-            table_a,
-            column_a,
-            tree_a,
-            table_b,
-            column_b,
-            tree_b,
-            predicate=predicate,
-            subtree_pair_cursor=cursor,
-            candidate_array_size=candidate_array_size,
-            fetch_order=fetch_order,
-            use_interior=use_interior,
-            strategy=strategy,
-            use_flat_arrays=use_flat_arrays,
-        )
+    factory = SpatialJoinFactory(
+        table_a,
+        column_a,
+        tree_a,
+        table_b,
+        column_b,
+        tree_b,
+        predicate=predicate,
+        candidate_array_size=candidate_array_size,
+        fetch_order=fetch_order,
+        use_interior=use_interior,
+        strategy=strategy,
+        use_flat_arrays=use_flat_arrays,
+        use_pair_cursor=True,
+    )
 
     run = run_parallel(
         factory, ListCursor(pair_rows), executor, method=PartitionMethod.ANY

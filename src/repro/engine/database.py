@@ -107,14 +107,17 @@ class Database:
         kind: str = "RTREE",
         parallel: int = 1,
         use_threads: bool = False,
+        use_processes: bool = False,
         maintain: bool = True,
         **parameters: Any,
     ) -> Tuple[DomainIndex, "BuildReportLike"]:
         """Create a spatial index, optionally in parallel.
 
         ``parallel`` is the paper's PARALLEL clause degree; degree > 1 runs
-        the table-function build paths of §5.  ``maintain=True`` hooks the
-        index to base-table DML.  Returns ``(index, build_report)``.
+        the table-function build paths of §5 (on simulated workers by
+        default, real threads with ``use_threads``, real slave processes
+        with ``use_processes``).  ``maintain=True`` hooks the index to
+        base-table DML.  Returns ``(index, build_report)``.
         """
         from repro.core.index_build import (
             BuildReport,
@@ -128,7 +131,9 @@ class Database:
             parameters["domain"] = self._infer_domain(table, column)
 
         index = self.indextypes.create(kind, name, table, column, **parameters)
-        executor = make_executor(parallel, self.cost_model, use_threads)
+        executor = make_executor(
+            parallel, self.cost_model, use_threads, use_processes
+        )
 
         # Every build goes through the table-function path so degree 1 and
         # degree N run the same code under one cost model.
@@ -211,13 +216,15 @@ class Database:
         distance: float = 0.0,
         parallel: int = 1,
         use_threads: bool = False,
+        use_processes: bool = False,
         **options: Any,
     ) -> "JoinResultLike":
         """Index-based spatial join through the spatial_join table function.
 
         Both columns must carry R-tree indexes (the paper's join traverses
         the two associated R-trees).  ``parallel > 1`` uses the subtree
-        decomposition of §4.1.
+        decomposition of §4.1; ``use_processes`` runs the partitions on
+        real slave processes (multiple cores) instead of simulated workers.
         """
         from repro.core.parallel_join import parallel_spatial_join, spatial_join
         from repro.core.secondary_filter import JoinPredicate
@@ -226,7 +233,9 @@ class Database:
         tree_b = self._rtree_of(table_b, column_b)
         predicate = JoinPredicate(mask=mask, distance=distance)
         if parallel > 1:
-            executor = make_executor(parallel, self.cost_model, use_threads)
+            executor = make_executor(
+                parallel, self.cost_model, use_threads, use_processes
+            )
             return parallel_spatial_join(
                 self.table(table_a),
                 column_a,
@@ -282,6 +291,14 @@ class Database:
                 f"{index.kind}"
             )
         return index.tree
+
+    def rtree_of(self, table_name: str, column: str):
+        """The R-tree backing ``table.column``'s spatial index.
+
+        Public accessor used by layers that drive the join table function
+        directly (e.g. the query service's streaming sessions).
+        """
+        return self._rtree_of(table_name, column)
 
     # ------------------------------------------------------------------
     # Statistics

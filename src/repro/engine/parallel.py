@@ -15,8 +15,12 @@ twice, behind one interface:
   multi-CPU host would show.  Scheduling is greedy: each task goes to the
   currently least-loaded worker, which models Oracle's demand-driven
   distribution of cursor partitions to slaves.
+* :class:`ProcessExecutor` — real OS processes (fork-based), the closest
+  analogue of Oracle's slave *processes*: partitioned table-function work
+  actually uses multiple cores.  Task results and worker meters travel
+  back over pipes, so results (not the tasks themselves) must pickle.
 
-Both executors return a :class:`ParallelRun` whose ``results`` are in task
+All executors return a :class:`ParallelRun` whose ``results`` are in task
 submission order regardless of scheduling.
 """
 
@@ -36,6 +40,7 @@ __all__ = [
     "SerialExecutor",
     "SimulatedExecutor",
     "ThreadExecutor",
+    "ProcessExecutor",
 ]
 
 T = TypeVar("T")
@@ -162,13 +167,40 @@ class SimulatedExecutor(ParallelExecutor):
         )
 
 
+def _raise_collected(errors: Sequence[BaseException]) -> None:
+    """Re-raise the first collected worker error, carrying the others.
+
+    Earlier versions silently dropped ``errors[1:]``.  The first error is
+    raised; every other worker failure is attached to it as a ``__notes__``
+    entry (rendered by tracebacks on Python >= 3.11, a plain attribute
+    before that) and the full list is exposed as ``sibling_errors`` so
+    callers can inspect all failures programmatically.
+    """
+    if not errors:
+        return
+    primary = errors[0]
+    rest = list(errors[1:])
+    if rest:
+        notes = list(getattr(primary, "__notes__", []) or [])
+        for extra in rest:
+            notes.append(
+                "also raised in a parallel worker: "
+                f"{type(extra).__name__}: {extra}"
+            )
+        primary.__notes__ = notes
+    primary.sibling_errors = list(errors)
+    raise primary
+
+
 class ThreadExecutor(ParallelExecutor):
     """Real-thread executor.
 
     Tasks are pulled from a shared queue by ``degree`` worker threads.  Work
     units are still metered (each worker owns a meter), so simulated numbers
     remain available; ``wall_seconds`` additionally records real elapsed
-    time.  Exceptions raised by tasks are re-raised in the caller.
+    time.  Exceptions raised by tasks are re-raised in the caller; when
+    several workers fail, every collected exception is reported (see
+    :func:`_raise_collected`).
     """
 
     def __init__(self, degree: int, cost_model: CostModel = DEFAULT_COST_MODEL):
@@ -211,8 +243,190 @@ class ThreadExecutor(ParallelExecutor):
         for t in threads:
             t.join()
         elapsed = time.perf_counter() - started
-        if errors:
-            raise errors[0]
+        _raise_collected(errors)
+        return ParallelRun(
+            results=results,
+            worker_meters=meters,
+            degree=self.degree,
+            cost_model=self.cost_model,
+            wall_seconds=elapsed,
+        )
+
+
+def _portable_error(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives pickling, else a summary EngineError."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return EngineError(f"{type(exc).__name__}: {exc}")
+
+
+def _process_worker(worker_id, tasks, task_queue, conn) -> None:
+    """Slave-process loop: pull task indices until the ``None`` sentinel.
+
+    Runs in the child.  Results and (last) the accumulated meter counts are
+    sent back over ``conn``; anything that fails to pickle is degraded to an
+    :class:`~repro.errors.EngineError` so the parent always hears back.
+    """
+    meter = WorkMeter()
+    while True:
+        index = task_queue.get()
+        if index is None:
+            break
+        ctx = WorkerContext(worker_id, meter)
+        try:
+            payload = ("ok", index, tasks[index](ctx))
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            payload = ("err", index, _portable_error(exc))
+        try:
+            conn.send(payload)
+        except Exception as exc:
+            conn.send(
+                (
+                    "err",
+                    index,
+                    EngineError(
+                        f"worker {worker_id}: result of task {index} failed "
+                        f"to pickle: {exc!r}"
+                    ),
+                )
+            )
+    conn.send(("meter", worker_id, meter.counts))
+    conn.close()
+
+
+class ProcessExecutor(ParallelExecutor):
+    """Real-process executor: Oracle's slave *processes*, literally.
+
+    Forked children pull task indices from a shared queue (demand-driven,
+    like the thread executor) and stream results back over per-worker
+    pipes.  Because children are forks, the *tasks* never need to pickle —
+    only their results and meter counts do.  On platforms without the
+    ``fork`` start method the run transparently degrades to
+    :class:`ThreadExecutor` (same contract, no extra cores).
+    """
+
+    def __init__(
+        self,
+        degree: int,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        start_method: str = "fork",
+    ):
+        if degree < 1:
+            raise EngineError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        self.cost_model = cost_model
+        self.start_method = start_method
+
+    def _context(self):
+        import multiprocessing
+
+        if self.start_method in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context(self.start_method)
+        return None
+
+    def run(self, tasks: Sequence[Task]) -> ParallelRun:
+        import time
+        from multiprocessing.connection import wait as conn_wait
+
+        if not tasks:
+            return ParallelRun(
+                results=[],
+                worker_meters=[WorkMeter() for _ in range(self.degree)],
+                degree=self.degree,
+                cost_model=self.cost_model,
+            )
+        mp = self._context()
+        if mp is None:  # pragma: no cover - non-POSIX fallback
+            return ThreadExecutor(self.degree, self.cost_model).run(tasks)
+
+        nworkers = min(self.degree, len(tasks))
+        task_queue = mp.Queue()
+        for index in range(len(tasks)):
+            task_queue.put(index)
+        for _ in range(nworkers):
+            task_queue.put(None)
+
+        receivers = {}
+        senders = []
+        procs = []
+        for worker_id in range(nworkers):
+            recv_conn, send_conn = mp.Pipe(duplex=False)
+            receivers[worker_id] = recv_conn
+            senders.append(send_conn)
+            procs.append(
+                mp.Process(
+                    target=_process_worker,
+                    args=(worker_id, list(tasks), task_queue, send_conn),
+                    daemon=True,
+                )
+            )
+
+        started = time.perf_counter()
+        for proc in procs:
+            proc.start()
+        for send_conn in senders:
+            send_conn.close()  # parent's copies; children hold the real ends
+
+        meters = [WorkMeter() for _ in range(self.degree)]
+        results: List[Any] = [None] * len(tasks)
+        received: set = set()
+        errors_by_index: dict = {}
+        open_workers = set(receivers)
+        try:
+            while open_workers:
+                ready = conn_wait(
+                    [receivers[w] for w in open_workers], timeout=1.0
+                )
+                if not ready:
+                    dead = [
+                        w for w in open_workers if not procs[w].is_alive()
+                    ]
+                    for w in dead:
+                        if receivers[w].poll(0):
+                            continue  # unread messages remain; drain first
+                        open_workers.discard(w)
+                    continue
+                conn_to_worker = {receivers[w]: w for w in open_workers}
+                for conn in ready:
+                    worker_id = conn_to_worker[conn]
+                    try:
+                        kind, key, value = conn.recv()
+                    except EOFError:
+                        open_workers.discard(worker_id)
+                        continue
+                    if kind == "ok":
+                        results[key] = value
+                        received.add(key)
+                    elif kind == "err":
+                        errors_by_index[key] = value
+                        received.add(key)
+                    else:  # "meter": the worker's final message
+                        meters[key].counts = dict(value)
+                        open_workers.discard(worker_id)
+        finally:
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        elapsed = time.perf_counter() - started
+
+        missing = set(range(len(tasks))) - received
+        for index in sorted(missing):
+            errors_by_index.setdefault(
+                index,
+                EngineError(
+                    f"parallel worker died before completing task {index}"
+                ),
+            )
+        _raise_collected(
+            [errors_by_index[i] for i in sorted(errors_by_index)]
+        )
         return ParallelRun(
             results=results,
             worker_meters=meters,
@@ -226,14 +440,18 @@ def make_executor(
     degree: int,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     use_threads: bool = False,
+    use_processes: bool = False,
 ) -> ParallelExecutor:
     """Executor factory used throughout the library.
 
     Degree 1 always maps to :class:`SerialExecutor`; higher degrees map to
-    the simulated executor unless real threads are requested.
+    the simulated executor unless real threads or real processes are
+    requested (processes win when both flags are set).
     """
     if degree == 1:
         return SerialExecutor(cost_model)
+    if use_processes:
+        return ProcessExecutor(degree, cost_model)
     if use_threads:
         return ThreadExecutor(degree, cost_model)
     return SimulatedExecutor(degree, cost_model)

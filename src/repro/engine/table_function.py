@@ -29,6 +29,7 @@ __all__ = [
     "DEFAULT_FETCH_SIZE",
     "pipeline",
     "collect",
+    "PartitionTask",
     "run_parallel",
 ]
 
@@ -133,6 +134,39 @@ def collect(
     return list(pipeline(fn, ctx, fetch_size))
 
 
+class PartitionTask:
+    """One slave's unit of work: drain a function instance over a partition.
+
+    A module-level callable (not a closure) so tasks are *pickling-safe*:
+    provided ``factory`` and the partition's rows pickle, the whole task
+    does — which is what lets spawn-style process pools, and not only
+    fork-based ones, ship partitioned table-function work to other
+    processes.
+    """
+
+    __slots__ = ("factory", "partition", "fetch_size")
+
+    def __init__(
+        self,
+        factory: Callable[[Cursor], TableFunction],
+        partition: ListCursor,
+        fetch_size: int = DEFAULT_FETCH_SIZE,
+    ):
+        self.factory = factory
+        self.partition = partition
+        self.fetch_size = fetch_size
+
+    def __call__(self, ctx: WorkerContext) -> List[Row]:
+        ctx.charge("partition_per_row", len(self.partition))
+        instance = self.factory(self.partition)
+        return list(pipeline(instance, ctx, self.fetch_size))
+
+
+def _empty_task(ctx: WorkerContext) -> List[Row]:
+    """Degenerate task for an empty input cursor (also picklable)."""
+    return []
+
+
 def run_parallel(
     factory: Callable[[Cursor], TableFunction],
     input_cursor: Cursor,
@@ -151,17 +185,13 @@ def run_parallel(
     degree = executor.degree
     partitions = partition_cursor(input_cursor, degree, method, key)
 
-    def make_task(part: ListCursor) -> Callable[[WorkerContext], List[Row]]:
-        def task(ctx: WorkerContext) -> List[Row]:
-            ctx.charge("partition_per_row", len(part))
-            instance = factory(part)
-            return list(pipeline(instance, ctx, fetch_size))
-
-        return task
-
-    tasks = [make_task(part) for part in partitions if len(part) > 0]
+    tasks: List[Callable[[WorkerContext], List[Row]]] = [
+        PartitionTask(factory, part, fetch_size)
+        for part in partitions
+        if len(part) > 0
+    ]
     if not tasks:
-        tasks = [lambda ctx: []]
+        tasks = [_empty_task]
     return executor.run(tasks)
 
 

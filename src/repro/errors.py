@@ -86,3 +86,11 @@ class IndexBuildError(ReproError):
 
 class DatasetError(ReproError):
     """Synthetic dataset generation failure."""
+
+
+class ServerError(ReproError):
+    """Query-service failure (wire protocol, sessions, admission)."""
+
+
+class ProtocolError(ServerError):
+    """Malformed or oversized wire message."""

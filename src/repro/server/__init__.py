@@ -1,0 +1,38 @@
+"""``repro.server`` — the concurrent spatial query service.
+
+A wire-level mirror of the paper's pipelined table functions: queries are
+*sessions* whose results page over a JSON-lines TCP protocol via explicit
+``start`` / ``fetch(n)`` / ``close`` messages (ODCITableStart/Fetch/Close
+on a socket), so a client can consume a spatial join larger than either
+side's memory.
+
+* :mod:`repro.server.protocol` — message framing, codes, row encoding
+* :mod:`repro.server.session` — server-side session state, deadlines,
+  cooperative cancellation
+* :mod:`repro.server.service` — query kinds (window/knn/sql/spatial_join)
+  mapped onto engine row streams
+* :mod:`repro.server.metrics` — request/latency histograms + aggregated
+  :class:`~repro.engine.cost.WorkMeter` counters (the ``stats`` endpoint)
+* :mod:`repro.server.app` — the asyncio server: admission control,
+  graceful shutdown, the thread-pool executor bridge
+* :mod:`repro.server.client` — a small blocking client
+"""
+
+from repro.server.app import BackgroundServer, SpatialQueryServer, serve
+from repro.server.client import QueryClient, RemoteError, RemoteSession
+from repro.server.metrics import ServerMetrics
+from repro.server.service import QueryService
+from repro.server.session import ServerSession, SessionCancelled
+
+__all__ = [
+    "SpatialQueryServer",
+    "BackgroundServer",
+    "serve",
+    "QueryClient",
+    "RemoteSession",
+    "RemoteError",
+    "QueryService",
+    "ServerSession",
+    "SessionCancelled",
+    "ServerMetrics",
+]

@@ -1,0 +1,477 @@
+"""The asyncio query server: admission control, deadlines, drain, stats.
+
+:class:`SpatialQueryServer` listens on a TCP port, speaks the JSON-lines
+protocol of :mod:`repro.server.protocol`, and serves each connection as
+one asyncio task.  The wire is *pipelined*: a client may send many
+requests without waiting; the server answers them in order.  Actual
+engine work runs on a small thread pool (the executor bridge) so the
+event loop never blocks on a page of join results.
+
+Robustness layers:
+
+* **Admission control** — at most ``max_inflight`` requests may be
+  executing/queued on the bridge at once and at most ``max_sessions``
+  sessions may be live; excess work is *rejected immediately* with an
+  ``OVERLOADED`` error rather than queued without bound (backpressure the
+  client can see and retry).
+* **Deadlines** — a session started with ``deadline_ms`` (or the server
+  default) is cooperatively cancelled at its next fetch once expired; the
+  underlying cursor/table function is closed and the session is removed.
+* **Disconnect hygiene** — when a connection drops, every session it
+  owned is closed and its meters are still folded into the stats, so a
+  client vanishing mid-fetch leaks nothing.
+* **Graceful shutdown** — ``shutdown()`` stops accepting connections,
+  rejects new ``start`` requests with ``SHUTTING_DOWN``, lets live
+  sessions drain for ``drain_timeout`` seconds, then cancels stragglers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import Any, Dict, Optional, Set
+
+from repro.errors import ReproError, ServerError
+from repro.engine.database import Database
+from repro.engine.parallel import WorkerContext
+from repro.server import protocol
+from repro.server.metrics import ServerMetrics
+from repro.server.service import BadRequest, QueryService
+from repro.server.session import ServerSession, SessionCancelled
+
+__all__ = ["SpatialQueryServer", "BackgroundServer", "serve"]
+
+DEFAULT_FETCH_ROWS = 1024
+MAX_FETCH_ROWS = 65536
+
+
+class SpatialQueryServer:
+    """One serving instance over one database."""
+
+    def __init__(
+        self,
+        db: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = 32,
+        max_sessions: int = 64,
+        default_deadline_ms: Optional[int] = None,
+        drain_timeout: float = 10.0,
+        fetch_workers: int = 4,
+        service: Optional[QueryService] = None,
+    ):
+        self.service = service if service is not None else QueryService(db)
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self.max_inflight = max_inflight
+        self.max_sessions = max_sessions
+        self.default_deadline_ms = default_deadline_ms
+        self.drain_timeout = drain_timeout
+        self.metrics = ServerMetrics()
+        self._sessions: Dict[str, ServerSession] = {}
+        self._session_ids = itertools.count(1)
+        self._inflight = 0
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed_event = asyncio.Event()
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=fetch_workers, thread_name_prefix="repro-serve"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_closed(self) -> None:
+        await self._closed_event.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting work, drain live sessions, then close."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            deadline = time.monotonic() + self.drain_timeout
+            while self._sessions and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+        for session_id in list(self._sessions):
+            session = self._sessions.pop(session_id, None)
+            if session is not None:
+                session.close()
+                self.metrics.bump_session("cancelled_shutdown")
+                self.metrics.merge_meter(session.kind, session.meter_counts())
+        self._pool.shutdown(wait=False)
+        self._closed_event.set()
+
+    def request_shutdown(self) -> None:
+        """Thread/signal-safe shutdown trigger."""
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(
+            lambda: asyncio.ensure_future(self.shutdown())
+        )
+
+    def install_signal_handlers(self) -> None:
+        """Make SIGINT/SIGTERM drain the server instead of killing it."""
+        import signal
+
+        assert self._loop is not None
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread or non-POSIX loop
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn_sessions: Set[str] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # oversized line
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                None,
+                                protocol.ERR_BAD_REQUEST,
+                                "message too large",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # client closed its end
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.decode_line(line)
+                except ReproError as exc:
+                    response = protocol.error_response(
+                        None, protocol.ERR_BAD_REQUEST, str(exc)
+                    )
+                else:
+                    response = await self._dispatch(message, conn_sessions)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            # A vanished client must not leak its sessions.
+            for session_id in conn_sessions:
+                session = self._sessions.pop(session_id, None)
+                if session is not None:
+                    await self._run_blocking(session.close)
+                    self.metrics.bump_session("closed_disconnect")
+                    self.metrics.merge_meter(
+                        session.kind, session.meter_counts()
+                    )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _run_blocking(self, fn, *args):
+        assert self._loop is not None
+        return await self._loop.run_in_executor(self._pool, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, message: Dict[str, Any], conn_sessions: Set[str]
+    ) -> Dict[str, Any]:
+        request_id = message.get("id")
+        op = message.get("op")
+        if op not in protocol.OPS:
+            self.metrics.record_request(str(op), ok=False)
+            return protocol.error_response(
+                request_id, protocol.ERR_UNKNOWN_OP, f"unknown op {op!r}"
+            )
+        if op == "ping":
+            self.metrics.record_request(op, ok=True)
+            return protocol.ok_response(request_id, pong=True)
+        if op == "stats":
+            self.metrics.record_request(op, ok=True)
+            return protocol.ok_response(
+                request_id, stats=self.metrics.snapshot(len(self._sessions))
+            )
+
+        # Admission control: bound the work queued behind the bridge.
+        if op in ("start", "fetch") and self._inflight >= self.max_inflight:
+            self.metrics.record_request(op, ok=False)
+            self.metrics.bump_session("rejected_overload")
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_OVERLOADED,
+                f"server at capacity ({self.max_inflight} requests in "
+                "flight); retry later",
+            )
+        self._inflight += 1
+        try:
+            if op == "start":
+                response = await self._op_start(request_id, message, conn_sessions)
+            elif op == "fetch":
+                response = await self._op_fetch(request_id, message)
+            else:  # close
+                response = await self._op_close(
+                    request_id, message, conn_sessions
+                )
+        finally:
+            self._inflight -= 1
+        self.metrics.record_request(op, ok=bool(response.get("ok")))
+        return response
+
+    async def _op_start(
+        self,
+        request_id: Any,
+        message: Dict[str, Any],
+        conn_sessions: Set[str],
+    ) -> Dict[str, Any]:
+        if self._draining:
+            self.metrics.bump_session("rejected_shutdown")
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_SHUTTING_DOWN,
+                "server is shutting down; no new sessions",
+            )
+        if len(self._sessions) >= self.max_sessions:
+            self.metrics.bump_session("rejected_overload")
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_OVERLOADED,
+                f"session limit reached ({self.max_sessions}); retry later",
+            )
+        kind = message.get("kind")
+        if kind not in protocol.KINDS:
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_BAD_REQUEST,
+                f"unknown query kind {kind!r}; valid: {protocol.KINDS}",
+            )
+        params = message.get("params") or {}
+        if not isinstance(params, dict):
+            return protocol.error_response(
+                request_id, protocol.ERR_BAD_REQUEST, "params must be an object"
+            )
+        deadline_ms = message.get("deadline_ms", self.default_deadline_ms)
+        deadline = (
+            time.monotonic() + float(deadline_ms) / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        ctx = WorkerContext(0)
+        started = time.perf_counter()
+        try:
+            rows, extra = await self._run_blocking(
+                self.service.open, kind, params, ctx
+            )
+        except BadRequest as exc:
+            self.metrics.record_query(kind, time.perf_counter() - started, 0, ok=False)
+            return protocol.error_response(
+                request_id, protocol.ERR_BAD_REQUEST, str(exc)
+            )
+        except ReproError as exc:
+            self.metrics.record_query(kind, time.perf_counter() - started, 0, ok=False)
+            return protocol.error_response(
+                request_id, protocol.ERR_BAD_REQUEST, str(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            self.metrics.record_query(kind, time.perf_counter() - started, 0, ok=False)
+            return protocol.error_response(
+                request_id, protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        session_id = f"s{next(self._session_ids)}"
+        session = ServerSession(
+            session_id,
+            kind,
+            rows,
+            ctx,
+            lock=self.service.lock,
+            deadline=deadline,
+        )
+        self._sessions[session_id] = session
+        conn_sessions.add(session_id)
+        self.metrics.bump_session("opened")
+        self.metrics.record_query(kind, time.perf_counter() - started, 0)
+        return protocol.ok_response(request_id, session=session_id, **extra)
+
+    async def _op_fetch(
+        self, request_id: Any, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        session_id = message.get("session")
+        session = self._sessions.get(session_id)
+        if session is None:
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_UNKNOWN_SESSION,
+                f"no session {session_id!r}",
+            )
+        n = int(message.get("n", DEFAULT_FETCH_ROWS))
+        n = max(1, min(n, MAX_FETCH_ROWS))
+        started = time.perf_counter()
+        try:
+            rows, eof = await self._run_blocking(session.fetch, n)
+        except SessionCancelled as exc:
+            self._sessions.pop(session_id, None)
+            self.metrics.bump_session("cancelled_deadline")
+            self.metrics.merge_meter(session.kind, session.meter_counts())
+            self.metrics.record_query(
+                session.kind, time.perf_counter() - started, 0, ok=False
+            )
+            return protocol.error_response(request_id, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            self._sessions.pop(session_id, None)
+            await self._run_blocking(session.close)
+            self.metrics.bump_session("closed")
+            self.metrics.record_query(
+                session.kind, time.perf_counter() - started, 0, ok=False
+            )
+            return protocol.error_response(
+                request_id, protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        self.metrics.record_query(
+            session.kind, time.perf_counter() - started, len(rows)
+        )
+        return protocol.ok_response(request_id, rows=rows, eof=eof)
+
+    async def _op_close(
+        self,
+        request_id: Any,
+        message: Dict[str, Any],
+        conn_sessions: Set[str],
+    ) -> Dict[str, Any]:
+        session_id = message.get("session")
+        session = self._sessions.pop(session_id, None)
+        conn_sessions.discard(session_id)
+        if session is None:
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_UNKNOWN_SESSION,
+                f"no session {session_id!r}",
+            )
+        await self._run_blocking(session.close)
+        self.metrics.bump_session("exhausted" if session.exhausted else "closed")
+        self.metrics.merge_meter(session.kind, session.meter_counts())
+        return protocol.ok_response(
+            request_id,
+            summary={
+                "rows": session.rows_served,
+                "kind": session.kind,
+                "exhausted": session.exhausted,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+async def serve(
+    db: Database,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready=None,
+    install_signals: bool = True,
+    **kwargs: Any,
+) -> SpatialQueryServer:
+    """Run a server until it is shut down (Ctrl-C / SIGTERM drain it)."""
+    server = SpatialQueryServer(db, host, port, **kwargs)
+    await server.start()
+    if install_signals:
+        server.install_signal_handlers()
+    if ready is not None:
+        ready(server)
+    await server.wait_closed()
+    return server
+
+
+class BackgroundServer:
+    """A server on its own thread + event loop (tests, benchmarks, CI).
+
+    Usage::
+
+        with BackgroundServer(db) as handle:
+            client = QueryClient(port=handle.port)
+    """
+
+    def __init__(self, db: Database, **kwargs: Any):
+        self._db = db
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[SpatialQueryServer] = None
+        self.port: Optional[int] = None
+        self.error: Optional[BaseException] = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise ServerError("server failed to start within 10s")
+        if self.error is not None:
+            raise ServerError(f"server failed to start: {self.error!r}")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self.error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        server = SpatialQueryServer(self._db, **self._kwargs)
+        await server.start()
+        self.server = server
+        self._loop = asyncio.get_running_loop()
+        self.port = server.port
+        self._ready.set()
+        await server.wait_closed()
+
+    def stop(self, timeout: float = 15.0) -> None:
+        if self.server is not None and self._loop is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop
+            )
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

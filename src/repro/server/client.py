@@ -1,0 +1,158 @@
+"""Blocking JSON-lines client for the spatial query service.
+
+Small and dependency-free (plain sockets), used by the shell's ``client``
+mode, the server benchmark and the CI smoke test.  A
+:class:`RemoteSession` mirrors the table-function protocol client-side::
+
+    with QueryClient(port=port) as client:
+        session = client.start("spatial_join", {
+            "table_a": "counties", "column_a": "geom",
+            "table_b": "counties", "column_b": "geom",
+        })
+        for pair in session.rows(page=512):   # start / fetch(n) / close
+            ...
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ProtocolError, ServerError
+from repro.server import protocol
+
+__all__ = ["RemoteError", "RemoteSession", "QueryClient"]
+
+
+class RemoteError(ServerError):
+    """An error response from the server, carrying its wire code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.remote_message = message
+
+
+class QueryClient:
+    """One connection to a running :class:`SpatialQueryServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and wait for its response (raises RemoteError)."""
+        self._next_id += 1
+        message = {"id": self._next_id, "op": op}
+        message.update(fields)
+        self._file.write(protocol.encode(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        response = protocol.decode_line(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(
+                error.get("code", protocol.ERR_INTERNAL),
+                error.get("message", "unknown server error"),
+            )
+        return response
+
+    def send_raw(self, payload: bytes) -> None:
+        """Write raw bytes (protocol tests exercise malformed frames)."""
+        self._file.write(payload)
+        self._file.flush()
+
+    def read_response(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return protocol.decode_line(line)
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def start(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> "RemoteSession":
+        fields: Dict[str, Any] = {"kind": kind, "params": params or {}}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        response = self.request("start", **fields)
+        extra = {
+            k: v
+            for k, v in response.items()
+            if k not in ("id", "ok", "session")
+        }
+        return RemoteSession(self, response["session"], extra)
+
+    def fetch(self, session_id: str, n: int) -> Tuple[List[Any], bool]:
+        response = self.request("fetch", session=session_id, n=n)
+        return response["rows"], bool(response["eof"])
+
+    def close_session(self, session_id: str) -> Dict[str, Any]:
+        return self.request("close", session=session_id).get("summary", {})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemoteSession:
+    """Client half of one paged query session."""
+
+    def __init__(self, client: QueryClient, session_id: str, extra: Dict[str, Any]):
+        self._client = client
+        self.session_id = session_id
+        self.extra = extra
+        self.eof = False
+        self.closed = False
+
+    @property
+    def columns(self) -> List[str]:
+        return self.extra.get("columns", [])
+
+    def fetch(self, n: int = 1024) -> Tuple[List[Any], bool]:
+        rows, self.eof = self._client.fetch(self.session_id, n)
+        return rows, self.eof
+
+    def rows(self, page: int = 1024) -> Iterator[Any]:
+        """Page through the whole result, closing the session at the end."""
+        try:
+            while not self.eof:
+                rows, _ = self.fetch(page)
+                yield from rows
+        finally:
+            self.close()
+
+    def all(self, page: int = 1024) -> List[Any]:
+        return list(self.rows(page))
+
+    def close(self) -> Dict[str, Any]:
+        if self.closed:
+            return {}
+        self.closed = True
+        return self._client.close_session(self.session_id)

@@ -1,0 +1,155 @@
+"""Runtime metrics for the query service.
+
+The ``stats`` endpoint reports three layers of observability:
+
+* **requests** — per-op counters (count/errors) for every wire operation;
+* **queries** — per-kind request/latency histograms (count, error count,
+  rows served, p50/p90/p99/max latency in milliseconds);
+* **meters** — the engine's own :class:`~repro.engine.cost.WorkMeter` op
+  counters (MBR tests, node visits, exact predicate evaluations, ...)
+  aggregated per query kind, so the simulated-cost accounting that drives
+  the benchmarks is visible for served traffic too;
+* **sessions** — lifecycle counters (opened / closed / cancelled by
+  deadline / closed by client disconnect / rejected) plus the live count,
+  which is how tests assert the server does not leak sessions.
+
+All mutators take an internal lock: fetches run on a thread pool, so the
+metrics object is the one piece of server state shared across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional
+
+from repro.engine.cost import WorkMeter
+
+__all__ = ["LatencyHistogram", "ServerMetrics"]
+
+
+def _bucket_bounds() -> List[float]:
+    """Log-spaced latency bucket upper bounds, in seconds (0.1ms..~2min)."""
+    bounds = []
+    value = 0.0001
+    while value < 120.0:
+        bounds.append(value)
+        value *= 2.0
+    return bounds
+
+
+_BOUNDS = _bucket_bounds()
+
+
+class LatencyHistogram:
+    """Fixed log-bucket latency histogram with percentile estimates."""
+
+    __slots__ = ("counts", "total", "sum_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BOUNDS) + 1)
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.counts[bisect_left(_BOUNDS, seconds)] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the p-th percentile (seconds)."""
+        if self.total == 0:
+            return 0.0
+        rank = max(1, int(p / 100.0 * self.total + 0.5))
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return _BOUNDS[i] if i < len(_BOUNDS) else self.max_seconds
+        return self.max_seconds  # pragma: no cover - defensive
+
+    def snapshot(self) -> Dict[str, Any]:
+        mean = self.sum_seconds / self.total if self.total else 0.0
+        return {
+            "count": self.total,
+            "mean_ms": round(mean * 1000.0, 3),
+            "p50_ms": round(self.percentile(50) * 1000.0, 3),
+            "p90_ms": round(self.percentile(90) * 1000.0, 3),
+            "p99_ms": round(self.percentile(99) * 1000.0, 3),
+            "max_ms": round(self.max_seconds * 1000.0, 3),
+        }
+
+
+class ServerMetrics:
+    """Thread-safe aggregate of everything the ``stats`` endpoint reports."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: Dict[str, Dict[str, int]] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self._rows: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+        self._meters: Dict[str, WorkMeter] = {}
+        self.sessions = {
+            "opened": 0,
+            "closed": 0,
+            "exhausted": 0,
+            "cancelled_deadline": 0,
+            "closed_disconnect": 0,
+            "cancelled_shutdown": 0,
+            "rejected_overload": 0,
+            "rejected_shutdown": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def record_request(self, op: str, ok: bool) -> None:
+        with self._lock:
+            entry = self._requests.setdefault(op, {"count": 0, "errors": 0})
+            entry["count"] += 1
+            if not ok:
+                entry["errors"] += 1
+
+    def record_query(
+        self, kind: str, seconds: float, rows: int, ok: bool = True
+    ) -> None:
+        """One query-serving request (a ``start`` or ``fetch``) finished."""
+        with self._lock:
+            self._latency.setdefault(kind, LatencyHistogram()).record(seconds)
+            self._rows[kind] = self._rows.get(kind, 0) + rows
+            if not ok:
+                self._errors[kind] = self._errors.get(kind, 0) + 1
+
+    def merge_meter(self, kind: str, meter: WorkMeter) -> None:
+        """Fold one finished session's op counters into the per-kind total."""
+        with self._lock:
+            self._meters.setdefault(kind, WorkMeter()).merge(meter)
+
+    def bump_session(self, event: str, n: int = 1) -> None:
+        with self._lock:
+            self.sessions[event] = self.sessions.get(event, 0) + n
+
+    # ------------------------------------------------------------------
+    def snapshot(self, active_sessions: int = 0) -> Dict[str, Any]:
+        with self._lock:
+            queries = {}
+            for kind, hist in self._latency.items():
+                queries[kind] = {
+                    "latency": hist.snapshot(),
+                    "rows": self._rows.get(kind, 0),
+                    "errors": self._errors.get(kind, 0),
+                }
+            return {
+                "requests": {
+                    op: dict(counts) for op, counts in self._requests.items()
+                },
+                "queries": queries,
+                "meters": {
+                    kind: {
+                        unit: count for unit, count in sorted(m.counts.items())
+                    }
+                    for kind, m in self._meters.items()
+                },
+                "sessions": dict(self.sessions, active=active_sessions),
+            }

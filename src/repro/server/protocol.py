@@ -1,0 +1,140 @@
+"""Wire protocol of the spatial query service: JSON lines, paged sessions.
+
+The protocol is a wire-level mirror of the paper's ODCITable interface
+(§2): a client *starts* a query, *fetches* result pages of an explicit
+size, and *closes* the session — so a result set larger than memory (or
+than the client wants to hold) streams over the socket exactly the way a
+pipelined table function streams rows to the SQL engine.
+
+Framing: one UTF-8 JSON object per ``\\n``-terminated line, both ways.
+
+Requests::
+
+    {"id": 1, "op": "start", "kind": "spatial_join", "params": {...},
+     "deadline_ms": 2000}                 -- optional per-session deadline
+    {"id": 2, "op": "fetch", "session": "s1", "n": 256}
+    {"id": 3, "op": "close", "session": "s1"}
+    {"id": 4, "op": "stats"}
+    {"id": 5, "op": "ping"}
+
+Responses echo the request ``id``::
+
+    {"id": 1, "ok": true, "session": "s1"}
+    {"id": 2, "ok": true, "rows": [...], "eof": false}
+    {"id": 3, "ok": false, "error": {"code": "UNKNOWN_SESSION",
+                                     "message": "..."}}
+
+Query kinds (``start``): ``window`` and ``knn`` run operator queries
+through the spatial index, ``sql`` executes one SQL statement, and
+``spatial_join`` streams rowid pairs straight out of the join table
+function without ever materialising the full result server-side.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "KINDS",
+    "ERR_BAD_REQUEST",
+    "ERR_UNKNOWN_OP",
+    "ERR_UNKNOWN_SESSION",
+    "ERR_OVERLOADED",
+    "ERR_DEADLINE",
+    "ERR_SHUTTING_DOWN",
+    "ERR_INTERNAL",
+    "encode",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "jsonify_value",
+    "jsonify_row",
+    "rowid_to_wire",
+    "rowid_from_wire",
+]
+
+#: one wire message must fit in this many bytes (also the asyncio limit)
+MAX_LINE_BYTES = 1 << 20
+
+OPS = ("start", "fetch", "close", "stats", "ping")
+KINDS = ("window", "knn", "sql", "spatial_join")
+
+ERR_BAD_REQUEST = "BAD_REQUEST"
+ERR_UNKNOWN_OP = "UNKNOWN_OP"
+ERR_UNKNOWN_SESSION = "UNKNOWN_SESSION"
+ERR_OVERLOADED = "OVERLOADED"
+ERR_DEADLINE = "DEADLINE_EXCEEDED"
+ERR_SHUTTING_DOWN = "SHUTTING_DOWN"
+ERR_INTERNAL = "INTERNAL"
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Render one message as a newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def ok_response(request_id: Any, **fields: Any) -> Dict[str, Any]:
+    response = {"id": request_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+# ----------------------------------------------------------------------
+# Row serialisation
+# ----------------------------------------------------------------------
+def rowid_to_wire(rowid) -> List[int]:
+    """A rowid travels as ``[page, slot]``."""
+    return [rowid.page, rowid.slot]
+
+
+def rowid_from_wire(value) -> Tuple[int, int]:
+    """Decode a wire rowid into a ``(page, slot)`` tuple."""
+    page, slot = value
+    return (int(page), int(slot))
+
+
+def jsonify_value(value: Any) -> Any:
+    """Map one result cell to a JSON-safe value (geometries become WKT)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # RowId and Geometry are the two structured cell types; detect by
+    # duck-typing to keep this module import-light.
+    if hasattr(value, "page") and hasattr(value, "slot"):
+        return rowid_to_wire(value)
+    if hasattr(value, "to_wkt"):
+        return value.to_wkt()
+    if hasattr(value, "num_vertices"):  # Geometry without a to_wkt method
+        from repro.geometry.wkt import to_wkt
+
+        return to_wkt(value)
+    return str(value)
+
+
+def jsonify_row(row) -> List[Any]:
+    return [jsonify_value(v) for v in row]

@@ -1,0 +1,178 @@
+"""Query service: maps wire ``start`` requests onto engine row streams.
+
+One :class:`QueryService` wraps one :class:`~repro.engine.database.Database`.
+Each supported kind builds a *lazy* row iterator (JSON-safe rows) plus an
+``extra`` dict returned with the start response:
+
+* ``window`` — operator query through the spatial index
+  (``sdo_relate`` / ``sdo_filter`` / ``sdo_within_distance``); streams
+  rowids straight out of the index fetch generator.
+* ``knn`` — ``sdo_nn`` through the same path.
+* ``sql`` — one SQL statement; the result is materialised by the SQL
+  engine but still *paged* to the client.
+* ``spatial_join`` — drives :class:`~repro.core.spatial_join.SpatialJoinFunction`
+  through :func:`~repro.engine.table_function.pipeline`, so the join's
+  rowid pairs stream to the wire without the server ever holding the full
+  result (the paper's pipelining argument, applied to the network hop).
+  ``parallel > 1`` runs the §4.1 subtree decomposition first (optionally
+  on real processes) and pages the combined result.
+
+Engine objects are not thread-safe, and sessions execute on a thread
+pool; the service's ``lock`` serialises engine work page by page, which
+interleaves concurrent sessions fairly (concurrency comes from paging,
+intra-query parallelism from the process pool underneath one query).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.errors import ServerError
+from repro.engine.database import Database
+from repro.engine.parallel import WorkerContext
+from repro.engine.table_function import pipeline
+from repro.geometry.wkt import from_wkt
+from repro.server.protocol import jsonify_row, rowid_to_wire
+
+__all__ = ["BadRequest", "QueryService"]
+
+
+class BadRequest(ServerError):
+    """The start request's kind/params cannot be executed."""
+
+
+def _require(params: Dict[str, Any], *names: str) -> Tuple[Any, ...]:
+    missing = [n for n in names if n not in params]
+    if missing:
+        raise BadRequest(f"missing required param(s): {', '.join(missing)}")
+    return tuple(params[n] for n in names)
+
+
+def _wire_rowids(iterator) -> Iterator[Any]:
+    """Adapt a rowid generator to wire rows, closing it deterministically."""
+    try:
+        for rowid in iterator:
+            yield rowid_to_wire(rowid)
+    finally:
+        closer = getattr(iterator, "close", None)
+        if closer is not None:
+            closer()
+
+
+def _wire_pairs(iterator) -> Iterator[Any]:
+    """Adapt a (rowid, rowid) stream to wire rows, closing it on exit."""
+    try:
+        for rid_a, rid_b in iterator:
+            yield [rowid_to_wire(rid_a), rowid_to_wire(rid_b)]
+    finally:
+        closer = getattr(iterator, "close", None)
+        if closer is not None:
+            closer()
+
+
+class QueryService:
+    """Database-backed session factory shared by all connections."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        #: serialises engine work; sessions hold it per fetched page
+        self.lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def open(
+        self, kind: str, params: Dict[str, Any], ctx: WorkerContext
+    ) -> Tuple[Iterator[Any], Dict[str, Any]]:
+        """Build the row stream for one ``start`` request."""
+        opener = getattr(self, f"_open_{kind}", None)
+        if opener is None:
+            raise BadRequest(f"unknown query kind {kind!r}")
+        with self.lock:
+            return opener(params, ctx)
+
+    # ------------------------------------------------------------------
+    def _parse_geometry(self, params: Dict[str, Any]):
+        (wkt,) = _require(params, "wkt")
+        try:
+            return from_wkt(wkt)
+        except Exception as exc:
+            raise BadRequest(f"bad query geometry: {exc}") from None
+
+    def _open_window(self, params, ctx):
+        table, column = _require(params, "table", "column")
+        query = self._parse_geometry(params)
+        operator = str(params.get("operator", "SDO_RELATE")).upper()
+        if operator == "SDO_WITHIN_DISTANCE":
+            args = [query, float(params.get("distance", 0.0))]
+        elif operator == "SDO_RELATE":
+            args = [query, str(params.get("mask", "ANYINTERACT")).upper()]
+        else:
+            args = [query]
+        rowids = self.db.select_rowids(table, column, operator, args, ctx)
+        return _wire_rowids(rowids), {}
+
+    def _open_knn(self, params, ctx):
+        table, column = _require(params, "table", "column")
+        query = self._parse_geometry(params)
+        k = int(params.get("k", 1))
+        rowids = self.db.select_rowids(
+            table, column, "SDO_NN", [query, k], ctx
+        )
+        return _wire_rowids(rowids), {"k": k}
+
+    def _open_sql(self, params, ctx):
+        (statement,) = _require(params, "statement")
+        result = self.db.sql(statement)
+        rows = iter([jsonify_row(row) for row in result.rows])
+        return rows, {
+            "columns": list(result.columns),
+            "rowcount": result.rowcount,
+            "message": result.message,
+        }
+
+    def _open_spatial_join(self, params, ctx):
+        from repro.core.parallel_join import SpatialJoinFactory
+        from repro.core.secondary_filter import JoinPredicate
+        from repro.core.spatial_join import DEFAULT_CANDIDATE_ARRAY_SIZE
+
+        table_a, column_a, table_b, column_b = _require(
+            params, "table_a", "column_a", "table_b", "column_b"
+        )
+        predicate = JoinPredicate(
+            mask=str(params.get("mask", "ANYINTERACT")).upper(),
+            distance=float(params.get("distance", 0.0)),
+        )
+        parallel = int(params.get("parallel", 1))
+        if parallel > 1:
+            # Parallel joins run the subtree decomposition to completion
+            # (multiple cores with use_processes), then page the result.
+            result = self.db.spatial_join(
+                table_a,
+                column_a,
+                table_b,
+                column_b,
+                mask=predicate.mask,
+                distance=predicate.distance,
+                parallel=parallel,
+                use_processes=bool(params.get("use_processes", False)),
+                use_threads=bool(params.get("use_threads", False)),
+            )
+            ctx.meter.merge(result.run.combined_meter())
+            return _wire_pairs(iter(result.pairs)), {"parallel": parallel}
+
+        factory = SpatialJoinFactory(
+            self.db.table(table_a),
+            column_a,
+            self.db.rtree_of(table_a, column_a),
+            self.db.table(table_b),
+            column_b,
+            self.db.rtree_of(table_b, column_b),
+            predicate=predicate,
+            candidate_array_size=int(
+                params.get("candidate_array_size", DEFAULT_CANDIDATE_ARRAY_SIZE)
+            ),
+        )
+        # The wire session *is* the pipelined table function: rows stream
+        # through start/fetch/close at both layers, never materialised.
+        stream = pipeline(factory(None), ctx)
+        return _wire_pairs(stream), {"parallel": 1}

@@ -1,0 +1,129 @@
+"""Server-side query sessions: ODCITable state, held across wire calls.
+
+A :class:`ServerSession` is the server's half of one started query: the
+row stream (usually a live generator draining a pipelined table function),
+the :class:`~repro.engine.parallel.WorkerContext` whose meter bills the
+session's work, the optional deadline, and the close/cancel bookkeeping.
+
+Cancellation is *cooperative*: ``fetch`` checks the deadline and the
+cancel flag between rows, and closing the session closes the underlying
+generator — which raises ``GeneratorExit`` at the suspended ``yield``
+inside :func:`~repro.engine.table_function.pipeline`, running its
+``finally`` clause and therefore the table function's ``close``.  Nothing
+keeps producing rows for a client that stopped listening.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import ServerError
+from repro.engine.parallel import WorkerContext
+from repro.server.protocol import ERR_DEADLINE
+
+__all__ = ["SessionCancelled", "ServerSession"]
+
+
+class SessionCancelled(ServerError):
+    """Raised by ``fetch`` when the session was cancelled or timed out."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class ServerSession:
+    """One started query, paging rows until exhausted, closed or cancelled."""
+
+    def __init__(
+        self,
+        session_id: str,
+        kind: str,
+        rows: Iterator[Any],
+        ctx: WorkerContext,
+        lock: Optional[threading.Lock] = None,
+        deadline: Optional[float] = None,
+    ):
+        self.session_id = session_id
+        self.kind = kind
+        self.ctx = ctx
+        self.deadline = deadline  # absolute time.monotonic() bound
+        self.rows_served = 0
+        self.exhausted = False
+        self.closed = False
+        self.created = time.monotonic()
+        self._rows = rows
+        self._lock = lock
+
+    # ------------------------------------------------------------------
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self.close()
+            raise SessionCancelled(
+                ERR_DEADLINE,
+                f"session {self.session_id} exceeded its deadline",
+            )
+
+    def fetch(self, n: int) -> Tuple[List[Any], bool]:
+        """Return up to ``n`` rows and an end-of-results flag.
+
+        Mirrors ``TableFunction.fetch``: an exhausted session keeps
+        returning ``([], True)``.  The deadline is rechecked between rows
+        so a long page cannot overshoot it by more than one row's work.
+        """
+        if self.closed:
+            raise SessionCancelled(
+                ERR_DEADLINE if self.deadline is not None else "CLOSED",
+                f"session {self.session_id} is closed",
+            )
+        self._check_deadline()
+        if self.exhausted:
+            return [], True
+        out: List[Any] = []
+        lock = self._lock
+        try:
+            if lock is not None:
+                lock.acquire()
+            try:
+                for _ in range(n):
+                    try:
+                        out.append(next(self._rows))
+                    except StopIteration:
+                        self.exhausted = True
+                        break
+                    if self.deadline is not None and (
+                        time.monotonic() > self.deadline
+                    ):
+                        raise SessionCancelled(
+                            ERR_DEADLINE,
+                            f"session {self.session_id} exceeded its "
+                            "deadline mid-fetch",
+                        )
+            finally:
+                if lock is not None:
+                    lock.release()
+        except SessionCancelled:
+            self.close()
+            raise
+        self.rows_served += len(out)
+        return out, self.exhausted
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the underlying cursor/table function (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        closer = getattr(self._rows, "close", None)
+        if closer is not None:
+            lock = self._lock
+            if lock is not None:
+                with lock:
+                    closer()
+            else:
+                closer()
+
+    def meter_counts(self):
+        return self.ctx.meter

@@ -1,8 +1,7 @@
-"""A minimal interactive SQL shell: ``python -m repro.shell``.
+"""The command-line front door: REPL, query server, and wire client.
 
-Reads semicolon-terminated statements, executes them against an in-memory
-:class:`~repro.engine.database.Database`, and pretty-prints results.
-Useful for exploring the SQL surface (including EXPLAIN) interactively::
+``python -m repro.shell`` (no arguments) starts the interactive SQL REPL
+against an in-memory :class:`~repro.engine.database.Database`::
 
     $ python -m repro.shell
     repro> create table t (id number, geom sdo_geometry);
@@ -13,17 +12,27 @@ Useful for exploring the SQL surface (including EXPLAIN) interactively::
     ID
     --
     1
+
+Subcommands::
+
+    python -m repro.shell serve --port 7878 --init seed.sql
+    python -m repro.shell client --port 7878
+
+``serve`` runs the concurrent query service of :mod:`repro.server`
+(Ctrl-C / SIGTERM drain live sessions before exiting); ``client`` is the
+same REPL but statements execute over the wire as paged ``sql`` sessions.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Iterable, List, Optional
 
 from repro.engine.database import Database
-from repro.errors import ReproError
+from repro.errors import ProtocolError, ReproError
 
-__all__ = ["format_result", "run_statement", "repl"]
+__all__ = ["format_result", "run_statement", "repl", "main"]
 
 PROMPT = "repro> "
 CONTINUATION = "   ... "
@@ -35,19 +44,24 @@ def format_result(result) -> str:
         return result.message
     if not result.columns:
         return f"{result.rowcount} row(s)"
-    widths = [len(c) for c in result.columns]
+    return format_rows(result.columns, result.rows)
+
+
+def format_rows(columns, rows) -> str:
+    """Render a column list + row list as an aligned text table."""
+    widths = [len(c) for c in columns]
     rendered = []
-    for row in result.rows:
+    for row in rows:
         cells = [_cell(v) for v in row]
         widths = [max(w, len(c)) for w, c in zip(widths, cells)]
         rendered.append(cells)
     lines = [
-        "  ".join(c.ljust(w) for c, w in zip(result.columns, widths)),
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
         "  ".join("-" * w for w in widths),
     ]
     for cells in rendered:
         lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
-    lines.append(f"({len(result.rows)} row{'s' if len(result.rows) != 1 else ''})")
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
     return "\n".join(lines)
 
 
@@ -86,11 +100,20 @@ def repl(
     stdout=None,
     db: Optional[Database] = None,
     interactive: bool = True,
+    execute=None,
 ) -> Database:
-    """Run the read-eval-print loop; returns the database for inspection."""
+    """Run the read-eval-print loop; returns the database for inspection.
+
+    ``execute`` overrides how one statement is run (the wire client passes
+    its own); Ctrl-C clears the statement being typed instead of killing
+    the process, and a second Ctrl-C on an empty line exits cleanly.
+    """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     db = db if db is not None else Database()
+    if execute is None:
+        def execute(statement: str) -> str:
+            return run_statement(db, statement)
 
     def prompt(text: str) -> None:
         if interactive:
@@ -99,14 +122,31 @@ def repl(
 
     prompt(PROMPT)
     pending: List[str] = []
-    for raw in stdin:
+    while True:
+        try:
+            raw = stdin.readline()
+        except KeyboardInterrupt:
+            if not pending:
+                stdout.write("\n")
+                break
+            pending = []
+            stdout.write("\n(statement cleared)\n")
+            prompt(PROMPT)
+            continue
+        if not raw:  # EOF
+            if interactive:
+                stdout.write("\n")
+            break
         line = raw.rstrip("\n")
         if not pending and line.strip().lower() in ("quit", "exit", r"\q"):
             break
         pending.append(line)
         joined = " ".join(pending).strip()
         if joined.endswith(";"):
-            stdout.write(run_statement(db, joined) + "\n")
+            try:
+                stdout.write(execute(joined) + "\n")
+            except KeyboardInterrupt:
+                stdout.write("\n(statement interrupted)\n")
             pending = []
             prompt(PROMPT)
         elif joined:
@@ -117,5 +157,132 @@ def repl(
     return db
 
 
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def _load_init_sql(db: Database, path: str, stdout) -> None:
+    """Seed the served database from a file of semicolon-separated SQL."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for statement in _statements(fh):
+            text = run_statement(db, statement)
+            if text.startswith("ERROR"):
+                stdout.write(f"{path}: {text}\n")
+
+
+def cmd_serve(args, stdout) -> int:
+    import asyncio
+
+    from repro.server.app import serve
+
+    db = Database()
+    if args.init:
+        _load_init_sql(db, args.init, stdout)
+
+    def ready(server) -> None:
+        stdout.write(
+            f"repro query service listening on {server.host}:{server.port} "
+            "(Ctrl-C to drain and stop)\n"
+        )
+        stdout.flush()
+
+    try:
+        asyncio.run(
+            serve(
+                db,
+                host=args.host,
+                port=args.port,
+                ready=ready,
+                max_inflight=args.max_inflight,
+                max_sessions=args.max_sessions,
+                default_deadline_ms=args.deadline_ms,
+                fetch_workers=args.workers,
+            )
+        )
+    except KeyboardInterrupt:
+        # add_signal_handler already drained; this catches the rare window
+        # before handlers are installed.  Either way: no traceback spew.
+        pass
+    stdout.write("server stopped\n")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+def cmd_client(args, stdin, stdout) -> int:
+    from repro.server.client import QueryClient, RemoteError
+
+    try:
+        client = QueryClient(host=args.host, port=args.port)
+    except OSError as exc:
+        stdout.write(f"cannot connect to {args.host}:{args.port}: {exc}\n")
+        return 1
+
+    def execute(statement: str) -> str:
+        try:
+            session = client.start(
+                "sql", {"statement": statement.rstrip(";")}
+            )
+            rows = session.all(page=args.page)
+            if session.extra.get("message"):
+                return session.extra["message"]
+            if not session.columns:
+                return f"{session.extra.get('rowcount', 0)} row(s)"
+            return format_rows(session.columns, rows)
+        except (RemoteError, ProtocolError) as exc:
+            return f"ERROR: {exc}"
+
+    try:
+        repl(stdin=stdin, stdout=stdout, execute=execute,
+             interactive=args.interactive)
+    finally:
+        client.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.shell", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("repl", help="interactive SQL shell (default)")
+
+    p_serve = sub.add_parser("serve", help="run the concurrent query service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7878)
+    p_serve.add_argument(
+        "--init", default=None, help="SQL file executed at startup (seed data)"
+    )
+    p_serve.add_argument("--max-inflight", type=int, default=32)
+    p_serve.add_argument("--max-sessions", type=int, default=64)
+    p_serve.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="default per-session deadline",
+    )
+    p_serve.add_argument("--workers", type=int, default=4)
+
+    p_client = sub.add_parser("client", help="SQL shell over the wire")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7878)
+    p_client.add_argument("--page", type=int, default=1024)
+    p_client.add_argument(
+        "--no-prompt", dest="interactive", action="store_false",
+        help="suppress prompts (scripted input)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        return cmd_serve(args, sys.stdout)
+    if args.command == "client":
+        return cmd_client(args, sys.stdin, sys.stdout)
+    try:
+        repl()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        sys.stdout.write("\n")
+    return 0
+
+
 if __name__ == "__main__":
-    repl()
+    raise SystemExit(main())

@@ -49,6 +49,16 @@ class TestEquivalence:
         parallel = parallel_pairs(pj_db, ThreadExecutor(4))
         assert sorted(parallel.pairs) == sorted(serial.pairs)
 
+    def test_process_execution_equals_serial(self, pj_db):
+        from repro.engine.parallel import ProcessExecutor
+
+        serial = serial_pairs(pj_db)
+        parallel = parallel_pairs(pj_db, ProcessExecutor(3))
+        assert sorted(parallel.pairs) == sorted(serial.pairs)
+        # slave processes really metered their work and reported it back
+        combined = parallel.run.combined_meter()
+        assert combined.counts.get("mbr_test", 0) > 0
+
     def test_distance_join_parallel(self, pj_db):
         pred = JoinPredicate(distance=6.0)
         serial = serial_pairs(pj_db, pred)

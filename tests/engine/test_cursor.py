@@ -105,3 +105,58 @@ class TestPartitioning:
     def test_bad_degree(self):
         with pytest.raises(CursorError):
             partition_cursor(ListCursor(rows(2)), 0)
+
+
+class TestPartitioningEdges:
+    """Edge cases the parallel table-function machinery must survive."""
+
+    def test_degree_exceeds_row_count_leaves_empty_partitions(self):
+        parts = partition_cursor(ListCursor(rows(3)), 8, PartitionMethod.ANY)
+        assert len(parts) == 8
+        assert [len(p) for p in parts[:3]] == [1, 1, 1]
+        assert all(len(p) == 0 for p in parts[3:])
+        # empty partitions still behave like cursors
+        assert parts[5].fetch(4) == []
+
+    def test_degree_one_returns_single_partition_all_methods(self):
+        for method, key in (
+            (PartitionMethod.ANY, None),
+            (PartitionMethod.HASH, lambda r: r[0]),
+            (PartitionMethod.RANGE, lambda r: r[0]),
+        ):
+            parts = partition_cursor(ListCursor(rows(5)), 1, method, key)
+            assert len(parts) == 1
+            assert list(parts[0]) == rows(5)
+
+    def test_exhausted_cursor_partitions_to_empty(self):
+        cursor = ListCursor(rows(6))
+        assert len(cursor.fetch(10)) == 6  # drain it first
+        parts = partition_cursor(cursor, 3, PartitionMethod.ANY)
+        assert len(parts) == 3
+        assert all(len(p) == 0 for p in parts)
+
+    def test_range_degree_exceeds_rows_empty_tail_buckets(self):
+        parts = partition_cursor(
+            ListCursor(rows(2)), 4, PartitionMethod.RANGE, key=lambda r: r[0]
+        )
+        assert [len(p) for p in parts] == [1, 1, 0, 0]
+
+    def test_run_parallel_skips_empty_partitions(self):
+        from repro.engine.parallel import SimulatedExecutor
+        from repro.engine.table_function import flatten_run, run_parallel
+        from tests.engine.test_table_function import EchoCursorFunction
+
+        run = run_parallel(
+            EchoCursorFunction, ListCursor(rows(2)), SimulatedExecutor(6)
+        )
+        assert sorted(flatten_run(run)) == rows(2)
+
+    def test_run_parallel_empty_cursor_yields_empty_run(self):
+        from repro.engine.parallel import SimulatedExecutor
+        from repro.engine.table_function import flatten_run, run_parallel
+        from tests.engine.test_table_function import EchoCursorFunction
+
+        run = run_parallel(
+            EchoCursorFunction, ListCursor([]), SimulatedExecutor(3)
+        )
+        assert flatten_run(run) == []

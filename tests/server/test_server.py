@@ -1,0 +1,375 @@
+"""End-to-end tests for the concurrent query service.
+
+One `BackgroundServer` per module-scoped fixture; most tests talk to it
+over real sockets with `QueryClient`.  The acceptance criteria from the
+issue live here: byte-identical paged joins, disconnect/deadline hygiene
+(asserted through the ``stats`` endpoint), backpressure, and graceful
+shutdown.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.engine.parallel import WorkerContext
+from repro.geometry.wkt import to_wkt
+from repro.server import BackgroundServer, QueryClient, QueryService, RemoteError
+from repro.server.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DEADLINE,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_SESSION,
+)
+
+
+def rects(n, seed, extent=100.0, size=4.0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x = rng.uniform(0, extent - size)
+        y = rng.uniform(0, extent - size)
+        out.append(
+            Geometry.rectangle(
+                x, y,
+                x + rng.uniform(size * 0.2, size),
+                y + rng.uniform(size * 0.2, size),
+            )
+        )
+    return out
+
+
+def build_db() -> Database:
+    db = Database()
+    load_geometries(db, "a_tab", rects(180, seed=71))
+    load_geometries(db, "b_tab", rects(200, seed=72))
+    db.create_spatial_index("a_idx", "a_tab", "geom", kind="RTREE", fanout=6)
+    db.create_spatial_index("b_idx", "b_tab", "geom", kind="RTREE", fanout=6)
+    return db
+
+
+@pytest.fixture(scope="module")
+def served():
+    """(handle, db) for a background server over the two-table database."""
+    db = build_db()
+    with BackgroundServer(db) as handle:
+        yield handle, db
+
+
+@pytest.fixture
+def client(served):
+    handle, _ = served
+    with QueryClient(port=handle.port) as c:
+        yield c
+
+
+def wire_pairs_to_tuples(rows):
+    return [((a[0], a[1]), (b[0], b[1])) for a, b in rows]
+
+
+def expected_join_pairs(db):
+    result = db.spatial_join("a_tab", "geom", "b_tab", "geom")
+    return [
+        ((ra.page, ra.slot), (rb.page, rb.slot)) for ra, rb in result.pairs
+    ]
+
+
+JOIN_PARAMS = {
+    "table_a": "a_tab",
+    "column_a": "geom",
+    "table_b": "b_tab",
+    "column_b": "geom",
+}
+
+
+class TestQueryKinds:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_paged_join_is_byte_identical_to_in_process(self, served, client):
+        """The headline acceptance criterion: same pairs, same order."""
+        _, db = served
+        session = client.start("spatial_join", JOIN_PARAMS)
+        rows = session.all(page=7)  # awkward page size on purpose
+        assert wire_pairs_to_tuples(rows) == expected_join_pairs(db)
+
+    def test_join_small_pages_equal_one_big_fetch(self, served, client):
+        small = client.start("spatial_join", JOIN_PARAMS).all(page=3)
+        big = client.start("spatial_join", JOIN_PARAMS).all(page=65536)
+        assert small == big
+
+    def test_window_query_matches_engine(self, served, client):
+        _, db = served
+        query = Geometry.rectangle(10, 10, 40, 40)
+        session = client.start(
+            "window",
+            {"table": "a_tab", "column": "geom", "wkt": to_wkt(query)},
+        )
+        got = {tuple(r) for r in session.all()}
+        want = {
+            (rid.page, rid.slot)
+            for rid in db.select_rowids(
+                "a_tab", "geom", "SDO_RELATE",
+                [query, "ANYINTERACT"], WorkerContext(0),
+            )
+        }
+        assert got == want and got
+
+    def test_knn_query(self, served, client):
+        session = client.start(
+            "knn",
+            {
+                "table": "b_tab",
+                "column": "geom",
+                "wkt": "POINT (50 50)",
+                "k": 5,
+            },
+        )
+        rows = session.all()
+        assert len(rows) == 5
+        assert session.extra["k"] == 5
+
+    def test_sql_session_pages_with_columns(self, served, client):
+        session = client.start(
+            "sql", {"statement": "select id from a_tab where id <= 10"}
+        )
+        assert session.columns == ["ID"]
+        rows = session.all(page=4)
+        assert sorted(r[0] for r in rows) == sorted(
+            row[0] for row in served[1].sql(
+                "select id from a_tab where id <= 10"
+            ).rows
+        )
+        assert rows
+
+    def test_close_midway_reports_not_exhausted(self, client):
+        session = client.start("spatial_join", JOIN_PARAMS)
+        session.fetch(2)
+        summary = session.close()
+        assert summary["rows"] == 2
+        assert summary["exhausted"] is False
+
+    def test_fetch_after_close_is_unknown_session(self, client):
+        session = client.start("sql", {"statement": "select id from a_tab"})
+        session.close()
+        with pytest.raises(RemoteError) as info:
+            client.fetch(session.session_id, 1)
+        assert info.value.code == ERR_UNKNOWN_SESSION
+
+    def test_bad_requests(self, client):
+        with pytest.raises(RemoteError) as info:
+            client.start("window", {"table": "a_tab"})
+        assert info.value.code == ERR_BAD_REQUEST
+        with pytest.raises(RemoteError) as info:
+            client.start("nonsense", {})
+        assert info.value.code == ERR_BAD_REQUEST
+        with pytest.raises(RemoteError) as info:
+            client.start("window", {"table": "a_tab", "column": "geom",
+                                    "wkt": "POLYGON oops"})
+        assert info.value.code == ERR_BAD_REQUEST
+
+    def test_malformed_frame_gets_error_not_hangup(self, client):
+        client.send_raw(b"this is not json\n")
+        response = client.read_response()
+        assert response["ok"] is False
+        assert response["error"]["code"] == ERR_BAD_REQUEST
+        assert client.ping()  # connection still usable
+
+
+class TestConcurrency:
+    def test_concurrent_sessions_interleave_correctly(self, served):
+        """Many clients paging joins at once all see the exact result."""
+        handle, db = served
+        want = expected_join_pairs(db)
+        results = {}
+        errors = []
+
+        def worker(i):
+            try:
+                with QueryClient(port=handle.port) as c:
+                    session = c.start("spatial_join", JOIN_PARAMS)
+                    results[i] = wire_pairs_to_tuples(
+                        session.all(page=5 + i)
+                    )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(results) == 6
+        for pairs in results.values():
+            assert pairs == want
+
+    def test_pipelined_requests_answered_in_order(self, served):
+        handle, _ = served
+        with QueryClient(port=handle.port) as c:
+            # Two pings and a stats written before reading anything back.
+            c.send_raw(
+                b'{"id": 101, "op": "ping"}\n'
+                b'{"id": 102, "op": "stats"}\n'
+                b'{"id": 103, "op": "ping"}\n'
+            )
+            ids = [c.read_response()["id"] for _ in range(3)]
+        assert ids == [101, 102, 103]
+
+
+def poll_stats(client, predicate, timeout=5.0):
+    """Poll the stats endpoint until ``predicate(stats)`` or timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = client.stats()
+        if predicate(stats):
+            return stats
+        time.sleep(0.02)
+    return client.stats()
+
+
+class TestRobustness:
+    def test_disconnect_mid_fetch_leaks_nothing(self, served):
+        """A client vanishing mid-join shows up in stats, not as a leak."""
+        handle, _ = served
+        before = None
+        with QueryClient(port=handle.port) as observer:
+            before = observer.stats()["sessions"]["closed_disconnect"]
+            rogue = QueryClient(port=handle.port)
+            session = rogue.start("spatial_join", JOIN_PARAMS)
+            session.fetch(3)  # mid-stream: rows fetched, far from eof
+            rogue.close()  # vanish without close
+
+            stats = poll_stats(
+                observer,
+                lambda s: s["sessions"]["closed_disconnect"] > before
+                and s["sessions"]["active"] == 0,
+            )
+            assert stats["sessions"]["closed_disconnect"] == before + 1
+            assert stats["sessions"]["active"] == 0
+            # the abandoned session's metered work still reached the stats
+            assert stats["meters"]["spatial_join"].get("mbr_test", 0) > 0
+
+    def test_deadline_cancels_and_removes_session(self, served):
+        handle, _ = served
+        with QueryClient(port=handle.port) as c:
+            before = c.stats()["sessions"]["cancelled_deadline"]
+            session = c.start("spatial_join", JOIN_PARAMS, deadline_ms=20)
+            time.sleep(0.08)  # let the deadline lapse before fetching
+            with pytest.raises(RemoteError) as info:
+                session.fetch(10)
+            assert info.value.code == ERR_DEADLINE
+            # the session is gone server-side, not leaked
+            with pytest.raises(RemoteError) as info:
+                client_fetch = c.fetch(session.session_id, 1)  # noqa: F841
+            assert info.value.code == ERR_UNKNOWN_SESSION
+            stats = c.stats()
+            assert stats["sessions"]["cancelled_deadline"] == before + 1
+            assert stats["sessions"]["active"] == 0
+
+    def test_stats_counts_queries_and_rows(self, served):
+        handle, db = served
+        with QueryClient(port=handle.port) as c:
+            session = c.start("spatial_join", JOIN_PARAMS)
+            n_pairs = len(session.all(page=11))
+            stats = poll_stats(
+                c, lambda s: s["queries"]["spatial_join"]["rows"] >= n_pairs
+            )
+        join_stats = stats["queries"]["spatial_join"]
+        assert join_stats["rows"] >= n_pairs
+        assert join_stats["latency"]["count"] >= 1
+        assert join_stats["latency"]["p50_ms"] >= 0
+        assert stats["requests"]["fetch"]["count"] >= 1
+
+
+class TestBackpressure:
+    def test_session_cap_rejects_with_overloaded(self):
+        db = build_db()
+        with BackgroundServer(db, max_sessions=1) as handle:
+            with QueryClient(port=handle.port) as c:
+                first = c.start("spatial_join", JOIN_PARAMS)
+                with pytest.raises(RemoteError) as info:
+                    c.start("spatial_join", JOIN_PARAMS)
+                assert info.value.code == ERR_OVERLOADED
+                assert (
+                    c.stats()["sessions"]["rejected_overload"] >= 1
+                )
+                first.close()
+                # capacity freed: a new start succeeds again
+                c.start("sql", {"statement": "select id from a_tab"}).close()
+
+    def test_inflight_cap_rejects_immediately(self):
+        """With the bridge saturated, new work is rejected, not queued."""
+        db = build_db()
+        release = threading.Event()
+
+        class StallingService(QueryService):
+            def open(self, kind, params, ctx):
+                release.wait(timeout=10)
+                return super().open(kind, params, ctx)
+
+        with BackgroundServer(
+            db, max_inflight=1, service=StallingService(db)
+        ) as handle:
+            try:
+                slow_error = []
+
+                def slow_start():
+                    try:
+                        with QueryClient(port=handle.port) as c1:
+                            c1.start("sql", {"statement": "select id from a_tab"})
+                    except Exception as exc:  # pragma: no cover
+                        slow_error.append(exc)
+
+                t = threading.Thread(target=slow_start)
+                t.start()
+                # wait until the stalled start occupies the inflight slot
+                deadline = time.monotonic() + 5
+                while handle.server._inflight < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                with QueryClient(port=handle.port) as c2:
+                    with pytest.raises(RemoteError) as info:
+                        c2.start("sql", {"statement": "select id from a_tab"})
+                    assert info.value.code == ERR_OVERLOADED
+            finally:
+                release.set()
+                t.join(timeout=10)
+            assert not slow_error
+
+
+class TestGracefulShutdown:
+    def test_drain_lets_live_sessions_finish(self):
+        db = build_db()
+        handle = BackgroundServer(db).start()
+        try:
+            with QueryClient(port=handle.port) as c:
+                session = c.start("spatial_join", JOIN_PARAMS)
+                first_page, _ = session.fetch(4)
+                handle.server.request_shutdown()
+                deadline = time.monotonic() + 5
+                while not handle.server._draining:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                # new sessions are refused while draining...
+                with pytest.raises(RemoteError) as info:
+                    c.start("sql", {"statement": "select id from a_tab"})
+                assert info.value.code == ERR_SHUTTING_DOWN
+                # ...but the live session pages to completion and closes
+                rest = []
+                eof = False
+                while not eof:
+                    rows, eof = session.fetch(64)
+                    rest.extend(rows)
+                summary = session.close()
+                assert summary["exhausted"] is True
+                assert len(first_page) + len(rest) == summary["rows"]
+        finally:
+            handle.stop()
+        assert not handle._thread.is_alive()
