@@ -13,9 +13,10 @@ exposes the paper's operations at one call depth:
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import CatalogError, EngineError, JoinError
+from repro.errors import CatalogError, EngineError, JoinError, StorageError
 from repro.engine.cost import CostModel, DEFAULT_COST_MODEL
 from repro.engine.indextype import DomainIndex, IndexTypeRegistry
 from repro.engine.parallel import (
@@ -29,10 +30,20 @@ from repro.geometry.geometry import Geometry
 from repro.geometry.mbr import EMPTY_MBR, MBR
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog, ColumnMeta, IndexMeta, TableMeta
+from repro.storage.checksum import crc32c, mask_crc
+from repro.storage.codec import decode_row, encode_row
 from repro.storage.heap import HeapFile, RowId
-from repro.storage.pager import MemoryPager, Pager
+from repro.storage.pager import PAGE_SIZE, FilePager, MemoryPager, Pager
+from repro.storage.wal import WalPager
 
 __all__ = ["Database"]
+
+# Meta-snapshot page chain (rooted at page 0 of a file-backed database):
+#   magic u32 | next page u32 (NO_PAGE = end) | chunk_len u32 | crc u32 | chunk
+_META_MAGIC = 0x52504D31  # "RPM1"
+_META_HDR = struct.Struct("<IIII")
+_META_NO_PAGE = 0xFFFFFFFF
+_SNAP_VERSION = "SNAP1"
 
 
 class Database:
@@ -52,6 +63,9 @@ class Database:
         self._indexes: Dict[str, DomainIndex] = {}
         self._stats: Dict[str, Any] = {}
         self.indextypes = IndexTypeRegistry()
+        self.durability = "memory"  # "memory" | "none" | "wal"
+        self.path: Optional[str] = None
+        self._meta_pages: List[int] = []
         self._register_builtin_indextypes()
 
     def _register_builtin_indextypes(self) -> None:
@@ -299,6 +313,270 @@ class Database:
         directly (e.g. the query service's streaming sessions).
         """
         return self._rtree_of(table_name, column)
+
+    # ------------------------------------------------------------------
+    # Durability: open / checkpoint / close
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        durability: str = "none",
+        page_size: int = PAGE_SIZE,
+        buffer_capacity: int = 1024,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        fault_plan: Any = None,
+    ) -> "Database":
+        """Open (or create) a file-backed database at ``path``.
+
+        ``durability`` selects the failure model:
+
+        * ``"none"`` — a plain :class:`~repro.storage.pager.FilePager`;
+          a clean :meth:`close` persists everything, a crash mid-write
+          can corrupt the file (the pre-WAL behaviour).
+        * ``"wal"`` — the file is wrapped in a
+          :class:`~repro.storage.wal.WalPager`: page writes go through a
+          checksummed write-ahead log, :meth:`checkpoint`/:meth:`close`
+          are atomic durability points, and reopening after a crash at
+          *any* instant recovers the last checkpointed state (replaying
+          the log and repairing torn pages).
+
+        ``fault_plan`` (tests only) threads a
+        :class:`~repro.storage.fault.FaultPlan` through every file the
+        store opens, so crash tests can kill the simulated process at
+        arbitrary write offsets and named sites.
+        """
+        durability = durability.lower()
+        if durability not in ("none", "wal"):
+            raise EngineError(
+                f"unknown durability mode {durability!r} (use 'none' or 'wal')"
+            )
+        opener = fault_plan.opener() if fault_plan is not None else None
+        if durability == "wal":
+            inner = FilePager(path, page_size=page_size, strict=False, opener=opener)
+            pager: Pager = WalPager(
+                inner, path + ".wal", opener=opener, fault_plan=fault_plan
+            )
+        else:
+            pager = FilePager(path, page_size=page_size, opener=opener)
+        db = cls(pager=pager, buffer_capacity=buffer_capacity, cost_model=cost_model)
+        db.durability = durability
+        db.path = path
+        if pager.num_pages > 0:
+            db._load_snapshot()
+        else:
+            # Reserve page 0 as the meta-snapshot root before any heap can
+            # claim it.
+            root = db.pool.allocate()
+            assert root == 0
+            db._meta_pages = [0]
+        return db
+
+    def checkpoint(self) -> None:
+        """Write a durable snapshot of the whole database.
+
+        Re-dumps every spatial index into a fresh index table, writes the
+        meta snapshot (catalog + heap page lists + index parameters) into
+        the page-0 chain, flushes the buffer pool, and — under WAL — logs,
+        commits and checkpoints so the main file holds exactly this state.
+        A crash anywhere before the WAL commit leaves the *previous*
+        checkpoint intact; after it, recovery completes this one.
+        """
+        if self.path is None:
+            raise EngineError("checkpoint() requires a file-backed database")
+        blob = encode_row(self._build_snapshot())
+        self._write_meta_chain(blob)
+        self.pool.flush()
+        if isinstance(self.pager, WalPager):
+            self.pager.commit()
+            self.pager.checkpoint()
+        else:
+            flush = getattr(self.pager, "flush", None)
+            if flush is not None:
+                flush()
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Close the database, checkpointing first if file-backed."""
+        if self.path is not None and checkpoint:
+            self.checkpoint()
+        self.pager.close()
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """Storage counters for monitoring (the server's stats endpoint)."""
+        stats: Dict[str, Any] = {
+            "durability": self.durability,
+            "num_pages": self.pager.num_pages,
+            "page_size": self.pager.page_size,
+            "physical_reads": self.pager.stats.reads,
+            "physical_writes": self.pager.stats.writes,
+            "buffer_hit_ratio": round(self.pool.stats.hit_ratio, 4),
+            "wal_bytes": 0,
+            "recovered_pages": 0,
+        }
+        extra = getattr(self.pager, "storage_stats", None)
+        if extra is not None:
+            stats.update(extra())
+        return stats
+
+    # -- snapshot construction -----------------------------------------
+    def _build_snapshot(self) -> Tuple[Any, ...]:
+        tables = []
+        for meta in self.catalog.tables():
+            table = self.table(meta.name)
+            pages, row_count = table.heap.pages_snapshot()
+            columns = tuple((c.name, c.type_tag) for c in meta.columns)
+            tables.append((meta.name, columns, pages, row_count))
+        indexes = []
+        for imeta in self.catalog.indexes():
+            index = self._indexes.get(imeta.name.upper())
+            if index is None:
+                continue
+            heap = HeapFile(self.pool, name=imeta.index_table_name)
+            extra: Tuple[Any, ...]
+            if imeta.index_kind == "RTREE":
+                from repro.index.rtree.persist import dump_rtree
+
+                root, _nodes = dump_rtree(index.tree, heap)
+                extra = (root, index.fanout, index.fill)
+            elif imeta.index_kind == "QUADTREE":
+                from repro.index.quadtree.persist import dump_quadtree
+
+                dump_quadtree(index, heap)
+                extra = (index.grid.domain, index.tiling_level, index.btree_order)
+            else:
+                continue
+            pages, row_count = heap.pages_snapshot()
+            params = tuple(
+                (k, v)
+                for k, v in sorted(imeta.parameters.items())
+                if isinstance(v, (int, float, str, bool)) or v is None
+            )
+            indexes.append(
+                (
+                    imeta.name,
+                    imeta.table_name,
+                    imeta.column_name,
+                    imeta.index_kind,
+                    imeta.parallel_degree,
+                    params,
+                    pages,
+                    row_count,
+                    extra,
+                )
+            )
+        return (_SNAP_VERSION, tuple(tables), tuple(indexes))
+
+    def _load_snapshot(self) -> None:
+        blob = self._read_meta_chain()
+        if blob is None:
+            # A store that was created but never checkpointed.
+            self._meta_pages = [0] if self.pager.num_pages > 0 else []
+            if not self._meta_pages:
+                self.pool.allocate()
+                self._meta_pages = [0]
+            return
+        record = decode_row(blob)
+        if not record or record[0] != _SNAP_VERSION:
+            raise StorageError(
+                f"meta snapshot has unknown version {record[0] if record else '?'!r}"
+            )
+        _version, tables, indexes = record
+        for name, columns, pages, row_count in tables:
+            meta = TableMeta(
+                name=name,
+                columns=[ColumnMeta(cname, ctype) for cname, ctype in columns],
+                heap_name=f"{name}_heap",
+            )
+            self.catalog.register_table(meta)
+            heap = HeapFile(self.pool, name=meta.heap_name)
+            heap.restore_pages(pages, row_count)
+            self._tables[name.upper()] = Table(meta, heap)
+        for entry in indexes:
+            (iname, tname, column, kind, parallel, params, pages, row_count, extra) = entry
+            table = self.table(tname)
+            heap = HeapFile(self.pool, name=f"{iname}_idxtab")
+            heap.restore_pages(pages, row_count)
+            if kind == "RTREE":
+                from repro.index.rtree.persist import load_rtree
+                from repro.index.rtree.spatial_index import RTreeIndex
+
+                root, fanout, fill = extra
+                index: DomainIndex = RTreeIndex(
+                    iname, table, column, fanout=int(fanout), fill=float(fill)
+                )
+                index.tree = load_rtree(heap, root, int(fanout))
+            elif kind == "QUADTREE":
+                from repro.index.quadtree.persist import load_quadtree
+
+                domain, tiling_level, btree_order = extra
+                index = load_quadtree(
+                    heap,
+                    iname,
+                    table,
+                    column,
+                    domain=domain,
+                    tiling_level=int(tiling_level),
+                    btree_order=int(btree_order),
+                )
+            else:
+                continue
+            index.attach_maintenance()
+            imeta = IndexMeta(
+                name=iname,
+                table_name=tname,
+                column_name=column,
+                index_kind=kind,
+                index_table_name=f"{iname}_idxtab",
+                parameters={k: v for k, v in params},
+                parallel_degree=int(parallel),
+            )
+            self.catalog.register_index(imeta)
+            self._indexes[iname.upper()] = index
+
+    # -- meta page chain -----------------------------------------------
+    def _write_meta_chain(self, blob: bytes) -> None:
+        page_size = self.pool.page_size
+        capacity = page_size - _META_HDR.size
+        chunks = [blob[i : i + capacity] for i in range(0, len(blob), capacity)] or [b""]
+        while len(self._meta_pages) < len(chunks):
+            self._meta_pages.append(self.pool.allocate())
+        # Extra pages from a previously larger snapshot are simply orphaned
+        # (the repo's storage layer reclaims no space anywhere).
+        self._meta_pages = self._meta_pages[: len(chunks)]
+        if not self._meta_pages or self._meta_pages[0] != 0:
+            raise StorageError("meta snapshot chain must be rooted at page 0")
+        for i, chunk in enumerate(chunks):
+            next_page = self._meta_pages[i + 1] if i + 1 < len(chunks) else _META_NO_PAGE
+            page = bytearray(page_size)
+            _META_HDR.pack_into(
+                page, 0, _META_MAGIC, next_page, len(chunk), mask_crc(crc32c(chunk))
+            )
+            page[_META_HDR.size : _META_HDR.size + len(chunk)] = chunk
+            self.pool.put(self._meta_pages[i], bytes(page))
+
+    def _read_meta_chain(self) -> Optional[bytes]:
+        blob = bytearray()
+        page_id = 0
+        chain: List[int] = []
+        while page_id != _META_NO_PAGE:
+            page = self.pool.get(page_id)
+            magic, next_page, chunk_len, chunk_crc = _META_HDR.unpack_from(page, 0)
+            if magic != _META_MAGIC:
+                if not chain:
+                    return None  # page 0 never checkpointed: empty store
+                raise StorageError(
+                    f"meta snapshot chain broken at page {page_id} (bad magic)"
+                )
+            chunk = bytes(page[_META_HDR.size : _META_HDR.size + chunk_len])
+            if mask_crc(crc32c(chunk)) != chunk_crc:
+                raise StorageError(
+                    f"meta snapshot page {page_id} failed its checksum"
+                )
+            chain.append(page_id)
+            blob += chunk
+            page_id = next_page
+        self._meta_pages = chain
+        return bytes(blob)
 
     # ------------------------------------------------------------------
     # Statistics

@@ -21,6 +21,7 @@ as with any logical backup.
 
 from __future__ import annotations
 
+import os
 import struct
 from typing import Any, BinaryIO, Dict, List, Tuple
 
@@ -40,7 +41,10 @@ def export_database(db: Database, path: str) -> Dict[str, int]:
     Returns counters: tables, rows, indexes written.
     """
     stats = {"tables": 0, "rows": 0, "indexes": 0}
-    with open(path, "wb") as fh:
+    # Write-to-temp + fsync + atomic rename: a crash mid-export leaves any
+    # previous dump at ``path`` intact instead of a truncated file.
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as fh:
         fh.write(_MAGIC)
         for meta in db.catalog.tables():
             columns = tuple((c.name, c.type_tag) for c in meta.columns)
@@ -70,6 +74,9 @@ def export_database(db: Database, path: str) -> Dict[str, int]:
             )
             stats["indexes"] += 1
         _write_record(fh, ("END",))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
     return stats
 
 

@@ -267,15 +267,18 @@ def _portable_error(exc: BaseException) -> BaseException:
 def _process_worker(worker_id, tasks, task_queue, conn) -> None:
     """Slave-process loop: pull task indices until the ``None`` sentinel.
 
-    Runs in the child.  Results and (last) the accumulated meter counts are
-    sent back over ``conn``; anything that fails to pickle is degraded to an
-    :class:`~repro.errors.EngineError` so the parent always hears back.
+    Runs in the child.  A ``claim`` message precedes each task so the
+    parent knows what was in flight if this process dies; results and
+    (last) the accumulated meter counts follow.  Anything that fails to
+    pickle is degraded to an :class:`~repro.errors.EngineError` so the
+    parent always hears back.
     """
     meter = WorkMeter()
     while True:
         index = task_queue.get()
         if index is None:
             break
+        conn.send(("claim", index, worker_id))
         ctx = WorkerContext(worker_id, meter)
         try:
             payload = ("ok", index, tasks[index](ctx))
@@ -307,6 +310,14 @@ class ProcessExecutor(ParallelExecutor):
     only their results and meter counts do.  On platforms without the
     ``fork`` start method the run transparently degrades to
     :class:`ThreadExecutor` (same contract, no extra cores).
+
+    A worker that *dies* (killed, segfaulted, OOMed) mid-task does not
+    poison the batch: its in-flight task is requeued and retried on a
+    surviving worker, up to ``max_task_retries`` attempts per task
+    (Oracle restarts failed slave work the same way).  Retries are
+    charged as ``task_retry`` units on the dead worker's meter.  Tasks
+    must therefore be idempotent or side-effect-free, which every
+    table-function partition in this library is.
     """
 
     def __init__(
@@ -314,12 +325,18 @@ class ProcessExecutor(ParallelExecutor):
         degree: int,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         start_method: str = "fork",
+        max_task_retries: int = 1,
     ):
         if degree < 1:
             raise EngineError(f"degree must be >= 1, got {degree}")
+        if max_task_retries < 0:
+            raise EngineError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
         self.degree = degree
         self.cost_model = cost_model
         self.start_method = start_method
+        self.max_task_retries = max_task_retries
 
     def _context(self):
         import multiprocessing
@@ -347,8 +364,9 @@ class ProcessExecutor(ParallelExecutor):
         task_queue = mp.Queue()
         for index in range(len(tasks)):
             task_queue.put(index)
-        for _ in range(nworkers):
-            task_queue.put(None)
+        # Exit sentinels are sent only once every task has a result: a task
+        # requeued after a worker death must reach a survivor before the
+        # survivors are told to shut down.
 
         receivers = {}
         senders = []
@@ -376,8 +394,43 @@ class ProcessExecutor(ParallelExecutor):
         received: set = set()
         errors_by_index: dict = {}
         open_workers = set(receivers)
+        in_flight: dict = {}  # worker_id -> claimed task index
+        retries: dict = {}  # task index -> retry count so far
+        sentinels_sent = False
+
+        def maybe_send_sentinels() -> None:
+            nonlocal sentinels_sent
+            if not sentinels_sent and len(received) == len(tasks):
+                for _ in range(nworkers):
+                    task_queue.put(None)
+                sentinels_sent = True
+
+        def reap_dead_worker(worker_id: int) -> None:
+            """A worker's pipe hit EOF without a final meter: it died.
+
+            Its claimed task (if unresolved) is requeued for a survivor,
+            bounded by ``max_task_retries``; with no survivors or no
+            retries left, the task is marked failed.
+            """
+            open_workers.discard(worker_id)
+            index = in_flight.pop(worker_id, None)
+            if index is None or index in received:
+                return
+            attempts = retries.get(index, 0)
+            if attempts < self.max_task_retries and open_workers:
+                retries[index] = attempts + 1
+                meters[worker_id].add("task_retry", 1)
+                task_queue.put(index)
+                return
+            errors_by_index[index] = EngineError(
+                f"parallel worker died before completing task {index}"
+                + (f" (after {attempts + 1} attempts)" if attempts else "")
+            )
+            received.add(index)
+
         try:
             while open_workers:
+                maybe_send_sentinels()
                 ready = conn_wait(
                     [receivers[w] for w in open_workers], timeout=1.0
                 )
@@ -388,7 +441,7 @@ class ProcessExecutor(ParallelExecutor):
                     for w in dead:
                         if receivers[w].poll(0):
                             continue  # unread messages remain; drain first
-                        open_workers.discard(w)
+                        reap_dead_worker(w)
                     continue
                 conn_to_worker = {receivers[w]: w for w in open_workers}
                 for conn in ready:
@@ -396,17 +449,33 @@ class ProcessExecutor(ParallelExecutor):
                     try:
                         kind, key, value = conn.recv()
                     except EOFError:
-                        open_workers.discard(worker_id)
+                        reap_dead_worker(worker_id)
                         continue
-                    if kind == "ok":
-                        results[key] = value
+                    if kind == "claim":
+                        in_flight[worker_id] = key
+                    elif kind == "ok":
+                        if key not in received:  # first completion wins
+                            results[key] = value
                         received.add(key)
+                        in_flight.pop(worker_id, None)
                     elif kind == "err":
-                        errors_by_index[key] = value
+                        errors_by_index.setdefault(key, value)
                         received.add(key)
+                        in_flight.pop(worker_id, None)
                     else:  # "meter": the worker's final message
-                        meters[key].counts = dict(value)
+                        for kind, n in value.items():
+                            meters[key].add(kind, n)
                         open_workers.discard(worker_id)
+            # Every worker died with tasks still unresolved (e.g. the queue
+            # holds requeued work nobody survives to pull).
+            for index in sorted(set(range(len(tasks))) - received):
+                errors_by_index.setdefault(
+                    index,
+                    EngineError(
+                        f"parallel worker died before completing task {index}"
+                    ),
+                )
+                received.add(index)
         finally:
             for proc in procs:
                 proc.join(timeout=5.0)
@@ -416,14 +485,6 @@ class ProcessExecutor(ParallelExecutor):
             task_queue.cancel_join_thread()
         elapsed = time.perf_counter() - started
 
-        missing = set(range(len(tasks))) - received
-        for index in sorted(missing):
-            errors_by_index.setdefault(
-                index,
-                EngineError(
-                    f"parallel worker died before completing task {index}"
-                ),
-            )
         _raise_collected(
             [errors_by_index[i] for i in sorted(errors_by_index)]
         )

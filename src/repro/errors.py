@@ -36,6 +36,22 @@ class RowIdError(StorageError):
     """A rowid does not reference a live row."""
 
 
+class ChecksumError(StorageError):
+    """A page's stored checksum does not match its content (torn page)."""
+
+
+class WalError(StorageError):
+    """Write-ahead log failure (bad header, malformed record, misuse)."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery cannot restore a consistent state."""
+
+
+class FaultError(StorageError):
+    """Base class for errors injected by the fault-injection harness."""
+
+
 class BTreeError(StorageError):
     """B-tree structural failure or misuse."""
 
@@ -94,3 +110,17 @@ class ServerError(ReproError):
 
 class ProtocolError(ServerError):
     """Malformed or oversized wire message."""
+
+
+class RetriableError(ServerError):
+    """A request failed in a way the *caller* may safely retry.
+
+    Raised by the client when an operation cannot be retried transparently
+    (e.g. a mid-stream fetch hit backpressure: replaying it could skip or
+    duplicate rows), or when automatic retries were exhausted.  Carries the
+    originating wire ``code`` when one exists.
+    """
+
+    def __init__(self, message: str, code: str = "RETRIABLE"):
+        super().__init__(message)
+        self.code = code

@@ -56,7 +56,10 @@ def load_quadtree(
     )
     items: List[Tuple[Tuple[int, RowId], bool]] = []
     for _rid, record in heap.scan():
-        code, rowid, interior = decode_row(record)
+        values = decode_row(record)
+        if len(values) != 3:
+            raise IndexBuildError("index table row is not a (code, rowid, flag) tile")
+        code, rowid, interior = values
         if not isinstance(code, int) or not isinstance(rowid, RowId):
             raise IndexBuildError("index table row is not a (code, rowid, flag) tile")
         items.append(((code, rowid), bool(interior)))

@@ -28,45 +28,77 @@ def dump_rtree(tree: RTree, heap: HeapFile) -> Tuple[RowId, int]:
     Returns ``(root_pointer, node_count)``; the root pointer is the rowid
     of the root's row and belongs in the index metadata (the catalog's
     ``parameters['root']``).
-    """
-    node_rowids: Dict[int, RowId] = {}
 
-    def dump(node: RTreeNode) -> RowId:
+    Traversal is iterative (explicit stack), not recursive: a durable
+    checkpoint must be able to dump a tree of any height, and Python's
+    recursion limit is an arbitrary one to corrupt a checkpoint against.
+    """
+    # Pre-order discovery, then reversed processing: every child appears
+    # after its parent in ``order``, so walking it backwards guarantees a
+    # child's rowid exists before its parent's row is encoded.
+    order: List[RTreeNode] = []
+    stack: List[RTreeNode] = [tree.root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for e in node.entries:
+            if e.child is not None:
+                stack.append(e.child)
+
+    node_rowids: Dict[int, RowId] = {}
+    for node in reversed(order):
         entry_values: List[Tuple] = []
         for e in node.entries:
             if e.child is not None:
-                child_rid = dump(e.child)
-                entry_values.append((e.mbr, "NODE", child_rid))
+                entry_values.append((e.mbr, "NODE", node_rowids[e.child.node_id]))
             else:
                 assert e.rowid is not None
                 entry_values.append((e.mbr, "ROW", e.rowid))
         record = encode_row((node.level, tuple(entry_values)))
-        rid = heap.insert(record)
-        node_rowids[node.node_id] = rid
-        return rid
-
-    root_rid = dump(tree.root)
-    return root_rid, len(node_rowids)
+        node_rowids[node.node_id] = heap.insert(record)
+    return node_rowids[tree.root.node_id], len(node_rowids)
 
 
 def load_rtree(heap: HeapFile, root_pointer: RowId, fanout: int) -> RTree:
-    """Rebuild an R-tree from its index-table rows."""
+    """Rebuild an R-tree from its index-table rows (iteratively)."""
+    specs: Dict[RowId, Tuple[int, Tuple]] = {}
+    order: List[RowId] = []
+    stack: List[RowId] = [root_pointer]
+    while stack:
+        rid = stack.pop()
+        if rid in specs:
+            # A rowid reachable twice would mean a cycle or shared subtree;
+            # visiting it once keeps the load terminating either way.
+            continue
+        record = decode_row(heap.read(rid))
+        if len(record) != 2:
+            raise IndexBuildError(f"index table row {rid} is not a (level, entries) node")
+        level, entry_values = record
+        specs[rid] = (level, entry_values)
+        order.append(rid)
+        for entry in entry_values:
+            if len(entry) != 3:
+                raise IndexBuildError(f"malformed entry in index table row {rid}")
+            _mbr, kind, target = entry
+            if kind == "NODE":
+                stack.append(target)
 
-    def load(rid: RowId) -> RTreeNode:
-        level, entry_values = decode_row(heap.read(rid))
+    nodes: Dict[RowId, RTreeNode] = {}
+    for rid in reversed(order):
+        level, entry_values = specs[rid]
         entries: List[Entry] = []
         for mbr, kind, target in entry_values:
             if not isinstance(mbr, MBR):
                 raise IndexBuildError("index table row holds a non-MBR entry bound")
             if kind == "NODE":
-                entries.append(Entry(mbr, child=load(target)))
+                entries.append(Entry(mbr, child=nodes[target]))
             elif kind == "ROW":
                 entries.append(Entry(mbr, rowid=target))
             else:
                 raise IndexBuildError(f"unknown entry kind {kind!r} in index table")
-        return RTreeNode(level=level, entries=entries)
+        nodes[rid] = RTreeNode(level=level, entries=entries)
 
     tree = RTree(fanout=fanout)
-    tree.root = load(root_pointer)
+    tree.root = nodes[root_pointer]
     tree._size = sum(1 for _ in tree.leaf_entries())  # noqa: SLF001
     return tree

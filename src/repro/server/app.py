@@ -64,6 +64,7 @@ class SpatialQueryServer:
         service: Optional[QueryService] = None,
     ):
         self.service = service if service is not None else QueryService(db)
+        self.db = db
         self.host = host
         self.port = port  # replaced by the bound port after start()
         self.max_inflight = max_inflight
@@ -202,6 +203,16 @@ class SpatialQueryServer:
         assert self._loop is not None
         return await self._loop.run_in_executor(self._pool, fn, *args)
 
+    def _storage_stats(self) -> Dict[str, Any]:
+        """The engine's storage counters (WAL bytes, recovery work), if any."""
+        stats = getattr(self.db, "storage_stats", None)
+        if stats is None:
+            return {}
+        try:
+            return stats()
+        except Exception:  # pragma: no cover - stats must never break serving
+            return {}
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -221,7 +232,10 @@ class SpatialQueryServer:
         if op == "stats":
             self.metrics.record_request(op, ok=True)
             return protocol.ok_response(
-                request_id, stats=self.metrics.snapshot(len(self._sessions))
+                request_id,
+                stats=self.metrics.snapshot(
+                    len(self._sessions), storage=self._storage_stats()
+                ),
             )
 
         # Admission control: bound the work queued behind the bridge.

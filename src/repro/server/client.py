@@ -11,14 +11,25 @@ mode, the server benchmark and the CI smoke test.  A
         })
         for pair in session.rows(page=512):   # start / fetch(n) / close
             ...
+
+Transient failures are retried with exponential backoff + jitter (see
+:meth:`QueryClient.request`): ``OVERLOADED`` rejections always (the
+server's admission control explicitly invites a retry, and rejecting a
+request changes no server state), connection loss only while the client
+holds **no** live sessions — a reconnect after a reset silently destroys
+every server-side session the connection owned, so mid-stream resets
+surface as a typed :class:`~repro.errors.RetriableError` and the caller
+decides whether to restart the query from the top.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import ProtocolError, ServerError
+from repro.errors import ProtocolError, RetriableError, ServerError
 from repro.server import protocol
 
 __all__ = ["RemoteError", "RemoteSession", "QueryClient"]
@@ -41,14 +52,93 @@ class QueryClient:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        jitter: float = 0.25,
+        rng: Optional[random.Random] = None,
     ):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(1, int(retries))
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
         self._next_id = 0
+        self._live_sessions: set = set()
+        self.retry_count = 0  # observable: how many attempts were retried
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        delay = min(self.backoff * (2.0 ** attempt), self.backoff_cap)
+        # Full jitter fraction: desynchronises a herd of rejected clients.
+        delay *= 1.0 + self.jitter * self._rng.random()
+        time.sleep(delay)
 
     # ------------------------------------------------------------------
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one request and wait for its response (raises RemoteError)."""
+        """Send one request and wait for its response (raises RemoteError).
+
+        Retries up to ``retries`` attempts on ``OVERLOADED`` and — only
+        with no live sessions — on connection loss (reconnecting first).
+        Connection loss while sessions are open raises
+        :class:`~repro.errors.RetriableError` instead: the sessions are
+        gone server-side and silently retrying a mid-stream fetch would
+        skip or duplicate rows.
+        """
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retries):
+            try:
+                return self._request_once(op, fields)
+            except RemoteError as exc:
+                if (
+                    exc.code != protocol.ERR_OVERLOADED
+                    or attempt == self.retries - 1
+                ):
+                    raise
+                last_exc = exc
+            except (ProtocolError, OSError) as exc:
+                if self._live_sessions:
+                    lost = len(self._live_sessions)
+                    # The client object stays usable: the dead sessions are
+                    # forgotten and the next request reconnects.
+                    self._live_sessions.clear()
+                    self._disconnect()
+                    raise RetriableError(
+                        f"connection lost with {lost} live session(s) "
+                        f"({exc}); the server has dropped them — restart "
+                        "the query to retry",
+                        code="CONNECTION_LOST",
+                    ) from exc
+                if attempt == self.retries - 1:
+                    raise
+                last_exc = exc
+                self._disconnect()  # next attempt reconnects lazily
+            self.retry_count += 1
+            self._backoff_sleep(attempt)
+        raise last_exc if last_exc is not None else ProtocolError(
+            "request retries exhausted"
+        )
+
+    def _disconnect(self) -> None:
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._sock = None
+        self._file = None
+
+    def _request_once(self, op: str, fields: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            self._connect()
         self._next_id += 1
         message = {"id": self._next_id, "op": op}
         message.update(fields)
@@ -94,21 +184,30 @@ class QueryClient:
         if deadline_ms is not None:
             fields["deadline_ms"] = deadline_ms
         response = self.request("start", **fields)
-        extra = {
-            k: v
-            for k, v in response.items()
-            if k not in ("id", "ok", "session")
-        }
-        return RemoteSession(self, response["session"], extra)
+        self._live_sessions.add(response["session"])
+        return RemoteSession(
+            self,
+            response["session"],
+            {
+                k: v
+                for k, v in response.items()
+                if k not in ("id", "ok", "session")
+            },
+        )
 
     def fetch(self, session_id: str, n: int) -> Tuple[List[Any], bool]:
         response = self.request("fetch", session=session_id, n=n)
         return response["rows"], bool(response["eof"])
 
     def close_session(self, session_id: str) -> Dict[str, Any]:
-        return self.request("close", session=session_id).get("summary", {})
+        try:
+            return self.request("close", session=session_id).get("summary", {})
+        finally:
+            self._live_sessions.discard(session_id)
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._file.close()
         finally:

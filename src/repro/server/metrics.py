@@ -131,7 +131,14 @@ class ServerMetrics:
             self.sessions[event] = self.sessions.get(event, 0) + n
 
     # ------------------------------------------------------------------
-    def snapshot(self, active_sessions: int = 0) -> Dict[str, Any]:
+    def snapshot(
+        self,
+        active_sessions: int = 0,
+        storage: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """All counters; ``storage`` (the engine's ``storage_stats()``)
+        rides along under its own key so operators see WAL volume and
+        crash-recovery work next to the serving metrics."""
         with self._lock:
             queries = {}
             for kind, hist in self._latency.items():
@@ -152,4 +159,5 @@ class ServerMetrics:
                     for kind, m in self._meters.items()
                 },
                 "sessions": dict(self.sessions, active=active_sessions),
+                "storage": dict(storage) if storage is not None else {},
             }

@@ -1,11 +1,27 @@
-"""Storage substrate: pages, buffer cache, heaps, B+-tree, catalog."""
+"""Storage substrate: pages, buffer cache, heaps, B+-tree, catalog, WAL."""
 
 from repro.storage.btree import BPlusTree
 from repro.storage.buffer import BufferPool, BufferStats
 from repro.storage.catalog import Catalog, ColumnMeta, IndexMeta, TableMeta
+from repro.storage.checksum import crc32c, mask_crc, unmask_crc
 from repro.storage.codec import decode_row, decode_value, encode_row, encode_value
+from repro.storage.fault import (
+    CrashPoint,
+    FaultPlan,
+    FaultyFile,
+    FaultyPager,
+    InjectedIOError,
+)
 from repro.storage.heap import HeapFile, RowId
-from repro.storage.pager import PAGE_SIZE, FilePager, MemoryPager, Pager, PagerStats
+from repro.storage.pager import (
+    PAGE_SIZE,
+    FilePager,
+    MemoryPager,
+    Pager,
+    PagerStats,
+    fsync_file,
+)
+from repro.storage.wal import RecoveryInfo, WalPager, WriteAheadLog
 
 __all__ = [
     "PAGE_SIZE",
@@ -13,6 +29,7 @@ __all__ = [
     "MemoryPager",
     "FilePager",
     "PagerStats",
+    "fsync_file",
     "BufferPool",
     "BufferStats",
     "HeapFile",
@@ -26,4 +43,15 @@ __all__ = [
     "ColumnMeta",
     "TableMeta",
     "IndexMeta",
+    "crc32c",
+    "mask_crc",
+    "unmask_crc",
+    "WriteAheadLog",
+    "WalPager",
+    "RecoveryInfo",
+    "CrashPoint",
+    "InjectedIOError",
+    "FaultPlan",
+    "FaultyFile",
+    "FaultyPager",
 ]

@@ -123,8 +123,16 @@ class BufferPool:
             self._frames.move_to_end(page_id)
 
     def flush(self) -> None:
-        """Write every dirty frame back to the pager."""
-        for page_id, frame in self._frames.items():
+        """Write every dirty frame back to the pager.
+
+        Dirty pages are written in ascending page-id order (not LRU order)
+        so the physical write sequence is a pure function of the dirty set:
+        fault-injection replay counts on write N of a flush always being
+        the same page, and a sequential sweep is the friendlier pattern for
+        a real disk anyway.
+        """
+        for page_id in sorted(self._frames):
+            frame = self._frames[page_id]
             if frame.dirty:
                 self._pager.write(page_id, bytes(frame.data))
                 frame.dirty = False

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PageError, RowIdError, StorageError
 from repro.storage.buffer import BufferPool
@@ -155,6 +155,30 @@ class HeapFile:
     def rowids(self) -> Iterator[RowId]:
         for rowid, _record in self.scan():
             yield rowid
+
+    # ------------------------------------------------------------------
+    # Persistence (page-list snapshot)
+    # ------------------------------------------------------------------
+    def pages_snapshot(self) -> Tuple[Tuple[int, ...], int]:
+        """The heap's durable identity: its page list and row count.
+
+        A heap is fully described by which pager pages it owns (overflow
+        pages are reachable from pointers inside those pages); the
+        database's checkpoint stores this tuple in its meta snapshot so
+        :meth:`restore_pages` can rebind the heap after reopening.
+        """
+        return tuple(self._pages), self._row_count
+
+    def restore_pages(self, pages: Sequence[int], row_count: int) -> None:
+        """Rebind this (empty) heap to an existing page list."""
+        if self._pages:
+            raise StorageError(
+                f"heap {self.name!r} already owns pages; restore needs a fresh heap"
+            )
+        self._pages = list(pages)
+        self._page_index = {pid: i for i, pid in enumerate(self._pages)}
+        self._free_candidates = set()
+        self._row_count = row_count
 
     # ------------------------------------------------------------------
     # Payload framing (inline vs overflow)

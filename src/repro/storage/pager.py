@@ -17,13 +17,35 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import PageError
 
-__all__ = ["PAGE_SIZE", "PagerStats", "Pager", "MemoryPager", "FilePager"]
+__all__ = [
+    "PAGE_SIZE",
+    "PagerStats",
+    "Pager",
+    "MemoryPager",
+    "FilePager",
+    "fsync_file",
+]
 
 PAGE_SIZE = 4096
+
+
+def fsync_file(fh) -> None:
+    """Flush Python buffers and force ``fh`` to stable storage.
+
+    File-like wrappers (e.g. the fault-injection harness's
+    :class:`~repro.storage.fault.FaultyFile`) expose a ``sync()`` method so
+    they can observe/drop the fsync; plain files fall back to ``os.fsync``.
+    """
+    sync = getattr(fh, "sync", None)
+    if sync is not None:
+        sync()
+        return
+    fh.flush()
+    os.fsync(fh.fileno())
 
 
 @dataclass
@@ -114,24 +136,47 @@ class FilePager(Pager):
     """Single-file page store.
 
     The file is a dense array of pages; page id N starts at byte
-    ``N * page_size``.  Durability is best-effort (`flush` calls
-    ``os.fsync``); there is no write-ahead log — crash recovery is out of
-    scope for the reproduction, which matches the paper's focus (it relies
-    on Oracle's recovery, which we do not re-implement).
+    ``N * page_size``.  On its own the backend offers only best-effort
+    durability (``flush`` forces an fsync, and ``close`` flushes first so a
+    clean shutdown never leaves dirty OS buffers behind); crash safety —
+    write-ahead logging, page checksums, recovery — is layered on top by
+    :class:`~repro.storage.wal.WalPager`, which supplies what the paper's
+    system got for free from Oracle's recovery subsystem.
+
+    ``opener`` lets the fault-injection harness substitute a faulty file
+    (torn writes, dropped fsyncs, injected EIO) for the real one.
+    ``strict=False`` tolerates a file whose size is not a page multiple —
+    the signature of a torn append — by padding the partial tail page with
+    zeros on read; recovery opens files this way so a torn page is
+    *detected* by its checksum instead of refusing to open at all.
     """
 
-    def __init__(self, path: str, page_size: int = PAGE_SIZE):
+    def __init__(
+        self,
+        path: str,
+        page_size: int = PAGE_SIZE,
+        strict: bool = True,
+        opener: Optional[Callable[[str, str], object]] = None,
+    ):
         super().__init__(page_size)
         self._path = path
+        open_file = opener if opener is not None else open
         exists = os.path.exists(path)
-        self._file = open(path, "r+b" if exists else "w+b")
+        self._file = open_file(path, "r+b" if exists else "w+b")
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
         if size % page_size != 0:
-            raise PageError(
-                f"file {path} size {size} is not a multiple of page size {page_size}"
-            )
-        self._num_pages = size // page_size
+            if strict:
+                raise PageError(
+                    f"file {path} size {size} is not a multiple of page size {page_size}"
+                )
+            self._num_pages = size // page_size + 1
+        else:
+            self._num_pages = size // page_size
+
+    @property
+    def path(self) -> str:
+        return self._path
 
     def allocate(self) -> int:
         page_id = self._num_pages
@@ -147,7 +192,8 @@ class FilePager(Pager):
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
         if len(data) != self.page_size:
-            raise PageError(f"short read on page {page_id}")
+            # Only possible for a torn tail page under strict=False.
+            data = data + bytes(self.page_size - len(data))
         return data
 
     def write(self, page_id: int, data: bytes) -> None:
@@ -162,11 +208,13 @@ class FilePager(Pager):
         return self._num_pages
 
     def flush(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        fsync_file(self._file)
 
     def close(self) -> None:
-        self._file.close()
+        try:
+            self.flush()
+        finally:
+            self._file.close()
 
     def _check_id(self, page_id: int) -> None:
         if not 0 <= page_id < self._num_pages:
