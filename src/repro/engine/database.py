@@ -558,7 +558,16 @@ class Database:
         blob = bytearray()
         page_id = 0
         chain: List[int] = []
+        seen: set = set()
         while page_id != _META_NO_PAGE:
+            # A corrupted next-pointer can form a loop of pages whose magic
+            # and checksums are individually valid; without a guard, open()
+            # would spin forever instead of reporting the corruption.
+            if page_id in seen or len(chain) >= self.pool.pager.num_pages:
+                raise StorageError(
+                    f"meta snapshot chain is cyclic or overlong at page {page_id}"
+                )
+            seen.add(page_id)
             page = self.pool.get(page_id)
             magic, next_page, chunk_len, chunk_crc = _META_HDR.unpack_from(page, 0)
             if magic != _META_MAGIC:

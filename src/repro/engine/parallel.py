@@ -397,6 +397,7 @@ class ProcessExecutor(ParallelExecutor):
         in_flight: dict = {}  # worker_id -> claimed task index
         retries: dict = {}  # task index -> retry count so far
         sentinels_sent = False
+        suspect_losses = 0  # dead workers that may hold an unclaimed task
 
         def maybe_send_sentinels() -> None:
             nonlocal sentinels_sent
@@ -405,28 +406,44 @@ class ProcessExecutor(ParallelExecutor):
                     task_queue.put(None)
                 sentinels_sent = True
 
+        def requeue_or_fail(index: int, worker_id: Optional[int]) -> None:
+            """Retry ``index`` on a survivor, or mark it failed."""
+            attempts = retries.get(index, 0)
+            if attempts < self.max_task_retries and open_workers:
+                retries[index] = attempts + 1
+                meters[worker_id if worker_id is not None else 0].add(
+                    "task_retry", 1
+                )
+                task_queue.put(index)
+                return
+            errors_by_index.setdefault(
+                index,
+                EngineError(
+                    f"parallel worker died before completing task {index}"
+                    + (f" (after {attempts + 1} attempts)" if attempts else "")
+                ),
+            )
+            received.add(index)
+
         def reap_dead_worker(worker_id: int) -> None:
             """A worker's pipe hit EOF without a final meter: it died.
 
             Its claimed task (if unresolved) is requeued for a survivor,
             bounded by ``max_task_retries``; with no survivors or no
-            retries left, the task is marked failed.
+            retries left, the task is marked failed.  A dead worker with
+            *no* claim on record may have dequeued a task it never got to
+            announce — that task is gone from the queue with no trace, so
+            remember the possibility for the stall detector below.
             """
+            nonlocal suspect_losses
             open_workers.discard(worker_id)
             index = in_flight.pop(worker_id, None)
-            if index is None or index in received:
+            if index is None:
+                suspect_losses += 1
                 return
-            attempts = retries.get(index, 0)
-            if attempts < self.max_task_retries and open_workers:
-                retries[index] = attempts + 1
-                meters[worker_id].add("task_retry", 1)
-                task_queue.put(index)
+            if index in received:
                 return
-            errors_by_index[index] = EngineError(
-                f"parallel worker died before completing task {index}"
-                + (f" (after {attempts + 1} attempts)" if attempts else "")
-            )
-            received.add(index)
+            requeue_or_fail(index, worker_id)
 
         try:
             while open_workers:
@@ -442,6 +459,19 @@ class ProcessExecutor(ParallelExecutor):
                         if receivers[w].poll(0):
                             continue  # unread messages remain; drain first
                         reap_dead_worker(w)
+                    if suspect_losses and open_workers:
+                        # A dead worker may have dequeued a task it never
+                        # claimed: nothing would ever resolve it and the
+                        # survivors would block on the queue forever.  After
+                        # a silent second, requeue every unresolved task no
+                        # live worker has claimed.  Tasks are idempotent and
+                        # first-completion-wins, so a requeue racing a copy
+                        # still sitting in the queue is benign.
+                        claimed = set(in_flight.values())
+                        for index in range(len(tasks)):
+                            if index not in received and index not in claimed:
+                                requeue_or_fail(index, None)
+                        suspect_losses = 0
                     continue
                 conn_to_worker = {receivers[w]: w for w in open_workers}
                 for conn in ready:

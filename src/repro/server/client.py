@@ -92,7 +92,11 @@ class QueryClient:
         Connection loss while sessions are open raises
         :class:`~repro.errors.RetriableError` instead: the sessions are
         gone server-side and silently retrying a mid-stream fetch would
-        skip or duplicate rows.
+        skip or duplicate rows.  A *timeout* is never retried
+        transparently either, even with no sessions: the server may have
+        executed the request and only the response was lost, so re-sending
+        a state-creating op such as ``start`` would duplicate it — a
+        ``RetriableError(code="TIMEOUT")`` is raised instead.
         """
         last_exc: Optional[BaseException] = None
         for attempt in range(self.retries):
@@ -117,6 +121,19 @@ class QueryClient:
                         f"({exc}); the server has dropped them — restart "
                         "the query to retry",
                         code="CONNECTION_LOST",
+                    ) from exc
+                if isinstance(exc, socket.timeout):
+                    # A timeout is not a rejection: the server may have
+                    # executed the request (a 'start' would have created a
+                    # session) and only the response was slow or lost.
+                    # Re-sending would silently duplicate the work, so
+                    # surface it and let the caller decide.
+                    self._disconnect()
+                    raise RetriableError(
+                        f"request '{op}' timed out awaiting a response; the "
+                        "server may have executed it — not retried "
+                        "automatically",
+                        code="TIMEOUT",
                     ) from exc
                 if attempt == self.retries - 1:
                     raise

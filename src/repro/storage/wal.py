@@ -383,6 +383,14 @@ class WalPager(Pager):
             self._inner.allocate()
         grown = max(len(self._checksums), self._num_pages)
         checksums = self._checksums + [0] * (grown - len(self._checksums))
+        # Pages beyond the old sidecar that this checkpoint does not rewrite
+        # (the sidecar was absent/unreadable, or the file predates
+        # durability="wal") must be sealed with the checksum of their
+        # *current* content — a placeholder would make every later read of
+        # a perfectly healthy page fail, with no log image to repair from.
+        for page_id in range(len(self._checksums), grown):
+            if page_id not in self._table:
+                checksums[page_id] = mask_crc(crc32c(self._inner.read(page_id)))
         for page_id in sorted(self._table):
             data = self._table[page_id]
             image = data if data is not None else bytes(self.page_size)
@@ -424,6 +432,8 @@ class WalPager(Pager):
         if len(blob) < head_len + _U32.size or not blob.startswith(_CHK_MAGIC):
             return []  # unreadable sidecar: treat every page as unverified
         page_size, count = _CHK_HDR.unpack_from(blob, len(_CHK_MAGIC))
+        if len(blob) < head_len + count * _U32.size + _U32.size:
+            return []  # truncated/bit-flipped count: sidecar is unusable
         body = blob[head_len : head_len + count * _U32.size]
         (stored_crc,) = _U32.unpack_from(blob, head_len + count * _U32.size)
         if (

@@ -3,10 +3,12 @@ aggregation under concurrent failure mixes."""
 
 import os
 import threading
+import time
 
 import pytest
 
 from repro.errors import EngineError
+from repro.engine import parallel as parallel_mod
 from repro.engine.parallel import ProcessExecutor, ThreadExecutor
 
 
@@ -73,6 +75,38 @@ class TestDeadWorkerRequeue:
         run = ProcessExecutor(3).run(tasks)
         assert run.results[3] == "survived"
         assert [r for i, r in enumerate(run.results) if i != 3] == list(range(8))
+
+
+_REAL_WORKER = parallel_mod._process_worker
+
+
+def _steal_and_die_worker(worker_id, tasks, task_queue, conn):
+    """Worker 0 dequeues a task and dies *before* sending its claim — the
+    window where the parent has no in-flight record of what was lost."""
+    if worker_id == 0:
+        task_queue.get()
+        os._exit(17)
+    _REAL_WORKER(worker_id, tasks, task_queue, conn)
+
+
+def _slow_value_task(n):
+    def task(ctx):
+        time.sleep(0.05)  # keep the queue busy until worker 0 steals
+        ctx.charge("mbr_test", 1)
+        return n
+
+    return task
+
+
+class TestUnclaimedTaskLoss:
+    def test_task_lost_before_claim_is_recovered(self, monkeypatch):
+        # Pre-fix, the stolen task was never requeued: the survivor blocked
+        # on the empty queue and the run hung forever.
+        monkeypatch.setattr(parallel_mod, "_process_worker", _steal_and_die_worker)
+        run = ProcessExecutor(2).run([_slow_value_task(n) for n in range(4)])
+        assert run.results == list(range(4))
+        retries = sum(m.counts.get("task_retry", 0) for m in run.worker_meters)
+        assert retries >= 1
 
 
 def boom(ctx):

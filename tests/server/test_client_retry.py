@@ -26,7 +26,8 @@ class ScriptedServer:
     """A tiny JSON-lines server that answers from a fixed script.
 
     Script items: ``"overloaded"`` (error reply), ``"drop"`` (close the
-    connection without replying — a reset), ``"ok"`` (pong reply), or a
+    connection without replying — a reset), ``"stall"`` (never reply, hold
+    the connection open — a lost response), ``"ok"`` (pong reply), or a
     dict merged into an ok reply.  An exhausted script answers ``ok``.
     """
 
@@ -53,26 +54,40 @@ class ScriptedServer:
                 return
             self.connections += 1
             with conn:
+                # The makefile handle holds an io-ref on the socket: it must
+                # be closed too, or "drop" leaves the fd open and the client
+                # hangs until its timeout instead of seeing the EOF.
                 fh = conn.makefile("rwb")
-                while not self._stop:
-                    line = fh.readline()
-                    if not line:
-                        break
-                    request = protocol.decode_line(line)
-                    self.seen.append(request.get("op"))
-                    action = self.script.popleft() if self.script else "ok"
-                    if action == "drop":
-                        break
-                    if action == "overloaded":
-                        response = protocol.error_response(
-                            request["id"], ERR_OVERLOADED, "at capacity"
-                        )
-                    else:
-                        response = protocol.ok_response(request["id"], pong=True)
-                        if isinstance(action, dict):
-                            response.update(action)
-                    fh.write(protocol.encode(response))
-                    fh.flush()
+                try:
+                    self._converse(fh)
+                finally:
+                    try:
+                        fh.close()
+                    except OSError:
+                        pass
+
+    def _converse(self, fh):
+        while not self._stop:
+            line = fh.readline()
+            if not line:
+                return
+            request = protocol.decode_line(line)
+            self.seen.append(request.get("op"))
+            action = self.script.popleft() if self.script else "ok"
+            if action == "drop":
+                return
+            if action == "stall":
+                continue  # swallow the request; never answer
+            if action == "overloaded":
+                response = protocol.error_response(
+                    request["id"], ERR_OVERLOADED, "at capacity"
+                )
+            else:
+                response = protocol.ok_response(request["id"], pong=True)
+                if isinstance(action, dict):
+                    response.update(action)
+            fh.write(protocol.encode(response))
+            fh.flush()
 
     def close(self):
         self._stop = True
@@ -97,11 +112,11 @@ def scripted():
         server.close()
 
 
-def fast_client(port, retries=3):
+def fast_client(port, retries=3, timeout=30.0):
     # Microscopic seeded backoff: retry tests stay fast and deterministic.
     return QueryClient(
-        port=port, retries=retries, backoff=0.001, jitter=0.25,
-        rng=random.Random(7),
+        port=port, retries=retries, timeout=timeout, backoff=0.001,
+        jitter=0.25, rng=random.Random(7),
     )
 
 
@@ -169,6 +184,21 @@ class TestReconnect:
             assert "live session" in str(info.value)
             # The dead session was forgotten: the client object survives
             # and the next request reconnects with a clean slate.
+            assert c.ping()
+        assert server.connections == 2
+
+    def test_timeout_is_never_silently_retried(self, scripted):
+        # A timed-out request may have been *executed* (only the response
+        # was slow or lost): re-sending a 'start' would leak a server-side
+        # session, so the client must surface the timeout even with
+        # attempts to spare and no live sessions.
+        server = scripted(["stall", "ok"])
+        with fast_client(server.port, retries=5, timeout=0.2) as c:
+            with pytest.raises(RetriableError) as info:
+                c.ping()
+            assert info.value.code == "TIMEOUT"
+            assert c.retry_count == 0
+            # The client object survives; the next request reconnects.
             assert c.ping()
         assert server.connections == 2
 

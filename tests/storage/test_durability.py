@@ -140,6 +140,31 @@ class TestStorageStats:
             db.close()
 
 
+class TestMetaChainCorruption:
+    def test_cyclic_meta_chain_raises_instead_of_hanging(self, tmp_path):
+        # Corrupt page 0's next-pointer into a self-loop.  The page's magic
+        # and chunk checksum stay valid (the CRC covers only the chunk), so
+        # without a cycle guard open() would follow the chain forever.
+        import struct
+
+        from repro.errors import StorageError
+
+        path = str(tmp_path / "db.pages")
+        db = Database.open(path, durability="none", page_size=PAGE)
+        populate(db, rows=4)
+        db.close()
+
+        with open(path, "r+b") as fh:
+            head = bytearray(fh.read(16))
+            magic, _next, chunk_len, chunk_crc = struct.unpack_from("<IIII", head)
+            struct.pack_into("<IIII", head, 0, magic, 0, chunk_len, chunk_crc)
+            fh.seek(0)
+            fh.write(head)
+
+        with pytest.raises(StorageError, match="cyclic or overlong"):
+            Database.open(path, durability="none", page_size=PAGE)
+
+
 class TestOpenValidation:
     def test_unknown_mode_rejected(self, tmp_path):
         with pytest.raises(EngineError, match="durability"):

@@ -199,6 +199,52 @@ class TestWalPager:
         assert reopened.read(pid) == b"z" * PAGE
         reopened.close()
 
+    def test_adopted_store_without_sidecar_stays_readable(self, tmp_path):
+        # A main file that predates durability="wal" (or whose checksum
+        # sidecar was lost) has pages the first checkpoint never rewrites;
+        # their checksums must be sealed from the pages' *current* content,
+        # not a placeholder that poisons every later read.
+        path = str(tmp_path / "db.pages")
+        inner = FilePager(path, page_size=PAGE)
+        for content in (b"a", b"b", b"c"):
+            pid = inner.allocate()
+            inner.write(pid, content * PAGE)
+        inner.close()
+
+        pager = WalPager(FilePager(path, page_size=PAGE), str(tmp_path / "db.wal"))
+        pager.write(1, b"B" * PAGE)  # touch one page only
+        pager.commit()
+        pager.checkpoint()
+        assert pager.read(0) == b"a" * PAGE
+        assert pager.read(2) == b"c" * PAGE
+        pager.close()
+
+        reopened = WalPager(
+            FilePager(path, page_size=PAGE), str(tmp_path / "db.wal")
+        )
+        assert reopened.recovery.torn_pages_detected == 0
+        assert reopened.read(0) == b"a" * PAGE
+        assert reopened.read(1) == b"B" * PAGE
+        assert reopened.read(2) == b"c" * PAGE
+        reopened.close()
+
+    def test_truncated_sidecar_treated_as_unverified(self, tmp_path):
+        pager = make_walpager(tmp_path)
+        pid = pager.allocate()
+        pager.write(pid, b"s" * PAGE)
+        pager.commit()
+        pager.checkpoint()
+        pager.close()
+        chk = tmp_path / "db.wal.chk"
+        blob = bytearray(chk.read_bytes())
+        # Inflate the count field (magic is 10 bytes, page_size u32 next):
+        # the sidecar now claims far more entries than the blob holds.
+        blob[14:18] = (2**31).to_bytes(4, "little")
+        chk.write_bytes(bytes(blob))
+        reopened = make_walpager(tmp_path)  # must not raise struct.error
+        assert reopened.read(pid) == b"s" * PAGE
+        reopened.close()
+
     def test_memory_pager_inner_works(self, tmp_path):
         inner = MemoryPager(page_size=PAGE)
         pager = WalPager(inner, str(tmp_path / "m.wal"))
