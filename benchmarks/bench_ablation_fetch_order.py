@@ -18,6 +18,7 @@ from repro.core.secondary_filter import FetchOrder, JoinPredicate
 from repro.core.spatial_join import SpatialJoinFunction
 
 CACHE_ROWS = 256  # deliberately small so fetch order matters
+RANDOM_SEED = 20030642  # explicit shuffle seed: the RANDOM row is reproducible
 
 
 def run_fetch_order_ablation(workload):
@@ -33,6 +34,7 @@ def run_fetch_order_ablation(workload):
             predicate=JoinPredicate(),
             fetch_order=order,
             cache_capacity=CACHE_ROWS,
+            rng_seed=RANDOM_SEED,
         )
         pairs = collect(fn, ctx)
         if reference is None:

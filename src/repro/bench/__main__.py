@@ -2,7 +2,8 @@
 
 Runs the paper-table regenerators without pytest and prints each table.
 Valid experiment names: table1 table2 table3 figure1 figure2
-ablation_sweep (default: all).  Honours ``REPRO_BENCH_PROFILE=small|paper``.
+ablation_sweep kernels (default: all).  Honours
+``REPRO_BENCH_PROFILE=small|paper``.
 
 Besides the human-readable table, each experiment writes a
 machine-readable ``BENCH_<name>.json`` next to the rendered tables
@@ -32,7 +33,14 @@ EXPERIMENTS = (
     "figure1",
     "figure2",
     "ablation_sweep",
+    "kernels",
 )
+
+# bench_<name>.py files whose runner wants (counties, stars) workloads.
+_COUNTIES_STARS = ("ablation_sweep", "kernels")
+
+# Experiments whose bench file name differs from the experiment name.
+_MODULE_FILES = {"kernels": "ablation_kernels"}
 
 
 def _load_bench_module(name: str):
@@ -77,7 +85,7 @@ def main(argv) -> int:
     counties = stars = blockgroups = None
     for name in names:
         started = time.perf_counter()
-        module = _load_bench_module(name)
+        module = _load_bench_module(_MODULE_FILES.get(name, name))
         if name in ("table1", "figure1"):
             counties = counties or CountiesWorkload.build(prof)
             runner = getattr(module, f"run_{name}")
@@ -85,10 +93,10 @@ def main(argv) -> int:
         elif name == "table2":
             stars = stars or StarsWorkload.build(prof)
             rows = module.run_table2(stars)
-        elif name == "ablation_sweep":
+        elif name in _COUNTIES_STARS:
             counties = counties or CountiesWorkload.build(prof)
             stars = stars or StarsWorkload.build(prof)
-            rows = module.run_ablation_sweep(counties, stars)
+            rows = getattr(module, f"run_{name}")(counties, stars)
         else:  # table3 / figure2
             blockgroups = blockgroups or BlockgroupsWorkload.build(prof)
             runner = getattr(module, f"run_{name}")

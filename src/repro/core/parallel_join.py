@@ -68,6 +68,8 @@ class SpatialJoinFactory:
     strategy: JoinStrategy = JoinStrategy.SWEEP
     use_flat_arrays: bool = True
     use_pair_cursor: bool = False
+    rng_seed: int = 0
+    use_batch: bool = True
 
     def __call__(self, cursor: Cursor) -> SpatialJoinFunction:
         return SpatialJoinFunction(
@@ -84,6 +86,8 @@ class SpatialJoinFactory:
             use_interior=self.use_interior,
             strategy=self.strategy,
             use_flat_arrays=self.use_flat_arrays,
+            rng_seed=self.rng_seed,
+            use_batch=self.use_batch,
         )
 
 
@@ -122,11 +126,15 @@ def spatial_join(
     use_interior: bool = False,
     strategy: JoinStrategy = JoinStrategy.SWEEP,
     use_flat_arrays: bool = True,
+    rng_seed: int = 0,
+    use_batch: bool = True,
 ) -> JoinResult:
     """Serial (single input stream) index-based spatial join.
 
     ``strategy`` selects the primary-filter pairing policy (plane sweep by
     default; ``JoinStrategy.NESTED`` restores the naive double loop).
+    ``rng_seed`` seeds the RANDOM fetch-order shuffle; ``use_batch``
+    toggles the kernels-backed batch secondary filter.
     """
     executor = executor or SerialExecutor()
 
@@ -144,6 +152,8 @@ def spatial_join(
         strategy=strategy,
         use_flat_arrays=use_flat_arrays,
         use_pair_cursor=False,
+        rng_seed=rng_seed,
+        use_batch=use_batch,
     )
 
     run = run_parallel(factory, ListCursor([()]), SerialExecutor(executor.cost_model))
@@ -170,6 +180,8 @@ def parallel_spatial_join(
     use_interior: bool = False,
     strategy: JoinStrategy = JoinStrategy.SWEEP,
     use_flat_arrays: bool = True,
+    rng_seed: int = 0,
+    use_batch: bool = True,
 ) -> JoinResult:
     """Parallel spatial join over subtree-pair decomposition.
 
@@ -207,6 +219,8 @@ def parallel_spatial_join(
         strategy=strategy,
         use_flat_arrays=use_flat_arrays,
         use_pair_cursor=True,
+        rng_seed=rng_seed,
+        use_batch=use_batch,
     )
 
     run = run_parallel(

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import enum
 import math
-import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.engine.parallel import WorkerContext
 from repro.engine.table import Table
+from repro.geometry import kernels
 from repro.geometry.distance import within_distance
 from repro.geometry.geometry import Geometry
 from repro.geometry.interior import interior_rectangle
@@ -83,6 +83,15 @@ class GeometryCache:
             self._entries.popitem(last=False)
         return geom
 
+    def touch(self, table: Table, rowid: RowId) -> None:
+        """Refresh LRU recency of an entry known to be resident.
+
+        No counters or charges — callers that batch-account a run of
+        guaranteed hits use this to keep the eviction order identical to
+        per-candidate fetching.
+        """
+        self._entries.move_to_end((table.name, rowid))
+
     def clear(self) -> None:
         self._entries.clear()
 
@@ -120,6 +129,7 @@ class SecondaryFilter:
         rng_seed: int = 0,
         use_interior: bool = False,
         interior_cache_capacity: Optional[int] = None,
+        use_batch: bool = True,
     ):
         self.table_a = table_a
         self.table_b = table_b
@@ -128,7 +138,17 @@ class SecondaryFilter:
         self.predicate = predicate
         self.fetch_order = fetch_order
         self.cache = GeometryCache(cache_capacity)
-        self._rng = random.Random(rng_seed)
+        # The shuffle RNG is built lazily and only for RANDOM order, from an
+        # explicit seed, so the fetch-order ablation is reproducible and the
+        # common SORTED path pays nothing for it.
+        self.rng_seed = rng_seed
+        self._rng = None
+        # Batch mode drains each run of candidates sharing a first rowid
+        # through the vectorized kernels (one probe geometry, many
+        # candidates).  Charges, statistics, result order and results are
+        # identical to per-candidate evaluation on both kernel backends.
+        self.use_batch = use_batch
+        self.batched_candidates = 0
         self.candidates_seen = 0
         self.results_produced = 0
         # Interior-approximation fast-accept (SSTD'01, the paper's ref [21]):
@@ -174,8 +194,17 @@ class SecondaryFilter:
 
     def order_candidates(self, candidates: List[CandidatePair]) -> List[CandidatePair]:
         if self.fetch_order is FetchOrder.SORTED:
-            return sorted(candidates, key=lambda c: (c[0], c[1]))
+            # Flat int key: same (page, slot) lexicographic order as
+            # comparing the RowIds, without per-comparison dataclass calls.
+            return sorted(
+                candidates,
+                key=lambda c: (c[0].page, c[0].slot, c[1].page, c[1].slot),
+            )
         if self.fetch_order is FetchOrder.RANDOM:
+            if self._rng is None:
+                import random
+
+                self._rng = random.Random(self.rng_seed)
             shuffled = list(candidates)
             self._rng.shuffle(shuffled)
             return shuffled
@@ -193,13 +222,87 @@ class SecondaryFilter:
             n = len(candidates)
             if n > 1 and self.fetch_order is FetchOrder.SORTED:
                 ctx.charge("sort_per_item", n * math.log2(n))
-        for rid_a, rid_b, mbr_a, mbr_b in self.order_candidates(candidates):
+        ordered = self.order_candidates(candidates)
+        if self.use_batch:
+            # Drain runs of candidates sharing a first rowid: the probe
+            # geometry is fetched once per candidate (identical cache
+            # charges) but the exact predicate is resolved for the whole
+            # run in one kernel call.
+            i, n = 0, len(ordered)
+            while i < n:
+                j = i + 1
+                while j < n and ordered[j][0] == ordered[i][0]:
+                    j += 1
+                self._process_run(ordered[i:j], results, ctx)
+                i = j
+        else:
+            for cand in ordered:
+                self._process_one(cand, results, ctx)
+        self.results_produced += len(results)
+        return results
+
+    def _process_one(
+        self,
+        cand: CandidatePair,
+        results: List[Tuple[RowId, RowId]],
+        ctx: Optional[WorkerContext],
+    ) -> None:
+        rid_a, rid_b, mbr_a, mbr_b = cand
+        self.candidates_seen += 1
+        if self.use_interior and self._fast_accept(rid_a, rid_b, mbr_a, mbr_b, ctx):
+            self.fast_accepts += 1
+            results.append((rid_a, rid_b))
+            if ctx is not None:
+                ctx.charge("result_row")
+            return
+        g1 = self.cache.fetch(self.table_a, rid_a, self._col_a, ctx)
+        g2 = self.cache.fetch(self.table_b, rid_b, self._col_b, ctx)
+        if ctx is not None:
+            ctx.charge("exact_test_base")
+            ctx.charge("exact_test_per_vertex", g1.num_vertices + g2.num_vertices)
+        if self.predicate.evaluate(g1, g2):
+            results.append((rid_a, rid_b))
+            if ctx is not None:
+                ctx.charge("result_row")
+
+    def _process_run(
+        self,
+        run: List[CandidatePair],
+        results: List[Tuple[RowId, RowId]],
+        ctx: Optional[WorkerContext],
+    ) -> None:
+        """Evaluate one first-rowid run, batching the exact predicate.
+
+        Result order (and every charge / statistic) matches per-candidate
+        evaluation: fast-accepted and batch-resolved pairs are merged back
+        into candidate order before being appended.
+        """
+        n_run = len(run)
+        # The probe row is shared by the whole run.  When no interior
+        # fast-accept can intervene and the cache is large enough that the
+        # probe cannot be evicted mid-run, its n-1 re-fetches are known
+        # cache hits: account for them (and the per-candidate test charges)
+        # in one step each instead of n-1 lookups and 4n charge calls.
+        # The single recency refresh lands just before the final
+        # candidate's second fetch — exactly where the per-candidate path
+        # leaves the probe in the LRU order — so cache state, counters and
+        # meter counts stay identical to per-candidate evaluation.
+        if (
+            not self.use_interior
+            and n_run > 1
+            and n_run + 2 <= self.cache.capacity
+        ):
+            self._process_run_folded(run, results, ctx)
+            return
+        slots: List[Optional[Tuple[RowId, RowId]]] = [None] * len(run)
+        pending_idx: List[int] = []
+        pending_geoms: List[Geometry] = []
+        g1: Optional[Geometry] = None
+        for k, (rid_a, rid_b, mbr_a, mbr_b) in enumerate(run):
             self.candidates_seen += 1
-            if self.use_interior and self._fast_accept(
-                rid_a, rid_b, mbr_a, mbr_b, ctx
-            ):
+            if self.use_interior and self._fast_accept(rid_a, rid_b, mbr_a, mbr_b, ctx):
                 self.fast_accepts += 1
-                results.append((rid_a, rid_b))
+                slots[k] = (rid_a, rid_b)
                 if ctx is not None:
                     ctx.charge("result_row")
                 continue
@@ -208,12 +311,76 @@ class SecondaryFilter:
             if ctx is not None:
                 ctx.charge("exact_test_base")
                 ctx.charge("exact_test_per_vertex", g1.num_vertices + g2.num_vertices)
-            if self.predicate.evaluate(g1, g2):
-                results.append((rid_a, rid_b))
-                if ctx is not None:
-                    ctx.charge("result_row")
-        self.results_produced += len(results)
-        return results
+            pending_idx.append(k)
+            pending_geoms.append(g2)
+        if pending_idx:
+            assert g1 is not None
+            verdicts = None
+            if len(pending_geoms) > 1:
+                verdicts = kernels.evaluate_predicate_batch(
+                    g1, pending_geoms, self.predicate.mask, self.predicate.distance
+                )
+                if verdicts is not None:
+                    self.batched_candidates += len(pending_geoms)
+            if verdicts is None:  # unsupported mask: scalar per candidate
+                verdicts = [self.predicate.evaluate(g1, g) for g in pending_geoms]
+            for k, ok in zip(pending_idx, verdicts):
+                if ok:
+                    slots[k] = (run[k][0], run[k][1])
+                    if ctx is not None:
+                        ctx.charge("result_row")
+        for slot in slots:
+            if slot is not None:
+                results.append(slot)
+
+    def _process_run_folded(
+        self,
+        run: List[CandidatePair],
+        results: List[Tuple[RowId, RowId]],
+        ctx: Optional[WorkerContext],
+    ) -> None:
+        """`_process_run` with the shared probe fetch folded out of the loop.
+
+        Only entered when every candidate reaches the exact test (no
+        interior fast-accepts) and the probe provably survives the run in
+        the LRU cache, so each of its re-fetches is a certain hit.
+        """
+        n_run = len(run)
+        self.candidates_seen += n_run
+        cache = self.cache
+        rid_a = run[0][0]
+        g1 = cache.fetch(self.table_a, rid_a, self._col_a, ctx)
+        cache.hits += n_run - 1
+        fetch, table_b, col_b = cache.fetch, self.table_b, self._col_b
+        g1_nv = g1.num_vertices
+        geoms: List[Geometry] = []
+        append = geoms.append
+        nv = n_run * g1_nv
+        last = n_run - 1
+        for k, cand in enumerate(run):
+            if k == last:
+                cache.touch(self.table_a, rid_a)
+            g2 = fetch(table_b, cand[1], col_b, ctx)
+            append(g2)
+            nv += g2.num_vertices
+        if ctx is not None:
+            ctx.charge("buffer_get_hit", n_run - 1)
+            ctx.charge("exact_test_base", n_run)
+            ctx.charge("exact_test_per_vertex", nv)
+        verdicts = kernels.evaluate_predicate_batch(
+            g1, geoms, self.predicate.mask, self.predicate.distance
+        )
+        if verdicts is not None:
+            self.batched_candidates += n_run
+        else:  # unsupported mask: scalar per candidate
+            verdicts = [self.predicate.evaluate(g1, g) for g in geoms]
+        n_hits = 0
+        for k, ok in enumerate(verdicts):
+            if ok:
+                results.append((run[k][0], run[k][1]))
+                n_hits += 1
+        if n_hits and ctx is not None:
+            ctx.charge("result_row", n_hits)
 
     def _fast_accept(self, rid_a, rid_b, mbr_a, mbr_b, ctx) -> bool:
         """Sound intersection certificates from interior approximations.

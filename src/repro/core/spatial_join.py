@@ -82,6 +82,8 @@ class SpatialJoinFunction(TableFunction):
         use_interior: bool = False,
         strategy: JoinStrategy = JoinStrategy.SWEEP,
         use_flat_arrays: bool = True,
+        rng_seed: int = 0,
+        use_batch: bool = True,
     ):
         super().__init__()
         if candidate_array_size < 1:
@@ -103,7 +105,9 @@ class SpatialJoinFunction(TableFunction):
             predicate,
             fetch_order=fetch_order,
             cache_capacity=cache_capacity,
+            rng_seed=rng_seed,
             use_interior=use_interior,
+            use_batch=use_batch,
         )
         self._join: Optional[RTreeJoinCursor] = None
         self._out_buffer: Deque[Tuple] = deque()

@@ -108,10 +108,15 @@ class WorkMeter:
         return meter
 
     def seconds(self, model: CostModel = DEFAULT_COST_MODEL) -> float:
-        """Simulated time for all recorded work under ``model``."""
+        """Simulated time for all recorded work under ``model``.
+
+        Kinds are summed in sorted order so the float total is independent
+        of the order charges first arrived in (two meters with equal counts
+        always report bit-equal seconds).
+        """
         total = 0.0
-        for kind, n in self.counts.items():
-            total += model.cost_of(kind) * n
+        for kind in sorted(self.counts):
+            total += model.cost_of(kind) * self.counts[kind]
         return total
 
     def breakdown(

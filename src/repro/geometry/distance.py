@@ -3,6 +3,12 @@
 ``distance`` and ``within_distance`` back the ``sdo_within_distance``
 operator and the distance variants of the spatial join (Table 1 of the paper
 joins the counties layer with itself at distances 0 / 0.1 / 0.25 / 0.5).
+
+All internal comparisons happen on *squared* distances; the square root is
+taken exactly once, at the :func:`distance` API boundary.  ``within_distance``
+never roots at all (it compares against ``dist * dist``), which both saves a
+``sqrt`` per edge pair and keeps the scalar path arithmetically identical to
+the vectorized kernels in :mod:`repro.geometry.kernels`.
 """
 
 from __future__ import annotations
@@ -13,11 +19,11 @@ from typing import Tuple
 from repro.geometry.geometry import Coord, Geometry, GeometryType
 from repro.geometry.predicates import intersects
 from repro.geometry.segments import (
-    point_segment_distance,
-    segment_segment_distance,
+    point_segment_distance_sq,
+    segment_segment_distance_sq,
 )
 
-__all__ = ["distance", "within_distance"]
+__all__ = ["distance", "distance_sq", "within_distance"]
 
 
 def distance(g1: Geometry, g2: Geometry, stop_below: float = 0.0) -> float:
@@ -29,18 +35,27 @@ def distance(g1: Geometry, g2: Geometry, stop_below: float = 0.0) -> float:
     result is then an upper bound that is still <= ``stop_below``, which
     is all a within-distance test needs).
     """
+    return math.sqrt(distance_sq(g1, g2, stop_below_sq=stop_below * stop_below))
+
+
+def distance_sq(g1: Geometry, g2: Geometry, stop_below_sq: float = 0.0) -> float:
+    """Squared minimum distance (the comparison-friendly form).
+
+    ``stop_below_sq`` is the squared early-termination threshold; see
+    :func:`distance`.
+    """
     if g1.mbr.intersects(g2.mbr) and intersects(g1, g2):
         return 0.0
     best = math.inf
     for a in g1.simple_parts():
         for b in g2.simple_parts():
             # MBR lower bound lets us skip part pairs that cannot improve.
-            if a.mbr.distance(b.mbr) >= best:
+            if _mbr_distance_sq(a, b) >= best:
                 continue
-            d = _simple_distance(a, b, stop_below)
+            d = _simple_distance_sq(a, b, stop_below_sq)
             if d < best:
                 best = d
-                if best <= stop_below:
+                if best <= stop_below_sq:
                     return best
     return best
 
@@ -57,11 +72,20 @@ def within_distance(g1: Geometry, g2: Geometry, dist: float) -> bool:
         return False
     if dist == 0.0:
         return intersects(g1, g2)
-    return distance(g1, g2, stop_below=dist) <= dist
+    d2 = dist * dist
+    return distance_sq(g1, g2, stop_below_sq=d2) <= d2
 
 
-def _simple_distance(a: Geometry, b: Geometry, stop_below: float = 0.0) -> float:
-    """Distance between two primitive geometries known to be disjoint."""
+def _mbr_distance_sq(a: Geometry, b: Geometry) -> float:
+    """Squared distance between two part MBRs (lower bound for pruning)."""
+    ma, mb = a.mbr, b.mbr
+    dx = max(mb.min_x - ma.max_x, ma.min_x - mb.max_x, 0.0)
+    dy = max(mb.min_y - ma.max_y, ma.min_y - mb.max_y, 0.0)
+    return dx * dx + dy * dy
+
+
+def _simple_distance_sq(a: Geometry, b: Geometry, stop_below_sq: float = 0.0) -> float:
+    """Squared distance between two primitive geometries known to be disjoint."""
     order = {GeometryType.POINT: 0, GeometryType.LINESTRING: 1, GeometryType.POLYGON: 2}
     if order[a.geom_type] > order[b.geom_type]:
         a, b = b, a
@@ -69,12 +93,13 @@ def _simple_distance(a: Geometry, b: Geometry, stop_below: float = 0.0) -> float
 
     if ta is GeometryType.POINT and tb is GeometryType.POINT:
         (x1, y1), (x2, y2) = a.coords[0], b.coords[0]
-        return math.hypot(x2 - x1, y2 - y1)
+        dx, dy = x2 - x1, y2 - y1
+        return dx * dx + dy * dy
 
     if ta is GeometryType.POINT:
         # Containment was excluded by the caller, so boundary distance is it.
         p = a.coords[0]
-        return _point_to_edges(p, b)
+        return _point_to_edges_sq(p, b)
 
     # line/polygon vs line/polygon: min over boundary segment pairs.  The
     # caller has already established the geometries are disjoint, so no
@@ -83,31 +108,31 @@ def _simple_distance(a: Geometry, b: Geometry, stop_below: float = 0.0) -> float
     edges_b = list(b.boundary_edges())
     for s1, s2 in a.boundary_edges():
         # Per-edge bound: skip edges whose bounding box cannot improve.
-        if edges_b and _edge_mbr_distance(s1, s2, b) >= best:
+        if edges_b and _edge_mbr_distance_sq(s1, s2, b) >= best:
             continue
         for e1, e2 in edges_b:
-            d = segment_segment_distance(s1, s2, e1, e2)
+            d = segment_segment_distance_sq(s1, s2, e1, e2)
             if d < best:
                 best = d
-                if best <= stop_below:
+                if best <= stop_below_sq:
                     return best
     return best
 
 
-def _edge_mbr_distance(s1: Coord, s2: Coord, b: Geometry) -> float:
-    """Lower bound: distance from one edge's bbox to the other geometry's MBR."""
+def _edge_mbr_distance_sq(s1: Coord, s2: Coord, b: Geometry) -> float:
+    """Squared lower bound: one edge's bbox to the other geometry's MBR."""
     min_x, max_x = (s1[0], s2[0]) if s1[0] <= s2[0] else (s2[0], s1[0])
     min_y, max_y = (s1[1], s2[1]) if s1[1] <= s2[1] else (s2[1], s1[1])
     other = b.mbr
     dx = max(other.min_x - max_x, min_x - other.max_x, 0.0)
     dy = max(other.min_y - max_y, min_y - other.max_y, 0.0)
-    return math.hypot(dx, dy)
+    return dx * dx + dy * dy
 
 
-def _point_to_edges(p: Coord, g: Geometry) -> float:
+def _point_to_edges_sq(p: Coord, g: Geometry) -> float:
     best = math.inf
     for a, b in g.boundary_edges():
-        d = point_segment_distance(p, a, b)
+        d = point_segment_distance_sq(p, a, b)
         if d < best:
             best = d
     return best

@@ -54,7 +54,7 @@ class Ring:
     Rings know their signed area and can answer point-location queries.
     """
 
-    __slots__ = ("coords", "_mbr", "_signed_area")
+    __slots__ = ("coords", "_mbr", "_signed_area", "_coords_array")
 
     def __init__(self, coords: Sequence[Coord]):
         pts = [(float(x), float(y)) for x, y in coords]
@@ -65,6 +65,7 @@ class Ring:
         self.coords: Tuple[Coord, ...] = tuple(pts)
         self._mbr: Optional[MBR] = None
         self._signed_area: Optional[float] = None
+        self._coords_array = None
 
     def __len__(self) -> int:
         return len(self.coords)
@@ -78,11 +79,36 @@ class Ring:
     def __repr__(self) -> str:
         return f"Ring({len(self.coords)} vertices)"
 
+    # Pickling: ship the coordinates, not the derived caches.
+    def __getstate__(self):
+        return self.coords
+
+    def __setstate__(self, state) -> None:
+        self.coords = state
+        self._mbr = None
+        self._signed_area = None
+        self._coords_array = None
+
     @property
     def mbr(self) -> MBR:
         if self._mbr is None:
             self._mbr = mbr_of_points(self.coords)
         return self._mbr
+
+    def coords_array(self):
+        """Cached contiguous ``float64`` ndarray view of the ring vertices.
+
+        Shape ``(n, 2)``; never invalidated — rings are immutable, so the
+        decode cost is paid once per object.  Requires numpy (only the
+        vectorized kernel backend calls this).
+        """
+        cached = self._coords_array
+        if cached is None:
+            import numpy as np
+
+            cached = np.asarray(self.coords, dtype=np.float64).reshape(-1, 2)
+            self._coords_array = cached
+        return cached
 
     @property
     def signed_area(self) -> float:
@@ -175,7 +201,17 @@ class Geometry:
     * multi types / collections — ``parts`` holds component geometries.
     """
 
-    __slots__ = ("geom_type", "coords", "exterior", "holes", "parts", "_mbr", "_nvertices")
+    __slots__ = (
+        "geom_type",
+        "coords",
+        "exterior",
+        "holes",
+        "parts",
+        "_mbr",
+        "_nvertices",
+        "_coords_array",
+        "_edges_array",
+    )
 
     def __init__(
         self,
@@ -192,6 +228,8 @@ class Geometry:
         self.parts = parts
         self._mbr: Optional[MBR] = None
         self._nvertices: Optional[int] = None
+        self._coords_array = None
+        self._edges_array = None
 
     # ------------------------------------------------------------------
     # Factories
@@ -381,12 +419,51 @@ class Geometry:
                 for hole in part.holes:
                     yield from hole.coords
 
+    def coords_array(self):
+        """Cached ``(n, 2)`` float64 ndarray of every vertex.
+
+        Vertex order matches :meth:`vertices`.  Never invalidated —
+        geometries are immutable, so the decode cost is paid once per
+        fetched geometry, not once per predicate evaluation.  Requires
+        numpy (only the vectorized kernel backend calls this).
+        """
+        cached = self._coords_array
+        if cached is None:
+            import numpy as np
+
+            cached = np.asarray(list(self.vertices()), dtype=np.float64).reshape(
+                -1, 2
+            )
+            self._coords_array = cached
+        return cached
+
+    def edges_array(self):
+        """Cached ``(m, 4)`` float64 ndarray of every boundary segment.
+
+        Row layout is ``(x1, y1, x2, y2)`` in :meth:`boundary_edges` order
+        (polygon edges include hole boundaries; points contribute nothing).
+        Cached forever, like :meth:`coords_array`.
+        """
+        cached = self._edges_array
+        if cached is None:
+            import numpy as np
+
+            cached = np.asarray(
+                [(a[0], a[1], b[0], b[1]) for a, b in self.boundary_edges()],
+                dtype=np.float64,
+            ).reshape(-1, 4)
+            self._edges_array = cached
+        return cached
+
     def contains_point(self, x: float, y: float) -> bool:
         """True if (x, y) lies on or inside the geometry."""
         for part in self.simple_parts():
             if part.geom_type is GeometryType.POINT:
                 px, py = part.coords[0]
-                if math.hypot(px - x, py - y) <= EPSILON:
+                dx, dy = px - x, py - y
+                # Squared comparison (see repro.geometry.kernels: the
+                # vectorized backend replicates exactly these operations).
+                if dx * dx + dy * dy <= EPSILON * EPSILON:
                     return True
             elif part.geom_type is GeometryType.LINESTRING:
                 pts = part.coords
@@ -428,6 +505,18 @@ class Geometry:
 
     def __repr__(self) -> str:
         return f"Geometry({self.geom_type.value}, {self.num_vertices} vertices)"
+
+    # Pickling (geometries ride process-executor task payloads): ship only
+    # the defining fields, not the derived ndarray caches.
+    def __getstate__(self):
+        return (self.geom_type, self.coords, self.exterior, self.holes, self.parts)
+
+    def __setstate__(self, state) -> None:
+        self.geom_type, self.coords, self.exterior, self.holes, self.parts = state
+        self._mbr = None
+        self._nvertices = None
+        self._coords_array = None
+        self._edges_array = None
 
 
 def _chain_length(coords: Sequence[Coord], closed: bool) -> float:

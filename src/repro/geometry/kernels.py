@@ -1,0 +1,1244 @@
+"""Vectorized batch geometry kernels (the data-parallel secondary filter).
+
+The paper's two-stage query pipeline bottoms out in exact geometry tests:
+the secondary filter of the spatial join (§4.2) and tile classification
+during tessellation (§5).  This module evaluates those tests over *batches*
+— many candidate geometries against one probe, many tiles against one
+geometry, all edge pairs of two chains at once — using numpy, with a pure
+Python fallback so environments without numpy (and CI parity jobs) run the
+same code paths.
+
+Backend selection
+-----------------
+The active backend is chosen by, in order of precedence:
+
+1. ``set_backend("numpy" | "python")`` / the ``use_backend()`` context
+   manager;
+2. the ``REPRO_KERNELS`` environment variable at import time;
+3. autodetection (numpy if importable, else python).
+
+Bit-identical results
+---------------------
+Both backends are required to return *identical* results, not merely
+approximately equal ones.  The python backend simply delegates to the
+scalar predicates in :mod:`repro.geometry.predicates`,
+:mod:`repro.geometry.segments` and :mod:`repro.geometry.distance`.  The
+numpy backend replicates the scalar code's floating-point operations in
+the same order (same subtractions, same products, same tolerance scaling),
+so every comparison resolves the same way down to the last ULP.  Two
+library-wide conventions make this practical:
+
+* all distance comparisons happen in *squared* space (``math.hypot`` and
+  ``np.hypot`` may differ by one ULP; ``dx*dx + dy*dy`` cannot);
+* the epsilon-scaled orientation test is a fixed expression shared by
+  ``segments.orientation`` and :func:`_orient_arr` below.
+
+The parity suite (``tests/geometry/test_kernels_parity.py``) enforces the
+contract over randomized and adversarially degenerate inputs.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.distance import within_distance
+from repro.geometry.geometry import Geometry, GeometryType, Ring
+from repro.geometry.predicates import contains, intersects, touches
+from repro.geometry.segments import (
+    EPSILON,
+    segment_segment_distance,
+    segments_intersect,
+)
+
+try:  # numpy is an optional accelerator, never a hard requirement
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "mbr_intersects_batch",
+    "mbr_filter_indices",
+    "segments_intersect_batch",
+    "pairwise_segment_distance_batch",
+    "points_in_polygon_batch",
+    "intersects_batch",
+    "contains_batch",
+    "touches_batch",
+    "within_distance_batch",
+    "distance_batch",
+    "evaluate_predicate_batch",
+    "classify_tiles",
+    "TILE_OUTSIDE_MBR",
+    "TILE_OUTSIDE",
+    "TILE_BOUNDARY",
+    "TILE_INTERIOR",
+]
+
+# Below this (frontier size × vertex count) product, classify_tiles routes
+# through the scalar path even on the numpy backend: array dispatch costs
+# more than the handful of tuple tests it would replace.
+_SCALAR_TILE_CUTOFF = 64
+
+# Tile classification codes returned by :func:`classify_tiles`.
+TILE_OUTSIDE_MBR = 0  # quadrant does not even meet the geometry's MBR
+TILE_OUTSIDE = 1  # meets the MBR but not the geometry
+TILE_BOUNDARY = 2  # intersects the geometry boundary
+TILE_INTERIOR = 3  # wholly inside a polygonal geometry
+
+# Cap on the element count of any intermediate (n, m) pair matrix; larger
+# batches are processed in row chunks so peak memory stays bounded
+# (~8 MB per float64 temporary at this setting).
+_CHUNK_ELEMS = 1 << 20
+
+_BACKENDS = ("numpy", "python")
+
+
+def _resolve_backend(name: str) -> str:
+    name = name.strip().lower()
+    if name not in _BACKENDS:
+        raise GeometryError(
+            f"unknown kernels backend {name!r}; expected one of {_BACKENDS}"
+        )
+    if name == "numpy" and np is None:
+        raise GeometryError("kernels backend 'numpy' requested but numpy is not importable")
+    return name
+
+
+def _initial_backend() -> str:
+    env = os.environ.get("REPRO_KERNELS", "").strip()
+    if env:
+        return _resolve_backend(env)
+    return "numpy" if np is not None else "python"
+
+
+_active_backend = _initial_backend()
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable in this environment."""
+    return _BACKENDS if np is not None else ("python",)
+
+
+def get_backend() -> str:
+    """Name of the active kernels backend (``"numpy"`` or ``"python"``)."""
+    return _active_backend
+
+
+def set_backend(name: str) -> None:
+    """Select the kernels backend for the whole process."""
+    global _active_backend
+    _active_backend = _resolve_backend(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch backend (used by tests and the ablation bench)."""
+    previous = _active_backend
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+# ======================================================================
+# MBR kernels
+# ======================================================================
+def mbr_intersects_batch(
+    min_xs: Sequence[float],
+    min_ys: Sequence[float],
+    max_xs: Sequence[float],
+    max_ys: Sequence[float],
+    box: Tuple[float, float, float, float],
+    distance: float = 0.0,
+) -> List[bool]:
+    """Closed-interval MBR-vs-window tests over parallel coordinate arrays.
+
+    ``box`` is ``(lo_x, lo_y, hi_x, hi_y)``.  With ``distance > 0`` the test
+    becomes the gap-form within-distance filter used by the join's primary
+    filter: an entry survives when no axis gap exceeds ``distance``.
+    """
+    lo_x, lo_y, hi_x, hi_y = box
+    d = distance
+    if _active_backend == "python" or np is None:
+        return [
+            not (
+                lo_x - max_xs[i] > d
+                or min_xs[i] - hi_x > d
+                or lo_y - max_ys[i] > d
+                or min_ys[i] - hi_y > d
+            )
+            for i in range(len(min_xs))
+        ]
+    x0, y0, x1, y1 = (_as_f64(a) for a in (min_xs, min_ys, max_xs, max_ys))
+    keep = (
+        (lo_x - x1 <= d) & (x0 - hi_x <= d) & (lo_y - y1 <= d) & (y0 - hi_y <= d)
+    )
+    return keep.tolist()
+
+
+def mbr_filter_indices(
+    coords: Tuple[Sequence[float], Sequence[float], Sequence[float], Sequence[float]],
+    box: Tuple[float, float, float, float],
+    distance: float = 0.0,
+    exact: bool = False,
+) -> List[int]:
+    """Indices of entries whose MBR passes the window / within-distance test.
+
+    ``coords`` is the flat ``(min_xs, min_ys, max_xs, max_ys)`` layout that
+    R-tree nodes expose via ``coords()``.  ``exact=True`` additionally
+    applies the corner-distance refinement (squared, matching the scalar
+    sweep in :mod:`repro.index.rtree.join`): the axis-gap test alone admits
+    rectangles whose corner distance exceeds ``distance``.
+    """
+    x0s, y0s, x1s, y1s = coords
+    lo_x, lo_y, hi_x, hi_y = box
+    d = distance
+    if _active_backend == "python" or np is None:
+        out = []
+        d2 = d * d
+        for i in range(len(x0s)):
+            gx_lo = lo_x - x1s[i]
+            gx_hi = x0s[i] - hi_x
+            gy_lo = lo_y - y1s[i]
+            gy_hi = y0s[i] - hi_y
+            if gx_lo > d or gx_hi > d or gy_lo > d or gy_hi > d:
+                continue
+            if exact and d > 0.0:
+                dx = max(gx_lo, gx_hi, 0.0)
+                dy = max(gy_lo, gy_hi, 0.0)
+                if dx * dx + dy * dy > d2:
+                    continue
+            out.append(i)
+        return out
+    x0, y0, x1, y1 = (_as_f64(a) for a in (x0s, y0s, x1s, y1s))
+    gx_lo = lo_x - x1
+    gx_hi = x0 - hi_x
+    gy_lo = lo_y - y1
+    gy_hi = y0 - hi_y
+    keep = (gx_lo <= d) & (gx_hi <= d) & (gy_lo <= d) & (gy_hi <= d)
+    if exact and d > 0.0:
+        dx = np.maximum(np.maximum(gx_lo, gx_hi), 0.0)
+        dy = np.maximum(np.maximum(gy_lo, gy_hi), 0.0)
+        keep &= dx * dx + dy * dy <= d * d
+    return np.nonzero(keep)[0].tolist()
+
+
+def _as_f64(seq):
+    """Zero-copy float64 view where possible (ndarray / array('d'))."""
+    if isinstance(seq, np.ndarray):
+        return seq if seq.dtype == np.float64 else seq.astype(np.float64)
+    try:
+        return np.frombuffer(seq, dtype=np.float64)  # array('d') fast path
+    except (TypeError, ValueError, AttributeError):
+        return np.asarray(seq, dtype=np.float64)
+
+
+# ======================================================================
+# Segment-pair kernels
+# ======================================================================
+def segments_intersect_batch(edges_a, edges_b) -> List[List[bool]]:
+    """All-pairs closed-segment intersection matrix.
+
+    ``edges_a`` / ``edges_b`` are ``(n, 4)`` / ``(m, 4)`` row arrays of
+    ``(x1, y1, x2, y2)``; returns an ``n x m`` nested list of booleans.
+    """
+    if _active_backend == "python" or np is None:
+        return [
+            [
+                segments_intersect((r[0], r[1]), (r[2], r[3]), (s[0], s[1]), (s[2], s[3]))
+                for s in edges_b
+            ]
+            for r in edges_a
+        ]
+    ea = np.asarray(edges_a, dtype=np.float64).reshape(-1, 4)
+    eb = np.asarray(edges_b, dtype=np.float64).reshape(-1, 4)
+    out = np.zeros((len(ea), len(eb)), dtype=bool)
+    for sl in _row_chunks(len(ea), len(eb)):
+        out[sl] = _intersect_matrix(ea[sl], eb)
+    return out.tolist()
+
+
+def pairwise_segment_distance_batch(edges_a, edges_b) -> List[List[float]]:
+    """All-pairs minimum distances between two edge sets (``n x m``)."""
+    if _active_backend == "python" or np is None:
+        return [
+            [
+                segment_segment_distance(
+                    (r[0], r[1]), (r[2], r[3]), (s[0], s[1]), (s[2], s[3])
+                )
+                for s in edges_b
+            ]
+            for r in edges_a
+        ]
+    ea = np.asarray(edges_a, dtype=np.float64).reshape(-1, 4)
+    eb = np.asarray(edges_b, dtype=np.float64).reshape(-1, 4)
+    out = np.zeros((len(ea), len(eb)), dtype=np.float64)
+    for sl in _row_chunks(len(ea), len(eb)):
+        out[sl] = np.sqrt(_seg_distance_sq_matrix(ea[sl], eb))
+    return out.tolist()
+
+
+def _row_chunks(n: int, m: int):
+    """Slices over the rows of an (n, m) pair matrix, bounded by _CHUNK_ELEMS."""
+    if n == 0:
+        return
+    step = max(1, _CHUNK_ELEMS // max(m, 1))
+    for start in range(0, n, step):
+        yield slice(start, min(start + step, n))
+
+
+def _orient_arr(px, py, qx, qy, rx, ry):
+    """Vectorized ``segments.orientation``: identical cross/tolerance math."""
+    dqx, dqy = qx - px, qy - py
+    drx, dry = rx - px, ry - py
+    cross = dqx * dry - dqy * drx
+    scale = np.abs(dqx) + np.abs(dqy) + np.abs(drx) + np.abs(dry)
+    tol = EPSILON * np.maximum(scale, 1.0)
+    return (cross > tol).astype(np.int8) - (cross < -tol).astype(np.int8)
+
+
+def _bounds_arr(px, py, ax, ay, bx, by):
+    """Bounding-box incidence (the non-orientation half of ``on_segment``)."""
+    return (
+        (np.minimum(ax, bx) - EPSILON <= px)
+        & (px <= np.maximum(ax, bx) + EPSILON)
+        & (np.minimum(ay, by) - EPSILON <= py)
+        & (py <= np.maximum(ay, by) + EPSILON)
+    )
+
+
+def _pair_orients_cols(ea, cx, cy, dx, dy):
+    """Orientation matrices of ``ea`` rows vs column arrays ``(cx..dy)``.
+
+    ``ea`` rows broadcast down columns ``(n, 1)``; the ``eb`` operands are
+    already split into flat ``(m,)`` arrays.
+    """
+    ax, ay, bx, by = (ea[:, k : k + 1] for k in range(4))
+    o1 = _orient_arr(ax, ay, bx, by, cx, cy)
+    o2 = _orient_arr(ax, ay, bx, by, dx, dy)
+    o3 = _orient_arr(cx, cy, dx, dy, ax, ay)
+    o4 = _orient_arr(cx, cy, dx, dy, bx, by)
+    return (ax, ay, bx, by), (o1, o2, o3, o4)
+
+
+def _pair_orients(ea, eb):
+    """Broadcast edge-pair operands and the four orientation matrices."""
+    cx, cy, dx, dy = (eb[:, k] for k in range(4))
+    (ax, ay, bx, by), orients = _pair_orients_cols(ea, cx, cy, dx, dy)
+    return (ax, ay, bx, by, cx, cy, dx, dy), orients
+
+
+def _orient_signs(bqx, bqy, b_abs, drx, dry):
+    """Strictly-positive / strictly-negative orientation masks against a
+    shared base vector (``dq`` and ``|dqx| + |dqy|`` hoisted by the caller).
+
+    Same cross and tolerance floats as ``_orient_arr`` — the scale sum
+    keeps its left-to-right association — but the sign lands in two bool
+    masks, skipping the int8 materialization on the hot path.
+    """
+    cross = bqx * dry - bqy * drx
+    scale = b_abs + np.abs(drx) + np.abs(dry)
+    tol = EPSILON * np.maximum(scale, 1.0)
+    return cross > tol, cross < -tol
+
+
+def _intersect_matrix_cols(ea, cx, cy, dx, dy, cd_pre=None):
+    """Vectorized ``segments_intersect`` of ``ea`` rows vs edge columns.
+
+    The four orientations share their base-vector differences and abs
+    sums (``o1``/``o2`` sit on edge ``ab``, ``o3``/``o4`` on ``cd``), and
+    signs stay as bool-mask pairs: ``o_i != o_j`` becomes a pair of mask
+    comparisons, ``o_i == 0`` becomes neither-mask.  Kernel-call count is
+    what dominates on small per-run matrices, so every fused op counts.
+    """
+    ax, ay, bx, by = (ea[:, k : k + 1] for k in range(4))
+    abx, aby = bx - ax, by - ay
+    ab_abs = np.abs(abx) + np.abs(aby)
+    p1, n1 = _orient_signs(abx, aby, ab_abs, cx - ax, cy - ay)
+    p2, n2 = _orient_signs(abx, aby, ab_abs, dx - ax, dy - ay)
+    if cd_pre is None:
+        cdx, cdy = dx - cx, dy - cy
+        cd_abs = np.abs(cdx) + np.abs(cdy)
+    else:  # hoisted by callers that reuse one edge soup across chunks
+        cdx, cdy, cd_abs = cd_pre
+    p3, n3 = _orient_signs(cdx, cdy, cd_abs, ax - cx, ay - cy)
+    p4, n4 = _orient_signs(cdx, cdy, cd_abs, bx - cx, by - cy)
+    hit = ((p1 != p2) | (n1 != n2)) & ((p3 != p4) | (n3 != n4))
+    # The collinear/bounds terms only matter where some orientation is
+    # exactly zero.  Zeros are sparse but not rare — a self-join's identity
+    # pair and any shared border produce them in every batch — so the four
+    # bounds tests run on the gathered zero entries, not the full matrix.
+    nz = (p1 | n1) & (p2 | n2) & (p3 | n3) & (p4 | n4)
+    if not nz.all():
+        zi, zj = np.nonzero(~nz)
+        axz, ayz = ax[zi, 0], ay[zi, 0]
+        bxz, byz = bx[zi, 0], by[zi, 0]
+        cxz, cyz = cx[zj], cy[zj]
+        dxz, dyz = dx[zj], dy[zj]
+        hz = hit[zi, zj]
+        hz |= ~(p1[zi, zj] | n1[zi, zj]) & _bounds_arr(cxz, cyz, axz, ayz, bxz, byz)
+        hz |= ~(p2[zi, zj] | n2[zi, zj]) & _bounds_arr(dxz, dyz, axz, ayz, bxz, byz)
+        hz |= ~(p3[zi, zj] | n3[zi, zj]) & _bounds_arr(axz, ayz, cxz, cyz, dxz, dyz)
+        hz |= ~(p4[zi, zj] | n4[zi, zj]) & _bounds_arr(bxz, byz, cxz, cyz, dxz, dyz)
+        hit[zi, zj] = hz
+    return hit
+
+
+def _intersect_matrix(ea, eb):
+    """Vectorized ``segments_intersect`` over all edge pairs."""
+    return _intersect_matrix_cols(ea, eb[:, 0], eb[:, 1], eb[:, 2], eb[:, 3])
+
+
+def _proper_matrix(ea, eb):
+    """Vectorized ``predicates._proper_crossing`` (transversal crossings only)."""
+    _, (o1, o2, o3, o4) = _pair_orients(ea, eb)
+    return (
+        (o1 != o2)
+        & (o3 != o4)
+        & (o1 != 0)
+        & (o2 != 0)
+        & (o3 != 0)
+        & (o4 != 0)
+    )
+
+
+def _cross_any(ea, eb) -> bool:
+    """True if any edge of ``ea`` intersects any edge of ``eb`` (chunked)."""
+    if len(ea) == 0 or len(eb) == 0:
+        return False
+    for sl in _row_chunks(len(ea), len(eb)):
+        if bool(_intersect_matrix(ea[sl], eb).any()):
+            return True
+    return False
+
+
+def _proper_any(ea, eb) -> bool:
+    if len(ea) == 0 or len(eb) == 0:
+        return False
+    for sl in _row_chunks(len(ea), len(eb)):
+        if bool(_proper_matrix(ea[sl], eb).any()):
+            return True
+    return False
+
+
+def _point_segment_dist_sq_arr(px, py, ax, ay, bx, by):
+    """Vectorized ``segments.point_segment_distance_sq`` (same op order)."""
+    ab_x, ab_y = bx - ax, by - ay
+    ap_x, ap_y = px - ax, py - ay
+    denom = ab_x * ab_x + ab_y * ab_y
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = (ap_x * ab_x + ap_y * ab_y) / denom
+    t = np.maximum(0.0, np.minimum(1.0, t))
+    dx = px - (ax + t * ab_x)
+    dy = py - (ay + t * ab_y)
+    d = dx * dx + dy * dy
+    return np.where(denom == 0.0, ap_x * ap_x + ap_y * ap_y, d)
+
+
+def _seg_distance_sq_matrix_cols(ea, cx, cy, dx, dy):
+    """Vectorized ``segment_segment_distance_sq`` vs edge columns."""
+    hit = _intersect_matrix_cols(ea, cx, cy, dx, dy)
+    ax, ay, bx, by = (ea[:, k : k + 1] for k in range(4))
+    d = np.minimum(
+        np.minimum(
+            _point_segment_dist_sq_arr(ax, ay, cx, cy, dx, dy),
+            _point_segment_dist_sq_arr(bx, by, cx, cy, dx, dy),
+        ),
+        np.minimum(
+            _point_segment_dist_sq_arr(cx, cy, ax, ay, bx, by),
+            _point_segment_dist_sq_arr(dx, dy, ax, ay, bx, by),
+        ),
+    )
+    return np.where(hit, 0.0, d)
+
+
+def _seg_distance_sq_matrix(ea, eb):
+    """Vectorized ``segments.segment_segment_distance_sq`` over all pairs."""
+    return _seg_distance_sq_matrix_cols(ea, eb[:, 0], eb[:, 1], eb[:, 2], eb[:, 3])
+
+
+def _min_seg_distance_sq(ea, eb) -> float:
+    """Minimum squared distance over all edge pairs (chunked reduce)."""
+    best = float("inf")
+    for sl in _row_chunks(len(ea), len(eb)):
+        m = float(_seg_distance_sq_matrix(ea[sl], eb).min())
+        if m < best:
+            best = m
+            if best == 0.0:
+                return best
+    return best
+
+
+# ======================================================================
+# Point-location kernels
+# ======================================================================
+def points_in_polygon_batch(points, geom: Geometry) -> List[bool]:
+    """Batch ``geom.contains_point`` over ``points`` (sequence of ``(x, y)``).
+
+    This is the vectorized crossing-number test: one call classifies every
+    point against every ring of ``geom`` (boundary counts as inside, holes
+    punch out their strict interior), matching ``Geometry.contains_point``
+    bit for bit.
+    """
+    if _active_backend == "python" or np is None:
+        return [geom.contains_point(x, y) for x, y in points]
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    res = _geometry_contains_points(geom, pts[:, 0], pts[:, 1])
+    return res.tolist()
+
+
+def _points_on_edges(px, py, edges) -> "np.ndarray":
+    """Per-point: does the point lie on any of ``edges``?  (on_segment batch)"""
+    out = np.zeros(px.shape[0], dtype=bool)
+    if len(edges) == 0:
+        return out
+    pxc, pyc = px[:, None], py[:, None]
+    ax, ay, bx, by = (edges[:, k] for k in range(4))
+    for sl in _row_chunks(px.shape[0], len(edges)):
+        o = _orient_arr(ax, ay, bx, by, pxc[sl], pyc[sl])
+        hit = (o == 0) & _bounds_arr(pxc[sl], pyc[sl], ax, ay, bx, by)
+        out[sl] = hit.any(axis=1)
+    return out
+
+
+def _shift_back(a):
+    """``np.roll(a, -1)`` without its axis-normalization overhead."""
+    out = np.empty_like(a)
+    out[:-1] = a[1:]
+    out[-1] = a[0]
+    return out
+
+
+def _shift_fwd(a):
+    """``np.roll(a, 1)`` without its axis-normalization overhead."""
+    out = np.empty_like(a)
+    out[1:] = a[:-1]
+    out[0] = a[-1]
+    return out
+
+
+def _ring_edge_arrays(ring: Ring):
+    c = ring.coords_array()
+    ax, ay = c[:, 0], c[:, 1]
+    bx, by = _shift_back(ax), _shift_back(ay)
+    return np.stack([ax, ay, bx, by], axis=1)
+
+
+def _ring_boundary_points(ring: Ring, px, py) -> "np.ndarray":
+    """Batch ``geometry._on_ring_boundary``."""
+    return _points_on_edges(px, py, _ring_edge_arrays(ring))
+
+
+def _ring_contains_points(ring: Ring, px, py) -> "np.ndarray":
+    """Batch ``Ring.contains_point``: MBR gate, boundary pre-check, ray cast."""
+    n_pts = px.shape[0]
+    res = np.zeros(n_pts, dtype=bool)
+    m = ring.mbr
+    sel = (m.min_x <= px) & (px <= m.max_x) & (m.min_y <= py) & (py <= m.max_y)
+    idx = np.nonzero(sel)[0]
+    if idx.size == 0:
+        return res
+    c = ring.coords_array()
+    n = len(c)
+    xi, yi = c[:, 0], c[:, 1]
+    # The scalar loop pairs vertex i with its predecessor j = i - 1 (mod n);
+    # edges run i -> i+1 (mod n).
+    xj, yj = _shift_fwd(xi), _shift_fwd(yi)
+    bx, by = _shift_back(xi), _shift_back(yi)
+    dqx, dqy = bx - xi, by - yi
+    dq_abs = np.abs(dqx) + np.abs(dqy)
+    step = max(1, _CHUNK_ELEMS // max(n, 1))
+    for start in range(0, idx.size, step):
+        sub = idx[start : start + step]
+        sx, sy = px[sub][:, None], py[sub][:, None]
+        # Boundary pre-check; the bounds tests run only on the (sparse)
+        # entries whose orientation is exactly zero.
+        pos, neg = _orient_signs(dqx, dqy, dq_abs, sx - xi, sy - yi)
+        nz = pos | neg
+        on_bnd = np.zeros(sub.size, dtype=bool)
+        if not nz.all():
+            zi, zj = np.nonzero(~nz)
+            ob = _bounds_arr(sx[zi, 0], sy[zi, 0], xi[zj], yi[zj], bx[zj], by[zj])
+            on_bnd[zi[ob]] = True
+        cond = (yi > sy) != (yj > sy)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_cross = (xj - xi) * (sy - yi) / (yj - yi) + xi
+        crossings = (cond & (sx < x_cross)).sum(axis=1)
+        inside = (crossings & 1).astype(bool)
+        res[sub] = on_bnd | inside
+    return res
+
+
+def _part_contains_points(part: Geometry, px, py) -> "np.ndarray":
+    """Batch point-in-primitive, replicating ``Geometry.contains_point``."""
+    if part.geom_type is GeometryType.POINT:
+        qx, qy = part.coords[0]
+        dx, dy = qx - px, qy - py
+        return dx * dx + dy * dy <= EPSILON * EPSILON
+    if part.geom_type is GeometryType.LINESTRING:
+        return _points_on_edges(px, py, part.edges_array())
+    assert part.exterior is not None
+    res = _ring_contains_points(part.exterior, px, py)
+    for hole in part.holes:
+        if not res.any():
+            break
+        strict = _ring_contains_points(hole, px, py) & ~_ring_boundary_points(
+            hole, px, py
+        )
+        res &= ~strict
+    return res
+
+
+def _geometry_contains_points(geom: Geometry, px, py) -> "np.ndarray":
+    """Batch ``Geometry.contains_point`` (OR over primitive parts)."""
+    res = np.zeros(px.shape[0], dtype=bool)
+    for part in geom.simple_parts():
+        res |= _part_contains_points(part, px, py)
+        if res.all():
+            break
+    return res
+
+
+def _points_intersect_geometry(geom: Geometry, px, py) -> "np.ndarray":
+    """Batch ``predicates.intersects(geom, POINT)``.
+
+    Unlike ``contains_point`` this includes the per-part MBR gates the
+    scalar ``intersects`` applies, which matter within EPSILON of a part's
+    bounding box (and make point-vs-point contact an exact equality).
+    """
+    m = geom.mbr
+    top = (m.min_x <= px) & (px <= m.max_x) & (m.min_y <= py) & (py <= m.max_y)
+    res = np.zeros(px.shape[0], dtype=bool)
+    for part in geom.simple_parts():
+        pm = part.mbr
+        gate = (pm.min_x <= px) & (px <= pm.max_x) & (pm.min_y <= py) & (py <= pm.max_y)
+        if part.geom_type is GeometryType.POINT:
+            qx, qy = part.coords[0]
+            res |= (px == qx) & (py == qy)
+        elif part.geom_type is GeometryType.LINESTRING:
+            res |= gate & _points_on_edges(px, py, part.edges_array())
+        else:
+            res |= gate & _part_contains_points(part, px, py)
+        if res.all():
+            break
+    return top & res
+
+
+def _points_on_boundary(geom: Geometry, px, py) -> "np.ndarray":
+    """Batch ``predicates._on_boundary``."""
+    res = _points_on_edges(px, py, geom.edges_array())
+    for part in geom.simple_parts():
+        if part.geom_type is GeometryType.POINT:
+            qx, qy = part.coords[0]
+            dx, dy = qx - px, qy - py
+            res |= dx * dx + dy * dy <= EPSILON * EPSILON
+    return res
+
+
+# ======================================================================
+# Whole-geometry predicates (numpy implementations)
+# ======================================================================
+_TYPE_ORDER = {
+    GeometryType.POINT: 0,
+    GeometryType.LINESTRING: 1,
+    GeometryType.POLYGON: 2,
+}
+
+
+def _intersects_np(g1: Geometry, g2: Geometry) -> bool:
+    if not g1.mbr.intersects(g2.mbr):
+        return False
+    for a in g1.simple_parts():
+        for b in g2.simple_parts():
+            if a.mbr.intersects(b.mbr) and _simple_intersects_np(a, b):
+                return True
+    return False
+
+
+def _simple_intersects_np(a: Geometry, b: Geometry) -> bool:
+    if _TYPE_ORDER[a.geom_type] > _TYPE_ORDER[b.geom_type]:
+        a, b = b, a
+    ta, tb = a.geom_type, b.geom_type
+    if ta is GeometryType.POINT:
+        x, y = a.coords[0]
+        return b.contains_point(x, y)
+    if ta is GeometryType.LINESTRING and tb is GeometryType.LINESTRING:
+        return _cross_any(a.edges_array(), b.edges_array())
+    if ta is GeometryType.LINESTRING:  # line vs polygon
+        if _cross_any(a.edges_array(), b.edges_array()):
+            return True
+        x, y = a.coords[0]
+        return b.contains_point(x, y)
+    # polygon vs polygon
+    if _cross_any(a.edges_array(), b.edges_array()):
+        return True
+    ax, ay = a.exterior.coords[0]  # type: ignore[union-attr]
+    if b.contains_point(ax, ay):
+        return True
+    bx, by = b.exterior.coords[0]  # type: ignore[union-attr]
+    return a.contains_point(bx, by)
+
+
+def _contains_np(g1: Geometry, g2: Geometry) -> bool:
+    if not g1.mbr.contains(g2.mbr):
+        return False
+    for part in g2.simple_parts():
+        if not _covered_by_np(part, g1):
+            return False
+    return True
+
+
+def _covered_by_np(small: Geometry, big: Geometry) -> bool:
+    verts = small.coords_array()
+    if len(verts) and not bool(
+        _geometry_contains_points(big, verts[:, 0], verts[:, 1]).all()
+    ):
+        return False
+    edges = small.edges_array()
+    if len(edges):
+        if _proper_any(edges, big.edges_array()):
+            return False
+        mid_x = (edges[:, 0] + edges[:, 2]) / 2.0
+        mid_y = (edges[:, 1] + edges[:, 3]) / 2.0
+        if not bool(_geometry_contains_points(big, mid_x, mid_y).all()):
+            return False
+    if small.geom_type is GeometryType.POINT and small.coords:
+        x, y = small.coords[0]
+        return big.contains_point(x, y)
+    return True
+
+
+def _touches_np(g1: Geometry, g2: Geometry) -> bool:
+    if not _intersects_np(g1, g2):
+        return False
+    if _proper_any(g1.edges_array(), g2.edges_array()):
+        return False
+    if _any_vertex_strictly_inside_np(g1, g2) or _any_vertex_strictly_inside_np(g2, g1):
+        return False
+    return True
+
+
+def _any_vertex_strictly_inside_np(g: Geometry, container: Geometry) -> bool:
+    verts = g.coords_array()
+    if not len(verts):
+        return False
+    inside = _geometry_contains_points(container, verts[:, 0], verts[:, 1])
+    idx = np.nonzero(inside)[0]
+    if idx.size == 0:
+        return False
+    on_bnd = _points_on_boundary(container, verts[idx, 0], verts[idx, 1])
+    return bool((~on_bnd).any())
+
+
+def _distance_sq_np(g1: Geometry, g2: Geometry, stop_below_sq: float = 0.0) -> float:
+    """Vectorized ``distance.distance_sq``; same pruning, full-matrix mins."""
+    if g1.mbr.intersects(g2.mbr) and _intersects_np(g1, g2):
+        return 0.0
+    best = float("inf")
+    for a in g1.simple_parts():
+        for b in g2.simple_parts():
+            if _mbr_distance_sq(a, b) >= best:
+                continue
+            d = _simple_distance_sq_np(a, b)
+            if d < best:
+                best = d
+                if best <= stop_below_sq:
+                    return best
+    return best
+
+
+def _mbr_distance_sq(a: Geometry, b: Geometry) -> float:
+    ma, mb = a.mbr, b.mbr
+    dx = max(mb.min_x - ma.max_x, ma.min_x - mb.max_x, 0.0)
+    dy = max(mb.min_y - ma.max_y, ma.min_y - mb.max_y, 0.0)
+    return dx * dx + dy * dy
+
+
+def _simple_distance_sq_np(a: Geometry, b: Geometry) -> float:
+    if _TYPE_ORDER[a.geom_type] > _TYPE_ORDER[b.geom_type]:
+        a, b = b, a
+    ta, tb = a.geom_type, b.geom_type
+    if ta is GeometryType.POINT and tb is GeometryType.POINT:
+        (x1, y1), (x2, y2) = a.coords[0], b.coords[0]
+        dx, dy = x2 - x1, y2 - y1
+        return dx * dx + dy * dy
+    if ta is GeometryType.POINT:
+        px, py = a.coords[0]
+        e = b.edges_array()
+        return float(
+            _point_segment_dist_sq_arr(
+                px, py, e[:, 0], e[:, 1], e[:, 2], e[:, 3]
+            ).min()
+        )
+    return _min_seg_distance_sq(a.edges_array(), b.edges_array())
+
+
+def _within_distance_np(g1: Geometry, g2: Geometry, dist: float) -> bool:
+    if dist < 0:
+        return False
+    if not g1.mbr.expand(dist).intersects(g2.mbr):
+        return False
+    if dist == 0.0:
+        return _intersects_np(g1, g2)
+    d2 = dist * dist
+    return _distance_sq_np(g1, g2, stop_below_sq=d2) <= d2
+
+
+# ======================================================================
+# Public batch predicates
+# ======================================================================
+def intersects_batch(g1: Geometry, geoms: Sequence[Geometry]) -> List[bool]:
+    """Batch ``predicates.intersects(g1, g)`` over candidate geometries."""
+    if _active_backend == "python" or np is None:
+        return [intersects(g1, g) for g in geoms]
+    pts = _all_points_array(geoms)
+    if pts is not None:
+        return _points_intersect_geometry(g1, pts[:, 0], pts[:, 1]).tolist()
+    if _poly_probe(g1):
+        out = _poly_batch_eval(g1, geoms, _poly_batch_intersects)
+        if out is not None:
+            return out
+    return [_intersects_np(g1, g) for g in geoms]
+
+
+def contains_batch(g1: Geometry, geoms: Sequence[Geometry]) -> List[bool]:
+    """Batch ``predicates.contains(g1, g)``."""
+    if _active_backend == "python" or np is None:
+        return [contains(g1, g) for g in geoms]
+    return [_contains_np(g1, g) for g in geoms]
+
+
+def touches_batch(g1: Geometry, geoms: Sequence[Geometry]) -> List[bool]:
+    """Batch ``predicates.touches(g1, g)``."""
+    if _active_backend == "python" or np is None:
+        return [touches(g1, g) for g in geoms]
+    return [_touches_np(g1, g) for g in geoms]
+
+
+def within_distance_batch(
+    g1: Geometry, geoms: Sequence[Geometry], dist: float
+) -> List[bool]:
+    """Batch ``distance.within_distance(g1, g, dist)``."""
+    if _active_backend == "python" or np is None:
+        return [within_distance(g1, g, dist) for g in geoms]
+    pts = _all_points_array(geoms)
+    if pts is not None and dist > 0.0 and not _has_point_parts(g1):
+        return _points_within_distance_np(g1, pts, dist)
+    if dist > 0.0 and _poly_probe(g1):
+        out = _poly_batch_eval(
+            g1, geoms, lambda probe, pb: _poly_batch_within(probe, pb, dist)
+        )
+        if out is not None:
+            return out
+    return [_within_distance_np(g1, g, dist) for g in geoms]
+
+
+def distance_batch(g1: Geometry, geoms: Sequence[Geometry]) -> List[float]:
+    """Batch exact distances (rooted once, at this API boundary)."""
+    if _active_backend == "python" or np is None:
+        from repro.geometry.distance import distance
+
+        return [distance(g1, g) for g in geoms]
+    import math
+
+    return [math.sqrt(_distance_sq_np(g1, g)) for g in geoms]
+
+
+def _all_points_array(geoms: Sequence[Geometry]):
+    """(n, 2) array when every candidate is a simple POINT, else None."""
+    if not geoms:
+        return None
+    for g in geoms:
+        if g.geom_type is not GeometryType.POINT:
+            return None
+    return np.asarray([g.coords[0] for g in geoms], dtype=np.float64).reshape(-1, 2)
+
+
+def _has_point_parts(g: Geometry) -> bool:
+    return any(p.geom_type is GeometryType.POINT for p in g.simple_parts())
+
+
+def _points_within_distance_np(g1: Geometry, pts, dist: float) -> List[bool]:
+    """within_distance of one edge-bearing geometry vs many points, batched."""
+    px, py = pts[:, 0], pts[:, 1]
+    exp = g1.mbr.expand(dist)
+    gate = (exp.min_x <= px) & (px <= exp.max_x) & (exp.min_y <= py) & (py <= exp.max_y)
+    inter = _points_intersect_geometry(g1, px, py)
+    edges = g1.edges_array()
+    best = np.full(px.shape[0], np.inf)
+    ax, ay, bx, by = (edges[:, k] for k in range(4))
+    for sl in _row_chunks(px.shape[0], len(edges)):
+        d = _point_segment_dist_sq_arr(
+            px[sl][:, None], py[sl][:, None], ax, ay, bx, by
+        )
+        best[sl] = d.min(axis=1)
+    result = gate & (inter | (best <= dist * dist))
+    return result.tolist()
+
+
+# ----------------------------------------------------------------------
+# Cross-candidate polygon fast path.
+#
+# Per-pair numpy evaluation pays its dispatch overhead once per candidate,
+# which loses to the scalar engine on small polygons (a 20-vertex star
+# costs more to wrap in arrays than to test in pure Python).  When a whole
+# candidate batch consists of single-ring polygons — the shape of every
+# secondary-filter run over the paper's workloads — the batch is instead
+# concatenated into one edge soup with per-ring offsets, and every stage
+# of the intersects / within-distance tests (edge crossings, both
+# representative-point containments, edge-pair distances) runs as a single
+# vectorized pass with per-candidate ``reduceat`` reductions.
+# ----------------------------------------------------------------------
+def _gather_poly_candidates(geoms: Sequence[Geometry]):
+    """Concatenated ring arrays for an all-single-ring-polygon batch.
+
+    Returns ``None`` when any candidate is not a hole-free simple polygon
+    (the caller then uses the per-pair path).
+    """
+    edges = []
+    append = edges.append
+    poly = GeometryType.POLYGON
+    for g in geoms:
+        if g.geom_type is not poly or g.holes:
+            return None
+        e = g._edges_array
+        append(e if e is not None else g.edges_array())
+    counts = np.asarray([e.shape[0] for e in edges], dtype=np.intp)
+    offsets = np.zeros(len(edges), dtype=np.intp)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    # A hole-free polygon's cached edges array rows are exactly
+    # ``(v_i, v_{i+1 mod n})`` over the exterior ring, so one concatenation
+    # yields the vertex columns and the wrapped edge-end columns at once.
+    vx, vy, ex, ey = np.ascontiguousarray(np.concatenate(edges, axis=0).T)
+    last = offsets + counts - 1
+    # Per-ring bounds; identical floats to each candidate's stored MBR.
+    bx0 = np.minimum.reduceat(vx, offsets)
+    by0 = np.minimum.reduceat(vy, offsets)
+    bx1 = np.maximum.reduceat(vx, offsets)
+    by1 = np.maximum.reduceat(vy, offsets)
+    # Edge difference vectors and their abs sums, hoisted once per batch
+    # for every orientation test against the soup.
+    cdx, cdy = ex - vx, ey - vy
+    cd_abs = np.abs(cdx) + np.abs(cdy)
+    return (
+        vx, vy, ex, ey, offsets, counts, last,
+        bx0, by0, bx1, by1, (cdx, cdy, cd_abs),
+    )
+
+
+def _rings_contain_point(pb, px: float, py: float) -> "np.ndarray":
+    """One point against every candidate ring (batch ``Ring.contains_point``)."""
+    vx, vy, ex, ey, offsets, counts, last, bx0, by0, bx1, by1, cd_pre = pb
+    gate = (bx0 <= px) & (px <= bx1) & (by0 <= py) & (py <= by1)
+    cdx, cdy, cd_abs = cd_pre
+    # Boundary pre-check; bounds tests only on the exactly-zero entries.
+    pos, neg = _orient_signs(cdx, cdy, cd_abs, px - vx, py - vy)
+    nz = pos | neg
+    if nz.all():
+        on_bnd = np.zeros(offsets.size, dtype=bool)
+    else:
+        zj = np.nonzero(~nz)[0]
+        on_edge = ~nz
+        on_edge[zj] = _bounds_arr(px, py, vx[zj], vy[zj], ex[zj], ey[zj])
+        on_bnd = np.logical_or.reduceat(on_edge, offsets)
+    # Ray cast pairs vertex i with its predecessor j = i - 1 (mod n).
+    xj, yj = _shift_fwd(vx), _shift_fwd(vy)
+    xj[offsets] = vx[last]
+    yj[offsets] = vy[last]
+    cond = (vy > py) != (yj > py)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x_cross = (xj - vx) * (py - vy) / (yj - vy) + vx
+    crossings = np.add.reduceat(
+        (cond & (px < x_cross)).astype(np.int64), offsets
+    )
+    return gate & (on_bnd | (crossings & 1).astype(bool))
+
+
+def _poly_batch_intersects(g1: Geometry, pb) -> "np.ndarray":
+    """Batch ``predicates.intersects`` of one polygon vs gathered candidates."""
+    vx, vy, ex, ey, offsets, counts, last, bx0, by0, bx1, by1, cd_pre = pb
+    m = g1.mbr
+    gate = (m.min_x <= bx1) & (bx0 <= m.max_x) & (m.min_y <= by1) & (by0 <= m.max_y)
+    ea = g1.edges_array()
+    hit_edge = np.zeros(vx.shape[0], dtype=bool)
+    for sl in _row_chunks(len(ea), vx.shape[0]):
+        hit_edge |= _intersect_matrix_cols(
+            ea[sl], vx, vy, ex, ey, cd_pre
+        ).any(axis=0)
+    hit = np.logical_or.reduceat(hit_edge, offsets)
+    # Containment probes only run while some candidate is still undecided
+    # (OR semantics make skipping them sound once everything hit).
+    if not hit.all():
+        # Candidate's first exterior vertex inside g1 ...
+        hit |= _part_contains_points(g1, vx[offsets], vy[offsets])
+        if not hit.all():
+            # ... or g1's first exterior vertex inside the candidate.
+            px, py = g1.exterior.coords[0]  # type: ignore[union-attr]
+            hit |= _rings_contain_point(pb, px, py)
+    return gate & hit
+
+
+def _poly_batch_within(g1: Geometry, pb, dist: float) -> "np.ndarray":
+    """Batch ``within_distance`` of one polygon vs gathered candidates."""
+    vx, vy, ex, ey, offsets, counts, last, bx0, by0, bx1, by1, cd_pre = pb
+    exp = g1.mbr.expand(dist)
+    gate = (
+        (exp.min_x <= bx1) & (bx0 <= exp.max_x)
+        & (exp.min_y <= by1) & (by0 <= exp.max_y)
+    )
+    inter = _poly_batch_intersects(g1, pb)
+    out = gate & inter
+    # Edge-pair distances are only needed for gated candidates that do not
+    # already intersect; compress the edge soup to those columns.
+    need = gate & ~inter
+    if not need.any():
+        return out
+    sub_counts = counts[need]
+    edge_need = np.repeat(need, counts)
+    svx, svy = vx[edge_need], vy[edge_need]
+    sex, sey = ex[edge_need], ey[edge_need]
+    sub_offsets = np.zeros(len(sub_counts), dtype=np.intp)
+    np.cumsum(sub_counts[:-1], out=sub_offsets[1:])
+    ea = g1.edges_array()
+    dmin_edge = np.full(svx.shape[0], np.inf)
+    for sl in _row_chunks(len(ea), svx.shape[0]):
+        np.minimum(
+            dmin_edge,
+            _seg_distance_sq_matrix_cols(ea[sl], svx, svy, sex, sey).min(axis=0),
+            out=dmin_edge,
+        )
+    dmin = np.minimum.reduceat(dmin_edge, sub_offsets)
+    out[need] = dmin <= dist * dist
+    return out
+
+
+def _poly_probe(g1: Geometry) -> bool:
+    """Is ``g1`` a simple polygon (the fast path's probe precondition)?"""
+    return g1.geom_type is GeometryType.POLYGON
+
+
+def _poly_batch_eval(g1, geoms, evaluator) -> Optional[List[bool]]:
+    """Run a gathered-batch evaluator, fast-accepting identity candidates.
+
+    A self-join's identity candidate (``g is g1``) always qualifies for
+    the intersect and within-distance predicates, same as the scalar path
+    concludes the long way round.  Excluding it from the edge soup also
+    keeps exact-zero orientations rare, which the kernels' sparse
+    collinear branches are sized for.  Returns ``None`` when the batch is
+    not all hole-free polygons (caller falls back to the per-pair path).
+    """
+    sub = [g for g in geoms if g is not g1]
+    if len(sub) == len(geoms):
+        pb = _gather_poly_candidates(geoms)
+        if pb is None:
+            return None
+        return evaluator(g1, pb).tolist()
+    if not sub:
+        return [True] * len(geoms)
+    pb = _gather_poly_candidates(sub)
+    if pb is None:
+        return None
+    hits = iter(evaluator(g1, pb).tolist())
+    return [True if g is g1 else next(hits) for g in geoms]
+
+
+def evaluate_predicate_batch(
+    g1: Geometry,
+    geoms: Sequence[Geometry],
+    mask: str,
+    distance: float = 0.0,
+) -> Optional[List[bool]]:
+    """Batch-evaluate a join predicate for one probe vs many candidates.
+
+    Returns ``None`` when the mask is outside the batchable subset (the
+    caller then falls back to scalar evaluation).  Supported: the
+    within-distance predicate (``distance > 0``) and the intersection
+    masks ``ANYINTERACT`` / ``INTERSECT`` (including ``+``-unions of the
+    two).  Results are bit-identical to the scalar path on both backends.
+    """
+    if distance and distance > 0.0:
+        return within_distance_batch(g1, geoms, distance)
+    names = [n.strip() for n in mask.upper().split("+")] if mask else []
+    if not names or any(n not in ("ANYINTERACT", "INTERSECT") for n in names):
+        return None
+    return intersects_batch(g1, geoms)
+
+
+# ======================================================================
+# Tile-classification kernel (tessellation frontier)
+# ======================================================================
+def classify_tiles(geom: Geometry, quads, polygonal: bool) -> List[int]:
+    """Classify a frontier of quadrant MBRs against one geometry.
+
+    Returns one code per quadrant: :data:`TILE_OUTSIDE_MBR`,
+    :data:`TILE_OUTSIDE`, :data:`TILE_BOUNDARY` or :data:`TILE_INTERIOR`
+    (the last only when ``polygonal``).  Matches the per-tile scalar
+    sequence in ``tessellate``: MBR gate, ``intersects(rect, geom)``,
+    then ``contains(geom, rect)``.
+    """
+    n = len(quads)
+    if n == 0:
+        return []
+    # Tiny work items — a point's one-tile-per-level frontier, the root
+    # quadrant of a small geometry — lose to array dispatch overhead.
+    # Both paths are bit-identical, so routing them scalar is purely a
+    # constant-factor switch (frontier size × vertex count ≈ work).
+    if (
+        _active_backend == "python"
+        or np is None
+        or n * geom.num_vertices < _SCALAR_TILE_CUTOFF
+    ):
+        return [_classify_tile_scalar(geom, quad, polygonal) for quad in quads]
+    qx0 = np.asarray([q.min_x for q in quads], dtype=np.float64)
+    qy0 = np.asarray([q.min_y for q in quads], dtype=np.float64)
+    qx1 = np.asarray([q.max_x for q in quads], dtype=np.float64)
+    qy1 = np.asarray([q.max_y for q in quads], dtype=np.float64)
+    m = geom.mbr
+    codes = np.zeros(n, dtype=np.int64)
+    mbr_ok = (qx0 <= m.max_x) & (m.min_x <= qx1) & (qy0 <= m.max_y) & (m.min_y <= qy1)
+    codes[mbr_ok] = TILE_OUTSIDE
+    act = np.nonzero(mbr_ok)[0]
+    if act.size == 0:
+        return codes.tolist()
+    # Degenerate quadrants (zero width/height) become point/line window
+    # geometries in the scalar path; classify those few via the scalar code.
+    deg = (qx1[act] == qx0[act]) | (qy1[act] == qy0[act])
+    for t in act[deg]:
+        codes[t] = _classify_tile_scalar(geom, quads[int(t)], polygonal)
+    sub = act[~deg]
+    if sub.size == 0:
+        return codes.tolist()
+    inter = _rects_intersect_geom(geom, qx0[sub], qy0[sub], qx1[sub], qy1[sub])
+    hit = sub[inter]
+    codes[hit] = TILE_BOUNDARY
+    if polygonal and hit.size:
+        within = _rects_within_geom(geom, qx0[hit], qy0[hit], qx1[hit], qy1[hit])
+        codes[hit[within]] = TILE_INTERIOR
+    return codes.tolist()
+
+
+def _classify_tile_scalar(geom: Geometry, quad, polygonal: bool) -> int:
+    if not quad.intersects(geom.mbr):
+        return TILE_OUTSIDE_MBR
+    rect = Geometry.from_mbr(quad)
+    if not intersects(rect, geom):
+        return TILE_OUTSIDE
+    if polygonal and contains(geom, rect):
+        return TILE_INTERIOR
+    return TILE_BOUNDARY
+
+
+def _rect_edge_array(x0, y0, x1, y1):
+    """(R, 4, 4) boundary edges of axis-aligned rects, in Ring.edges order."""
+    e = np.empty((x0.shape[0], 4, 4), dtype=np.float64)
+    e[:, 0] = np.stack([x0, y0, x1, y0], axis=1)
+    e[:, 1] = np.stack([x1, y0, x1, y1], axis=1)
+    e[:, 2] = np.stack([x1, y1, x0, y1], axis=1)
+    e[:, 3] = np.stack([x0, y1, x0, y0], axis=1)
+    return e
+
+
+def _rect_edges_any(rect_edges, part_edges, matrix_fn) -> "np.ndarray":
+    """Per-rect: does any of its 4 edges satisfy ``matrix_fn`` vs part_edges?"""
+    flat = rect_edges.reshape(-1, 4)
+    out = np.zeros(flat.shape[0], dtype=bool)
+    if len(part_edges):
+        for sl in _row_chunks(flat.shape[0], len(part_edges)):
+            out[sl] = matrix_fn(flat[sl], part_edges).any(axis=1)
+    return out.reshape(-1, 4).any(axis=1)
+
+
+def _rects_intersect_geom(geom: Geometry, x0, y0, x1, y1) -> "np.ndarray":
+    """Batch ``predicates.intersects(rect, geom)`` for non-degenerate rects."""
+    n = x0.shape[0]
+    res = np.zeros(n, dtype=bool)
+    rect_edges = _rect_edge_array(x0, y0, x1, y1)
+    rect_cache = {}
+
+    def rect_geom(i: int) -> Geometry:
+        g = rect_cache.get(i)
+        if g is None:
+            g = Geometry.rectangle(x0[i], y0[i], x1[i], y1[i])
+            rect_cache[i] = g
+        return g
+
+    for part in geom.simple_parts():
+        pm = part.mbr
+        gate = (x0 <= pm.max_x) & (pm.min_x <= x1) & (y0 <= pm.max_y) & (pm.min_y <= y1)
+        need = np.nonzero(gate & ~res)[0]
+        if need.size == 0:
+            continue
+        if part.geom_type is GeometryType.POINT:
+            ppx, ppy = part.coords[0]
+            for t in need:
+                if rect_geom(int(t)).contains_point(ppx, ppy):
+                    res[t] = True
+            continue
+        hit = _rect_edges_any(rect_edges[need], part.edges_array(), _intersect_matrix)
+        res[need[hit]] = True
+        rem = need[~hit]
+        if rem.size == 0:
+            continue
+        if part.geom_type is GeometryType.LINESTRING:
+            fx, fy = part.coords[0]
+            for t in rem:
+                if rect_geom(int(t)).contains_point(fx, fy):
+                    res[t] = True
+        else:
+            corner_in = _part_contains_points(part, x0[rem], y0[rem])
+            res[rem[corner_in]] = True
+            rem2 = rem[~corner_in]
+            if rem2.size:
+                fx, fy = part.exterior.coords[0]  # type: ignore[union-attr]
+                for t in rem2:
+                    if rect_geom(int(t)).contains_point(fx, fy):
+                        res[t] = True
+    return res
+
+
+def _rects_within_geom(geom: Geometry, x0, y0, x1, y1) -> "np.ndarray":
+    """Batch ``predicates.contains(geom, rect)`` for non-degenerate rects."""
+    n = x0.shape[0]
+    gm = geom.mbr
+    keep = (gm.min_x <= x0) & (gm.max_x >= x1) & (gm.min_y <= y0) & (gm.max_y >= y1)
+    idx = np.nonzero(keep)[0]
+    out = np.zeros(n, dtype=bool)
+    if idx.size == 0:
+        return out
+    # All four corners covered by the geometry.
+    cx = np.stack([x0[idx], x1[idx], x1[idx], x0[idx]], axis=1).ravel()
+    cy = np.stack([y0[idx], y0[idx], y1[idx], y1[idx]], axis=1).ravel()
+    ok = _geometry_contains_points(geom, cx, cy).reshape(-1, 4).all(axis=1)
+    idx = idx[ok]
+    if idx.size == 0:
+        return out
+    # No rect edge properly crosses a geometry boundary edge.
+    ge = geom.edges_array()
+    if len(ge):
+        prop = _rect_edges_any(
+            _rect_edge_array(x0[idx], y0[idx], x1[idx], y1[idx]), ge, _proper_matrix
+        )
+        idx = idx[~prop]
+        if idx.size == 0:
+            return out
+    # Edge midpoints covered (guards against holes the edges do not touch).
+    rx0, ry0, rx1, ry1 = x0[idx], y0[idx], x1[idx], y1[idx]
+    mx = np.stack(
+        [(rx0 + rx1) / 2.0, (rx1 + rx1) / 2.0, (rx1 + rx0) / 2.0, (rx0 + rx0) / 2.0],
+        axis=1,
+    ).ravel()
+    my = np.stack(
+        [(ry0 + ry0) / 2.0, (ry0 + ry1) / 2.0, (ry1 + ry1) / 2.0, (ry1 + ry0) / 2.0],
+        axis=1,
+    ).ravel()
+    ok = _geometry_contains_points(geom, mx, my).reshape(-1, 4).all(axis=1)
+    out[idx[ok]] = True
+    return out

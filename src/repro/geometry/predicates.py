@@ -10,7 +10,6 @@ the exact answer.  The supported interaction masks mirror Oracle Spatial's
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, Tuple
 
 from repro.errors import OperatorError
@@ -188,11 +187,13 @@ def _on_boundary(g: Geometry, x: float, y: float) -> bool:
     for a, b in g.boundary_edges():
         if on_segment(p, a, b):
             return True
-    # Point geometries have no edges; compare directly.
+    # Point geometries have no edges; compare directly (squared, matching
+    # Geometry.contains_point and the vectorized kernels).
     for part in g.simple_parts():
         if part.geom_type is GeometryType.POINT:
             px, py = part.coords[0]
-            if math.hypot(px - x, py - y) <= EPSILON:
+            dx, dy = px - x, py - y
+            if dx * dx + dy * dy <= EPSILON * EPSILON:
                 return True
     return False
 

@@ -19,7 +19,9 @@ __all__ = [
     "segments_intersect",
     "segment_intersection_point",
     "point_segment_distance",
+    "point_segment_distance_sq",
     "segment_segment_distance",
+    "segment_segment_distance_sq",
 ]
 
 # Default tolerance for collinearity / incidence decisions.  Datasets in this
@@ -104,27 +106,44 @@ def segment_intersection_point(
     return None
 
 
-def point_segment_distance(p: Point, a: Point, b: Point) -> float:
-    """Euclidean distance from point ``p`` to closed segment ``ab``."""
+def point_segment_distance_sq(p: Point, a: Point, b: Point) -> float:
+    """Squared Euclidean distance from point ``p`` to closed segment ``ab``.
+
+    All distance comparisons in the library happen in squared space (one
+    multiply instead of a ``sqrt`` per comparison); the square root is
+    taken once at the public API boundary.  The batch kernels replicate
+    exactly these arithmetic operations, so the scalar and vectorized
+    backends produce bit-identical comparison outcomes.
+    """
     ab_x, ab_y = b[0] - a[0], b[1] - a[1]
     ap_x, ap_y = p[0] - a[0], p[1] - a[1]
     denom = ab_x * ab_x + ab_y * ab_y
     if denom == 0.0:  # degenerate segment
-        return math.hypot(ap_x, ap_y)
+        return ap_x * ap_x + ap_y * ap_y
     t = (ap_x * ab_x + ap_y * ab_y) / denom
     t = max(0.0, min(1.0, t))
-    closest_x = a[0] + t * ab_x
-    closest_y = a[1] + t * ab_y
-    return math.hypot(p[0] - closest_x, p[1] - closest_y)
+    dx = p[0] - (a[0] + t * ab_x)
+    dy = p[1] - (a[1] + t * ab_y)
+    return dx * dx + dy * dy
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Euclidean distance from point ``p`` to closed segment ``ab``."""
+    return math.sqrt(point_segment_distance_sq(p, a, b))
+
+
+def segment_segment_distance_sq(a: Point, b: Point, c: Point, d: Point) -> float:
+    """Squared minimum distance between closed segments ``ab`` and ``cd``."""
+    if segments_intersect(a, b, c, d):
+        return 0.0
+    return min(
+        point_segment_distance_sq(a, c, d),
+        point_segment_distance_sq(b, c, d),
+        point_segment_distance_sq(c, a, b),
+        point_segment_distance_sq(d, a, b),
+    )
 
 
 def segment_segment_distance(a: Point, b: Point, c: Point, d: Point) -> float:
     """Minimum distance between closed segments ``ab`` and ``cd``."""
-    if segments_intersect(a, b, c, d):
-        return 0.0
-    return min(
-        point_segment_distance(a, c, d),
-        point_segment_distance(b, c, d),
-        point_segment_distance(c, a, b),
-        point_segment_distance(d, a, b),
-    )
+    return math.sqrt(segment_segment_distance_sq(a, b, c, d))

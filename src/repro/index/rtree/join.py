@@ -44,6 +44,7 @@ from collections import deque
 from typing import Deque, Iterator, List, Optional, Tuple
 
 from repro.engine.parallel import WorkerContext
+from repro.geometry import kernels
 from repro.geometry.mbr import MBR
 from repro.index.rtree.node import NodeCoords, RTreeNode, entry_coords
 from repro.storage.heap import RowId
@@ -97,7 +98,13 @@ class RTreeJoinCursor:
         self.pairs_tested += 1
         if self.distance == 0.0:
             return a.intersects(b)
-        return a.distance(b) <= self.distance
+        if a.is_empty or b.is_empty:
+            return False
+        # Squared comparison (no sqrt per test; same outcome as the sweep
+        # refinement and the batch MBR kernel, bit for bit).
+        dx = max(b.min_x - a.max_x, a.min_x - b.max_x, 0.0)
+        dy = max(b.min_y - a.max_y, a.min_y - b.max_y, 0.0)
+        return dx * dx + dy * dy <= self.distance * self.distance
 
     def next_candidates(
         self, max_pairs: int, ctx: Optional[WorkerContext] = None
@@ -159,11 +166,24 @@ class RTreeJoinCursor:
     def _nested_pairs(
         self, node_a: RTreeNode, node_b: RTreeNode, ctx: Optional[WorkerContext]
     ) -> Iterator[Tuple[int, int]]:
-        for i, ea in enumerate(node_a.entries):
-            ma = ea.mbr
-            for j, eb in enumerate(node_b.entries):
-                if self._interacts(ma, eb.mbr, ctx):
-                    yield i, j
+        """O(|A|·|B|) pairing, one batch MBR-kernel row per left entry.
+
+        Same pair set and the same ``mbr_test`` charges as the per-pair
+        double loop; only the per-test interpreter dispatch is batched.
+        """
+        na, nb = len(node_a.entries), len(node_b.entries)
+        if na == 0 or nb == 0:
+            return
+        ax0, ay0, ax1, ay1 = self._node_coords(node_a)
+        coords_b = self._node_coords(node_b)
+        d = self.distance
+        for i in range(na):
+            self.pairs_tested += nb
+            if ctx is not None:
+                ctx.charge("mbr_test", nb)
+            box = (ax0[i], ay0[i], ax1[i], ay1[i])
+            for j in kernels.mbr_filter_indices(coords_b, box, d, exact=True):
+                yield i, j
 
     def _sweep_pairs(
         self, node_a: RTreeNode, node_b: RTreeNode, ctx: Optional[WorkerContext]
@@ -224,8 +244,8 @@ class RTreeJoinCursor:
 
         # --- sweep: advance the list with the smaller min-x; scan the
         # other list's x-window; test y-interaction (and the exact
-        # rectangle distance when d > 0) before emitting.
-        hypot = math.hypot
+        # squared rectangle distance when d > 0) before emitting.
+        d2 = d * d
         i = j = 0
         la, lb = len(ia), len(ib)
         while i < la and j < lb:
@@ -246,7 +266,7 @@ class RTreeJoinCursor:
                     if d > 0.0:
                         dx = max(bx0[jdx] - x_hi, ax0[idx] - bx1[jdx], 0.0)
                         dy = max(by0[jdx] - y_hi, y_lo - by1[jdx], 0.0)
-                        if hypot(dx, dy) > d:
+                        if dx * dx + dy * dy > d2:
                             continue
                     self.pairs_emitted += 1
                     if ctx is not None:
@@ -270,7 +290,7 @@ class RTreeJoinCursor:
                     if d > 0.0:
                         dx = max(ax0[idx] - x_hi, bx0[jdx] - ax1[idx], 0.0)
                         dy = max(ay0[idx] - y_hi, y_lo - ay1[idx], 0.0)
-                        if hypot(dx, dy) > d:
+                        if dx * dx + dy * dy > d2:
                             continue
                     self.pairs_emitted += 1
                     if ctx is not None:
@@ -342,33 +362,15 @@ class RTreeJoinCursor:
         self, node: RTreeNode, other: MBR, ctx: Optional[WorkerContext]
     ) -> Iterator[int]:
         """Indices of ``node``'s entries interacting with ``other`` (one
-        rectangle vs the node's flat coordinate vectors)."""
+        rectangle vs the node's flat coordinate vectors, resolved by the
+        batch MBR kernel in a single call)."""
         if other.is_empty:
             return
-        x0, y0, x1, y1 = self._node_coords(node)
-        n = len(x0)
-        o_lo_x, o_lo_y, o_hi_x, o_hi_y = (
-            other.min_x,
-            other.min_y,
-            other.max_x,
-            other.max_y,
-        )
-        d = self.distance
-        hypot = math.hypot
+        coords = self._node_coords(node)
+        n = len(coords[0])
         self.pairs_tested += n
         if ctx is not None:
             ctx.charge("mbr_test", n)
-        for i in range(n):
-            if (
-                o_lo_x - x1[i] > d
-                or x0[i] - o_hi_x > d
-                or o_lo_y - y1[i] > d
-                or y0[i] - o_hi_y > d
-            ):
-                continue
-            if d > 0.0:
-                dx = max(o_lo_x - x1[i], x0[i] - o_hi_x, 0.0)
-                dy = max(o_lo_y - y1[i], y0[i] - o_hi_y, 0.0)
-                if hypot(dx, dy) > d:
-                    continue
-            yield i
+        yield from kernels.mbr_filter_indices(
+            coords, other.as_tuple(), self.distance, exact=True
+        )

@@ -14,6 +14,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import IndexBuildError
 from repro.engine.parallel import WorkerContext
+from repro.geometry import kernels
 from repro.geometry.mbr import EMPTY_MBR, MBR, union_all
 from repro.index.rtree.node import Entry, RTreeNode
 from repro.storage.heap import RowId
@@ -295,30 +296,24 @@ class RTree:
         """Yield (mbr, rowid) for leaf entries whose MBR intersects ``query``.
 
         Interaction tests run against each node's flat-array coordinate
-        vectors (struct-of-arrays layout) so one window probe compares raw
-        floats instead of chasing per-entry MBR objects.
+        vectors (struct-of-arrays layout) through the batch MBR kernel:
+        one window probe tests a whole node's entry list in a single
+        vectorized call (or the equivalent scalar loop on the python
+        backend), instead of chasing per-entry MBR objects.
         """
         if self._size == 0 or query.is_empty:
             return
-        q_lo_x, q_lo_y, q_hi_x, q_hi_y = query.as_tuple()
+        window = query.as_tuple()
         stack = [self.root]
         while stack:
             node = stack.pop()
             if ctx is not None:
                 ctx.charge("rtree_node_visit")
             entries = node.entries
-            x0, y0, x1, y1 = node.coords()
             if ctx is not None:
                 ctx.charge("mbr_test", len(entries))
             is_leaf = node.is_leaf
-            for i in range(len(entries)):
-                if (
-                    x0[i] > q_hi_x
-                    or q_lo_x > x1[i]
-                    or y0[i] > q_hi_y
-                    or q_lo_y > y1[i]
-                ):
-                    continue
+            for i in kernels.mbr_filter_indices(node.coords(), window):
                 entry = entries[i]
                 if is_leaf:
                     assert entry.rowid is not None

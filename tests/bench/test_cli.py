@@ -20,8 +20,8 @@ class TestCli:
         assert hasattr(module, "run_figure2")
 
     def test_experiment_registry_complete(self):
-        from repro.bench.__main__ import EXPERIMENTS, _load_bench_module
+        from repro.bench.__main__ import EXPERIMENTS, _MODULE_FILES, _load_bench_module
 
         for name in EXPERIMENTS:
-            module = _load_bench_module(name)
+            module = _load_bench_module(_MODULE_FILES.get(name, name))
             assert hasattr(module, f"run_{name}"), name

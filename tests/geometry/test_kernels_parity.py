@@ -1,0 +1,474 @@
+"""Parity suite: batch kernels must agree with the scalar engine, bit for bit.
+
+The kernels module ships two backends (``numpy`` and ``python``) behind one
+API, and the whole refinement pipeline leans on them being interchangeable:
+swapping ``REPRO_KERNELS`` must never change a join result, a tessellation,
+or a window-query answer.  This suite drives both backends over thousands of
+seeded-random cases — plus the degenerate shapes that break naive vector
+rewrites (collinear edges, shared vertices, zero-length segments, boundary
+points) — and asserts exact equality against the scalar predicates, not
+approximate agreement.
+"""
+
+import math
+import random
+from array import array
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import kernels
+from repro.geometry.distance import distance, within_distance
+from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import MBR
+from repro.geometry.predicates import contains, intersects, touches
+from repro.geometry.segments import segment_segment_distance, segments_intersect
+from repro.index.quadtree.codes import TileGrid
+from repro.core.secondary_filter import JoinPredicate
+
+BACKENDS = ("numpy", "python")
+
+
+# ----------------------------------------------------------------------
+# Seeded generators.  Coordinates snap to a coarse half-integer grid so
+# shared edges, shared vertices and exact-touch configurations occur
+# constantly instead of almost never.
+# ----------------------------------------------------------------------
+def _grid(rng, lo=-6, hi=6):
+    return rng.randrange(lo * 2, hi * 2 + 1) / 2.0
+
+
+def _convex_polygon(rng):
+    cx, cy = _grid(rng), _grid(rng)
+    r_x = rng.uniform(0.5, 3.0)
+    r_y = rng.uniform(0.5, 3.0)
+    n = rng.randrange(3, 9)
+    phase = rng.uniform(0, 2 * math.pi)
+    pts = [
+        (cx + r_x * math.cos(phase + 2 * math.pi * k / n),
+         cy + r_y * math.sin(phase + 2 * math.pi * k / n))
+        for k in range(n)
+    ]
+    return Geometry.polygon(pts)
+
+
+def _star_polygon(rng):
+    cx, cy = _grid(rng), _grid(rng)
+    n = rng.randrange(4, 8)
+    pts = []
+    for k in range(2 * n):
+        r = rng.uniform(1.5, 3.0) if k % 2 == 0 else rng.uniform(0.4, 1.2)
+        t = math.pi * k / n
+        pts.append((cx + r * math.cos(t), cy + r * math.sin(t)))
+    return Geometry.polygon(pts)
+
+
+def _holed_polygon(rng):
+    cx, cy = _grid(rng), _grid(rng)
+    outer = [(cx - 3, cy - 3), (cx + 3, cy - 3), (cx + 3, cy + 3), (cx - 3, cy + 3)]
+    hole = [(cx - 1, cy - 1), (cx + 1, cy - 1), (cx + 1, cy + 1), (cx - 1, cy + 1)]
+    return Geometry.polygon(outer, holes=[hole])
+
+
+def _rectangle(rng):
+    x0, y0 = _grid(rng), _grid(rng)
+    return Geometry.rectangle(x0, y0, x0 + rng.randrange(1, 5), y0 + rng.randrange(1, 5))
+
+
+def _linestring(rng):
+    n = rng.randrange(2, 6)
+    return Geometry.linestring([(_grid(rng), _grid(rng)) for _ in range(n)])
+
+
+def _multipoint(rng):
+    n = rng.randrange(1, 5)
+    return Geometry.multipoint([(_grid(rng), _grid(rng)) for _ in range(n)])
+
+
+def _point(rng):
+    return Geometry.point(_grid(rng), _grid(rng))
+
+
+_MAKERS = (
+    _convex_polygon, _star_polygon, _holed_polygon,
+    _rectangle, _rectangle, _linestring, _multipoint, _point,
+)
+
+
+def geometry_pool(seed, n):
+    rng = random.Random(seed)
+    return [_MAKERS[i % len(_MAKERS)](rng) for i in range(n)]
+
+
+def random_edges(rng, n):
+    """Random segments, seeded with degenerates: ~1 in 5 is zero-length and
+    grid snapping makes collinear / shared-endpoint pairs common."""
+    out = []
+    for _ in range(n):
+        x0, y0 = _grid(rng), _grid(rng)
+        if rng.random() < 0.2:
+            out.append((x0, y0, x0, y0))  # zero-length
+        else:
+            out.append((x0, y0, _grid(rng), _grid(rng)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Predicate parity: 40x40 = 1600 ordered pairs per predicate, each
+# checked on both backends against the scalar engine.
+# ----------------------------------------------------------------------
+POOL = geometry_pool(seed=20030642, n=40)
+
+
+class TestPredicateParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_intersects_bulk(self, backend):
+        with kernels.use_backend(backend):
+            for g1 in POOL:
+                got = kernels.intersects_batch(g1, POOL)
+                assert got == [intersects(g1, g2) for g2 in POOL]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_contains_bulk(self, backend):
+        with kernels.use_backend(backend):
+            for g1 in POOL:
+                got = kernels.contains_batch(g1, POOL)
+                assert got == [contains(g1, g2) for g2 in POOL]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_touches_bulk(self, backend):
+        with kernels.use_backend(backend):
+            for g1 in POOL:
+                got = kernels.touches_batch(g1, POOL)
+                assert got == [touches(g1, g2) for g2 in POOL]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_distance_bulk_bit_identical(self, backend):
+        with kernels.use_backend(backend):
+            for g1 in POOL[::2]:
+                got = kernels.distance_batch(g1, POOL)
+                ref = [distance(g1, g2) for g2 in POOL]
+                assert got == ref  # exact float equality, not approx
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dist", [0.25, 1.0, 3.0])
+    def test_within_distance_bulk(self, backend, dist):
+        with kernels.use_backend(backend):
+            for g1 in POOL[::4]:
+                got = kernels.within_distance_batch(g1, POOL, dist)
+                assert got == [within_distance(g1, g2, dist) for g2 in POOL]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "mask,dist", [("ANYINTERACT", 0.0), ("INTERSECT", 0.0), ("ANYINTERACT", 0.8)]
+    )
+    def test_evaluate_predicate_batch(self, backend, mask, dist):
+        pred = JoinPredicate(mask=mask, distance=dist)
+        with kernels.use_backend(backend):
+            for g1 in POOL[::4]:
+                got = kernels.evaluate_predicate_batch(g1, POOL, mask, dist)
+                if got is None:  # backend may decline a mask; never wrong, just absent
+                    continue
+                assert got == [pred.evaluate(g1, g2) for g2 in POOL]
+
+    def test_unsupported_mask_returns_none_not_garbage(self):
+        got = kernels.evaluate_predicate_batch(POOL[0], POOL, "EQUAL", 0.0)
+        assert got is None or got == [
+            JoinPredicate(mask="EQUAL").evaluate(POOL[0], g) for g in POOL
+        ]
+
+
+# ----------------------------------------------------------------------
+# Segment kernels.
+# ----------------------------------------------------------------------
+class TestSegmentKernelParity:
+    def _edge_sets(self):
+        rng = random.Random(77)
+        return random_edges(rng, 36), random_edges(rng, 36)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_segments_intersect_matrix(self, backend):
+        ea, eb = self._edge_sets()  # 36x36 = 1296 pairs
+        with kernels.use_backend(backend):
+            got = kernels.segments_intersect_batch(ea, eb)
+        for i, (ax0, ay0, ax1, ay1) in enumerate(ea):
+            for j, (bx0, by0, bx1, by1) in enumerate(eb):
+                ref = segments_intersect(
+                    (ax0, ay0), (ax1, ay1), (bx0, by0), (bx1, by1)
+                )
+                assert got[i][j] == ref, (ea[i], eb[j])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_segment_distance_matrix_bit_identical(self, backend):
+        ea, eb = self._edge_sets()
+        with kernels.use_backend(backend):
+            got = kernels.pairwise_segment_distance_batch(ea, eb)
+        for i, (ax0, ay0, ax1, ay1) in enumerate(ea):
+            for j, (bx0, by0, bx1, by1) in enumerate(eb):
+                ref = segment_segment_distance(
+                    (ax0, ay0), (ax1, ay1), (bx0, by0), (bx1, by1)
+                )
+                assert got[i][j] == ref, (ea[i], eb[j])
+
+    @pytest.mark.parametrize(
+        "a,b,c,d",
+        [
+            # collinear overlap
+            ((0, 0), (4, 0), (2, 0), (6, 0)),
+            # collinear, disjoint
+            ((0, 0), (1, 0), (2, 0), (3, 0)),
+            # shared endpoint only
+            ((0, 0), (2, 2), (2, 2), (4, 0)),
+            # zero-length on a segment interior
+            ((0, 0), (4, 4), (2, 2), (2, 2)),
+            # zero-length off the segment
+            ((0, 0), (4, 4), (5, 0), (5, 0)),
+            # both zero-length, coincident
+            ((1, 1), (1, 1), (1, 1), (1, 1)),
+            # both zero-length, distinct
+            ((1, 1), (1, 1), (2, 2), (2, 2)),
+            # T-junction: endpoint on interior
+            ((0, 0), (4, 0), (2, 0), (2, 3)),
+        ],
+    )
+    def test_degenerate_segments(self, a, b, c, d):
+        ea = [(a[0], a[1], b[0], b[1])]
+        eb = [(c[0], c[1], d[0], d[1])]
+        ref_hit = segments_intersect(a, b, c, d)
+        ref_dist = segment_segment_distance(a, b, c, d)
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                assert kernels.segments_intersect_batch(ea, eb)[0][0] == ref_hit
+                assert kernels.pairwise_segment_distance_batch(ea, eb)[0][0] == ref_dist
+
+
+# ----------------------------------------------------------------------
+# Point-in-polygon.
+# ----------------------------------------------------------------------
+class TestPointInPolygonParity:
+    def _cases(self):
+        rng = random.Random(4242)
+        polys = [
+            _convex_polygon(rng), _star_polygon(rng), _holed_polygon(rng),
+            _rectangle(rng), _linestring(rng), _multipoint(rng),
+        ]
+        for poly in polys:
+            pts = [(_grid(rng), _grid(rng)) for _ in range(160)]
+            # Degenerate probes: every vertex and every edge midpoint of the
+            # geometry itself (boundary hits, not near-misses).
+            for part in poly.simple_parts():
+                verts = list(part.vertices())
+                pts.extend(verts)
+                for (x0, y0), (x1, y1) in zip(verts, verts[1:]):
+                    pts.append(((x0 + x1) / 2.0, (y0 + y1) / 2.0))
+            yield poly, pts
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_contains_point_parity(self, backend):
+        total = 0
+        with kernels.use_backend(backend):
+            for poly, pts in self._cases():
+                got = kernels.points_in_polygon_batch(pts, poly)
+                ref = [poly.contains_point(x, y) for x, y in pts]
+                assert got == ref
+                total += len(pts)
+        assert total >= 1000
+
+
+# ----------------------------------------------------------------------
+# MBR kernels, over plain lists and array('d') (the R-tree node layout).
+# ----------------------------------------------------------------------
+class TestMbrKernelParity:
+    def _coords(self, rng, n, typed):
+        xs0 = [_grid(rng) for _ in range(n)]
+        ys0 = [_grid(rng) for _ in range(n)]
+        xs1 = [x + rng.randrange(0, 4) for x in xs0]
+        ys1 = [y + rng.randrange(0, 4) for y in ys0]
+        if typed:
+            return (array("d", xs0), array("d", ys0), array("d", xs1), array("d", ys1))
+        return xs0, ys0, xs1, ys1
+
+    @pytest.mark.parametrize("typed", [False, True])
+    @pytest.mark.parametrize("dist", [0.0, 0.7])
+    def test_mbr_intersects_batch_matches_mbr_class(self, typed, dist):
+        rng = random.Random(99)
+        coords = self._coords(rng, 200, typed)
+        box = (-2.0, -2.0, 3.5, 1.0)
+        box_mbr = MBR(*box)
+        ref = []
+        for x0, y0, x1, y1 in zip(*coords):
+            m = MBR(x0, y0, x1, y1)
+            if dist == 0.0:
+                ref.append(m.intersects(box_mbr))
+            else:
+                ref.append(m.intersects(box_mbr.expand(dist)))
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                got = kernels.mbr_intersects_batch(*coords, box, distance=dist)
+            assert got == ref
+
+    @pytest.mark.parametrize("typed", [False, True])
+    @pytest.mark.parametrize("dist", [0.0, 0.7])
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_mbr_filter_indices_parity_and_truth(self, typed, dist, exact):
+        rng = random.Random(1234)
+        coords = self._coords(rng, 200, typed)
+        box = (-1.5, -3.0, 2.0, 2.5)
+        results = {}
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                results[backend] = kernels.mbr_filter_indices(
+                    coords, box, distance=dist, exact=exact
+                )
+        assert results["numpy"] == results["python"]
+        if exact:
+            # Exact refinement must match the true (squared) MBR gap test.
+            bx0, by0, bx1, by1 = box
+            ref = []
+            for i, (x0, y0, x1, y1) in enumerate(zip(*coords)):
+                dx = max(bx0 - x1, x0 - bx1, 0.0)
+                dy = max(by0 - y1, y0 - by1, 0.0)
+                if dx * dx + dy * dy <= dist * dist:
+                    ref.append(i)
+            assert results["numpy"] == ref
+
+    def test_exact_is_subset_of_expanded(self):
+        rng = random.Random(5)
+        coords = self._coords(rng, 150, typed=True)
+        box = (0.0, 0.0, 1.0, 1.0)
+        loose = set(kernels.mbr_filter_indices(coords, box, distance=1.3))
+        tight = set(kernels.mbr_filter_indices(coords, box, distance=1.3, exact=True))
+        assert tight <= loose
+
+
+# ----------------------------------------------------------------------
+# Tile classification (tessellation frontier).
+# ----------------------------------------------------------------------
+class TestClassifyTilesParity:
+    def _quads(self, domain, max_level):
+        grid = TileGrid(domain, max_level)
+        out = []
+        for level in range(max_level + 1):
+            for ix in range(1 << level):
+                for iy in range(1 << level):
+                    out.append(grid.quadrant_mbr(level, ix, iy))
+        return out
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_backend_parity_and_ground_truth(self, seed):
+        rng = random.Random(seed)
+        geom = (_star_polygon, _holed_polygon, _linestring, _convex_polygon)[
+            seed % 4
+        ](rng)
+        polygonal = geom.geom_type.name.startswith("POLYGON") or any(
+            p.geom_type.name == "POLYGON" for p in geom.simple_parts()
+        )
+        quads = self._quads(MBR(-8, -8, 8, 8), max_level=3)
+        codes = {}
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                codes[backend] = kernels.classify_tiles(geom, quads, polygonal)
+        assert codes["numpy"] == codes["python"]
+        for quad, code in zip(quads, codes["numpy"]):
+            rect = Geometry.rectangle(quad.min_x, quad.min_y, quad.max_x, quad.max_y)
+            if code == kernels.TILE_OUTSIDE_MBR:
+                assert not geom.mbr.intersects(quad)
+            elif code == kernels.TILE_OUTSIDE:
+                assert not intersects(geom, rect)
+            elif code == kernels.TILE_INTERIOR:
+                assert polygonal and contains(geom, rect)
+            else:
+                assert code == kernels.TILE_BOUNDARY
+                assert intersects(geom, rect)
+                if polygonal:
+                    assert not contains(geom, rect)
+
+    def test_degenerate_quadrant_falls_back(self):
+        g = _convex_polygon(random.Random(8))
+        quads = [MBR(0.0, 0.0, 0.0, 2.0), MBR(1.0, 1.0, 1.0, 1.0)]  # zero width/area
+        ref = None
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                got = kernels.classify_tiles(g, quads, polygonal=True)
+            if ref is None:
+                ref = got
+            assert got == ref
+
+
+# ----------------------------------------------------------------------
+# Degenerate whole-geometry cases, every predicate, both backends.
+# ----------------------------------------------------------------------
+DEGENERATE_PAIRS = [
+    # identical polygons
+    (Geometry.rectangle(0, 0, 2, 2), Geometry.rectangle(0, 0, 2, 2)),
+    # shared edge
+    (Geometry.rectangle(0, 0, 2, 2), Geometry.rectangle(2, 0, 4, 2)),
+    # shared vertex only
+    (Geometry.rectangle(0, 0, 2, 2), Geometry.rectangle(2, 2, 4, 4)),
+    # polygon vs its own vertex
+    (Geometry.rectangle(0, 0, 2, 2), Geometry.point(0, 0)),
+    # polygon vs point on edge interior
+    (Geometry.rectangle(0, 0, 2, 2), Geometry.point(1, 0)),
+    # polygon vs interior point
+    (Geometry.rectangle(0, 0, 2, 2), Geometry.point(1, 1)),
+    # point in the hole of a holed polygon
+    (_holed_polygon(random.Random(0)), _point(random.Random(0))),
+    # collinear linestrings
+    (Geometry.linestring([(0, 0), (4, 0)]), Geometry.linestring([(2, 0), (6, 0)])),
+    # crossing linestrings
+    (Geometry.linestring([(0, 0), (2, 2)]), Geometry.linestring([(0, 2), (2, 0)])),
+    # coincident points
+    (Geometry.point(1, 1), Geometry.point(1, 1)),
+    # distinct points
+    (Geometry.point(1, 1), Geometry.point(3, 1)),
+    # multipoint straddling a boundary
+    (Geometry.rectangle(0, 0, 2, 2), Geometry.multipoint([(0, 0), (1, 1), (5, 5)])),
+]
+
+
+class TestDegenerateGeometryParity:
+    @pytest.mark.parametrize("g1,g2", DEGENERATE_PAIRS)
+    def test_all_predicates_both_backends(self, g1, g2):
+        ref = (
+            intersects(g1, g2),
+            contains(g1, g2),
+            touches(g1, g2),
+            distance(g1, g2),
+            within_distance(g1, g2, 0.5),
+        )
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                got = (
+                    kernels.intersects_batch(g1, [g2])[0],
+                    kernels.contains_batch(g1, [g2])[0],
+                    kernels.touches_batch(g1, [g2])[0],
+                    kernels.distance_batch(g1, [g2])[0],
+                    kernels.within_distance_batch(g1, [g2], 0.5)[0],
+                )
+            assert got == ref, backend
+
+
+# ----------------------------------------------------------------------
+# Backend selection plumbing.
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_available_backends(self):
+        assert set(kernels.available_backends()) == {"numpy", "python"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(GeometryError):
+            kernels.set_backend("fortran")
+
+    def test_use_backend_restores_on_exit(self):
+        before = kernels.get_backend()
+        other = "python" if before == "numpy" else "numpy"
+        with kernels.use_backend(other):
+            assert kernels.get_backend() == other
+        assert kernels.get_backend() == before
+
+    def test_use_backend_restores_on_error(self):
+        before = kernels.get_backend()
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("python"):
+                raise RuntimeError("boom")
+        assert kernels.get_backend() == before
