@@ -21,15 +21,13 @@ concurrency effects dominate.
 
 from __future__ import annotations
 
-import json
-import os
 import random
 import sys
 import threading
 import time
 
 from repro import Database, Geometry
-from repro.bench.reporting import ExperimentTable, results_dir
+from repro.bench.reporting import ExperimentTable, emit_bench_json
 from repro.datasets import load_geometries
 from repro.geometry.wkt import to_wkt
 from repro.server import BackgroundServer, QueryClient
@@ -169,16 +167,13 @@ def main() -> int:
         )
     table.emit()
 
-    path = os.path.join(results_dir(), "BENCH_server.json")
     payload = {
         "experiment": "server",
         "profile": "smoke",
         "driver_wall_seconds": round(elapsed, 3),
         "rows": rows + [{"join_smoke_pairs": pairs, "server_stats": stats}],
     }
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
-        fh.write("\n")
+    path = emit_bench_json("server", payload)
     print(f"wrote {path}")
     return 0
 

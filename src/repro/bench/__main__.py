@@ -13,7 +13,6 @@ benchmark output across commits.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -24,7 +23,7 @@ from repro.bench.workloads import (
     StarsWorkload,
     profile,
 )
-from repro.bench.reporting import ExperimentTable, results_dir
+from repro.bench.reporting import ExperimentTable, emit_bench_json
 
 EXPERIMENTS = (
     "table1",
@@ -58,17 +57,13 @@ def _load_bench_module(name: str):
 
 def _write_json(name: str, prof: str, elapsed: float, rows) -> str:
     """Persist one experiment's rows as ``BENCH_<name>.json``."""
-    path = os.path.join(results_dir(), f"BENCH_{name}.json")
     payload = {
         "experiment": name,
         "profile": prof,
         "driver_wall_seconds": round(elapsed, 3),
         "rows": rows,
     }
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
-        fh.write("\n")
-    return path
+    return emit_bench_json(name, payload)
 
 
 def main(argv) -> int:

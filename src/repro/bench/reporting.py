@@ -9,20 +9,40 @@ bench run leaves a reviewable record.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["ExperimentTable", "results_dir"]
+__all__ = ["ExperimentTable", "emit_bench_json", "repo_root", "results_dir"]
+
+
+def repo_root() -> str:
+    """The repository checkout this package is running from."""
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    )
 
 
 def results_dir() -> str:
     """Directory collecting rendered benchmark tables."""
-    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
     path = os.environ.get(
-        "REPRO_RESULTS_DIR", os.path.join(here, "benchmarks", "results")
+        "REPRO_RESULTS_DIR", os.path.join(repo_root(), "benchmarks", "results")
     )
     os.makedirs(path, exist_ok=True)
+    return path
+
+
+def emit_bench_json(name: str, payload: Dict[str, Any]) -> str:
+    """Write ``BENCH_<name>.json`` under ``results_dir()`` *and* mirror it
+    at the repo root, where release tooling and CI diffs expect to find
+    the latest benchmark snapshot.  Returns the results-dir path."""
+    filename = f"BENCH_{name}.json"
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    path = os.path.join(results_dir(), filename)
+    for target in (path, os.path.join(repo_root(), filename)):
+        with open(target, "w") as fh:
+            fh.write(text)
     return path
 
 

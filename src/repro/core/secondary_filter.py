@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.engine.parallel import WorkerContext
 from repro.engine.table import Table
+from repro.obs import trace
 from repro.geometry import kernels
 from repro.geometry.distance import within_distance
 from repro.geometry.geometry import Geometry
@@ -216,29 +217,34 @@ class SecondaryFilter:
         ctx: Optional[WorkerContext] = None,
     ) -> List[Tuple[RowId, RowId]]:
         """Evaluate one candidate array, returning the qualifying pairs."""
-        results: List[Tuple[RowId, RowId]] = []
-        if ctx is not None:
-            # Ordering the array is itself work (paper §4.2 sorts it).
-            n = len(candidates)
-            if n > 1 and self.fetch_order is FetchOrder.SORTED:
-                ctx.charge("sort_per_item", n * math.log2(n))
-        ordered = self.order_candidates(candidates)
-        if self.use_batch:
-            # Drain runs of candidates sharing a first rowid: the probe
-            # geometry is fetched once per candidate (identical cache
-            # charges) but the exact predicate is resolved for the whole
-            # run in one kernel call.
-            i, n = 0, len(ordered)
-            while i < n:
-                j = i + 1
-                while j < n and ordered[j][0] == ordered[i][0]:
-                    j += 1
-                self._process_run(ordered[i:j], results, ctx)
-                i = j
-        else:
-            for cand in ordered:
-                self._process_one(cand, results, ctx)
-        self.results_produced += len(results)
+        with trace.span(
+            "join.secondary_filter", ctx, candidates=len(candidates)
+        ) as sp:
+            results: List[Tuple[RowId, RowId]] = []
+            if ctx is not None:
+                # Ordering the array is itself work (paper §4.2 sorts it).
+                n = len(candidates)
+                if n > 1 and self.fetch_order is FetchOrder.SORTED:
+                    ctx.charge("sort_per_item", n * math.log2(n))
+            ordered = self.order_candidates(candidates)
+            if self.use_batch:
+                # Drain runs of candidates sharing a first rowid: the probe
+                # geometry is fetched once per candidate (identical cache
+                # charges) but the exact predicate is resolved for the whole
+                # run in one kernel call.
+                i, n = 0, len(ordered)
+                while i < n:
+                    j = i + 1
+                    while j < n and ordered[j][0] == ordered[i][0]:
+                        j += 1
+                    self._process_run(ordered[i:j], results, ctx)
+                    i = j
+            else:
+                for cand in ordered:
+                    self._process_one(cand, results, ctx)
+            self.results_produced += len(results)
+            sp.set_tag("results", len(results))
+            sp.set_tag("cache_hit_ratio", self.cache.hit_ratio)
         return results
 
     def _process_one(

@@ -28,6 +28,7 @@ from typing import Deque, List, Optional, Tuple
 
 from repro.errors import JoinError
 from repro.engine.cursor import Cursor
+from repro.obs import trace
 from repro.engine.parallel import WorkerContext
 from repro.engine.table_function import TableFunction
 from repro.engine.types import Row
@@ -118,54 +119,79 @@ class SpatialJoinFunction(TableFunction):
         # "In the start method, the metadata of the two R-tree indexes ...
         # is loaded and the subtree roots ... are pushed onto a stack."
         ctx.charge("rtree_node_visit", 2)  # the two metadata/root reads
-        if self._pair_cursor is not None:
-            pairs: List[Tuple[RTreeNode, RTreeNode]] = []
-            for row in self._pair_cursor:
-                node_a, node_b = row[0], row[1]
-                if not isinstance(node_a, RTreeNode) or not isinstance(node_b, RTreeNode):
-                    raise JoinError(
-                        "subtree pair cursor must yield (RTreeNode, RTreeNode) rows"
-                    )
-                pairs.append((node_a, node_b))
-        else:
-            if len(self._tree_a) == 0 or len(self._tree_b) == 0:
-                pairs = []
+        with trace.span("join.start", ctx, worker=ctx.worker_id) as sp:
+            if self._pair_cursor is not None:
+                pairs: List[Tuple[RTreeNode, RTreeNode]] = []
+                for row in self._pair_cursor:
+                    node_a, node_b = row[0], row[1]
+                    if not isinstance(node_a, RTreeNode) or not isinstance(node_b, RTreeNode):
+                        raise JoinError(
+                            "subtree pair cursor must yield (RTreeNode, RTreeNode) rows"
+                        )
+                    pairs.append((node_a, node_b))
             else:
-                pairs = [(self._tree_a.root, self._tree_b.root)]
-        self._join = RTreeJoinCursor(
-            pairs,
-            distance=self.predicate.distance,
-            strategy=self.strategy,
-            use_flat_arrays=self.use_flat_arrays,
-        )
+                if len(self._tree_a) == 0 or len(self._tree_b) == 0:
+                    pairs = []
+                else:
+                    pairs = [(self._tree_a.root, self._tree_b.root)]
+            sp.set_tag("root_pairs", len(pairs))
+            self._join = RTreeJoinCursor(
+                pairs,
+                distance=self.predicate.distance,
+                strategy=self.strategy,
+                use_flat_arrays=self.use_flat_arrays,
+            )
 
     def _fetch(self, ctx: WorkerContext, max_rows: int) -> List[Row]:
         assert self._join is not None
         self.stats.fetch_calls += 1
-        out: List[Row] = []
-        # Serve leftovers from the previous candidate array first (FIFO,
-        # preserving the secondary filter's emission order across fetches).
-        while self._out_buffer and len(out) < max_rows:
-            out.append(self._out_buffer.popleft())
-        while len(out) < max_rows:
-            # Fill the bounded candidate array by resuming the index join.
-            candidates = self._join.next_candidates(self.candidate_array_size, ctx)
-            if not candidates:
-                break
-            self.stats.candidate_pairs += len(candidates)
-            results = self._filter.process(candidates, ctx)
-            self.stats.result_pairs += len(results)
-            for pair in results:
-                if len(out) < max_rows:
-                    out.append(pair)
-                else:
-                    self._out_buffer.append(pair)
-        self.stats.mbr_tests = self._join.pairs_tested
-        self.stats.cache_hit_ratio = self._filter.cache.hit_ratio
+        with trace.span(
+            "join.fetch", ctx, fetch=self.stats.fetch_calls, worker=ctx.worker_id
+        ) as fetch_span:
+            out: List[Row] = []
+            # Serve leftovers from the previous candidate array first (FIFO,
+            # preserving the secondary filter's emission order across fetches).
+            while self._out_buffer and len(out) < max_rows:
+                out.append(self._out_buffer.popleft())
+            while len(out) < max_rows:
+                # Fill the bounded candidate array by resuming the index join.
+                with trace.span("join.primary_filter", ctx) as sweep_span:
+                    nodes_before = self._join.nodes_visited
+                    tests_before = self._join.pairs_tested
+                    candidates = self._join.next_candidates(
+                        self.candidate_array_size, ctx
+                    )
+                    sweep_span.set_tag("candidates", len(candidates))
+                    sweep_span.set_tag(
+                        "nodes_visited", self._join.nodes_visited - nodes_before
+                    )
+                    sweep_span.set_tag(
+                        "mbr_tests", self._join.pairs_tested - tests_before
+                    )
+                if not candidates:
+                    break
+                self.stats.candidate_pairs += len(candidates)
+                results = self._filter.process(candidates, ctx)
+                self.stats.result_pairs += len(results)
+                for pair in results:
+                    if len(out) < max_rows:
+                        out.append(pair)
+                    else:
+                        self._out_buffer.append(pair)
+            self.stats.mbr_tests = self._join.pairs_tested
+            self.stats.cache_hit_ratio = self._filter.cache.hit_ratio
+            fetch_span.set_tag("rows", len(out))
         return out
 
     def _close(self, ctx: WorkerContext) -> None:
         # "memory resources are cleaned up in the subsequent close call"
-        self._join = None
-        self._out_buffer = deque()
-        self._filter.clear_caches()
+        with trace.span(
+            "join.close",
+            ctx,
+            worker=ctx.worker_id,
+            candidate_pairs=self.stats.candidate_pairs,
+            result_pairs=self.stats.result_pairs,
+        ):
+            self._join = None
+            self._out_buffer = deque()
+            self._filter.clear_caches()

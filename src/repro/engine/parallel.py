@@ -32,6 +32,7 @@ from typing import Any, Callable, Generic, List, Optional, Sequence, TypeVar
 
 from repro.errors import EngineError
 from repro.engine.cost import CostModel, DEFAULT_COST_MODEL, WorkMeter
+from repro.obs import trace
 
 __all__ = [
     "WorkerContext",
@@ -115,6 +116,26 @@ class ParallelExecutor:
         raise NotImplementedError
 
 
+def _run_task(task, ctx, index, executor, parent=None):
+    """Run one task, wrapped in an ``executor.task`` span when tracing.
+
+    ``parent`` pins the span under the submitting span for executors whose
+    tasks run on other threads (the thread-local parent default would
+    otherwise start a fresh trace per worker thread).
+    """
+    if not trace.ENABLED:
+        return task(ctx)
+    with trace.span(
+        "executor.task",
+        ctx,
+        parent=parent,
+        worker=ctx.worker_id,
+        task=index,
+        executor=executor,
+    ):
+        return task(ctx)
+
+
 class SerialExecutor(ParallelExecutor):
     """Degree-1 executor: every task runs on one worker, no startup cost."""
 
@@ -125,9 +146,9 @@ class SerialExecutor(ParallelExecutor):
     def run(self, tasks: Sequence[Task]) -> ParallelRun:
         meter = WorkMeter()
         results = []
-        for task in tasks:
+        for index, task in enumerate(tasks):
             ctx = WorkerContext(0, meter)
-            results.append(task(ctx))
+            results.append(_run_task(task, ctx, index, "serial"))
         return ParallelRun(
             results=results,
             worker_meters=[meter],
@@ -154,11 +175,11 @@ class SimulatedExecutor(ParallelExecutor):
     def run(self, tasks: Sequence[Task]) -> ParallelRun:
         meters = [WorkMeter() for _ in range(self.degree)]
         results: List[Any] = []
-        for task in tasks:
+        for index, task in enumerate(tasks):
             times = [m.seconds(self.cost_model) for m in meters]
             worker_id = times.index(min(times))
             ctx = WorkerContext(worker_id, meters[worker_id])
-            results.append(task(ctx))
+            results.append(_run_task(task, ctx, index, "simulated"))
         return ParallelRun(
             results=results,
             worker_meters=meters,
@@ -217,6 +238,7 @@ class ThreadExecutor(ParallelExecutor):
         errors: List[BaseException] = []
         next_index = [0]
         lock = threading.Lock()
+        parent_span = trace.current_span()
 
         def worker(worker_id: int) -> None:
             while True:
@@ -227,7 +249,9 @@ class ThreadExecutor(ParallelExecutor):
                     next_index[0] += 1
                 ctx = WorkerContext(worker_id, meters[worker_id])
                 try:
-                    results[index] = tasks[index](ctx)
+                    results[index] = _run_task(
+                        tasks[index], ctx, index, "thread", parent=parent_span
+                    )
                 except BaseException as exc:  # noqa: BLE001 - reraised below
                     with lock:
                         errors.append(exc)
@@ -274,6 +298,12 @@ def _process_worker(worker_id, tasks, task_queue, conn) -> None:
     parent always hears back.
     """
     meter = WorkMeter()
+    traced = trace.ENABLED
+    if traced:
+        # The fork inherited the parent's tracer (including its already-
+        # finished spans); start a fresh one so this child only ships spans
+        # it produced.  They are re-parented in the parent via adopt().
+        trace.enable(sample_every=1)
     while True:
         index = task_queue.get()
         if index is None:
@@ -281,7 +311,7 @@ def _process_worker(worker_id, tasks, task_queue, conn) -> None:
         conn.send(("claim", index, worker_id))
         ctx = WorkerContext(worker_id, meter)
         try:
-            payload = ("ok", index, tasks[index](ctx))
+            payload = ("ok", index, _run_task(tasks[index], ctx, index, "process"))
         except BaseException as exc:  # noqa: BLE001 - reported to the parent
             payload = ("err", index, _portable_error(exc))
         try:
@@ -297,6 +327,13 @@ def _process_worker(worker_id, tasks, task_queue, conn) -> None:
                     ),
                 )
             )
+    if traced:
+        tracer = trace.get_tracer()
+        if tracer is not None:
+            # Ship this slave's spans over the meter pipe, ahead of the
+            # final meter message, so the parent can stitch them under the
+            # span that launched the run.
+            conn.send(("spans", worker_id, tracer.drain_serialized()))
     conn.send(("meter", worker_id, meter.counts))
     conn.close()
 
@@ -391,6 +428,7 @@ class ProcessExecutor(ParallelExecutor):
 
         meters = [WorkMeter() for _ in range(self.degree)]
         results: List[Any] = [None] * len(tasks)
+        parent_span = trace.current_span()
         received: set = set()
         errors_by_index: dict = {}
         open_workers = set(receivers)
@@ -492,6 +530,11 @@ class ProcessExecutor(ParallelExecutor):
                         errors_by_index.setdefault(key, value)
                         received.add(key)
                         in_flight.pop(worker_id, None)
+                    elif kind == "spans":
+                        if trace.ENABLED:
+                            tracer = trace.get_tracer()
+                            if tracer is not None:
+                                tracer.adopt(value, parent=parent_span)
                     else:  # "meter": the worker's final message
                         for kind, n in value.items():
                             meters[key].add(kind, n)

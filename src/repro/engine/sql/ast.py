@@ -156,9 +156,16 @@ class Insert:
 
 @dataclass(frozen=True)
 class Explain:
-    """EXPLAIN <select>: report the plan without executing it."""
+    """EXPLAIN <select>: report the plan without executing it.
+
+    With ``analyze`` (``EXPLAIN ANALYZE <select>``) the query *is*
+    executed and the plan is decorated with per-operator actual rows,
+    meter counts, buffer hit/miss and simulated seconds next to the
+    optimizer's estimates.
+    """
 
     query: "Select"
+    analyze: bool = False
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,7 @@ from repro.engine.sql.ast import (
 from repro.engine.sql.parser import parse
 from repro.geometry.geometry import Geometry
 from repro.geometry.wkt import from_wkt
+from repro.obs import trace
 from repro.storage.heap import RowId
 
 __all__ = ["SqlResult", "execute_sql"]
@@ -90,20 +91,31 @@ class _Relation:
 
 def execute_sql(db, statement_text: str) -> SqlResult:
     """Parse and execute one statement against ``db`` (a Database)."""
-    statement = parse(statement_text)
-    return _Executor(db).execute(statement)
+    with trace.span("sql.statement", text=statement_text.strip()[:200]):
+        with trace.span("sql.parse"):
+            statement = parse(statement_text)
+        with trace.span("sql.execute", statement=type(statement).__name__):
+            return _Executor(db).execute(statement)
 
 
 class _Executor:
     def __init__(self, db):
         self.db = db
+        # EXPLAIN ANALYZE state: a per-operator actuals scratchpad and a
+        # WorkerContext threaded into index probes so their charges are
+        # attributed (both None during normal execution).
+        self._profile: Optional[Dict[str, Any]] = None
+        self._probe_ctx: Optional[WorkerContext] = None
 
     # ------------------------------------------------------------------
     def execute(self, stmt: Statement) -> SqlResult:
         if isinstance(stmt, Select):
             return self._select(stmt)
         if isinstance(stmt, Explain):
-            lines = self._explain(stmt.query)
+            if stmt.analyze:
+                lines = self._explain_analyze(stmt.query)
+            else:
+                lines = self._explain(stmt.query)
             return SqlResult(["PLAN"], [(line,) for line in lines], rowcount=len(lines))
         if isinstance(stmt, AnalyzeTable):
             stats = self.db.analyze(stmt.name)
@@ -259,6 +271,136 @@ class _Executor:
             lines.insert(1, "  CARTESIAN PRODUCT + FILTER")
         return lines
 
+    # -- EXPLAIN ANALYZE -----------------------------------------------------
+    def _explain_analyze(self, stmt: Select) -> List[str]:
+        """Execute ``stmt`` under a private tracer and decorate the plan.
+
+        Each plan-shape line gains ``(actual ...=N, simulated=Xs)``
+        annotations next to the optimizer's estimates; operator meter
+        counts, buffer hit/miss deltas and the statement total follow as
+        indented detail lines.
+        """
+        from repro.obs.exporters import aggregate_spans
+
+        model = self.db.cost_model
+        skeleton = self._explain(stmt)
+        self._profile = profile = {}
+        self._probe_ctx = probe_ctx = WorkerContext(0)
+        pool = getattr(self.db, "pool", None)
+        buf_before = (
+            (pool.stats.gets, pool.stats.hits, pool.stats.misses)
+            if pool is not None
+            else None
+        )
+        try:
+            with trace.tracing() as tracer:
+                with trace.span("sql.execute", statement="ExplainAnalyze"):
+                    result = self._select(stmt)
+        finally:
+            self._profile = None
+            self._probe_ctx = None
+        rollup = aggregate_spans(tracer.spans, model)
+
+        tf = profile.get("tf")
+        primary = rollup.get("join.primary_filter")
+        secondary = rollup.get("join.secondary_filter")
+        fetches = rollup.get("join.fetch", {}).get("count", 0)
+        index_scan = profile.get("index_scan")
+        nested = profile.get("nested_loop")
+        probe_seconds = probe_ctx.meter.seconds(model)
+        total_seconds = probe_seconds + (tf["seconds"] if tf else 0.0)
+
+        lines: List[str] = []
+        for line in skeleton:
+            indent = line[: len(line) - len(line.lstrip())]
+            stripped = line.strip()
+            if stripped == "SELECT STATEMENT":
+                lines.append(
+                    f"{line} (actual rows={result.rowcount}, "
+                    f"simulated={total_seconds:.6f}s)"
+                )
+            elif stripped.startswith("ROWID SEMI-JOIN"):
+                lines.append(
+                    f"{line} (actual rows={profile.get('semi_rows', 0)})"
+                )
+            elif stripped.startswith("TABLE FUNCTION SPATIAL_JOIN") and tf:
+                est = self._estimate_join(*tf["tables"])
+                est_text = f"{est:.0f}" if est is not None else "n/a"
+                lines.append(
+                    f"{line} (actual pairs={tf['pairs']}, est pairs={est_text}, "
+                    f"fetches={fetches}, simulated={tf['seconds']:.6f}s)"
+                )
+                lines.append(
+                    f"{indent}  meter: {_format_meter(tf['meter'])}"
+                )
+            elif stripped.startswith("SYNCHRONIZED R-TREE TRAVERSAL") and primary:
+                candidates = sum(
+                    s.tags.get("candidates", 0)
+                    for s in tracer.find("join.primary_filter")
+                )
+                lines.append(
+                    f"{line} (actual candidates={candidates}, "
+                    f"sweeps={primary['count']}, "
+                    f"simulated={primary['simulated_seconds']:.6f}s)"
+                )
+                lines.append(
+                    f"{indent}  meter: {_format_meter(primary['meter'])}"
+                )
+            elif stripped.startswith("SECONDARY FILTER") and secondary:
+                results_out = sum(
+                    s.tags.get("results", 0)
+                    for s in tracer.find("join.secondary_filter")
+                )
+                lines.append(
+                    f"{line} (actual rows={results_out}, "
+                    f"drains={secondary['count']}, "
+                    f"simulated={secondary['simulated_seconds']:.6f}s)"
+                )
+                lines.append(
+                    f"{indent}  meter: {_format_meter(secondary['meter'])}"
+                )
+            elif stripped.startswith("DOMAIN INDEX") and index_scan:
+                lines.append(
+                    f"{line} (actual rows={index_scan['rows']}, "
+                    f"simulated={probe_seconds:.6f}s)"
+                )
+                lines.append(
+                    f"{indent}  meter: {_format_meter(probe_ctx.meter.counts)}"
+                )
+            elif stripped.startswith("NESTED LOOPS") and nested:
+                lines.append(
+                    f"{line} (actual rows={nested['rows']}, "
+                    f"probes={nested['probes']}, "
+                    f"simulated={probe_seconds:.6f}s)"
+                )
+                lines.append(
+                    f"{indent}  meter: {_format_meter(probe_ctx.meter.counts)}"
+                )
+            elif stripped.startswith("estimated rows:"):
+                lines.append(f"{line} (actual rows={result.rowcount})")
+            elif stripped.startswith("estimated candidate pairs:") and nested:
+                lines.append(f"{line} (actual rows={nested['rows']})")
+            else:
+                lines.append(line)
+
+        if buf_before is not None:
+            gets = pool.stats.gets - buf_before[0]
+            hits = pool.stats.hits - buf_before[1]
+            misses = pool.stats.misses - buf_before[2]
+            ratio = hits / gets if gets else 0.0
+            lines.append(
+                f"  buffer: gets={gets} hits={hits} misses={misses} "
+                f"hit_ratio={ratio:.3f}"
+            )
+        combined: Dict[str, float] = dict(probe_ctx.meter.counts)
+        if tf:
+            for kind, n in tf["meter"].items():
+                combined[kind] = combined.get(kind, 0.0) + n
+        if combined:
+            lines.append(f"  statement meter: {_format_meter(combined)}")
+        lines.append(f"  statement simulated seconds: {total_seconds:.6f}")
+        return lines
+
     def _estimate_window(self, table_name: str, conjunct) -> Optional[float]:
         """Window-query cardinality estimate when stats + literal window."""
         from repro.engine.stats import estimate_window_rows
@@ -404,7 +546,16 @@ class _Executor:
                 predicate=predicate,
                 subtree_pair_cursor=ListCursor(cursor_rows),
             )
-            return [tuple(r) for r in collect(fn, ctx)]  # type: ignore[return-value]
+            rows = [tuple(r) for r in collect(fn, ctx)]
+            if self._profile is not None:
+                self._profile["tf"] = {
+                    "pairs": len(rows),
+                    "tables": (t1, t2),
+                    "degree": 1,
+                    "meter": dict(ctx.meter.counts),
+                    "seconds": ctx.meter.seconds(self.db.cost_model),
+                }
+            return rows  # type: ignore[return-value]
         if degree > 1:
             result = parallel_spatial_join(
                 table_a, c1, tree_a, table_b, c2, tree_b,
@@ -414,6 +565,14 @@ class _Executor:
             result = spatial_join(
                 table_a, c1, tree_a, table_b, c2, tree_b, predicate=predicate
             )
+        if self._profile is not None:
+            self._profile["tf"] = {
+                "pairs": len(result.pairs),
+                "tables": (t1, t2),
+                "degree": degree,
+                "meter": dict(result.run.combined_meter().counts),
+                "seconds": result.makespan_seconds,
+            }
         return result.pairs
 
     # -- join planning ---------------------------------------------------
@@ -465,6 +624,8 @@ class _Executor:
                             "rowid semi-join only supports the two joined tables"
                         )
                 out.append(env)
+            if self._profile is not None:
+                self._profile["semi_rows"] = len(out)
             return out, env_columns, {id(conjunct)}
 
         # generic cartesian product (small inputs / test queries)
@@ -525,13 +686,19 @@ class _Executor:
             index = self.db.spatial_index(meta.name)
             positions = _rowid_index(rel)
             out: List[Dict[str, Any]] = []
-            for rowid in index.fetch(op_name, tuple(args)):
+            for rowid in index.fetch(op_name, tuple(args), self._probe_ctx):
                 pos = positions.get(rowid)
                 if pos is None:
                     continue
                 env: Dict[str, Any] = {}
                 _bind(env, rel, pos)
                 out.append(env)
+            if self._profile is not None:
+                self._profile["index_scan"] = {
+                    "rows": len(out),
+                    "index": meta.name,
+                    "op": op_name,
+                }
             return out, {id(conjunct)}
         return None
 
@@ -557,12 +724,16 @@ class _Executor:
         inner_pos = _rowid_index(inner_rel)
         outer_geom_idx = [c.upper() for c in outer_rel.columns].index(outer_col.upper())
         out: List[Dict[str, Any]] = []
+        probes = 0
         assert outer_rel.rowids is not None
         for pos, row in enumerate(outer_rel.rows):
             geom = row[outer_geom_idx]
             if geom is None:
                 continue
-            for inner_rowid in index.fetch(op_name, (geom, *extra_args)):
+            probes += 1
+            for inner_rowid in index.fetch(
+                op_name, (geom, *extra_args), self._probe_ctx
+            ):
                 inner_position = inner_pos.get(inner_rowid)
                 if inner_position is None:
                     continue
@@ -570,6 +741,13 @@ class _Executor:
                 _bind(env, outer_rel, pos)
                 _bind(env, inner_rel, inner_position)
                 out.append(env)
+        if self._profile is not None:
+            self._profile["nested_loop"] = {
+                "rows": len(out),
+                "probes": probes,
+                "outer_rows": len(outer_rel.rows),
+                "index": meta.name,
+            }
         return out, {id(conjunct)}
 
     def _pairs_of_subquery(self, sub: Select) -> List[Tuple[RowId, RowId]]:
@@ -643,6 +821,17 @@ class _Executor:
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+def _format_meter(counts: Dict[str, float]) -> str:
+    """Render meter counts as ``kind=count`` pairs, sorted by kind."""
+    if not counts:
+        return "(none)"
+    parts = []
+    for kind in sorted(counts):
+        n = counts[kind]
+        parts.append(f"{kind}={n:g}")
+    return " ".join(parts)
+
+
 def _parse_parameters(raw: str) -> Dict[str, Any]:
     """Parse an Oracle-style PARAMETERS string: 'key=value key=value'."""
     params: Dict[str, Any] = {}

@@ -146,6 +146,11 @@ class _Parser:
             if self._at_keyword("PLAN"):
                 self._next()
                 self._keyword("FOR")
+                return Explain(self._select())
+            # EXPLAIN ANALYZE <select>: execute and decorate with actuals
+            if self._at_keyword("ANALYZE"):
+                self._next()
+                return Explain(self._select(), analyze=True)
             return Explain(self._select())
         if self._at_keyword("SELECT"):
             return self._select()

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import GeometryError
 from repro.geometry.distance import within_distance
@@ -63,6 +63,8 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "counters",
+    "reset_counters",
     "mbr_intersects_batch",
     "mbr_filter_indices",
     "segments_intersect_batch",
@@ -148,6 +150,39 @@ def use_backend(name: str) -> Iterator[None]:
         set_backend(previous)
 
 
+# ----------------------------------------------------------------------
+# Kernel call counters (exposed by the server's ``metrics`` op)
+# ----------------------------------------------------------------------
+_counters: Dict[str, Dict[str, int]] = {"calls": {}, "items": {}}
+
+
+def _count(entry: str, items: int) -> None:
+    calls = _counters["calls"]
+    calls[entry] = calls.get(entry, 0) + 1
+    tally = _counters["items"]
+    tally[entry] = tally.get(entry, 0) + int(items)
+
+
+def counters() -> Dict[str, Any]:
+    """Per-entry-point call and item tallies for the active process.
+
+    ``calls`` counts invocations of each batch entry point; ``items``
+    counts the elements those invocations processed, so
+    ``items / calls`` is the mean batch width a backend actually saw.
+    """
+    return {
+        "backend": get_backend(),
+        "calls": dict(_counters["calls"]),
+        "items": dict(_counters["items"]),
+    }
+
+
+def reset_counters() -> None:
+    """Zero the kernel counters (tests and per-run benchmarks)."""
+    _counters["calls"].clear()
+    _counters["items"].clear()
+
+
 # ======================================================================
 # MBR kernels
 # ======================================================================
@@ -167,6 +202,7 @@ def mbr_intersects_batch(
     """
     lo_x, lo_y, hi_x, hi_y = box
     d = distance
+    _count("mbr_intersects_batch", len(min_xs))
     if _active_backend == "python" or np is None:
         return [
             not (
@@ -201,6 +237,7 @@ def mbr_filter_indices(
     x0s, y0s, x1s, y1s = coords
     lo_x, lo_y, hi_x, hi_y = box
     d = distance
+    _count("mbr_filter_indices", len(x0s))
     if _active_backend == "python" or np is None:
         out = []
         d2 = d * d
@@ -1064,6 +1101,7 @@ def evaluate_predicate_batch(
     masks ``ANYINTERACT`` / ``INTERSECT`` (including ``+``-unions of the
     two).  Results are bit-identical to the scalar path on both backends.
     """
+    _count("evaluate_predicate_batch", len(geoms))
     if distance and distance > 0.0:
         return within_distance_batch(g1, geoms, distance)
     names = [n.strip() for n in mask.upper().split("+")] if mask else []
@@ -1085,6 +1123,7 @@ def classify_tiles(geom: Geometry, quads, polygonal: bool) -> List[int]:
     then ``contains(geom, rect)``.
     """
     n = len(quads)
+    _count("classify_tiles", n)
     if n == 0:
         return []
     # Tiny work items — a point's one-tile-per-level frontier, the root

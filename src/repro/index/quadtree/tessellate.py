@@ -28,6 +28,7 @@ from repro.engine.parallel import WorkerContext
 from repro.geometry import kernels
 from repro.geometry.geometry import Geometry, GeometryType
 from repro.index.quadtree.codes import TileGrid, morton_encode
+from repro.obs import trace
 
 __all__ = ["Tile", "tessellate"]
 
@@ -52,40 +53,47 @@ def tessellate(
     """
     if ctx is not None:
         ctx.charge("tessellate_per_vertex", geom.num_vertices)
-    tiles: List[Tile] = []
-    polygonal = any(
-        p.geom_type is GeometryType.POLYGON for p in geom.simple_parts()
-    )
-    frontier: List[Tuple[int, int]] = [(0, 0)]
-    level = 0
-    while frontier:
-        quads = [grid.quadrant_mbr(level, ix, iy) for ix, iy in frontier]
-        # Cheap reject on the geometry's MBR before any exact work (one
-        # charge per quadrant examined, exactly as per-tile descent would).
-        if ctx is not None:
-            ctx.charge("mbr_test", len(quads))
-        codes = kernels.classify_tiles(geom, quads, polygonal)
-        if ctx is not None:
-            examined = sum(
-                1 for c in codes if c != kernels.TILE_OUTSIDE_MBR
-            )
-            if examined:
-                ctx.charge("tessellate_per_tile", examined)
-        next_frontier: List[Tuple[int, int]] = []
-        for (ix, iy), code in zip(frontier, codes):
-            if code in (kernels.TILE_OUTSIDE_MBR, kernels.TILE_OUTSIDE):
-                continue
-            if code == kernels.TILE_INTERIOR:
-                _emit_block(grid, level, ix, iy, interior=True, out=tiles)
-            elif level == grid.level:
-                tiles.append(Tile(morton_encode(ix, iy), interior=False))
-            else:
-                for dx in (0, 1):
-                    for dy in (0, 1):
-                        next_frontier.append((ix * 2 + dx, iy * 2 + dy))
-        frontier = next_frontier
-        level += 1
-    tiles.sort(key=lambda t: t.code)
+    with trace.span(
+        "tessellate", ctx, vertices=geom.num_vertices, grid_level=grid.level
+    ) as geom_span:
+        tiles: List[Tile] = []
+        polygonal = any(
+            p.geom_type is GeometryType.POLYGON for p in geom.simple_parts()
+        )
+        frontier: List[Tuple[int, int]] = [(0, 0)]
+        level = 0
+        while frontier:
+            with trace.span(
+                "tessellate.level", ctx, level=level, frontier=len(frontier)
+            ):
+                quads = [grid.quadrant_mbr(level, ix, iy) for ix, iy in frontier]
+                # Cheap reject on the geometry's MBR before any exact work (one
+                # charge per quadrant examined, exactly as per-tile descent would).
+                if ctx is not None:
+                    ctx.charge("mbr_test", len(quads))
+                codes = kernels.classify_tiles(geom, quads, polygonal)
+                if ctx is not None:
+                    examined = sum(
+                        1 for c in codes if c != kernels.TILE_OUTSIDE_MBR
+                    )
+                    if examined:
+                        ctx.charge("tessellate_per_tile", examined)
+                next_frontier: List[Tuple[int, int]] = []
+                for (ix, iy), code in zip(frontier, codes):
+                    if code in (kernels.TILE_OUTSIDE_MBR, kernels.TILE_OUTSIDE):
+                        continue
+                    if code == kernels.TILE_INTERIOR:
+                        _emit_block(grid, level, ix, iy, interior=True, out=tiles)
+                    elif level == grid.level:
+                        tiles.append(Tile(morton_encode(ix, iy), interior=False))
+                    else:
+                        for dx in (0, 1):
+                            for dy in (0, 1):
+                                next_frontier.append((ix * 2 + dx, iy * 2 + dy))
+                frontier = next_frontier
+                level += 1
+        tiles.sort(key=lambda t: t.code)
+        geom_span.set_tag("tiles", len(tiles))
     return tiles
 
 

@@ -1,0 +1,61 @@
+"""repro.obs: tracing and metrics exposition for the simulated engine.
+
+Two halves:
+
+* :mod:`repro.obs.trace` — hierarchical spans with ``WorkMeter`` deltas,
+  a zero-overhead disabled path, and ``REPRO_TRACE`` gating.
+* :mod:`repro.obs.exporters` — Chrome trace-event JSON (Perfetto),
+  JSON-lines, and Prometheus-style text exposition + lint.
+
+``trace`` is imported eagerly (it depends only on the stdlib, so any
+layer — storage, geometry, engine — can import :mod:`repro.obs` without
+cycles); the exporters, which need :mod:`repro.engine.cost` for
+simulated-seconds conversion, load lazily on first attribute access.
+"""
+
+from repro.obs import trace
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    instant,
+    span,
+    tracing,
+)
+
+_EXPORTER_NAMES = (
+    "aggregate_spans",
+    "chrome_trace",
+    "lint_prometheus",
+    "prometheus_text",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "get_tracer",
+    "instant",
+    "span",
+    "trace",
+    "tracing",
+    *_EXPORTER_NAMES,
+]
+
+
+def __getattr__(name):
+    if name in _EXPORTER_NAMES:
+        from repro.obs import exporters
+
+        return getattr(exporters, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,486 @@
+"""Trace and metrics exporters.
+
+* :func:`chrome_trace` — Chrome trace-event JSON (the ``traceEvents``
+  format Perfetto and ``chrome://tracing`` load): one complete-event
+  (``ph:"X"``) per span with wall-clock ``ts``/``dur`` in microseconds
+  and the span's simulated-seconds / meter-delta attached as ``args``.
+* :func:`spans_to_jsonl` — one JSON object per span, for ad-hoc
+  ``jq``-style analysis.
+* :func:`prometheus_text` — Prometheus text exposition (version 0.0.4)
+  of a :meth:`ServerMetrics.snapshot` dict plus storage and
+  kernel-backend counters; :func:`lint_prometheus` validates the line
+  format (used by tests and the CI ``obs`` job).
+* :func:`aggregate_spans` — per-span-name rollup (count, meter delta,
+  simulated seconds) used by ``EXPLAIN ANALYZE``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.engine.cost import CostModel, DEFAULT_COST_MODEL
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "aggregate_spans",
+    "chrome_trace",
+    "lint_prometheus",
+    "prometheus_text",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _spans_and_events(source: Union[Tracer, Sequence[Span]]):
+    if isinstance(source, Tracer):
+        with source._lock:
+            return list(source.spans), list(source.events)
+    return list(source), []
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto)
+# ---------------------------------------------------------------------------
+
+def chrome_trace(
+    source: Union[Tracer, Sequence[Span]],
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> Dict[str, Any]:
+    """Render spans as a Chrome trace-event document.
+
+    Wall-clock bounds become ``ts``/``dur`` (µs, rebased to the earliest
+    span) so nesting renders correctly; the simulated-time story rides
+    along in ``args`` (``simulated_seconds`` + per-kind meter deltas).
+    """
+    spans, events = _spans_and_events(source)
+    if not spans and not events:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    starts = [s.start_wall for s in spans] + [e["ts"] for e in events]
+    epoch = min(starts)
+    trace_events: List[Dict[str, Any]] = []
+    seen_threads = set()
+    for s in spans:
+        if (s.pid, s.tid) not in seen_threads:
+            seen_threads.add((s.pid, s.tid))
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": s.pid,
+                    "tid": s.tid,
+                    "args": {"name": f"repro pid={s.pid}"},
+                }
+            )
+        args: Dict[str, Any] = {
+            "trace_id": s.trace_id,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+        }
+        args.update(s.tags)
+        if s.meter_delta:
+            args["meter"] = {k: s.meter_delta[k] for k in sorted(s.meter_delta)}
+            args["simulated_seconds"] = s.simulated_seconds(model)
+        trace_events.append(
+            {
+                "name": s.name,
+                "cat": s.cat or "repro",
+                "ph": "X",
+                "ts": (s.start_wall - epoch) * 1e6,
+                "dur": max(0.0, s.end_wall - s.start_wall) * 1e6,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": args,
+            }
+        )
+    for e in events:
+        trace_events.append(
+            {
+                "name": e["name"],
+                "cat": "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": (e["ts"] - epoch) * 1e6,
+                "pid": e["pid"],
+                "tid": e["tid"],
+                "args": dict(e["tags"], parent_id=e["parent_id"]),
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    source: Union[Tracer, Sequence[Span]],
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> str:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(source, model), fh, indent=1, default=str)
+        fh.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines
+# ---------------------------------------------------------------------------
+
+def spans_to_jsonl(
+    source: Union[Tracer, Sequence[Span]],
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> str:
+    """One JSON object per span (and per instant event), newline-separated."""
+    spans, events = _spans_and_events(source)
+    lines = []
+    for s in spans:
+        d = s.to_dict()
+        d["wall_seconds"] = s.wall_seconds
+        if s.meter_delta:
+            d["simulated_seconds"] = s.simulated_seconds(model)
+        lines.append(json.dumps(d, sort_keys=True, default=str))
+    for e in events:
+        lines.append(json.dumps(dict(e, kind="event"), sort_keys=True, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(
+    path: str,
+    source: Union[Tracer, Sequence[Span]],
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> str:
+    with open(path, "w") as fh:
+        fh.write(spans_to_jsonl(source, model))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Per-operator rollup (EXPLAIN ANALYZE)
+# ---------------------------------------------------------------------------
+
+def aggregate_spans(
+    spans: Iterable[Span],
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> Dict[str, Dict[str, Any]]:
+    """Roll spans up by name: count, summed meter delta, simulated and
+    wall seconds.  Summation is order-independent (sorted kinds)."""
+    rollup: Dict[str, Dict[str, Any]] = {}
+    for s in spans:
+        entry = rollup.setdefault(
+            s.name,
+            {"count": 0, "meter": {}, "wall_seconds": 0.0},
+        )
+        entry["count"] += 1
+        entry["wall_seconds"] += s.wall_seconds
+        for kind, n in s.meter_delta.items():
+            entry["meter"][kind] = entry["meter"].get(kind, 0.0) + n
+    for entry in rollup.values():
+        total = 0.0
+        for kind in sorted(entry["meter"]):
+            total += model.cost_of(kind) * entry["meter"][kind]
+        entry["simulated_seconds"] = total
+    return rollup
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: Any) -> str:
+    text = str(value)
+    for raw, escaped in _LABEL_ESCAPES.items():
+        text = text.replace(raw, escaped)
+    return text
+
+
+def _fmt_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: Any) -> str:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return "0"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Expo:
+    """Accumulates families in declaration order, one TYPE line each."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._declared: set = set()
+
+    def family(self, name: str, mtype: str, help_text: str) -> None:
+        if name in self._declared:
+            return
+        self._declared.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {mtype}")
+
+    def sample(self, name: str, labels: Dict[str, Any], value: Any) -> None:
+        self.lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def prometheus_text(
+    snapshot: Dict[str, Any],
+    kernel: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Render a ``ServerMetrics.snapshot()`` dict (with its ``storage``
+    section) plus optional kernel-backend counters as Prometheus text."""
+    expo = _Expo()
+
+    requests = snapshot.get("requests", {})
+    expo.family("repro_requests_total", "counter", "Wire requests by op.")
+    for op in sorted(requests):
+        expo.sample("repro_requests_total", {"op": op}, requests[op].get("count", 0))
+    expo.family(
+        "repro_request_errors_total", "counter", "Failed wire requests by op."
+    )
+    for op in sorted(requests):
+        expo.sample(
+            "repro_request_errors_total", {"op": op}, requests[op].get("errors", 0)
+        )
+
+    queries = snapshot.get("queries", {})
+    expo.family(
+        "repro_query_rows_total", "counter", "Rows served by query kind."
+    )
+    for kind in sorted(queries):
+        expo.sample("repro_query_rows_total", {"kind": kind}, queries[kind].get("rows", 0))
+    expo.family(
+        "repro_query_errors_total", "counter", "Failed queries by kind."
+    )
+    for kind in sorted(queries):
+        expo.sample(
+            "repro_query_errors_total", {"kind": kind}, queries[kind].get("errors", 0)
+        )
+    expo.family(
+        "repro_query_latency_ms",
+        "gauge",
+        "Request latency summary (milliseconds) by kind and statistic.",
+    )
+    for kind in sorted(queries):
+        latency = queries[kind].get("latency", {})
+        for stat in ("mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"):
+            expo.sample(
+                "repro_query_latency_ms",
+                {"kind": kind, "stat": stat[:-3]},
+                latency.get(stat, 0.0),
+            )
+    expo.family(
+        "repro_query_latency_count", "counter", "Latency samples by kind."
+    )
+    for kind in sorted(queries):
+        expo.sample(
+            "repro_query_latency_count",
+            {"kind": kind},
+            queries[kind].get("latency", {}).get("count", 0),
+        )
+
+    meters = snapshot.get("meters", {})
+    expo.family(
+        "repro_meter_units_total",
+        "counter",
+        "Simulated work units charged, by query kind and unit kind.",
+    )
+    for kind in sorted(meters):
+        for unit in sorted(meters[kind]):
+            expo.sample(
+                "repro_meter_units_total",
+                {"kind": kind, "unit": unit},
+                meters[kind][unit],
+            )
+
+    sessions = snapshot.get("sessions", {})
+    expo.family(
+        "repro_sessions_active", "gauge", "Sessions currently open."
+    )
+    expo.sample("repro_sessions_active", {}, sessions.get("active", 0))
+    expo.family(
+        "repro_sessions_total", "counter", "Session lifecycle events."
+    )
+    for event in sorted(sessions):
+        if event == "active":
+            continue
+        expo.sample("repro_sessions_total", {"event": event}, sessions[event])
+
+    storage = snapshot.get("storage", {})
+    expo.family(
+        "repro_storage_info",
+        "gauge",
+        "Storage configuration (durability mode as a label).",
+    )
+    expo.sample(
+        "repro_storage_info",
+        {"durability": storage.get("durability", "none")},
+        1,
+    )
+    numeric_keys = [
+        k
+        for k in sorted(storage)
+        if k != "durability" and isinstance(storage[k], (int, float))
+    ]
+    expo.family(
+        "repro_storage", "gauge", "Storage counters from storage_stats()."
+    )
+    for key in numeric_keys:
+        expo.sample("repro_storage", {"stat": key}, storage[key])
+
+    if kernel:
+        expo.family(
+            "repro_kernel_info",
+            "gauge",
+            "Active geometry-kernel backend (as a label).",
+        )
+        expo.sample(
+            "repro_kernel_info", {"backend": kernel.get("backend", "python")}, 1
+        )
+        expo.family(
+            "repro_kernel_calls_total",
+            "counter",
+            "Batch-kernel invocations by entry point.",
+        )
+        expo.family(
+            "repro_kernel_items_total",
+            "counter",
+            "Items processed by batch kernels, by entry point.",
+        )
+        for entry in sorted(kernel.get("calls", {})):
+            expo.sample(
+                "repro_kernel_calls_total", {"entry": entry}, kernel["calls"][entry]
+            )
+        for entry in sorted(kernel.get("items", {})):
+            expo.sample(
+                "repro_kernel_items_total", {"entry": entry}, kernel["items"][entry]
+            )
+    return expo.text()
+
+
+# -- exposition lint --------------------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.)?[0-9]+(?:[eE][-+]?[0-9]+)?|NaN|[-+]?Inf)"
+    r"(?: [0-9]+)?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+_VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Validate Prometheus text-format exposition; return error strings.
+
+    Checks: line syntax (HELP/TYPE comments and samples), metric/label
+    name charsets, TYPE declared before its samples, valid TYPE values,
+    duplicate (name, labelset) samples, and a trailing newline.
+    """
+    errors: List[str] = []
+    if text and not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+    typed: Dict[str, str] = {}
+    seen_samples: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            if not _METRIC_NAME_RE.match(parts[2]):
+                errors.append(f"line {lineno}: bad metric name {parts[2]!r}")
+            if parts[1] == "TYPE":
+                mtype = parts[3].strip() if len(parts) > 3 else ""
+                if mtype not in _VALID_TYPES:
+                    errors.append(f"line {lineno}: bad TYPE {mtype!r}")
+                if parts[2] in typed:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                    )
+                typed[parts[2]] = mtype
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+        labels = match.group("labels")
+        labelset = ()
+        if labels is not None and labels != "":
+            pairs = []
+            for pair in _split_label_pairs(labels):
+                pm = _LABEL_PAIR_RE.match(pair)
+                if not pm:
+                    errors.append(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+                    continue
+                if not _LABEL_NAME_RE.match(pm.group("label")):
+                    errors.append(
+                        f"line {lineno}: bad label name {pm.group('label')!r}"
+                    )
+                pairs.append((pm.group("label"), pm.group("value")))
+            labelset = tuple(sorted(pairs))
+        key = (name, labelset)
+        if key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {line!r}")
+        seen_samples.add(key)
+    return errors
+
+
+def _split_label_pairs(labels: str) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    pairs: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in labels:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        pairs.append("".join(current))
+    return pairs

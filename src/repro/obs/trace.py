@@ -1,0 +1,451 @@
+"""Hierarchical trace spans with ``WorkMeter`` attribution.
+
+A :class:`Span` measures one operator-level unit of work: it records
+wall-clock bounds (``time.perf_counter``) for Perfetto rendering and,
+when handed a :class:`~repro.engine.cost.WorkerContext` (or a bare
+``WorkMeter``), the *delta* of simulated-work charges accrued while the
+span was open.  Tracing never charges the meter itself — it only reads
+``meter.counts`` at entry and exit — so a traced run is charge-identical
+to an untraced one.
+
+Spans form trees: each carries ``trace_id`` / ``span_id`` /
+``parent_id`` plus free-form tags.  Parentage defaults to the innermost
+open span *on the current thread*; cross-thread children (executor
+tasks) pass ``parent=`` explicitly, and child-*process* spans are
+serialised over the existing meter pipes and re-attached with
+:meth:`Tracer.adopt`.
+
+The disabled path is zero-overhead by construction: instrumentation
+sites call the module-level :func:`span` helper, which returns a shared
+no-op singleton after a single module-attribute test.  Enablement is
+gated by the ``REPRO_TRACE`` env var (with every-Nth-trace sampling via
+``REPRO_TRACE_SAMPLE``) or programmatically via :func:`enable` /
+:func:`tracing`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+TRACE_ENV = "REPRO_TRACE"
+SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(TRACE_ENV, "").strip().lower() not in _FALSEY
+
+
+def _env_sample() -> int:
+    raw = os.environ.get(SAMPLE_ENV, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+class Span:
+    """One timed, metered unit of work inside a trace tree."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "cat",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "tags",
+        "sampled",
+        "meter",
+        "start_wall",
+        "end_wall",
+        "meter_delta",
+        "pid",
+        "tid",
+        "_start_counts",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        *,
+        cat: str = "",
+        trace_id: int = 0,
+        span_id: int = 0,
+        parent_id: Optional[int] = None,
+        tags: Optional[Dict[str, Any]] = None,
+        sampled: bool = True,
+        meter: Any = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tags: Dict[str, Any] = tags or {}
+        self.sampled = sampled
+        self.meter = meter
+        self.start_wall = 0.0
+        self.end_wall = 0.0
+        self.meter_delta: Dict[str, float] = {}
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self._start_counts: Optional[Dict[str, float]] = None
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "Span":
+        self.start_wall = time.perf_counter()
+        if self.meter is not None:
+            self._start_counts = dict(self.meter.counts)
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_wall = time.perf_counter()
+        if self.meter is not None and self._start_counts is not None:
+            start = self._start_counts
+            delta: Dict[str, float] = {}
+            for kind, total in self.meter.counts.items():
+                diff = total - start.get(kind, 0.0)
+                if diff:
+                    delta[kind] = diff
+            self.meter_delta = delta
+        if exc_type is not None:
+            self.tags.setdefault("error", repr(exc))
+        self.tracer._pop(self)
+        return False
+
+    # -- accessors ---------------------------------------------------------
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    @property
+    def wall_seconds(self) -> float:
+        return max(0.0, self.end_wall - self.start_wall)
+
+    def simulated_seconds(self, model) -> float:
+        """Simulated seconds charged inside this span (sorted-kind sum)."""
+        total = 0.0
+        for kind in sorted(self.meter_delta):
+            total += model.cost_of(kind) * self.meter_delta[kind]
+        return total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "tags": dict(self.tags),
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "meter_delta": dict(self.meter_delta),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, tags={self.tags})"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+    @property
+    def tags(self) -> Dict[str, Any]:
+        return {}
+
+    @property
+    def meter_delta(self) -> Dict[str, float]:
+        return {}
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished spans; thread-safe; every-Nth-trace sampling."""
+
+    def __init__(self, sample_every: int = 1, max_events: int = 20000) -> None:
+        self.sample_every = max(1, int(sample_every))
+        self.max_events = max_events
+        self.spans: List[Span] = []
+        self.events: List[Dict[str, Any]] = []
+        self.dropped_events = 0
+        self.sampled_out_traces = 0
+        self._lock = threading.Lock()
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._trace_seq = 0
+        self._local = threading.local()
+
+    # -- per-thread span stack ---------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate cross-thread __exit__ (the span simply isn't on this
+        # thread's stack); normal exits pop the innermost entry.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - misnested exit
+            stack.remove(span)
+        if span.sampled:
+            with self._lock:
+                self.spans.append(span)
+
+    # -- span construction -------------------------------------------------
+    def span(
+        self,
+        name: str,
+        ctx: Any = None,
+        *,
+        cat: str = "",
+        parent: Optional[Span] = None,
+        **tags: Any,
+    ) -> Span:
+        """Open (but do not enter) a span; use as a context manager.
+
+        ``ctx`` may be a ``WorkerContext`` (``.meter`` attribute) or a
+        bare ``WorkMeter``; its charge counts are snapshotted at entry
+        and diffed at exit into ``meter_delta``.
+        """
+        meter = getattr(ctx, "meter", ctx) if ctx is not None else None
+        if parent is None:
+            parent = self.current_span()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            sampled = parent.sampled
+        else:
+            parent_id = None
+            with self._lock:
+                self._trace_seq += 1
+                sampled = (self._trace_seq - 1) % self.sample_every == 0
+                if not sampled:
+                    self.sampled_out_traces += 1
+                trace_id = next(self._trace_ids)
+        with self._lock:
+            span_id = next(self._span_ids)
+        return Span(
+            self,
+            name,
+            cat=cat,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            tags=tags,
+            sampled=sampled,
+            meter=meter,
+        )
+
+    def instant(self, name: str, **tags: Any) -> None:
+        """Record a point event (e.g. a buffer-pool miss) under the
+        innermost open span, capped at ``max_events``."""
+        current = self.current_span()
+        if current is not None and not current.sampled:
+            return
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self.events.append(
+                {
+                    "name": name,
+                    "ts": time.perf_counter(),
+                    "trace_id": current.trace_id if current else 0,
+                    "parent_id": current.span_id if current else None,
+                    "tags": tags,
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident(),
+                }
+            )
+
+    # -- cross-process stitching -------------------------------------------
+    def drain_serialized(self) -> List[Dict[str, Any]]:
+        """Detach and return finished spans as dicts (child-process side)."""
+        with self._lock:
+            spans, self.spans = self.spans, []
+        return [s.to_dict() for s in spans]
+
+    def adopt(
+        self,
+        span_dicts: List[Dict[str, Any]],
+        parent: Optional[Span] = None,
+        **extra_tags: Any,
+    ) -> List[Span]:
+        """Re-attach serialised child-process spans under ``parent``.
+
+        Span ids are remapped into this tracer's id space; any
+        ``parent_id`` not present in the shipped batch (e.g. a stack
+        frame inherited across ``fork``) re-roots at ``parent``.
+        """
+        if parent is None:
+            parent = self.current_span()
+        with self._lock:
+            id_map = {d["span_id"]: next(self._span_ids) for d in span_dicts}
+        parent_span_id = parent.span_id if parent is not None else None
+        if parent is not None:
+            trace_id = parent.trace_id
+            sampled = parent.sampled
+        else:
+            with self._lock:
+                trace_id = next(self._trace_ids)
+            sampled = True
+        adopted: List[Span] = []
+        for d in span_dicts:
+            span = Span(
+                self,
+                d["name"],
+                cat=d.get("cat", ""),
+                trace_id=trace_id,
+                span_id=id_map[d["span_id"]],
+                parent_id=id_map.get(d.get("parent_id"), parent_span_id),
+                tags={**d.get("tags", {}), **extra_tags},
+                sampled=sampled,
+            )
+            span.start_wall = d["start_wall"]
+            span.end_wall = d["end_wall"]
+            span.meter_delta = dict(d.get("meter_delta", {}))
+            span.pid = d.get("pid", span.pid)
+            span.tid = d.get("tid", span.tid)
+            adopted.append(span)
+        if sampled:
+            with self._lock:
+                self.spans.extend(adopted)
+        return adopted
+
+    def find(self, name: str) -> List[Span]:
+        """Finished spans with the given name (test/report convenience)."""
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+
+# -- module-level fast path -----------------------------------------------
+#
+# Instrumentation sites do ``from repro.obs import trace`` then test
+# ``trace.ENABLED`` (or just call ``trace.span`` which tests it).  The
+# flag is re-read through the module attribute on every call, so
+# enable()/disable() take effect immediately in all threads.
+
+ENABLED: bool = False
+_tracer: Optional[Tracer] = None
+_state_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _tracer
+
+
+def enable(sample_every: Optional[int] = None, max_events: int = 20000) -> Tracer:
+    """Install a fresh tracer and turn tracing on; returns the tracer."""
+    global ENABLED, _tracer
+    with _state_lock:
+        _tracer = Tracer(
+            sample_every=sample_every if sample_every is not None else _env_sample(),
+            max_events=max_events,
+        )
+        ENABLED = True
+        return _tracer
+
+
+def disable() -> Optional[Tracer]:
+    """Turn tracing off; returns the tracer with its collected spans."""
+    global ENABLED, _tracer
+    with _state_lock:
+        tracer, _tracer = _tracer, None
+        ENABLED = False
+        return tracer
+
+
+@contextmanager
+def tracing(
+    sample_every: int = 1, max_events: int = 20000
+) -> Iterator[Tracer]:
+    """Temporarily trace with a fresh tracer, restoring prior state.
+
+    Used by ``EXPLAIN ANALYZE`` so per-operator attribution works even
+    when ``REPRO_TRACE`` is unset.
+    """
+    global ENABLED, _tracer
+    with _state_lock:
+        prev_enabled, prev_tracer = ENABLED, _tracer
+        tracer = Tracer(sample_every=sample_every, max_events=max_events)
+        _tracer = tracer
+        ENABLED = True
+    try:
+        yield tracer
+    finally:
+        with _state_lock:
+            ENABLED, _tracer = prev_enabled, prev_tracer
+
+
+def span(name: str, ctx: Any = None, parent: Optional[Span] = None, **tags: Any):
+    """Open a span on the active tracer, or a shared no-op when disabled.
+
+    ``parent`` overrides the innermost-open-span default — executors use
+    it to attach worker-thread task spans under the submitting span.
+    """
+    if not ENABLED:
+        return NOOP_SPAN
+    tracer = _tracer
+    if tracer is None:  # pragma: no cover - enable/disable race
+        return NOOP_SPAN
+    return tracer.span(name, ctx, parent=parent, **tags)
+
+
+def instant(name: str, **tags: Any) -> None:
+    """Record a point event when tracing is on; no-op otherwise."""
+    if not ENABLED:
+        return
+    tracer = _tracer
+    if tracer is not None:
+        tracer.instant(name, **tags)
+
+
+def current_span() -> Optional[Span]:
+    tracer = _tracer
+    return tracer.current_span() if (ENABLED and tracer is not None) else None
+
+
+if _env_enabled():  # pragma: no cover - exercised via subprocess tests
+    enable()

@@ -237,6 +237,20 @@ class SpatialQueryServer:
                     len(self._sessions), storage=self._storage_stats()
                 ),
             )
+        if op == "metrics":
+            # Prometheus text exposition of the same snapshot plus
+            # kernel-backend counters (scrape-friendly sibling of "stats").
+            from repro.geometry import kernels
+            from repro.obs.exporters import prometheus_text
+
+            self.metrics.record_request(op, ok=True)
+            text = prometheus_text(
+                self.metrics.snapshot(
+                    len(self._sessions), storage=self._storage_stats()
+                ),
+                kernel=kernels.counters(),
+            )
+            return protocol.ok_response(request_id, text=text)
 
         # Admission control: bound the work queued behind the bridge.
         if op in ("start", "fetch") and self._inflight >= self.max_inflight:

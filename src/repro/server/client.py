@@ -191,6 +191,10 @@ class QueryClient:
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")["stats"]
 
+    def metrics(self) -> str:
+        """Prometheus text exposition of the server's runtime metrics."""
+        return self.request("metrics")["text"]
+
     def start(
         self,
         kind: str,

@@ -40,6 +40,20 @@ def _bucket_bounds() -> List[float]:
 
 _BOUNDS = _bucket_bounds()
 
+#: keys every snapshot's ``storage`` section carries, zeroed when the
+#: database runs without a durable pager (``durability="none"``) so
+#: scrapers see a stable schema regardless of deployment mode.
+_STORAGE_ZERO: Dict[str, Any] = {
+    "durability": "none",
+    "num_pages": 0,
+    "page_size": 0,
+    "physical_reads": 0,
+    "physical_writes": 0,
+    "buffer_hit_ratio": 0.0,
+    "wal_bytes": 0,
+    "recovered_pages": 0,
+}
+
 
 class LatencyHistogram:
     """Fixed log-bucket latency histogram with percentile estimates."""
@@ -159,5 +173,7 @@ class ServerMetrics:
                     for kind, m in self._meters.items()
                 },
                 "sessions": dict(self.sessions, active=active_sessions),
-                "storage": dict(storage) if storage is not None else {},
+                "storage": dict(_STORAGE_ZERO, **storage)
+                if storage
+                else dict(_STORAGE_ZERO),
             }

@@ -15,7 +15,8 @@ Requests::
     {"id": 2, "op": "fetch", "session": "s1", "n": 256}
     {"id": 3, "op": "close", "session": "s1"}
     {"id": 4, "op": "stats"}
-    {"id": 5, "op": "ping"}
+    {"id": 5, "op": "metrics"}            -- Prometheus text exposition
+    {"id": 6, "op": "ping"}
 
 Responses echo the request ``id``::
 
@@ -61,7 +62,7 @@ __all__ = [
 #: one wire message must fit in this many bytes (also the asyncio limit)
 MAX_LINE_BYTES = 1 << 20
 
-OPS = ("start", "fetch", "close", "stats", "ping")
+OPS = ("start", "fetch", "close", "stats", "metrics", "ping")
 KINDS = ("window", "knn", "sql", "spatial_join")
 
 ERR_BAD_REQUEST = "BAD_REQUEST"

@@ -33,6 +33,7 @@ from repro.engine.database import Database
 from repro.engine.parallel import WorkerContext
 from repro.engine.table_function import pipeline
 from repro.geometry.wkt import from_wkt
+from repro.obs import trace
 from repro.server.protocol import jsonify_row, rowid_to_wire
 
 __all__ = ["BadRequest", "QueryService"]
@@ -88,7 +89,8 @@ class QueryService:
         if opener is None:
             raise BadRequest(f"unknown query kind {kind!r}")
         with self.lock:
-            return opener(params, ctx)
+            with trace.span("server.start", ctx, kind=kind):
+                return opener(params, ctx)
 
     # ------------------------------------------------------------------
     def _parse_geometry(self, params: Dict[str, Any]):

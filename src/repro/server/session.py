@@ -21,6 +21,7 @@ from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.errors import ServerError
 from repro.engine.parallel import WorkerContext
+from repro.obs import trace
 from repro.server.protocol import ERR_DEADLINE
 
 __all__ = ["SessionCancelled", "ServerSession"]
@@ -83,30 +84,34 @@ class ServerSession:
             return [], True
         out: List[Any] = []
         lock = self._lock
-        try:
-            if lock is not None:
-                lock.acquire()
+        with trace.span(
+            "server.fetch", self.ctx, session=self.session_id, kind=self.kind
+        ) as sp:
             try:
-                for _ in range(n):
-                    try:
-                        out.append(next(self._rows))
-                    except StopIteration:
-                        self.exhausted = True
-                        break
-                    if self.deadline is not None and (
-                        time.monotonic() > self.deadline
-                    ):
-                        raise SessionCancelled(
-                            ERR_DEADLINE,
-                            f"session {self.session_id} exceeded its "
-                            "deadline mid-fetch",
-                        )
-            finally:
                 if lock is not None:
-                    lock.release()
-        except SessionCancelled:
-            self.close()
-            raise
+                    lock.acquire()
+                try:
+                    for _ in range(n):
+                        try:
+                            out.append(next(self._rows))
+                        except StopIteration:
+                            self.exhausted = True
+                            break
+                        if self.deadline is not None and (
+                            time.monotonic() > self.deadline
+                        ):
+                            raise SessionCancelled(
+                                ERR_DEADLINE,
+                                f"session {self.session_id} exceeded its "
+                                "deadline mid-fetch",
+                            )
+                finally:
+                    if lock is not None:
+                        lock.release()
+            except SessionCancelled:
+                self.close()
+                raise
+            sp.set_tag("rows", len(out))
         self.rows_served += len(out)
         return out, self.exhausted
 

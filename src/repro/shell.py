@@ -241,6 +241,33 @@ def cmd_client(args, stdin, stdout) -> int:
 
 
 # ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def cmd_stats(args, stdout) -> int:
+    """Scrape a running server: Prometheus text (default) or JSON stats."""
+    import json
+
+    from repro.server.client import QueryClient, RemoteError
+
+    try:
+        client = QueryClient(host=args.host, port=args.port)
+    except OSError as exc:
+        stdout.write(f"cannot connect to {args.host}:{args.port}: {exc}\n")
+        return 1
+    try:
+        if args.json:
+            stdout.write(json.dumps(client.stats(), indent=2) + "\n")
+        else:
+            stdout.write(client.metrics())
+    except (RemoteError, ProtocolError) as exc:
+        stdout.write(f"ERROR: {exc}\n")
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.shell", description=__doc__.splitlines()[0]
@@ -272,11 +299,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="suppress prompts (scripted input)",
     )
 
+    p_stats = sub.add_parser(
+        "stats", help="scrape a running server's metrics"
+    )
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, default=7878)
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="print the raw stats snapshot as JSON instead of Prometheus text",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "serve":
         return cmd_serve(args, sys.stdout)
     if args.command == "client":
         return cmd_client(args, sys.stdin, sys.stdout)
+    if args.command == "stats":
+        return cmd_stats(args, sys.stdout)
     try:
         repl()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import StorageError
+from repro.obs import trace
 from repro.storage.pager import Pager
 
 __all__ = ["BufferStats", "BufferPool"]
@@ -101,6 +102,8 @@ class BufferPool:
             self._frames.move_to_end(page_id)
         else:
             self.stats.misses += 1
+            if trace.ENABLED:
+                trace.instant("buffer.miss", page=page_id)
             data = bytearray(self._pager.read(page_id))
             frame = self._install(page_id, data, dirty=False)
         if self.access_hook is not None:

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ChecksumError, RecoveryError, WalError
+from repro.obs import trace
 from repro.storage.checksum import crc32c, mask_crc
 from repro.storage.pager import Pager, fsync_file
 
@@ -364,10 +365,14 @@ class WalPager(Pager):
     # ------------------------------------------------------------------
     def commit(self) -> int:
         """Fsync the log: everything written so far is now durable."""
-        self._site("wal.commit.before_fsync")
-        lsn = self.wal.commit()
-        self._site("wal.commit.after_fsync")
-        self.commits += 1
+        with trace.span(
+            "wal.commit", dirty_pages=len(self._table), commit=self.commits
+        ) as sp:
+            self._site("wal.commit.before_fsync")
+            lsn = self.wal.commit()
+            self._site("wal.commit.after_fsync")
+            self.commits += 1
+            sp.set_tag("lsn", lsn)
         return lsn
 
     def checkpoint(self) -> None:
@@ -378,6 +383,14 @@ class WalPager(Pager):
         checksum sidecar (atomic rename), *then* log truncation — means a
         crash anywhere in between recovers from the still-intact log.
         """
+        with trace.span(
+            "wal.checkpoint",
+            dirty_pages=len(self._table),
+            checkpoint=self.checkpoints,
+        ):
+            self._checkpoint_inner()
+
+    def _checkpoint_inner(self) -> None:
         self._site("checkpoint.begin")
         while self._inner.num_pages < self._num_pages:
             self._inner.allocate()

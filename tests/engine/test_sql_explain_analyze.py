@@ -1,0 +1,133 @@
+"""EXPLAIN ANALYZE: actual rows, meter counts and simulated seconds
+decorate the plan next to the optimizer's estimates."""
+
+import re
+
+import pytest
+
+from repro import Database
+from repro.datasets import load_geometries
+
+
+@pytest.fixture
+def counties_db(small_counties):
+    db = Database()
+    load_geometries(db, "counties", small_counties)
+    db.create_spatial_index(
+        "counties_sidx", "counties", "geom", kind="RTREE", fanout=16
+    )
+    db.sql("analyze table counties compute statistics")
+    return db
+
+
+def plan_text(db, sql):
+    return "\n".join(r[0] for r in db.sql(sql).rows)
+
+
+class TestExplainAnalyzeJoin:
+    SELF_JOIN = (
+        "explain analyze select count(*) from counties a, counties b where "
+        "(a.rowid, b.rowid) in (select rid1, rid2 from TABLE("
+        "spatial_join('counties','geom','counties','geom','intersect')))"
+    )
+
+    def test_per_operator_actuals_next_to_estimates(self, counties_db):
+        plan = plan_text(counties_db, self.SELF_JOIN)
+        # the table function line carries actual pairs AND the estimate
+        tf = re.search(
+            r"TABLE FUNCTION SPATIAL_JOIN.*actual pairs=(\d+), "
+            r"est pairs=(\d+)",
+            plan,
+        )
+        assert tf, plan
+        actual_pairs, est_pairs = int(tf.group(1)), int(tf.group(2))
+        assert actual_pairs > 0
+        assert est_pairs > 0
+        # per-operator actual rows and simulated seconds
+        assert re.search(r"SELECT STATEMENT \(actual rows=1, simulated=", plan)
+        assert re.search(r"ROWID SEMI-JOIN.*actual rows=\d+", plan)
+        assert re.search(
+            r"SYNCHRONIZED R-TREE TRAVERSAL.*actual candidates=\d+, "
+            r"sweeps=\d+, simulated=[0-9.]+s",
+            plan,
+        )
+        assert re.search(
+            r"SECONDARY FILTER.*actual rows=\d+, drains=\d+, "
+            r"simulated=[0-9.]+s",
+            plan,
+        )
+        # meter counts per operator
+        assert plan.count("meter:") >= 3
+        assert re.search(r"meter: .*mbr_test=\d+", plan)
+        assert re.search(r"meter: .*exact_test_base=\d+", plan)
+
+    def test_statement_totals_and_buffer_line(self, counties_db):
+        plan = plan_text(counties_db, self.SELF_JOIN)
+        assert re.search(
+            r"buffer: gets=\d+ hits=\d+ misses=\d+ hit_ratio=", plan
+        )
+        assert "statement meter:" in plan
+        total = re.search(r"statement simulated seconds: ([0-9.]+)", plan)
+        assert total and float(total.group(1)) > 0
+
+    def test_estimated_pairs_line_gets_actual(self, counties_db):
+        plan = plan_text(
+            counties_db,
+            "explain analyze select count(*) from TABLE("
+            "spatial_join('counties','geom','counties','geom','intersect'))",
+        )
+        assert re.search(r"actual pairs=\d+", plan)
+
+    def test_semi_join_actuals_match_tf_pairs(self, counties_db):
+        plan = plan_text(counties_db, self.SELF_JOIN)
+        semi = int(re.search(r"ROWID SEMI-JOIN.*actual rows=(\d+)", plan).group(1))
+        pairs = int(
+            re.search(r"TABLE FUNCTION.*actual pairs=(\d+)", plan).group(1)
+        )
+        assert semi == pairs
+
+
+class TestExplainAnalyzeOtherPlans:
+    def test_index_scan_actuals(self, counties_db):
+        plan = plan_text(
+            counties_db,
+            "explain analyze select id from counties where sdo_relate(geom, "
+            "sdo_geometry('POLYGON ((20 20, 60 20, 60 60, 20 60, 20 20))'), "
+            "'ANYINTERACT') = 'TRUE'",
+        )
+        match = re.search(
+            r"DOMAIN INDEX COUNTIES_SIDX.*actual rows=(\d+), simulated=", plan
+        )
+        assert match, plan
+        assert "estimated rows:" in plan  # estimate preserved alongside
+        assert "meter:" in plan
+
+    def test_nested_loop_actuals(self, counties_db):
+        plan = plan_text(
+            counties_db,
+            "explain analyze select count(*) from counties a, counties b "
+            "where sdo_relate(a.geom, b.geom, 'ANYINTERACT') = 'TRUE'",
+        )
+        assert re.search(r"NESTED LOOPS.*actual rows=\d+, probes=\d+", plan)
+
+    def test_plain_explain_unchanged(self, counties_db):
+        plan = plan_text(
+            counties_db,
+            "explain select id from counties where sdo_relate(geom, "
+            "sdo_geometry('POINT (30 30)'), 'ANYINTERACT') = 'TRUE'",
+        )
+        assert "actual" not in plan
+        assert "meter:" not in plan
+
+    def test_analyze_results_match_plain_execution(self, counties_db):
+        sql = (
+            "select count(*) from counties a, counties b where "
+            "(a.rowid, b.rowid) in (select rid1, rid2 from TABLE("
+            "spatial_join('counties','geom','counties','geom','intersect')))"
+        )
+        count = counties_db.sql(sql).rows[0][0]
+        plan = plan_text(counties_db, "explain analyze " + sql)
+        pairs = int(
+            re.search(r"TABLE FUNCTION.*actual pairs=(\d+)", plan).group(1)
+        )
+        assert pairs == count

@@ -1,0 +1,17 @@
+"""Keep global tracer state hermetic per test.
+
+The obs suite runs in CI both with ``REPRO_TRACE`` unset and set, so
+tests that need a specific enablement state set it themselves; this
+guard restores whatever the process-level state was afterwards.
+"""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _trace_state_guard():
+    prev_enabled, prev_tracer = trace.ENABLED, trace._tracer
+    yield
+    trace.ENABLED, trace._tracer = prev_enabled, prev_tracer

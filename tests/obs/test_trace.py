@@ -1,0 +1,213 @@
+"""Unit tests for the span tracer: nesting, meters, sampling, adoption."""
+
+import threading
+
+import pytest
+
+from repro.engine.cost import DEFAULT_COST_MODEL, WorkMeter
+from repro.engine.parallel import WorkerContext
+from repro.obs import trace
+
+
+@pytest.fixture
+def tracer():
+    """A fresh enabled tracer, restored to prior state afterwards."""
+    with trace.tracing() as t:
+        yield t
+
+
+class TestSpanBasics:
+    def test_nesting_assigns_parent_ids(self, tracer):
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        names = [s.name for s in tracer.spans]
+        assert names == ["inner", "outer"]  # children finish first
+
+    def test_meter_delta_captures_charges(self, tracer):
+        ctx = WorkerContext(worker_id=0, meter=WorkMeter())
+        ctx.charge("mbr_test", 3)
+        with trace.span("work", ctx):
+            ctx.charge("mbr_test", 5)
+            ctx.charge("result_row", 2)
+        span = tracer.find("work")[0]
+        assert span.meter_delta == {"mbr_test": 5.0, "result_row": 2.0}
+
+    def test_simulated_seconds_matches_model(self, tracer):
+        ctx = WorkerContext(worker_id=0, meter=WorkMeter())
+        with trace.span("work", ctx):
+            ctx.charge("mbr_test", 10)
+        span = tracer.find("work")[0]
+        expected = 10 * DEFAULT_COST_MODEL.cost_of("mbr_test")
+        assert span.simulated_seconds(DEFAULT_COST_MODEL) == pytest.approx(
+            expected
+        )
+
+    def test_span_never_charges_the_meter(self, tracer):
+        ctx = WorkerContext(worker_id=0, meter=WorkMeter())
+        with trace.span("a", ctx):
+            with trace.span("b", ctx):
+                pass
+        assert ctx.meter.counts == {}
+
+    def test_tags_and_set_tag(self, tracer):
+        with trace.span("t", color="red") as sp:
+            sp.set_tag("rows", 7)
+        span = tracer.find("t")[0]
+        assert span.tags == {"color": "red", "rows": 7}
+
+    def test_exception_recorded_as_error_tag(self, tracer):
+        with pytest.raises(ValueError):
+            with trace.span("boom"):
+                raise ValueError("no")
+        span = tracer.find("boom")[0]
+        assert "ValueError" in span.tags["error"]
+
+    def test_to_dict_round_trips_json(self, tracer):
+        import json
+
+        ctx = WorkerContext(worker_id=1, meter=WorkMeter())
+        with trace.span("d", ctx, k="v"):
+            ctx.charge("mbr_test", 1)
+        payload = json.loads(json.dumps(tracer.find("d")[0].to_dict()))
+        assert payload["name"] == "d"
+        assert payload["tags"] == {"k": "v"}
+        assert payload["meter_delta"] == {"mbr_test": 1.0}
+
+
+class TestDisabledPath:
+    def test_disabled_returns_shared_noop(self):
+        trace.disable()
+        sp = trace.span("anything")
+        assert sp is trace.NOOP_SPAN
+        with sp as inner:
+            inner.set_tag("ignored", 1)  # must not raise
+        assert sp.tags == {}
+        assert sp.meter_delta == {}
+
+    def test_disabled_instant_is_noop(self):
+        trace.disable()
+        trace.instant("nothing", x=1)  # must not raise, records nowhere
+        assert trace.get_tracer() is None
+
+    def test_disabled_current_span_is_none(self):
+        trace.disable()
+        assert trace.current_span() is None
+
+
+class TestSampling:
+    def test_every_other_root_trace_sampled(self):
+        with trace.tracing(sample_every=2) as tracer:
+            for i in range(4):
+                with trace.span(f"root{i}"):
+                    with trace.span(f"child{i}"):
+                        pass
+        names = sorted(s.name for s in tracer.spans)
+        assert names == ["child0", "child2", "root0", "root2"]
+        assert tracer.sampled_out_traces == 2
+
+    def test_unsampled_children_follow_parent(self):
+        with trace.tracing(sample_every=2) as tracer:
+            with trace.span("kept"):
+                pass
+            with trace.span("dropped") as root:
+                assert root.sampled is False
+                with trace.span("dropped_child") as child:
+                    assert child.sampled is False
+        assert [s.name for s in tracer.spans] == ["kept"]
+
+
+class TestEvents:
+    def test_instant_attaches_to_current_span(self, tracer):
+        with trace.span("holder"):
+            trace.instant("tick", page=3)
+        assert len(tracer.events) == 1
+        assert tracer.events[0]["name"] == "tick"
+        assert tracer.events[0]["tags"] == {"page": 3}
+
+    def test_event_cap_counts_drops(self):
+        with trace.tracing(max_events=2) as tracer:
+            with trace.span("s"):
+                for i in range(5):
+                    trace.instant("e", i=i)
+        assert len(tracer.events) == 2
+        assert tracer.dropped_events == 3
+
+
+class TestThreads:
+    def test_explicit_parent_crosses_threads(self, tracer):
+        def worker(parent):
+            with trace.span("thread_child", parent=parent):
+                pass
+
+        with trace.span("submitter") as parent:
+            t = threading.Thread(target=worker, args=(parent,))
+            t.start()
+            t.join()
+        child = tracer.find("thread_child")[0]
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == parent.trace_id
+
+
+class TestAdoption:
+    def test_drain_and_adopt_reparents_spans(self):
+        with trace.tracing() as remote:
+            with trace.span("remote_root"):
+                with trace.span("remote_child"):
+                    pass
+        shipped = remote.drain_serialized()
+        assert remote.spans == []
+
+        with trace.tracing() as local:
+            with trace.span("local_parent") as parent:
+                local.adopt(shipped, parent=parent)
+        root = local.find("remote_root")[0]
+        child = local.find("remote_child")[0]
+        assert root.parent_id == parent.span_id
+        assert root.trace_id == parent.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_adopt_preserves_meter_and_tags(self):
+        ctx = WorkerContext(worker_id=2, meter=WorkMeter())
+        with trace.tracing() as remote:
+            with trace.span("work", ctx, part=4):
+                ctx.charge("mbr_test", 9)
+        shipped = remote.drain_serialized()
+        with trace.tracing() as local:
+            local.adopt(shipped, worker=2)
+        adopted = local.find("work")[0]
+        assert adopted.meter_delta == {"mbr_test": 9.0}
+        assert adopted.tags["part"] == 4
+        assert adopted.tags["worker"] == 2
+
+
+class TestEnvGating:
+    def test_env_values(self, monkeypatch):
+        for on in ("1", "on", "true", "yes"):
+            monkeypatch.setenv("REPRO_TRACE", on)
+            assert trace._env_enabled()
+        for off in ("", "0", "false", "off", "no"):
+            monkeypatch.setenv("REPRO_TRACE", off)
+            assert not trace._env_enabled()
+        monkeypatch.delenv("REPRO_TRACE")
+        assert not trace._env_enabled()
+
+    def test_env_sample(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "5")
+        assert trace._env_sample() == 5
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "bogus")
+        assert trace._env_sample() == 1
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE")
+        assert trace._env_sample() == 1
+
+    def test_enable_disable_round_trip(self):
+        trace.disable()
+        assert not trace.enabled()
+        trace.enable()
+        try:
+            assert trace.enabled()
+            assert trace.get_tracer() is not None
+        finally:
+            trace.disable()
+        assert not trace.enabled()

@@ -1,0 +1,115 @@
+"""LatencyHistogram edge cases and metrics snapshot/exposition behavior."""
+
+import threading
+
+import pytest
+
+from repro.server.metrics import _BOUNDS, LatencyHistogram, ServerMetrics
+
+
+class TestLatencyHistogramEdges:
+    def test_empty_percentiles_are_zero(self):
+        hist = LatencyHistogram()
+        for p in (0, 50, 90, 99, 100):
+            assert hist.percentile(p) == 0.0
+        snap = hist.snapshot()
+        assert snap == {
+            "count": 0,
+            "mean_ms": 0.0,
+            "p50_ms": 0.0,
+            "p90_ms": 0.0,
+            "p99_ms": 0.0,
+            "max_ms": 0.0,
+        }
+
+    def test_single_sample(self):
+        hist = LatencyHistogram()
+        hist.record(0.010)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["mean_ms"] == 10.0
+        assert snap["max_ms"] == 10.0
+        # every percentile lands in the one occupied bucket, whose upper
+        # bound is the first power-of-two bound >= the sample
+        for p in (50, 90, 99):
+            bound = hist.percentile(p)
+            assert 0.010 <= bound <= 0.0128 + 1e-12
+
+    def test_value_beyond_last_bucket_bound(self):
+        hist = LatencyHistogram()
+        huge = _BOUNDS[-1] * 10  # way past the ~2min top bound
+        hist.record(huge)
+        assert hist.counts[-1] == 1  # overflow bucket
+        assert hist.percentile(99) == huge  # reports the observed max
+        assert hist.snapshot()["max_ms"] == pytest.approx(huge * 1000.0)
+
+    def test_value_exactly_on_a_bound(self):
+        hist = LatencyHistogram()
+        hist.record(_BOUNDS[3])
+        assert hist.counts[3] == 1  # bisect_left: bound value stays in bucket
+
+    def test_zero_and_negative_clamp_to_first_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(-0.001)  # clock skew defensive case
+        assert hist.counts[0] == 2
+
+    def test_snapshot_stable_under_concurrent_record(self):
+        hist = LatencyHistogram()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                hist.record(0.0001 * (i % 50 + 1))
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                snap = hist.snapshot()
+                try:
+                    assert snap["count"] >= 0
+                    assert snap["max_ms"] >= 0.0
+                    for p in (50, 90, 99):
+                        hist.percentile(p)
+                except AssertionError as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(0.3, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join()
+        stop_timer.cancel()
+        assert not errors
+        # final state is consistent once writers are quiescent
+        assert sum(hist.counts) == hist.total
+
+
+class TestSnapshotStorageSchema:
+    def test_storage_zeros_when_absent(self):
+        snap = ServerMetrics().snapshot()
+        assert snap["storage"] == {
+            "durability": "none",
+            "num_pages": 0,
+            "page_size": 0,
+            "physical_reads": 0,
+            "physical_writes": 0,
+            "buffer_hit_ratio": 0.0,
+            "wal_bytes": 0,
+            "recovered_pages": 0,
+        }
+
+    def test_storage_merges_real_stats_over_zeros(self):
+        snap = ServerMetrics().snapshot(
+            storage={"durability": "wal", "wal_bytes": 77, "commits": 3}
+        )
+        assert snap["storage"]["durability"] == "wal"
+        assert snap["storage"]["wal_bytes"] == 77
+        assert snap["storage"]["commits"] == 3
+        assert snap["storage"]["recovered_pages"] == 0  # zero-filled
