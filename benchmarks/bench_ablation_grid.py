@@ -1,0 +1,192 @@
+"""Ablation I — parallel decomposition: subtree pairs vs grid partitioning.
+
+The paper parallelises its join by crossing subtree roots (§4.1,
+Figure 1).  ``JoinStrategy.GRID`` replaces that tree-oriented
+decomposition with space-oriented partitioning: a uniform grid over the
+joint MBR, one demand-driven task per tile, duplicates avoided by the
+two-layer class scheme (DESIGN.md §10) instead of a dedup pass.
+
+Both decompositions must produce **byte-identical** result sets
+(``json.dumps`` comparison across every strategy × degree variant, plus a
+zero-duplicates check on the raw pair lists), so this ablation isolates
+pure scheduling quality:
+
+* **join seconds** — simulated makespan minus the fixed per-statement
+  overhead (which would otherwise swamp the comparison at small sizes);
+  includes the grid's serial assignment pass.
+* **speedup vs serial** — join seconds at degree 1 over join seconds at
+  degree d, per strategy.  At full scale (stars-250K) the grid must reach
+  ``>= 0.7 x`` linear at all cores and beat the subtree decomposition's
+  makespan outright — the gates encoding the "space-oriented partitioning
+  wins at high core counts" claim of Tsitsigkos et al.
+* **imbalance / per-worker seconds** — max/mean worker time showing *why*:
+  coarse skewed subtree pairs serialise slaves; fine tiles steal around
+  skew.
+
+Reported times are simulated seconds from the deterministic cost model
+(the host may have a single core; see DESIGN.md), so every number here is
+reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable
+
+DEGREES = (1, 4, 16)  # serial, the paper's small multiprocessor, all cores
+ALL_CORES = DEGREES[-1]
+SPEEDUP_FRACTION = 0.7  # near-linear gate: speedup >= 0.7 x degree
+FULL_SCALE = 250_000  # gates apply from the paper's full Table 2 size
+
+STRATEGIES = (("subtree", "SWEEP"), ("grid", "GRID"))
+
+
+def _pair_blob(result) -> str:
+    """Canonical byte string of a join's result *set* (order-insensitive)."""
+    return json.dumps(sorted((str(a), str(b)) for a, b in result.pairs))
+
+
+def _join_seconds(result) -> float:
+    """Simulated join time excluding the fixed per-statement overhead."""
+    return result.makespan_seconds - result.statement_overhead_seconds
+
+
+def _run_workload(name, join):
+    """All strategy × degree variants of one workload, identity-checked."""
+    rows = []
+    blob = None
+    serial_s = {}
+    for label, strategy in STRATEGIES:
+        for degree in DEGREES:
+            result = join(degree, strategy)
+            this_blob = _pair_blob(result)
+            if blob is None:
+                blob = this_blob
+            assert this_blob == blob, (
+                f"{name}: {label}@{degree} result set differs"
+            )
+            assert len(result.pairs) == len(set(result.pairs)), (
+                f"{name}: {label}@{degree} emitted duplicate pairs"
+            )
+            seconds = _join_seconds(result)
+            if degree == 1:
+                serial_s[label] = seconds
+            counts = result.run.combined_meter().counts
+            row = {
+                "workload": name,
+                "strategy": label,
+                "degree": degree,
+                "result_pairs": len(result.pairs),
+                "tasks": result.subtree_pair_count,
+                "join_s": round(seconds, 4),
+                "speedup": round(serial_s[label] / seconds, 2),
+                "imbalance": round(result.run.imbalance, 3),
+                "dup_avoided": int(counts.get("grid_pair_skip", 0)),
+                # JSON sidecar only (lists/dicts are not tabulated):
+                "worker_seconds": [
+                    round(s, 4) for s in result.run.worker_seconds
+                ],
+            }
+            if result.grid is not None:
+                row["partition_s"] = round(result.partition_seconds, 4)
+                row["grid"] = result.grid.as_dict()
+            rows.append(row)
+    return rows
+
+
+def run_grid(counties_workload, stars_workload):
+    stars_size = max(stars_workload.sizes)
+    workloads = (
+        (
+            "counties",
+            lambda degree, strategy: counties_workload.index_join(
+                0.0, parallel=degree, strategy=strategy
+            ),
+        ),
+        (
+            f"stars-{stars_size}",
+            lambda degree, strategy: stars_workload.index_join(
+                stars_size, parallel=degree, strategy=strategy
+            ),
+        ),
+    )
+    rows = []
+    for name, join in workloads:
+        rows.extend(_run_workload(name, join))
+
+    # --- full-scale gates (the acceptance claims; sub-scale smoke runs
+    # still get the byte-identical and zero-duplicate asserts above) -----
+    if stars_size >= FULL_SCALE:
+        stars = {
+            (r["strategy"], r["degree"]): r
+            for r in rows
+            if r["workload"] == f"stars-{stars_size}"
+        }
+        grid_all = stars[("grid", ALL_CORES)]
+        subtree_all = stars[("subtree", ALL_CORES)]
+        assert grid_all["join_s"] <= subtree_all["join_s"], (
+            f"grid@{ALL_CORES} ({grid_all['join_s']}s) must beat subtree "
+            f"pairs ({subtree_all['join_s']}s) at full scale"
+        )
+        need = SPEEDUP_FRACTION * ALL_CORES
+        assert grid_all["speedup"] >= need, (
+            f"grid@{ALL_CORES} speedup {grid_all['speedup']}x below "
+            f"{need}x (0.7 x linear)"
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_grid(benchmark, counties_workload, stars_workload):
+    rows = benchmark.pedantic(
+        run_grid,
+        args=(counties_workload, stars_workload),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = ExperimentTable(
+        experiment="grid",
+        title="Ablation I — subtree pairs vs grid partitioning",
+        columns=[
+            "workload", "strategy", "degree", "tasks", "join (sim s)",
+            "speedup", "imbalance", "dup avoided",
+        ],
+        paper_note=(
+            "not in the paper (scale-out ablation): space-oriented grid "
+            "partitioning with two-layer duplicate avoidance must match "
+            "the subtree decomposition byte for byte and load-balance "
+            "better at high degrees (Tsitsigkos et al.)"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row["workload"], row["strategy"], row["degree"], row["tasks"],
+            row["join_s"], row["speedup"], row["imbalance"],
+            row["dup_avoided"],
+        )
+    table.emit()
+
+    # --- shape assertions -------------------------------------------------
+    by_key = {(r["workload"], r["strategy"], r["degree"]): r for r in rows}
+    workloads = sorted({r["workload"] for r in rows})
+    assert len(workloads) == 2
+    for wname in workloads:
+        sizes = {r["result_pairs"] for r in rows if r["workload"] == wname}
+        assert len(sizes) == 1, f"{wname}: variants disagree on result size"
+        for label, _ in STRATEGIES:
+            serial = by_key[(wname, label, 1)]
+            fastest = min(
+                by_key[(wname, label, d)]["join_s"] for d in DEGREES
+            )
+            assert fastest <= serial["join_s"], (
+                f"{wname}/{label}: parallelism never helped"
+            )
+        # the grid's fine tiles must balance at least as well as the
+        # coarse subtree pairs at the highest degree
+        grid_all = by_key[(wname, "grid", ALL_CORES)]
+        assert grid_all["speedup"] >= 1.0
+    benchmark.extra_info["rows"] = rows

@@ -23,6 +23,9 @@ from repro.bench.reporting import ExperimentTable
 
 
 def run_table2(workload):
+    """One row per subset size in ``workload.sizes`` (the paper's full
+    25 → 250K sweep under ``REPRO_BENCH_PROFILE=paper``, or whatever
+    ``--sizes`` the bench CLI passed to the workload builder)."""
     rows = []
     for size in workload.sizes:
         i1 = workload.index_join(size, parallel=1)
@@ -38,6 +41,11 @@ def run_table2(workload):
                 "i2_s": i2.makespan_seconds,
                 "nested_over_i1": nested.makespan_seconds / i1.makespan_seconds,
                 "i1_over_i2": i1.makespan_seconds / i2.makespan_seconds,
+                "i2_imbalance": i2.run.imbalance,
+                # per-worker simulated seconds (JSON sidecar only)
+                "i2_worker_seconds": [
+                    round(s, 4) for s in i2.run.worker_seconds
+                ],
                 # raw operation counters (JSON sidecar only, not tabulated)
                 "ops": {
                     "i1": dict(i1.run.combined_meter().counts),
@@ -60,7 +68,7 @@ def test_table2_star_join_scaling(benchmark, stars_workload):
         title=f"Table 2 — star self-join scaling (sizes {list(stars_workload.sizes)})",
         columns=[
             "data size", "result size", "nested (sim s)", "I1 (sim s)",
-            "I2 (sim s)", "nested/I1", "I1/I2",
+            "I2 (sim s)", "nested/I1", "I1/I2", "I2 imbalance",
         ],
         paper_note=(
             "surviving (I1, I2) pairs: (6.2,3.47) (3.5,2.23) (10.3,7.2) "
@@ -72,6 +80,7 @@ def test_table2_star_join_scaling(benchmark, stars_workload):
         table.add_row(
             row["size"], row["result_size"], row["nested_s"], row["i1_s"],
             row["i2_s"], row["nested_over_i1"], row["i1_over_i2"],
+            row["i2_imbalance"],
         )
     table.emit()
 

@@ -2,13 +2,22 @@
 
 Runs the paper-table regenerators without pytest and prints each table.
 Valid experiment names: table1 table2 table3 figure1 figure2
-ablation_sweep kernels (default: all).  Honours
+ablation_sweep kernels grid (default: all).  Honours
 ``REPRO_BENCH_PROFILE=small|paper``.
+
+Flags:
+
+* ``--sizes=25,2500,250000`` — override the star-subset sweep used by the
+  stars-based experiments (default: the active profile's sweep; the paper
+  profile runs the full 25 → 250K Table 2 sweep).
+* ``--regen`` — bypass the on-disk dataset cache and regenerate (and
+  re-cache) the star geometries.
 
 Besides the human-readable table, each experiment writes a
 machine-readable ``BENCH_<name>.json`` next to the rendered tables
-(simulated seconds plus raw operation counters per row) so CI can diff
-benchmark output across commits.
+(simulated seconds plus raw operation counters, worker imbalance, and
+per-worker seconds per row) so CI can diff benchmark output across
+commits.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from __future__ import annotations
 import os
 import sys
 import time
+from typing import Optional, Tuple
 
 from repro.bench.workloads import (
     BlockgroupsWorkload,
@@ -33,13 +43,14 @@ EXPERIMENTS = (
     "figure2",
     "ablation_sweep",
     "kernels",
+    "grid",
 )
 
 # bench_<name>.py files whose runner wants (counties, stars) workloads.
-_COUNTIES_STARS = ("ablation_sweep", "kernels")
+_COUNTIES_STARS = ("ablation_sweep", "kernels", "grid")
 
 # Experiments whose bench file name differs from the experiment name.
-_MODULE_FILES = {"kernels": "ablation_kernels"}
+_MODULE_FILES = {"kernels": "ablation_kernels", "grid": "ablation_grid"}
 
 
 def _load_bench_module(name: str):
@@ -66,6 +77,26 @@ def _write_json(name: str, prof: str, elapsed: float, rows) -> str:
     return emit_bench_json(name, payload)
 
 
+def _parse_flags(argv) -> Tuple[Optional[Tuple[int, ...]], bool]:
+    """Extract ``--sizes=...`` and ``--regen`` from the argument list."""
+    sizes: Optional[Tuple[int, ...]] = None
+    regen = False
+    for arg in argv[1:]:
+        if arg.startswith("--sizes="):
+            sizes = tuple(
+                int(part) for part in arg.split("=", 1)[1].split(",") if part
+            )
+            if not sizes:
+                raise SystemExit(f"no sizes in {arg!r}")
+        elif arg == "--regen":
+            regen = True
+        elif arg.startswith("-"):
+            raise SystemExit(
+                f"unknown flag {arg!r}; supported: --sizes=N,N,... --regen"
+            )
+    return sizes, regen
+
+
 def main(argv) -> int:
     """Run the named experiments (argv style: [prog, name, ...])."""
     names = [a for a in argv[1:] if not a.startswith("-")] or list(EXPERIMENTS)
@@ -73,9 +104,12 @@ def main(argv) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; valid: {EXPERIMENTS}")
         return 2
+    sizes, regen = _parse_flags(argv)
 
     prof = profile()
     print(f"profile: {prof} (set REPRO_BENCH_PROFILE=paper for full sizes)")
+    if sizes:
+        print(f"star sizes: {list(sizes)}")
 
     counties = stars = blockgroups = None
     for name in names:
@@ -86,11 +120,11 @@ def main(argv) -> int:
             runner = getattr(module, f"run_{name}")
             rows = runner(counties)
         elif name == "table2":
-            stars = stars or StarsWorkload.build(prof)
+            stars = stars or StarsWorkload.build(prof, sizes=sizes, regen=regen)
             rows = module.run_table2(stars)
         elif name in _COUNTIES_STARS:
             counties = counties or CountiesWorkload.build(prof)
-            stars = stars or StarsWorkload.build(prof)
+            stars = stars or StarsWorkload.build(prof, sizes=sizes, regen=regen)
             rows = getattr(module, f"run_{name}")(counties, stars)
         else:  # table3 / figure2
             blockgroups = blockgroups or BlockgroupsWorkload.build(prof)

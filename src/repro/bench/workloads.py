@@ -16,7 +16,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import Database
-from repro.datasets import blockgroups, counties, load_geometries, stars
+from repro.datasets import (
+    blockgroups,
+    cached_dataset,
+    counties,
+    load_geometries,
+    stars,
+)
 from repro.geometry.geometry import Geometry
 
 __all__ = ["profile", "CountiesWorkload", "StarsWorkload", "BlockgroupsWorkload"]
@@ -53,9 +59,12 @@ class CountiesWorkload:
         db.create_spatial_index("counties_sidx", "counties", "geom", kind="RTREE")
         return cls(db=db, n=n)
 
-    def index_join(self, distance: float):
+    def index_join(
+        self, distance: float, parallel: int = 1, strategy: str = "SWEEP"
+    ):
         return self.db.spatial_join(
-            "counties", "geom", "counties", "geom", distance=distance
+            "counties", "geom", "counties", "geom", distance=distance,
+            parallel=parallel, strategy=strategy,
         )
 
     def nested_join(self, distance: float):
@@ -72,13 +81,27 @@ class StarsWorkload:
     sizes: Tuple[int, ...]
 
     @classmethod
-    def build(cls, prof: Optional[str] = None) -> "StarsWorkload":
+    def build(
+        cls,
+        prof: Optional[str] = None,
+        sizes: Optional[Tuple[int, ...]] = None,
+        regen: bool = False,
+    ) -> "StarsWorkload":
+        """Build the star subsets (and their indexes) at the given sizes.
+
+        ``sizes`` overrides the profile's sweep (the bench CLI's
+        ``--sizes`` flag); generation goes through the disk cache keyed by
+        ``(n, seed)`` so the 250K paper run pays polygon generation once
+        per machine, and ``regen`` forces regeneration.
+        """
         prof = prof or profile()
-        if prof == "paper":
-            sizes: Tuple[int, ...] = (25, 2_500, 25_000, 100_000, 250_000)
-        else:
-            sizes = (25, 2_500, 10_000, 25_000)
-        full = stars(max(sizes), seed=1234)
+        if sizes is None:
+            if prof == "paper":
+                sizes = (25, 2_500, 25_000, 100_000, 250_000)
+            else:
+                sizes = (25, 2_500, 10_000, 25_000)
+        sizes = tuple(sorted(sizes))
+        full = cached_dataset("stars", stars, max(sizes), 1234, regen=regen)
         dbs: Dict[int, Database] = {}
         for size in sizes:
             db = Database()
@@ -87,9 +110,10 @@ class StarsWorkload:
             dbs[size] = db
         return cls(dbs=dbs, sizes=sizes)
 
-    def index_join(self, size: int, parallel: int = 1):
+    def index_join(self, size: int, parallel: int = 1, strategy: str = "SWEEP"):
         return self.dbs[size].spatial_join(
-            "stars", "geom", "stars", "geom", parallel=parallel
+            "stars", "geom", "stars", "geom", parallel=parallel,
+            strategy=strategy,
         )
 
     def nested_join(self, size: int):

@@ -14,6 +14,13 @@ across N instances of the spatial_join function::
 
 ``parallel_spatial_join`` is the library-level driver for that plan; the
 SQL front-end lowers the statement above onto it.
+
+With ``strategy=JoinStrategy.GRID`` the driver partitions *space* instead
+of the trees (:mod:`repro.core.grid_partition`): both inputs' leaf entries
+are binned into a uniform grid over their joint MBR and each tile becomes
+one demand-driven task, so skewed tiles are stolen around rather than
+serialising a slave — the scale-out alternative to Figure 1's subtree
+pairs.
 """
 
 from __future__ import annotations
@@ -21,18 +28,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.engine.cost import WorkMeter, pick_grid_shape
 from repro.engine.cursor import Cursor, ListCursor, PartitionMethod
-from repro.engine.parallel import ParallelExecutor, ParallelRun, SerialExecutor
+from repro.engine.parallel import (
+    ParallelExecutor,
+    ParallelRun,
+    SerialExecutor,
+    WorkerContext,
+)
 from repro.engine.table import Table
 from repro.engine.table_function import flatten_run, run_parallel
 from repro.index.rtree.join import JoinStrategy
 from repro.index.rtree.rtree import RTree
+from repro.core.grid_partition import (
+    GridJoinContext,
+    GridStats,
+    build_grid_spec,
+    build_tiles,
+    make_tile_tasks,
+)
 from repro.core.secondary_filter import FetchOrder, JoinPredicate
 from repro.core.spatial_join import (
     DEFAULT_CANDIDATE_ARRAY_SIZE,
     SpatialJoinFunction,
 )
 from repro.core.subtree import pick_descent_level, subtree_pairs
+from repro.obs import trace
 from repro.storage.heap import RowId
 
 __all__ = [
@@ -40,6 +61,7 @@ __all__ = [
     "SpatialJoinFactory",
     "spatial_join",
     "parallel_spatial_join",
+    "grid_parallel_join",
 ]
 
 
@@ -102,14 +124,28 @@ class JoinResult:
     #: fixed per-statement cost (parse/plan/execute), paid once regardless
     #: of strategy or degree
     statement_overhead_seconds: float = 0.0
+    #: serial partitioning work done before the slaves start (the grid
+    #: driver's assignment pass; zero for the subtree decomposition, whose
+    #: descent cost the slaves themselves charge)
+    partition_seconds: float = 0.0
+    #: grid-partitioning shape/replication/skew record (GRID runs only)
+    grid: Optional[GridStats] = None
 
     @property
     def makespan_seconds(self) -> float:
-        return self.run.makespan_seconds + self.statement_overhead_seconds
+        return (
+            self.run.makespan_seconds
+            + self.statement_overhead_seconds
+            + self.partition_seconds
+        )
 
     @property
     def total_work_seconds(self) -> float:
-        return self.run.total_work_seconds + self.statement_overhead_seconds
+        return (
+            self.run.total_work_seconds
+            + self.statement_overhead_seconds
+            + self.partition_seconds
+        )
 
 
 def spatial_join(
@@ -164,6 +200,97 @@ def spatial_join(
     )
 
 
+def grid_parallel_join(
+    table_a: Table,
+    column_a: str,
+    tree_a: RTree,
+    table_b: Table,
+    column_b: str,
+    tree_b: RTree,
+    executor: ParallelExecutor,
+    predicate: JoinPredicate = JoinPredicate(),
+    candidate_array_size: int = DEFAULT_CANDIDATE_ARRAY_SIZE,
+    fetch_order: FetchOrder = FetchOrder.SORTED,
+    use_interior: bool = False,
+    rng_seed: int = 0,
+    use_batch: bool = True,
+    grid_shape: Optional[Tuple[int, int]] = None,
+) -> JoinResult:
+    """Space-oriented parallel join: grid partition + per-tile sweeps.
+
+    The master bins both inputs' leaf entries into a uniform grid over
+    their joint MBR (``grid_shape`` overrides the
+    :func:`~repro.engine.cost.pick_grid_shape` heuristic), then hands one
+    :class:`~repro.core.grid_partition.GridTileTask` per joinable tile to
+    the executor's demand-driven queue.  Two-layer duplicate avoidance
+    makes the union of tile outputs exactly the SWEEP/NESTED result set
+    with no dedup pass.  The serial assignment cost is reported as
+    ``partition_seconds`` (it precedes the slaves, so it adds to makespan).
+    """
+    stats = GridStats()
+    pmeter = WorkMeter()
+    pctx = WorkerContext(0, pmeter)
+    with trace.span("grid.partition", pctx, degree=executor.degree) as sp:
+        entries_a = list(tree_a.leaf_entries())
+        entries_b = (
+            entries_a if tree_b is tree_a else list(tree_b.leaf_entries())
+        )
+        if not entries_a or not entries_b:
+            return JoinResult(
+                pairs=[],
+                run=executor.run([]),
+                subtree_pair_count=0,
+                statement_overhead_seconds=(
+                    executor.cost_model.statement_overhead
+                ),
+                grid=stats,
+            )
+        box = tree_a.root.mbr.union(tree_b.root.mbr)
+        nx, ny = grid_shape or pick_grid_shape(
+            len(entries_a), len(entries_b), executor.degree
+        )
+        spec = build_grid_spec(box, nx, ny)
+        tiles_a = build_tiles(entries_a, spec, 0.0, pctx)
+        if entries_b is entries_a and predicate.distance == 0.0:
+            tiles_b = tiles_a  # self-join: one assignment pass suffices
+        else:
+            tiles_b = build_tiles(entries_b, spec, predicate.distance, pctx)
+        shared = GridJoinContext(
+            table_a,
+            column_a,
+            table_b,
+            column_b,
+            predicate,
+            tiles_a,
+            tiles_b,
+            candidate_array_size,
+            fetch_order,
+            use_interior,
+            rng_seed,
+            use_batch,
+        )
+        tasks = make_tile_tasks(shared, stats)
+        stats.shape = (spec.nx, spec.ny)
+        stats.entries_a = len(entries_a)
+        stats.entries_b = len(entries_b)
+        stats.replicas_a = sum(len(t) for t in tiles_a.values())
+        stats.replicas_b = sum(len(t) for t in tiles_b.values())
+        sp.set_tag("shape", f"{spec.nx}x{spec.ny}")
+        sp.set_tag("tasks", stats.tasks)
+        sp.set_tag("replicas", stats.replicas_a + stats.replicas_b)
+        sp.set_tag("tile_imbalance", round(stats.tile_imbalance, 3))
+
+    run = executor.run(tasks)
+    return JoinResult(
+        pairs=[pair for chunk in run.results if chunk for pair in chunk],
+        run=run,
+        subtree_pair_count=stats.tasks,
+        statement_overhead_seconds=executor.cost_model.statement_overhead,
+        partition_seconds=pmeter.seconds(executor.cost_model),
+        grid=stats,
+    )
+
+
 def parallel_spatial_join(
     table_a: Table,
     column_a: str,
@@ -188,7 +315,26 @@ def parallel_spatial_join(
     ``descent_levels`` forces how deep each tree is descended; by default
     :func:`~repro.core.subtree.pick_descent_level` chooses levels that give
     at least ``min_pairs_per_slave`` subtree pairs per parallel slave.
+    ``strategy=JoinStrategy.GRID`` replaces the subtree decomposition
+    entirely with space-oriented grid partitioning
+    (:func:`grid_parallel_join`); ``descent_levels`` does not apply there.
     """
+    if strategy is JoinStrategy.GRID:
+        return grid_parallel_join(
+            table_a,
+            column_a,
+            tree_a,
+            table_b,
+            column_b,
+            tree_b,
+            executor,
+            predicate=predicate,
+            candidate_array_size=candidate_array_size,
+            fetch_order=fetch_order,
+            use_interior=use_interior,
+            rng_seed=rng_seed,
+            use_batch=use_batch,
+        )
     if len(tree_a) == 0 or len(tree_b) == 0:
         return JoinResult(
             pairs=[],

@@ -11,6 +11,7 @@ from repro.datasets.blockgroups import (
     DEFAULT_BLOCKGROUP_COUNT,
     blockgroups,
 )
+from repro.datasets.cache import cache_dir, cache_path, cached_dataset
 from repro.datasets.counties import CONUS_EXTENT, DEFAULT_COUNTY_COUNT, counties
 from repro.datasets.loader import load_geometries
 from repro.datasets.random_geom import radial_polygon, regular_polygon
@@ -29,4 +30,7 @@ __all__ = [
     "load_geometries",
     "radial_polygon",
     "regular_polygon",
+    "cached_dataset",
+    "cache_dir",
+    "cache_path",
 ]

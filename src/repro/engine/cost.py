@@ -18,12 +18,13 @@ matter, and the ratios encode real machine facts (a physical read costs
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
 from typing import Dict, Iterator, Tuple
 
 from repro.errors import EngineError
 
-__all__ = ["CostModel", "WorkMeter", "DEFAULT_COST_MODEL"]
+__all__ = ["CostModel", "WorkMeter", "DEFAULT_COST_MODEL", "pick_grid_shape"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,12 @@ class CostModel:
     # parallel machinery
     worker_startup: float = 0.02  # spawning one parallel worker (slave)
     partition_per_row: float = 2e-7  # routing one row to a partition
+    grid_assign_per_entry: float = 3e-7  # binning one MBR into grid-tile
+    # index ranges (one float-floor per side; cheaper than an mbr_test)
+    grid_pair_skip: float = 1e-7  # discarding a geometrically interacting
+    # pair whose two-layer class combination makes another tile canonical
+    # (an integer comparison; also the duplicate-avoidance observability
+    # counter — no dedup structure exists to count against)
     result_row: float = 1e-6  # materialising one output row
 
     def unit_names(self) -> Tuple[str, ...]:
@@ -84,6 +91,47 @@ class CostModel:
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+# Grid-join tile-count heuristic knobs (see :func:`pick_grid_shape`).
+GRID_TILES_PER_WORKER = 8  # steal granularity: tiles per parallel slave
+GRID_TARGET_ENTRIES_PER_TILE = 32  # aim for sweeps near this size: on
+# clustered data (stars) coarser grids leave one hot tile bounding the
+# makespan — 32 entries/tile costs a few percent extra replication and
+# buys near-linear balance at degree 16 (measured in bench_ablation_grid)
+GRID_MAX_TILES = 16384  # assignment cost ceiling (and task-count ceiling)
+
+
+def pick_grid_shape(
+    n_a: int,
+    n_b: int,
+    degree: int = 1,
+    tiles_per_worker: int = GRID_TILES_PER_WORKER,
+    target_entries_per_tile: int = GRID_TARGET_ENTRIES_PER_TILE,
+    max_tiles: int = GRID_MAX_TILES,
+) -> Tuple[int, int]:
+    """Choose a uniform grid shape ``(nx, ny)`` for a grid-partitioned join.
+
+    Two pressures trade off: enough tiles that demand-driven stealing can
+    balance skew (``degree * tiles_per_worker`` floor) and tiles small
+    enough that a per-tile plane sweep stays in its efficient range
+    (``(n_a + n_b) / target_entries_per_tile``), but not so many that
+    per-entry assignment and per-tile bookkeeping dominate (``max_tiles``
+    ceiling, and never more tiles than entries).  The shape is as close
+    to square as the total allows — tiles inherit the data's aspect
+    ratio from the joint MBR, which a square split distorts least.
+    """
+    if degree < 1:
+        raise EngineError(f"degree must be >= 1, got {degree}")
+    n_entries = max(0, n_a) + max(0, n_b)
+    want = max(
+        1,
+        degree * max(1, tiles_per_worker),
+        n_entries // max(1, target_entries_per_tile),
+    )
+    total = max(1, min(want, max_tiles, max(1, n_entries)))
+    nx = max(1, int(math.isqrt(total)))
+    ny = max(1, (total + nx - 1) // nx)
+    return nx, ny
 
 
 class WorkMeter:

@@ -239,9 +239,25 @@ class Database:
         the two associated R-trees).  ``parallel > 1`` uses the subtree
         decomposition of §4.1; ``use_processes`` runs the partitions on
         real slave processes (multiple cores) instead of simulated workers.
+        ``strategy`` (a :class:`~repro.index.rtree.join.JoinStrategy` or
+        its name, e.g. ``"GRID"``) selects the primary-filter policy;
+        ``JoinStrategy.GRID`` swaps the subtree decomposition for
+        space-oriented grid partitioning with two-layer duplicate
+        avoidance — same result set, tile-level load balance.
         """
         from repro.core.parallel_join import parallel_spatial_join, spatial_join
         from repro.core.secondary_filter import JoinPredicate
+        from repro.index.rtree.join import JoinStrategy
+
+        strategy = options.get("strategy")
+        if isinstance(strategy, str):
+            try:
+                options["strategy"] = JoinStrategy[strategy.upper()]
+            except KeyError:
+                raise JoinError(
+                    f"unknown join strategy {strategy!r}; expected one of "
+                    f"{', '.join(s.name for s in JoinStrategy)}"
+                ) from None
 
         tree_a = self._rtree_of(table_a, column_a)
         tree_b = self._rtree_of(table_b, column_b)

@@ -457,12 +457,24 @@ class _Executor:
                     parallel = int(_eval_literal_expr(plain[6]))
                 except Exception:  # noqa: BLE001 - display only
                     parallel = 1
+            strategy = ""
+            if len(plain) > 7:
+                try:
+                    strategy = str(_eval_literal_expr(plain[7])).upper()
+                except Exception:  # noqa: BLE001 - display only
+                    strategy = ""
             lines = [
                 f"TABLE FUNCTION SPATIAL_JOIN (pipelined"
                 + (f", parallel {parallel}" if parallel > 1 else "")
                 + ")"
             ]
-            lines.append("  SYNCHRONIZED R-TREE TRAVERSAL (primary filter)")
+            if strategy == "GRID":
+                lines.append("  GRID PARTITION (uniform tiles over joint MBR)")
+                lines.append(
+                    "  PER-TILE PLANE SWEEP (two-layer duplicate avoidance)"
+                )
+            else:
+                lines.append("  SYNCHRONIZED R-TREE TRAVERSAL (primary filter)")
             lines.append("  SECONDARY FILTER sorted by first rowid")
             if has_cursor:
                 lines.insert(1, "  SUBTREE-PAIR CURSOR (partitioned across slaves)")
@@ -510,8 +522,13 @@ class _Executor:
 
         Signatures::
 
-            spatial_join(t1, c1, t2, c2, mask [, distance [, degree]])
+            spatial_join(t1, c1, t2, c2, mask [, distance [, degree [, strategy]]])
             spatial_join(CURSOR(pairs), t1, c1, t2, c2, mask [, distance])
+
+        ``strategy`` is a string literal (``'NESTED'``, ``'SWEEP'``,
+        ``'GRID'``); ``'GRID'`` selects space-oriented grid partitioning
+        with two-layer duplicate avoidance instead of the subtree
+        decomposition.
         """
         from repro.core.parallel_join import parallel_spatial_join, spatial_join
         from repro.core.secondary_filter import JoinPredicate
@@ -534,6 +551,18 @@ class _Executor:
         degree = int(values[6]) if len(values) > 6 else 1
         mask_norm = "ANYINTERACT" if mask.upper() == "INTERSECT" else mask.upper()
         predicate = JoinPredicate(mask=mask_norm, distance=distance)
+        from repro.index.rtree.join import JoinStrategy
+
+        strategy = JoinStrategy.SWEEP
+        if len(values) > 7:
+            name = str(values[7]).upper()
+            try:
+                strategy = JoinStrategy[name]
+            except KeyError:
+                raise SqlPlanError(
+                    f"unknown join strategy {name!r}; expected one of "
+                    f"{', '.join(s.name for s in JoinStrategy)}"
+                ) from None
 
         table_a, table_b = self.db.table(t1), self.db.table(t2)
         tree_a = self.db._rtree_of(t1, c1)  # noqa: SLF001 - engine-internal
@@ -560,10 +589,12 @@ class _Executor:
             result = parallel_spatial_join(
                 table_a, c1, tree_a, table_b, c2, tree_b,
                 make_executor(degree, self.db.cost_model), predicate=predicate,
+                strategy=strategy,
             )
         else:
             result = spatial_join(
-                table_a, c1, tree_a, table_b, c2, tree_b, predicate=predicate
+                table_a, c1, tree_a, table_b, c2, tree_b, predicate=predicate,
+                strategy=strategy,
             )
         if self._profile is not None:
             self._profile["tf"] = {

@@ -39,6 +39,7 @@ contract over randomized and adversarially degenerate inputs.
 
 from __future__ import annotations
 
+import math
 import os
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -67,6 +68,7 @@ __all__ = [
     "reset_counters",
     "mbr_intersects_batch",
     "mbr_filter_indices",
+    "tile_ranges_batch",
     "segments_intersect_batch",
     "pairwise_segment_distance_batch",
     "points_in_polygon_batch",
@@ -276,6 +278,53 @@ def _as_f64(seq):
         return np.frombuffer(seq, dtype=np.float64)  # array('d') fast path
     except (TypeError, ValueError, AttributeError):
         return np.asarray(seq, dtype=np.float64)
+
+
+def tile_ranges_batch(
+    coords: Tuple[Sequence[float], Sequence[float], Sequence[float], Sequence[float]],
+    origin: Tuple[float, float],
+    tile_size: Tuple[float, float],
+    shape: Tuple[int, int],
+    expand: float = 0.0,
+) -> Tuple[List[int], List[int], List[int], List[int]]:
+    """Bin MBRs into uniform-grid tile index ranges (grid-join assignment).
+
+    ``coords`` is the flat ``(min_xs, min_ys, max_xs, max_ys)`` layout; the
+    grid starts at ``origin`` with ``tile_size = (width, height)`` tiles in
+    an ``shape = (nx, ny)`` arrangement.  Each MBR — optionally expanded by
+    ``expand`` on every side, the within-distance slack — maps to the
+    inclusive index ranges ``ix0..ix1`` / ``iy0..iy1`` of the tiles it
+    overlaps, clamped to the grid.  Returned as four parallel int lists.
+
+    Both backends floor the same float64 expression ``(v - origin) / size``
+    so the integer bins are bit-identical, and downstream duplicate
+    avoidance (which compares only these integers) never faces an epsilon:
+    an MBR edge exactly on a tile boundary lands in the same bin on every
+    backend and for every entry sharing that coordinate.
+    """
+    x0s, y0s, x1s, y1s = coords
+    gx, gy = origin
+    tw, th = tile_size
+    nx, ny = shape
+    n = len(x0s)
+    _count("tile_ranges_batch", n)
+    if _active_backend == "python" or np is None:
+        ix0: List[int] = [0] * n
+        ix1: List[int] = [0] * n
+        iy0: List[int] = [0] * n
+        iy1: List[int] = [0] * n
+        for i in range(n):
+            ix0[i] = min(max(math.floor((x0s[i] - expand - gx) / tw), 0), nx - 1)
+            ix1[i] = min(max(math.floor((x1s[i] + expand - gx) / tw), 0), nx - 1)
+            iy0[i] = min(max(math.floor((y0s[i] - expand - gy) / th), 0), ny - 1)
+            iy1[i] = min(max(math.floor((y1s[i] + expand - gy) / th), 0), ny - 1)
+        return ix0, ix1, iy0, iy1
+    x0, y0, x1, y1 = (_as_f64(a) for a in (x0s, y0s, x1s, y1s))
+    ix0a = np.clip(np.floor((x0 - expand - gx) / tw), 0, nx - 1).astype(np.intp)
+    ix1a = np.clip(np.floor((x1 + expand - gx) / tw), 0, nx - 1).astype(np.intp)
+    iy0a = np.clip(np.floor((y0 - expand - gy) / th), 0, ny - 1).astype(np.intp)
+    iy1a = np.clip(np.floor((y1 + expand - gy) / th), 0, ny - 1).astype(np.intp)
+    return ix0a.tolist(), ix1a.tolist(), iy0a.tolist(), iy1a.tolist()
 
 
 # ======================================================================

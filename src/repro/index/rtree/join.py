@@ -30,10 +30,18 @@ selected by :class:`JoinStrategy`:
   rebuilds plain coordinate lists on every node-pair visit instead (the
   object-layout ablation point).
 
-Both strategies emit exactly the same candidate set; only the work done to
+* ``GRID`` — space-oriented: instead of pairing entries node by node, each
+  root pair's leaf entries are collected, binned into a uniform grid over
+  their joint MBR, and plane-swept tile by tile with two-layer duplicate
+  avoidance (:mod:`repro.core.grid_partition`).  Each root pair is gridded
+  *independently*, so a cursor seeded with an arbitrary partition of the
+  Figure 1 subtree-pair cross product still joins exactly its partition.
+  Tiles replace node pairs as the unit of resumable work.
+
+All strategies emit exactly the same candidate set; only the work done to
 find it differs, which the cost counters (``mbr_test``,
-``sweep_sort_per_item``, ``sweep_pair_emit``) make visible in simulated
-time.
+``sweep_sort_per_item``, ``sweep_pair_emit``, ``grid_assign_per_entry``,
+``grid_pair_skip``) make visible in simulated time.
 """
 
 from __future__ import annotations
@@ -60,6 +68,8 @@ class JoinStrategy(enum.Enum):
 
     NESTED = "NESTED"  # O(|A|·|B|) double loop (the naive baseline)
     SWEEP = "SWEEP"  # sort-based plane sweep with space restriction
+    GRID = "GRID"  # uniform-grid partitioning + per-tile sweep with
+    # two-layer duplicate avoidance (space-oriented, not tree-oriented)
 
 
 class RTreeJoinCursor:
@@ -84,13 +94,18 @@ class RTreeJoinCursor:
         # Overflow pairs are drained FIFO so the emission order seen by the
         # caller equals the production order (AS_PRODUCED fetch order).
         self._buffer: Deque[CandidatePair] = deque()
+        # GRID state: tiles of the root pair currently being swept.  A tile
+        # is the grid strategy's unit of resumable work, as a node pair is
+        # for the tree-oriented strategies.
+        self._grid_tiles: Deque[Tuple[object, object]] = deque()
         self.pairs_tested = 0
         self.nodes_visited = 0
         self.pairs_emitted = 0
+        self.duplicates_avoided = 0  # GRID: non-canonical pairs skipped
 
     @property
     def exhausted(self) -> bool:
-        return not self._stack and not self._buffer
+        return not self._stack and not self._buffer and not self._grid_tiles
 
     def _interacts(self, a: MBR, b: MBR, ctx: Optional[WorkerContext]) -> bool:
         if ctx is not None:
@@ -118,6 +133,9 @@ class RTreeJoinCursor:
         # must match production order across batch boundaries).
         while self._buffer and len(out) < max_pairs:
             out.append(self._buffer.popleft())
+        if self.strategy is JoinStrategy.GRID:
+            self._next_grid(out, max_pairs, ctx)
+            return out
         while self._stack and len(out) < max_pairs:
             node_a, node_b = self._stack.pop()
             self.nodes_visited += 2
@@ -145,6 +163,86 @@ class RTreeJoinCursor:
             if not chunk:
                 return result
             result.extend(chunk)
+
+    # ------------------------------------------------------------------
+    # GRID strategy (space-oriented partitioning)
+    # ------------------------------------------------------------------
+    def _next_grid(
+        self, out: List[CandidatePair], max_pairs: int, ctx: Optional[WorkerContext]
+    ) -> None:
+        """Resume the grid join: sweep pending tiles, gridding the next
+        root pair whenever the tile queue runs dry."""
+        from repro.core.grid_partition import GridSweepStats, tile_sweep
+
+        while len(out) < max_pairs and (self._grid_tiles or self._stack):
+            if not self._grid_tiles:
+                self._grid_partition_pair(self._stack.pop(), ctx)
+                continue
+            ta, tb = self._grid_tiles.popleft()
+            stats = GridSweepStats()
+            for pair in tile_sweep(ta, tb, self.distance, ctx, stats):
+                if len(out) < max_pairs:
+                    out.append(pair)
+                else:
+                    self._buffer.append(pair)
+            self.pairs_tested += stats.pairs_tested
+            self.pairs_emitted += stats.pairs_emitted
+            self.duplicates_avoided += stats.duplicates_avoided
+
+    def _grid_partition_pair(
+        self,
+        pair: Tuple[RTreeNode, RTreeNode],
+        ctx: Optional[WorkerContext],
+    ) -> None:
+        """Grid one root pair's leaf entries and queue its joinable tiles.
+
+        Each root pair is partitioned independently — never pooled with the
+        cursor's other pairs — so a cursor seeded with any partition of the
+        subtree-pair cross product joins exactly those pairs.
+        """
+        from repro.core.grid_partition import build_grid_spec, build_tiles
+        from repro.engine.cost import pick_grid_shape
+
+        node_a, node_b = pair
+        entries_a = self._collect_leaf_entries(node_a, ctx)
+        entries_b = (
+            entries_a
+            if node_b is node_a
+            else self._collect_leaf_entries(node_b, ctx)
+        )
+        if not entries_a or not entries_b:
+            return
+        box = node_a.mbr.union(node_b.mbr)
+        nx, ny = pick_grid_shape(len(entries_a), len(entries_b))
+        spec = build_grid_spec(box, nx, ny)
+        tiles_a = build_tiles(entries_a, spec, 0.0, ctx)
+        tiles_b = (
+            tiles_a
+            if entries_b is entries_a and self.distance == 0.0
+            else build_tiles(entries_b, spec, self.distance, ctx)
+        )
+        for tile_id in sorted(tiles_a.keys() & tiles_b.keys()):
+            self._grid_tiles.append((tiles_a[tile_id], tiles_b[tile_id]))
+
+    def _collect_leaf_entries(
+        self, node: RTreeNode, ctx: Optional[WorkerContext]
+    ) -> List[Tuple[MBR, RowId]]:
+        """All (mbr, rowid) leaf entries under ``node`` (one node visit
+        charged per node touched, like the synchronized traversal)."""
+        out: List[Tuple[MBR, RowId]] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            self.nodes_visited += 1
+            if ctx is not None:
+                ctx.charge("rtree_node_visit")
+            if cur.is_leaf:
+                for entry in cur.entries:
+                    assert entry.rowid is not None
+                    out.append((entry.mbr, entry.rowid))
+            else:
+                stack.extend(cur.children())
+        return out
 
     # ------------------------------------------------------------------
     # Entry pairing (strategy dispatch)

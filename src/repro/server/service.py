@@ -136,6 +136,7 @@ class QueryService:
         from repro.core.parallel_join import SpatialJoinFactory
         from repro.core.secondary_filter import JoinPredicate
         from repro.core.spatial_join import DEFAULT_CANDIDATE_ARRAY_SIZE
+        from repro.index.rtree.join import JoinStrategy
 
         table_a, column_a, table_b, column_b = _require(
             params, "table_a", "column_a", "table_b", "column_b"
@@ -144,10 +145,20 @@ class QueryService:
             mask=str(params.get("mask", "ANYINTERACT")).upper(),
             distance=float(params.get("distance", 0.0)),
         )
+        try:
+            strategy = JoinStrategy[
+                str(params.get("strategy", "SWEEP")).upper()
+            ]
+        except KeyError:
+            raise BadRequest(
+                f"unknown join strategy {params.get('strategy')!r}; expected "
+                f"one of {', '.join(s.name for s in JoinStrategy)}"
+            ) from None
         parallel = int(params.get("parallel", 1))
         if parallel > 1:
-            # Parallel joins run the subtree decomposition to completion
-            # (multiple cores with use_processes), then page the result.
+            # Parallel joins run the decomposition to completion (subtree
+            # pairs, or grid tiles for strategy GRID; multiple cores with
+            # use_processes), then page the result.
             result = self.db.spatial_join(
                 table_a,
                 column_a,
@@ -158,9 +169,13 @@ class QueryService:
                 parallel=parallel,
                 use_processes=bool(params.get("use_processes", False)),
                 use_threads=bool(params.get("use_threads", False)),
+                strategy=strategy,
             )
             ctx.meter.merge(result.run.combined_meter())
-            return _wire_pairs(iter(result.pairs)), {"parallel": parallel}
+            return _wire_pairs(iter(result.pairs)), {
+                "parallel": parallel,
+                "strategy": strategy.name,
+            }
 
         factory = SpatialJoinFactory(
             self.db.table(table_a),
@@ -173,8 +188,9 @@ class QueryService:
             candidate_array_size=int(
                 params.get("candidate_array_size", DEFAULT_CANDIDATE_ARRAY_SIZE)
             ),
+            strategy=strategy,
         )
         # The wire session *is* the pipelined table function: rows stream
         # through start/fetch/close at both layers, never materialised.
         stream = pipeline(factory(None), ctx)
-        return _wire_pairs(stream), {"parallel": 1}
+        return _wire_pairs(stream), {"parallel": 1, "strategy": strategy.name}

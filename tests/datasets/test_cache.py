@@ -1,0 +1,60 @@
+"""Disk cache for generated datasets (keyed by kind, n, seed, params)."""
+
+import pickle
+
+import pytest
+
+from repro.datasets import cache_path, cached_dataset, stars
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+    return tmp_path
+
+
+def counting_builder():
+    calls = {"n": 0}
+
+    def build(n, seed=0):
+        calls["n"] += 1
+        return list(range(n + seed))
+
+    return build, calls
+
+
+class TestCachedDataset:
+    def test_second_call_hits_disk(self):
+        build, calls = counting_builder()
+        first = cached_dataset("toy", build, 10, 3)
+        second = cached_dataset("toy", build, 10, 3)
+        assert first == second == list(range(13))
+        assert calls["n"] == 1
+
+    def test_key_includes_n_seed_and_params(self):
+        assert cache_path("toy", 10, 3) != cache_path("toy", 11, 3)
+        assert cache_path("toy", 10, 3) != cache_path("toy", 10, 4)
+        assert cache_path("toy", 10, 3) != cache_path("other", 10, 3)
+        assert cache_path("toy", 10, 3, refine=6) != cache_path("toy", 10, 3)
+
+    def test_regen_overwrites(self):
+        build, calls = counting_builder()
+        cached_dataset("toy", build, 5, 0)
+        cached_dataset("toy", build, 5, 0, regen=True)
+        assert calls["n"] == 2
+
+    def test_corrupt_entry_regenerates(self):
+        build, calls = counting_builder()
+        cached_dataset("toy", build, 5, 0)
+        cache_path("toy", 5, 0).write_bytes(b"not a pickle")
+        assert cached_dataset("toy", build, 5, 0) == list(range(5))
+        assert calls["n"] == 2
+        # and the repaired entry is a valid pickle again
+        with cache_path("toy", 5, 0).open("rb") as fh:
+            assert pickle.load(fh) == list(range(5))
+
+    def test_real_geometries_roundtrip(self):
+        first = cached_dataset("stars", stars, 50, 7)
+        second = cached_dataset("stars", stars, 50, 7)
+        assert len(first) == len(second) == 50
+        assert [g.mbr for g in first] == [g.mbr for g in second]

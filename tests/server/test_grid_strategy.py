@@ -1,0 +1,86 @@
+"""Server-side ``strategy`` parameter for spatial_join sessions."""
+
+import random
+
+import pytest
+
+from repro import Database, Geometry
+from repro.datasets import load_geometries
+from repro.server import BackgroundServer, QueryClient, RemoteError
+
+
+def rects(n, seed, extent=100.0, size=4.0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x = rng.uniform(0, extent - size)
+        y = rng.uniform(0, extent - size)
+        out.append(
+            Geometry.rectangle(
+                x, y,
+                x + rng.uniform(size * 0.2, size),
+                y + rng.uniform(size * 0.2, size),
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def served():
+    db = Database()
+    load_geometries(db, "a_tab", rects(150, seed=61))
+    load_geometries(db, "b_tab", rects(160, seed=62))
+    db.create_spatial_index("a_idx", "a_tab", "geom", kind="RTREE", fanout=6)
+    db.create_spatial_index("b_idx", "b_tab", "geom", kind="RTREE", fanout=6)
+    with BackgroundServer(db) as handle:
+        yield handle, db
+
+
+@pytest.fixture
+def client(served):
+    handle, _ = served
+    with QueryClient(port=handle.port) as c:
+        yield c
+
+
+PARAMS = {
+    "table_a": "a_tab",
+    "column_a": "geom",
+    "table_b": "b_tab",
+    "column_b": "geom",
+}
+
+
+def as_pair_set(rows):
+    return {((a[0], a[1]), (b[0], b[1])) for a, b in rows}
+
+
+class TestGridStrategyParam:
+    def test_serial_grid_equals_default(self, client):
+        ref = client.start("spatial_join", PARAMS).all()
+        grid = client.start(
+            "spatial_join", {**PARAMS, "strategy": "GRID"}
+        ).all()
+        assert as_pair_set(grid) == as_pair_set(ref)
+        assert len(grid) == len(ref)  # no duplicates either way
+
+    def test_parallel_grid_equals_default(self, client):
+        ref = client.start("spatial_join", PARAMS).all()
+        grid = client.start(
+            "spatial_join", {**PARAMS, "strategy": "grid", "parallel": 4}
+        ).all()
+        assert as_pair_set(grid) == as_pair_set(ref)
+        assert len(grid) == len(ref)
+
+    def test_strategy_echoed_in_start_extra(self, client):
+        session = client.start(
+            "spatial_join", {**PARAMS, "strategy": "GRID", "parallel": 2}
+        )
+        assert session.extra.get("strategy") == "GRID"
+        session.all()
+
+    def test_bad_strategy_rejected(self, client):
+        with pytest.raises(RemoteError):
+            client.start(
+                "spatial_join", {**PARAMS, "strategy": "VORONOI"}
+            ).all()
