@@ -1,0 +1,253 @@
+"""Cluster benchmark: shard-count scaling + cross-shard join smoke.
+
+Standalone (CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+
+Three parts:
+
+1. **Smoke** — the cross-shard ``spatial_join`` (global grid, owned
+   tiles, halo replicas) must return *exactly* the id pairs of the
+   single-node in-process join, at every shard count.  The run aborts on
+   any divergence.
+2. **Sweep** — 16 concurrent clients page window-query sessions through
+   the router at 1 / 2 / 4 shards.  Because this box gives the whole
+   cluster one core, wall-clock cannot show scaling; the scaling figure
+   is **simulated throughput**, consistent with the repo's cost-model
+   methodology everywhere else: per-shard busy time = the engine
+   :class:`~repro.engine.cost.WorkMeter` seconds the shard accumulated,
+   cluster makespan = max over shards (shards run concurrently in a
+   real deployment), throughput = sessions / makespan.  Wall numbers
+   ride along for reference.
+3. **Gate** — 4-shard simulated aggregate throughput must be >= 2.5x the
+   1-shard figure, else the benchmark fails.
+
+Writes ``BENCH_cluster.json`` next to the other benchmark sidecars.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro import Database, Geometry
+from repro.bench.reporting import ExperimentTable, emit_bench_json
+from repro.cluster.local import LocalCluster
+from repro.engine.cost import WorkMeter
+from repro.geometry.mbr import MBR
+from repro.geometry.wkt import to_wkt
+from repro.server.client import QueryClient
+
+SHARD_COUNTS = (1, 2, 4)
+CLIENTS = 16
+TOTAL_SESSIONS = 96
+TABLE_ROWS = 600
+HALO = 2.0
+PAGE = 64
+BOX = MBR(0.0, 0.0, 100.0, 100.0)
+SPEEDUP_GATE = 2.5
+
+
+def make_rows(n: int = TABLE_ROWS):
+    """Deterministic ``[id, wkt]`` rectangles over the benchmark domain."""
+    rng = random.Random(4242)
+    rows = []
+    for i in range(n):
+        x = rng.uniform(0, 94)
+        y = rng.uniform(0, 94)
+        rect = Geometry.rectangle(
+            x, y, x + rng.uniform(0.5, 3.0), y + rng.uniform(0.5, 3.0)
+        )
+        rows.append([i, to_wkt(rect)])
+    return rows
+
+
+def reference_pairs(rows):
+    """Single-node id pairs of the self-join (the ground truth)."""
+    db = Database()
+    db.sql("create table shapes (id number, geom sdo_geometry)")
+    db.sql(
+        "create index shapes_sidx on shapes(geom) "
+        "indextype is spatial_index parameters ('kind=RTREE')"
+    )
+    for row_id, wkt in rows:
+        db.sql(f"insert into shapes values ({row_id}, sdo_geometry('{wkt}'))")
+    table = db.table("shapes")
+    result = db.spatial_join("shapes", "geom", "shapes", "geom")
+    return sorted(
+        (table.value(ra, "id"), table.value(rb, "id"))
+        for ra, rb in result.pairs
+    )
+
+
+def cluster_pairs(cluster):
+    with cluster.client() as client:
+        session = client.start(
+            "spatial_join",
+            {
+                "table_a": "shapes",
+                "column_a": "geom",
+                "table_b": "shapes",
+                "column_b": "geom",
+            },
+        )
+        return sorted((a, b) for a, b in session.rows(page=PAGE))
+
+
+def _client_worker(port, n_sessions, seed, latencies, errors):
+    rng = random.Random(seed)
+    try:
+        with QueryClient(port=port, retries=5) as client:
+            for _ in range(n_sessions):
+                x = rng.uniform(0, 80)
+                y = rng.uniform(0, 80)
+                window = Geometry.rectangle(x, y, x + 16, y + 16)
+                started = time.perf_counter()
+                session = client.start(
+                    "window",
+                    {"table": "shapes", "column": "geom",
+                     "wkt": to_wkt(window)},
+                )
+                list(session.rows(page=PAGE))
+                latencies.append(time.perf_counter() - started)
+    except Exception as exc:  # noqa: BLE001 - reported by the driver
+        errors.append(exc)
+
+
+def simulated_busy_seconds(stats) -> dict:
+    """Per-shard simulated engine seconds from the router's stats rollup."""
+    busy = {}
+    for shard_key, section in stats.get("shards", {}).items():
+        if shard_key == "router":
+            continue  # the router burns no engine work
+        meter = WorkMeter()
+        for units in section.get("meters", {}).values():
+            for unit, count in units.items():
+                meter.counts[unit] = meter.counts.get(unit, 0.0) + count
+        busy[shard_key] = meter.seconds()
+    return busy
+
+
+def sweep_point(cluster, nshards: int, want_pairs) -> dict:
+    pairs = cluster_pairs(cluster)
+    if pairs != want_pairs:
+        raise AssertionError(
+            f"{nshards}-shard join diverged from single-node: "
+            f"{len(pairs)} vs {len(want_pairs)} pairs"
+        )
+
+    per_client = TOTAL_SESSIONS // CLIENTS
+    latencies: list = []
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(cluster.port, per_client, 9000 + i, latencies, errors),
+        )
+        for i in range(CLIENTS)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise AssertionError(f"client errors during sweep: {errors[:3]}")
+
+    with cluster.client() as client:
+        stats = client.stats()
+    busy = simulated_busy_seconds(stats)
+    makespan = max(busy.values()) if busy else 0.0
+    done = sorted(latencies)
+    pct = lambda p: done[min(len(done) - 1, int(p / 100.0 * len(done)))]  # noqa: E731
+    return {
+        "shards": nshards,
+        "clients": CLIENTS,
+        "sessions": len(done),
+        "join_pairs": len(pairs),
+        "sim_busy_per_shard": {k: round(v, 4) for k, v in sorted(busy.items())},
+        "sim_makespan_s": round(makespan, 4),
+        "sim_throughput_per_s": (
+            round(len(done) / makespan, 2) if makespan > 0 else 0.0
+        ),
+        "wall_throughput_per_s": round(len(done) / wall, 2),
+        "p50_ms": round(pct(50) * 1000.0, 2),
+        "p99_ms": round(pct(99) * 1000.0, 2),
+        "wall_seconds": round(wall, 2),
+    }
+
+
+def main() -> int:
+    rows = make_rows()
+    want_pairs = reference_pairs(rows)
+    print(f"reference: single-node self-join = {len(want_pairs)} id pairs")
+
+    started = time.perf_counter()
+    sweep = []
+    for nshards in SHARD_COUNTS:
+        with LocalCluster(
+            nshards, BOX, n_entries_hint=TABLE_ROWS, halo=HALO
+        ) as cluster:
+            cluster.create_spatial_table("shapes")
+            totals = cluster.load("shapes", rows)
+            point = sweep_point(cluster, nshards, want_pairs)
+            point["replica_rows"] = totals["replicas"]
+            sweep.append(point)
+            print(
+                f"{nshards} shard(s): join exact, "
+                f"sim {point['sim_throughput_per_s']}/s "
+                f"(wall {point['wall_throughput_per_s']}/s)"
+            )
+    elapsed = time.perf_counter() - started
+
+    base = sweep[0]["sim_throughput_per_s"]
+    four = next(p for p in sweep if p["shards"] == 4)
+    speedup = four["sim_throughput_per_s"] / base if base else 0.0
+    print(f"4-shard simulated speedup over 1 shard: {speedup:.2f}x")
+    if speedup < SPEEDUP_GATE:
+        raise AssertionError(
+            f"4-shard simulated throughput is {speedup:.2f}x the single-"
+            f"node figure; the gate is {SPEEDUP_GATE}x"
+        )
+
+    table = ExperimentTable(
+        experiment="cluster",
+        title="Sharded router scaling (16 clients, simulated throughput)",
+        columns=["shards", "sessions", "sim sess/s", "wall sess/s",
+                 "p50 ms", "p99 ms"],
+        paper_note=(
+            "no paper counterpart: scale-out of the paper's parallel "
+            "spatial join across shard processes (grid tiles -> shards, "
+            "two-layer duplicate avoidance -> zero cross-shard dups)"
+        ),
+    )
+    for row in sweep:
+        table.add_row(
+            row["shards"], row["sessions"], row["sim_throughput_per_s"],
+            row["wall_throughput_per_s"], row["p50_ms"], row["p99_ms"],
+        )
+    table.emit()
+
+    payload = {
+        "experiment": "cluster",
+        "profile": "smoke",
+        "driver_wall_seconds": round(elapsed, 3),
+        "sim_speedup_4shard": round(speedup, 3),
+        "speedup_gate": SPEEDUP_GATE,
+        "rows": sweep,
+    }
+    path = emit_bench_json("cluster", payload)
+    print(f"wrote {path}")
+    return 0
+
+
+def run_cluster():
+    """Registry entry point; the CLI special-cases this self-contained
+    driver, so this just delegates to :func:`main`."""
+    return main()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,11 +2,13 @@
 
 Runs the paper-table regenerators without pytest and prints each table.
 Valid experiment names: table1 table2 table3 figure1 figure2
-ablation_sweep kernels grid (default: all).  Honours
+ablation_sweep kernels grid cluster (default: all).  Honours
 ``REPRO_BENCH_PROFILE=small|paper``.
 
 Flags:
 
+* ``--list`` — print every experiment name with a one-line description
+  and exit (no workload is built).
 * ``--sizes=25,2500,250000`` — override the star-subset sweep used by the
   stars-based experiments (default: the active profile's sweep; the paper
   profile runs the full 25 → 250K Table 2 sweep).
@@ -44,7 +46,22 @@ EXPERIMENTS = (
     "ablation_sweep",
     "kernels",
     "grid",
+    "cluster",
 )
+
+#: one-liners for ``--list`` — what each experiment measures and which
+#: paper artifact (if any) it regenerates.
+DESCRIPTIONS = {
+    "table1": "primary-filter selectivity vs tessellation level (Table 1)",
+    "table2": "index build cost across star-catalog sizes (Table 2)",
+    "table3": "window-query timings on blockgroups (Table 3)",
+    "figure1": "query cost vs tessellation level sweep (Figure 1)",
+    "figure2": "window size vs response-time curve (Figure 2)",
+    "ablation_sweep": "interior-tile / batching / approximation ablation",
+    "kernels": "scalar vs vectorized geometry-kernel ablation",
+    "grid": "grid-partitioned parallel join vs serial ablation",
+    "cluster": "sharded router scaling + cross-shard join exactness",
+}
 
 # bench_<name>.py files whose runner wants (counties, stars) workloads.
 _COUNTIES_STARS = ("ablation_sweep", "kernels", "grid")
@@ -92,13 +109,25 @@ def _parse_flags(argv) -> Tuple[Optional[Tuple[int, ...]], bool]:
             regen = True
         elif arg.startswith("-"):
             raise SystemExit(
-                f"unknown flag {arg!r}; supported: --sizes=N,N,... --regen"
+                f"unknown flag {arg!r}; supported: "
+                "--list --sizes=N,N,... --regen"
             )
     return sizes, regen
 
 
+def list_experiments(out=None) -> int:
+    """Print every experiment name with its one-line description."""
+    out = out if out is not None else sys.stdout
+    width = max(len(n) for n in EXPERIMENTS)
+    for name in EXPERIMENTS:
+        out.write(f"{name.ljust(width)}  {DESCRIPTIONS[name]}\n")
+    return 0
+
+
 def main(argv) -> int:
     """Run the named experiments (argv style: [prog, name, ...])."""
+    if "--list" in argv[1:]:
+        return list_experiments()
     names = [a for a in argv[1:] if not a.startswith("-")] or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -115,6 +144,13 @@ def main(argv) -> int:
     for name in names:
         started = time.perf_counter()
         module = _load_bench_module(_MODULE_FILES.get(name, name))
+        if name == "cluster":
+            # Self-contained driver: boots shard processes, prints its own
+            # table and writes BENCH_cluster.json itself.
+            rc = module.main()
+            if rc:
+                return rc
+            continue
         if name in ("table1", "figure1"):
             counties = counties or CountiesWorkload.build(prof)
             runner = getattr(module, f"run_{name}")

@@ -1,0 +1,311 @@
+"""Local cluster harness: forked shard processes behind one router.
+
+Real process isolation (the failover test must be able to ``SIGKILL`` a
+leader and watch the follower take over) on one machine:
+
+* :class:`ShardProcess` — ``fork`` one single-node
+  :class:`~repro.server.app.SpatialQueryServer` over its own database
+  (in-memory, or file+WAL for the replicated leader) and report the
+  bound port back through a pipe.
+* :class:`LocalCluster` — the whole topology: N shard processes, the
+  in-process :class:`~repro.cluster.router.RouterServer`, and (when
+  ``replicated``) a :class:`~repro.cluster.replication.WalFollower`
+  tailing the leader.  DDL broadcast, batched loading through the
+  router's ``put``, kill-the-leader, and :meth:`failover` (promote the
+  follower to an in-process replacement leader).
+
+Process hygiene: shards are forked **before** any thread starts in this
+process (the router server and the follower both run threads), because
+forking a threaded process clones locks in unknown states.  ``start()``
+enforces that ordering.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import tempfile
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.partition import ClusterError, GridPartitioner
+from repro.cluster.replication import WalFollower
+from repro.cluster.router import RouterServer, RouterService, ShardHandle
+from repro.geometry.mbr import MBR
+from repro.server.client import QueryClient
+
+__all__ = ["ShardProcess", "LocalCluster", "DEFAULT_DDL"]
+
+DEFAULT_DDL = (
+    "create table {table} (id number, geom sdo_geometry)",
+    "create index {table}_sidx on {table}(geom) "
+    "indextype is spatial_index parameters ('kind=RTREE')",
+)
+
+
+def _shard_main(conn, shard_id: int, path: Optional[str], server_kwargs) -> None:
+    """Child-process entry: serve one shard until SIGTERM drains it."""
+    import asyncio
+
+    from repro.engine.database import Database
+    from repro.server.app import SpatialQueryServer
+
+    db = Database() if path is None else Database.open(path, durability="wal")
+
+    async def main() -> None:
+        server = SpatialQueryServer(db, shard_id=shard_id, **server_kwargs)
+        await server.start()
+        conn.send(server.port)
+        conn.close()
+        server.install_signal_handlers()
+        await server.wait_closed()
+        db.close()
+
+    asyncio.run(main())
+
+
+class ShardProcess:
+    """One forked shard server; knows how to die politely or violently."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        path: Optional[str] = None,
+        **server_kwargs: Any,
+    ):
+        self.shard_id = shard_id
+        self.path = path
+        self.server_kwargs = server_kwargs
+        self.port: Optional[int] = None
+        self._proc: Optional[multiprocessing.Process] = None
+
+    def start(self) -> "ShardProcess":
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self._proc = ctx.Process(
+            target=_shard_main,
+            args=(child_conn, self.shard_id, self.path, self.server_kwargs),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+        if not parent_conn.poll(15.0):
+            self.kill()
+            raise ClusterError(
+                f"shard {self.shard_id} did not report a port within 15s"
+            )
+        self.port = parent_conn.recv()
+        parent_conn.close()
+        return self
+
+    @property
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL — the chaos path; no drain, no flush, no goodbye."""
+        if self._proc is not None and self._proc.is_alive():
+            os.kill(self._proc.pid, signal.SIGKILL)
+            self._proc.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """SIGTERM — the polite path; the server drains live sessions."""
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=10.0)
+            if self._proc.is_alive():
+                self.kill()
+
+
+class LocalCluster:
+    """N forked shards + router + optional replicated leader, on one box.
+
+    ``box`` is the data domain the global grid tiles (the benchmarks and
+    tests know their domain up front — exactly like the paper's
+    tessellation levels are configured per dataset); ``halo`` bounds the
+    largest within-distance join the cluster will accept.
+    """
+
+    def __init__(
+        self,
+        nshards: int,
+        box: MBR,
+        n_entries_hint: int = 10_000,
+        halo: float = 0.0,
+        replicated: bool = False,
+        allow_partial: bool = False,
+        workdir: Optional[str] = None,
+        leader: int = 0,
+        shard_kwargs: Optional[Dict[str, Any]] = None,
+        router_host: str = "127.0.0.1",
+        router_port: int = 0,
+        **router_kwargs: Any,
+    ):
+        self.router_host = router_host
+        self.router_port = router_port
+        self.nshards = nshards
+        self.partitioner = GridPartitioner.build(box, nshards, n_entries_hint, halo)
+        self.replicated = replicated
+        self.allow_partial = allow_partial
+        self.leader = leader
+        self.shard_kwargs = shard_kwargs or {}
+        self.router_kwargs = router_kwargs
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if workdir is None and replicated:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            workdir = self._tmpdir.name
+        self.workdir = workdir
+        self.procs: List[ShardProcess] = []
+        self.handles: List[ShardHandle] = []
+        self.follower: Optional[WalFollower] = None
+        self.router: Optional[RouterService] = None
+        self.server = None  # BackgroundServer running the RouterServer
+        self.port: Optional[int] = None
+        self._promoted = []  # in-process replacement leaders (failover)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "LocalCluster":
+        from repro.server.app import BackgroundServer
+
+        # Fork every shard before any thread exists in this process.
+        for shard in range(self.nshards):
+            path = None
+            if self.replicated and shard == self.leader:
+                path = os.path.join(self.workdir, f"shard{shard}.db")
+            self.procs.append(
+                ShardProcess(shard, path=path, **self.shard_kwargs).start()
+            )
+        self.handles = [
+            ShardHandle(
+                proc.shard_id,
+                QueryClient(port=proc.port, retries=5, timeout=30.0),
+            )
+            for proc in self.procs
+        ]
+        if self.replicated:
+            self.follower = WalFollower(
+                QueryClient(port=self.procs[self.leader].port, retries=5),
+                os.path.join(self.workdir, "replica.db"),
+            ).start()
+        self.router = RouterService(
+            self.handles,
+            self.partitioner,
+            leader=self.leader,
+            follower=self.follower,
+            replicated=self.replicated,
+            allow_partial=self.allow_partial,
+            **self.router_kwargs,
+        )
+        self.server = BackgroundServer(
+            None,
+            server_factory=RouterServer,
+            router=self.router,
+            host=self.router_host,
+            port=self.router_port,
+        ).start()
+        self.port = self.server.port
+        return self
+
+    # ------------------------------------------------------------------
+    def client(self, **kwargs: Any) -> QueryClient:
+        """A fresh connection to the router."""
+        return QueryClient(port=self.port, retries=5, **kwargs)
+
+    def ddl(self, statements: Sequence[str]) -> None:
+        """Broadcast DDL to every shard (runs each statement everywhere)."""
+        with self.client() as client:
+            for statement in statements:
+                client.start("sql", {"statement": statement}).all()
+
+    def create_spatial_table(self, table: str) -> None:
+        self.ddl([s.format(table=table) for s in DEFAULT_DDL])
+
+    def load(self, table: str, rows: Iterable[Any], batch: int = 256) -> Dict[str, Any]:
+        """Route ``[id, wkt]`` rows through the router's ``put`` op."""
+        totals = {"placed": 0, "replicas": 0, "lsn": None}
+        pending: List[Any] = []
+        with self.client() as client:
+            def flush() -> None:
+                if not pending:
+                    return
+                response = client.request("put", table=table, rows=pending)
+                totals["placed"] += response["placed"]
+                totals["replicas"] += response["replicas"]
+                totals["lsn"] = response.get("lsn")
+                pending.clear()
+
+            for row in rows:
+                pending.append(row)
+                if len(pending) >= batch:
+                    flush()
+            flush()
+        return totals
+
+    # ------------------------------------------------------------------
+    # Chaos / failover
+    # ------------------------------------------------------------------
+    def kill_leader(self) -> None:
+        self.procs[self.leader].kill()
+
+    def failover(self) -> None:
+        """Promote the follower to a serving leader and rewire the router.
+
+        The replica file already holds every acked commit; promotion
+        seals it, opens it as an ordinary WAL-backed database, serves it
+        from an in-process server, and atomically swaps the leader's
+        shard handle to the new port.  Queries in flight against the
+        dead leader fail typed (``SHARD_FAILED``); queries started after
+        this returns hit the promoted replica.
+        """
+        if self.follower is None:
+            raise ClusterError("failover() needs a replicated cluster")
+        from repro.engine.database import Database
+        from repro.server.app import BackgroundServer
+
+        path = self.follower.promote()
+        db = Database.open(path, durability="wal")
+        promoted = BackgroundServer(db, shard_id=self.leader).start()
+        self._promoted.append((promoted, db))
+        self.handles[self.leader].replace(
+            QueryClient(port=promoted.port, retries=5, timeout=30.0)
+        )
+        # The WAL that was being tailed died with the old leader; the
+        # promoted node serves unreplicated until a new follower attaches.
+        self.router.follower = None
+        self.router.replicated = False
+        self.follower = None
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        if self.follower is not None:
+            self.follower.close()
+            self.follower = None
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+        for handle in self.handles:
+            try:
+                handle.client.close()
+            except OSError:
+                pass
+        self.handles = []
+        for promoted, db in self._promoted:
+            promoted.stop()
+            try:
+                db.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+        self._promoted = []
+        for proc in self.procs:
+            proc.stop()
+        self.procs = []
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

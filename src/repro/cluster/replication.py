@@ -1,0 +1,283 @@
+"""Replicated WAL: a follower that tails the leader shard's log.
+
+The leader's :class:`~repro.storage.wal.WalPager` already journals every
+page image; the server exposes that journal over the wire (``wal.tail``
+/ ``wal.snapshot`` / ``wal.ack`` in :mod:`repro.server.app`).  The
+follower here turns those ops into a warm standby:
+
+1. **Bootstrap** — page the leader's checkpointed main file over
+   (``wal.snapshot``) into a local replica file, remembering the
+   ``base_lsn`` the snapshot corresponds to.
+2. **Tail** — repeatedly ``wal.tail(after_lsn=applied)``; every batch the
+   leader ships ends at a commit boundary, so applying it through the
+   replica's *own* :class:`WalPager` and checkpointing on the commit
+   record keeps the replica file a crash-consistent image of the
+   leader's last acknowledged commit.
+3. **Ack** — after each applied commit the follower reports its LSN
+   (``wal.ack``); the router's semi-synchronous ``put`` waits on
+   :meth:`WalFollower.wait_for` before acknowledging its client, which
+   is what makes leader failover lose zero acknowledged writes.
+4. **Promote** — on leader death, :meth:`promote` seals the replica and
+   hands back a path :meth:`~repro.engine.database.Database.open` can
+   serve from (the replicated meta chain makes it a complete database).
+
+Replay is idempotent: records at or below ``applied_lsn`` are skipped,
+so re-shipping a segment (leader retransmit, follower restart between
+apply and ack) is a no-op.  ``applied_lsn`` survives follower restarts
+in a ``.replstate`` sidecar written atomically beside the replica.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import ServerError
+from repro.server.protocol import ERR_REPLICATION
+from repro.storage.pager import FilePager
+from repro.storage.wal import REC_ALLOC, REC_COMMIT, REC_PAGE, WalPager
+
+__all__ = ["ReplicationError", "WalFollower"]
+
+
+class ReplicationError(ServerError):
+    """Replication lag, divergence, or a failed follower operation."""
+
+    wire_code = ERR_REPLICATION
+
+
+class WalFollower:
+    """A warm standby for one WAL-backed leader shard.
+
+    ``client`` is a dedicated :class:`~repro.server.client.QueryClient`
+    to the leader (replication traffic must not share a connection with
+    query traffic — a slow snapshot page would head-of-line block
+    fetches).  All state transitions run under one lock; the optional
+    background thread just calls :meth:`poll` on an interval.
+    """
+
+    def __init__(self, client, replica_path: str, poll_interval: float = 0.02):
+        self.client = client
+        self.replica_path = str(replica_path)
+        self.poll_interval = poll_interval
+        self.applied_lsn = 0
+        self.commits_applied = 0
+        self.records_applied = 0
+        self.error: Optional[BaseException] = None
+        self._state_path = self.replica_path + ".replstate"
+        self._pager: Optional[WalPager] = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._open()
+
+    # ------------------------------------------------------------------
+    # Bootstrap / attach
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        if os.path.exists(self._state_path) and os.path.exists(self.replica_path):
+            with open(self._state_path, "r", encoding="utf-8") as fh:
+                self.applied_lsn = int(json.load(fh)["applied_lsn"])
+        else:
+            self.applied_lsn = self._bootstrap()
+            self._save_state()
+        inner = FilePager(self.replica_path, strict=False)
+        self._pager = WalPager(inner, self.replica_path + ".wal")
+
+    def _bootstrap(self) -> int:
+        """Copy the leader's checkpointed pages; returns their base LSN."""
+        inner = FilePager(self.replica_path)
+        try:
+            start = 0
+            base_lsn = 0
+            while True:
+                response = self.client.request(
+                    "wal.snapshot", start_page=start, max_pages=64
+                )
+                base_lsn = int(response["base_lsn"])
+                for page_id, encoded in response["pages"]:
+                    data = base64.b64decode(encoded)
+                    while inner.num_pages <= page_id:
+                        inner.allocate()
+                    inner.write(page_id, data)
+                start += len(response["pages"])
+                if response["eof"]:
+                    break
+            inner.flush()
+        finally:
+            inner.close()
+        return base_lsn
+
+    def _save_state(self) -> None:
+        tmp = self._state_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"applied_lsn": self.applied_lsn}, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._state_path)
+
+    # ------------------------------------------------------------------
+    # Tailing
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """One tail round trip: fetch, apply, checkpoint, ack.
+
+        Returns the number of records applied.  Raises
+        :class:`ReplicationError` if the leader's log no longer reaches
+        back to our position (checkpoint truncation while we were down) —
+        the caller must re-bootstrap from a fresh snapshot.
+        """
+        with self._lock:
+            response = self.client.request(
+                "wal.tail", after_lsn=self.applied_lsn, max_records=128
+            )
+            if response.get("reset"):
+                raise ReplicationError(
+                    f"leader WAL no longer contains LSN {self.applied_lsn + 1}"
+                    " (truncated by a checkpoint); re-bootstrap the follower"
+                )
+            applied = self._apply(response["records"])
+            if applied:
+                self.client.request("wal.ack", lsn=self.applied_lsn)
+            return applied
+
+    def _apply(self, records) -> int:
+        """Apply one shipped batch (always ends at a commit boundary)."""
+        pager = self._pager
+        assert pager is not None
+        applied = 0
+        for lsn, rtype, page_id, encoded in records:
+            if lsn <= self.applied_lsn:
+                continue  # idempotency: replaying a shipped segment is a no-op
+            if rtype == REC_ALLOC:
+                while pager.num_pages <= page_id:
+                    pager.allocate()
+            elif rtype == REC_PAGE:
+                while pager.num_pages <= page_id:
+                    pager.allocate()
+                pager.write(page_id, base64.b64decode(encoded))
+            elif rtype == REC_COMMIT:
+                # The replica commits+checkpoints at exactly the leader's
+                # commit boundaries, so its main file is always a
+                # crash-consistent image of some leader commit.
+                pager.commit()
+                pager.checkpoint()
+                self.applied_lsn = lsn
+                self.commits_applied += 1
+                self._save_state()
+            else:
+                raise ReplicationError(f"unknown WAL record type {rtype}")
+            applied += 1
+            self.records_applied += 1
+        return applied
+
+    def wait_for(self, lsn: int, timeout: float = 5.0) -> None:
+        """Block until ``applied_lsn`` reaches ``lsn`` (semi-sync commit).
+
+        With the background thread running this just waits; without it,
+        it drives :meth:`poll` itself so single-threaded tests need no
+        thread.  Raises :class:`ReplicationError` on timeout — carrying
+        the ``REPLICATION_LAG`` wire code, so a router surfaces the lag
+        as a typed error instead of a silent durability downgrade.
+        """
+        deadline = time.monotonic() + timeout
+        while self.applied_lsn < lsn:
+            if self.error is not None:
+                raise ReplicationError(
+                    f"follower thread failed: {self.error!r}"
+                ) from self.error
+            if self._thread is None or not self._thread.is_alive():
+                self.poll()
+                continue
+            if time.monotonic() > deadline:
+                raise ReplicationError(
+                    f"follower at LSN {self.applied_lsn} did not reach "
+                    f"{lsn} within {timeout:.1f}s"
+                )
+            time.sleep(self.poll_interval / 4.0)
+
+    # ------------------------------------------------------------------
+    # Background tailing
+    # ------------------------------------------------------------------
+    def start(self) -> "WalFollower":
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-wal-follower", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.poll()
+            except BaseException as exc:  # noqa: BLE001 - reported via error
+                # The leader being down is the *expected* end state of a
+                # follower (that is what promotion is for): remember the
+                # error and stop tailing instead of spinning.
+                self.error = exc
+                return
+            self._stop.wait(self.poll_interval)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # Promotion
+    # ------------------------------------------------------------------
+    def promote(self) -> str:
+        """Seal the replica and return its path, ready to serve.
+
+        Stops tailing, makes a best-effort final drain (the leader is
+        usually already dead — that is why we are promoting), seals the
+        replica's own WAL at the last applied commit, and returns the
+        replica path for ``Database.open(path, durability='wal')``.
+        Every write the leader committed *and the follower acked* is in
+        the promoted state; unacked tail records the leader never shipped
+        are the (bounded) semi-sync exposure the router's commit wait
+        exists to close.
+        """
+        self.stop()
+        try:
+            self.poll()
+        except Exception:  # noqa: BLE001 - leader death is expected here
+            pass
+        with self._lock:
+            pager = self._pager
+            if pager is not None:
+                pager.commit()
+                pager.checkpoint()
+                pager.close()
+                self._pager = None
+        try:
+            self.client.close()
+        except OSError:
+            pass
+        return self.replica_path
+
+    def close(self) -> None:
+        self.stop()
+        with self._lock:
+            if self._pager is not None:
+                self._pager.close()
+                self._pager = None
+        try:
+            self.client.close()
+        except OSError:
+            pass
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "applied_lsn": self.applied_lsn,
+            "commits_applied": self.commits_applied,
+            "records_applied": self.records_applied,
+            "tailing": self._thread is not None and self._thread.is_alive(),
+            "error": repr(self.error) if self.error is not None else None,
+        }

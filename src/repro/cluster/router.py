@@ -1,0 +1,581 @@
+"""The shard router: one server face over N shard processes.
+
+:class:`RouterService` is a drop-in replacement for
+:class:`~repro.server.service.QueryService` — same ``open(kind, params,
+ctx)`` contract, so the ordinary :class:`~repro.server.app
+.SpatialQueryServer` machinery (sessions, paging, deadlines, admission
+control, metrics) serves cluster queries unchanged.  Instead of running
+the engine, ``open`` **scatters**: it starts one sub-session per shard
+(each shard is an ordinary single-node server reached through a
+:class:`~repro.server.client.QueryClient`) and returns a stream that
+**gathers** the shard rows:
+
+* ``window`` — every shard filters locally with ``primary_only`` (a row
+  streams only from the shard owning its primary tile), so concatenating
+  the shard streams is exact with no router-side dedup.
+* ``spatial_join`` — every shard runs its owned-tiles slice of the
+  global grid join; the canonical-tile rule makes the concatenation an
+  exact partition of the single-node result (zero duplicates, exact
+  multiplicity).
+* ``knn`` — shards return their local top-k *with exact distances*; the
+  router k-way merges the sorted streams and dedups halo replicas by id.
+* ``sql`` — broadcast (DDL/admin); rowcounts sum, rows come from the
+  leader shard only.
+
+**Partial failure** is typed: a dead shard raises ``SHARD_FAILED`` to
+the client mid-stream, unless the session opted in with
+``partial: true`` — then the stream skips the shard and reports it in
+the close summary's ``failed_shards``.  Per-shard deadlines ride the
+normal ``deadline_ms`` session mechanism on each sub-session.
+
+Writes go through the router-only ``put`` op: each row is placed on its
+primary shard and halo-replicated (see
+:mod:`repro.cluster.partition`), and — when the leader is replicated —
+the router waits for the follower to ack the commit LSN before
+acknowledging the client (semi-synchronous replication, the contract
+the kill-the-leader failover test holds it to).
+
+``RouterService.lock`` is ``None`` deliberately: the single-node service
+serialises engine work behind one lock, but the router's whole point is
+that shards work concurrently — each shard connection has its own lock
+instead, and router sessions interleave freely on the fetch pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError, RetriableError, ServerError
+from repro.geometry.wkt import from_wkt
+from repro.obs import trace
+from repro.server import protocol
+from repro.server.app import SpatialQueryServer
+from repro.server.client import QueryClient, RemoteError
+from repro.server.metrics import aggregate_snapshots
+from repro.server.service import BadRequest
+from repro.cluster.partition import ClusterError, GridPartitioner
+
+__all__ = ["ShardFailed", "ShardHandle", "RouterService", "RouterServer"]
+
+#: sub-session page size the gather streams fetch with
+GATHER_PAGE = 1024
+
+
+class ShardFailed(ServerError):
+    """A shard died (or answered with an error) mid-scatter."""
+
+    wire_code = protocol.ERR_SHARD_FAILED
+
+    def __init__(self, shard: int, cause: str):
+        super().__init__(f"shard {shard} failed: {cause}")
+        self.shard = shard
+        self.cause = cause
+
+
+class ShardHandle:
+    """One shard connection plus the lock that serialises requests on it.
+
+    Router sessions run on a thread pool; the JSON-lines client is one
+    socket with strictly ordered request/response, so every wire call
+    goes through :meth:`request`'s lock.  :meth:`replace` swaps in a new
+    client after failover without disturbing concurrent callers.
+    """
+
+    def __init__(self, shard: int, client: QueryClient):
+        self.shard = shard
+        self.client = client
+        self.lock = threading.Lock()
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        with self.lock:
+            return self.client.request(op, **fields)
+
+    def start(
+        self,
+        kind: str,
+        params: Dict[str, Any],
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {"kind": kind, "params": params}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        return self.request("start", **fields)
+
+    def fetch(self, session_id: str, n: int) -> Tuple[List[Any], bool]:
+        response = self.request("fetch", session=session_id, n=n)
+        return response["rows"], bool(response["eof"])
+
+    def close_session(self, session_id: str) -> None:
+        try:
+            self.request("close", session=session_id)
+        except (ReproError, OSError):
+            pass  # a dead shard has no sessions left to leak
+
+    def replace(self, client: QueryClient) -> None:
+        with self.lock:
+            try:
+                self.client.close()
+            except OSError:
+                pass
+            self.client = client
+
+
+class _SubSession:
+    """Router-side record of one started shard sub-session."""
+
+    __slots__ = ("handle", "session_id", "extra")
+
+    def __init__(self, handle: ShardHandle, session_id: str, extra: Dict[str, Any]):
+        self.handle = handle
+        self.session_id = session_id
+        self.extra = extra
+
+
+class _GatherStream:
+    """Iterator over scattered sub-sessions with failure bookkeeping.
+
+    Exposes the ``info`` dict :meth:`ServerSession.close_info` ships in
+    the close summary (per-shard row counts, shards skipped under
+    partial-results mode).  ``rows_fn`` decides the gather order —
+    concatenation for window/join/sql, k-way merge for knn.
+    """
+
+    def __init__(self, service: "RouterService", subs, rows_fn):
+        self._service = service
+        self._subs: List[_SubSession] = subs
+        self.info: Dict[str, Any] = {
+            "shards": len(service.handles),
+            "rows_per_shard": {},
+            "failed_shards": [],
+        }
+        self._gen = rows_fn(self)
+        self._closed = False
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return next(self._gen)
+
+    # -- helpers the gather generators use -----------------------------
+    def drain(self, sub: _SubSession, page: int = GATHER_PAGE):
+        """Yield one sub-session's rows, paging until eof."""
+        count = 0
+        eof = False
+        try:
+            while not eof:
+                rows, eof = sub.handle.fetch(sub.session_id, page)
+                count += len(rows)
+                for row in rows:
+                    yield row
+        finally:
+            self.info["rows_per_shard"][str(sub.handle.shard)] = count
+            if eof:
+                sub.handle.close_session(sub.session_id)
+
+    def shard_failed(self, sub: _SubSession, exc: BaseException) -> None:
+        """Record a failure; re-raise typed unless partial mode allows it."""
+        self._service.note_failure(sub.handle)
+        self.info["failed_shards"].append(
+            {"shard": sub.handle.shard, "error": str(exc)}
+        )
+        if not self._service.allow_partial:
+            raise ShardFailed(sub.handle.shard, str(exc)) from exc
+
+    def close(self) -> None:
+        """Close surviving sub-sessions; stitch shard spans if tracing."""
+        if self._closed:
+            return
+        self._closed = True
+        self._gen.close()
+        for sub in self._subs:
+            sub.handle.close_session(sub.session_id)
+        self._service.stitch_traces()
+
+
+class RouterService:
+    """Scatter-gather session factory over the shard fleet."""
+
+    #: no global engine lock — concurrency across shards is the point
+    lock = None
+
+    def __init__(
+        self,
+        handles: List[ShardHandle],
+        partitioner: GridPartitioner,
+        leader: int = 0,
+        follower=None,
+        replicated: bool = False,
+        allow_partial: bool = False,
+        shard_deadline_ms: Optional[int] = None,
+        commit_timeout: float = 5.0,
+        id_column: str = "id",
+    ):
+        if not handles:
+            raise ClusterError("a router needs at least one shard")
+        if partitioner.nshards != len(handles):
+            raise ClusterError(
+                f"partitioner built for {partitioner.nshards} shard(s) but "
+                f"{len(handles)} handle(s) given"
+            )
+        self.handles = handles
+        self.partitioner = partitioner
+        self.leader = leader
+        self.follower = follower
+        self.replicated = replicated
+        self.allow_partial = allow_partial
+        self.shard_deadline_ms = shard_deadline_ms
+        self.commit_timeout = commit_timeout
+        self.id_column = id_column
+        self.failures: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # QueryService contract
+    # ------------------------------------------------------------------
+    def open(self, kind: str, params: Dict[str, Any], ctx) -> Tuple[Any, Dict[str, Any]]:
+        opener = getattr(self, f"_open_{kind}", None)
+        if opener is None:
+            raise BadRequest(f"unknown query kind {kind!r}")
+        with trace.span("router.scatter", ctx, kind=kind, shards=len(self.handles)):
+            return opener(dict(params), ctx)
+
+    def _scatter(
+        self,
+        kind: str,
+        shard_params,
+        deadline_ms: Optional[int],
+        handles: Optional[List[ShardHandle]] = None,
+    ) -> Tuple[List[_SubSession], List[Tuple[ShardHandle, BaseException]]]:
+        """Start one sub-session per shard; collect per-shard failures.
+
+        ``handles`` restricts the fan-out (window pruning); the default
+        is every shard.
+        """
+        deadline_ms = deadline_ms if deadline_ms is not None else self.shard_deadline_ms
+        subs: List[_SubSession] = []
+        failed: List[Tuple[ShardHandle, BaseException]] = []
+        for handle in self.handles if handles is None else handles:
+            try:
+                response = handle.start(kind, shard_params(handle.shard), deadline_ms)
+            except (RemoteError, RetriableError, OSError) as exc:
+                failed.append((handle, exc))
+                continue
+            extra = {
+                k: v
+                for k, v in response.items()
+                if k not in ("id", "ok", "session")
+            }
+            subs.append(_SubSession(handle, response["session"], extra))
+        return subs, failed
+
+    def _gather(self, kind, shard_params, params, rows_fn, handles=None):
+        """Scatter, then wrap the surviving sub-sessions in a stream."""
+        deadline_ms = params.get("shard_deadline_ms")
+        subs, failed = self._scatter(kind, shard_params, deadline_ms, handles)
+        allow_partial = bool(params.get("partial", self.allow_partial))
+        stream = _GatherStream(self, subs, rows_fn)
+        for handle, exc in failed:
+            self.note_failure(handle)
+            stream.info["failed_shards"].append(
+                {"shard": handle.shard, "error": str(exc)}
+            )
+            if not allow_partial:
+                stream.close()
+                raise ShardFailed(handle.shard, str(exc)) from exc
+        return stream
+
+    # -- kinds ----------------------------------------------------------
+    def _open_window(self, params, ctx):
+        part = self.partitioner
+        # Scatter pruning: the shard-side window_owner rule guarantees a
+        # row's emitter owns a tile overlapping the search region, so
+        # shards whose tiles miss the (distance-expanded) window would
+        # stream nothing — skip them entirely.
+        handles = self.handles
+        wkt = params.get("wkt")
+        if wkt is not None:
+            try:
+                window = from_wkt(str(wkt)).mbr
+            except Exception:
+                window = None  # shard-side validation raises the typed error
+            if window is not None:
+                expand = 0.0
+                operator = str(params.get("operator", "SDO_RELATE")).upper()
+                if operator == "SDO_WITHIN_DISTANCE":
+                    expand = float(params.get("distance", 0.0))
+                targets = part.shards_for_mbr(window, expand=expand)
+                handles = [h for h in self.handles if h.shard in targets]
+
+        def shard_params(shard: int) -> Dict[str, Any]:
+            p = dict(params)
+            p.pop("partial", None)
+            p.pop("shard_deadline_ms", None)
+            p.update(
+                cluster=part.for_shard(shard).to_wire(),
+                primary_only=True,
+                emit_ids=True,
+                id_column=params.get("id_column", self.id_column),
+            )
+            return p
+
+        def rows(stream: _GatherStream):
+            for sub in stream._subs:
+                try:
+                    yield from stream.drain(sub)
+                except (RemoteError, RetriableError, OSError) as exc:
+                    stream.shard_failed(sub, exc)
+
+        return self._gather("window", shard_params, params, rows, handles), {}
+
+    def _open_spatial_join(self, params, ctx):
+        part = self.partitioner
+        distance = float(params.get("distance", 0.0))
+        if distance > part.halo:
+            raise BadRequest(
+                f"within-distance {distance} exceeds the cluster halo "
+                f"{part.halo}; reload with a wider halo"
+            )
+
+        def shard_params(shard: int) -> Dict[str, Any]:
+            p = dict(params)
+            p.pop("partial", None)
+            p.pop("shard_deadline_ms", None)
+            p.update(
+                cluster=part.for_shard(shard).to_wire(),
+                id_column=params.get("id_column", self.id_column),
+            )
+            return p
+
+        def rows(stream: _GatherStream):
+            for sub in stream._subs:
+                try:
+                    yield from stream.drain(sub)
+                except (RemoteError, RetriableError, OSError) as exc:
+                    stream.shard_failed(sub, exc)
+
+        extra = {"strategy": "GRID", "shards": len(self.handles)}
+        return self._gather("spatial_join", shard_params, params, rows), extra
+
+    def _open_knn(self, params, ctx):
+        k = int(params.get("k", 1))
+
+        def shard_params(shard: int) -> Dict[str, Any]:
+            p = dict(params)
+            p.pop("partial", None)
+            p.pop("shard_deadline_ms", None)
+            p.update(
+                with_distance=True,
+                id_column=params.get("id_column", self.id_column),
+            )
+            return p
+
+        def rows(stream: _GatherStream):
+            # Streaming k-way merge: each shard stream arrives sorted by
+            # (distance, id); halo replicas of one row carry identical
+            # keys on every shard, so an id-set dedup suffices.
+            iterators = []
+            for sub in stream._subs:
+                try:
+                    iterators.append(list(stream.drain(sub)))
+                except (RemoteError, RetriableError, OSError) as exc:
+                    stream.shard_failed(sub, exc)
+            merged = heapq.merge(*iterators, key=lambda r: (r[1], r[0]))
+            seen = set()
+            emitted = 0
+            for row in merged:
+                if emitted >= k:
+                    break
+                rid = row[0]
+                if rid in seen:
+                    continue
+                seen.add(rid)
+                emitted += 1
+                yield row
+
+        return self._gather("knn", shard_params, params, rows), {"k": k}
+
+    def _open_sql(self, params, ctx):
+        def shard_params(shard: int) -> Dict[str, Any]:
+            p = dict(params)
+            p.pop("partial", None)
+            p.pop("shard_deadline_ms", None)
+            return p
+
+        def rows(stream: _GatherStream):
+            rowcount = 0
+            for sub in stream._subs:
+                try:
+                    drained = list(stream.drain(sub))
+                except (RemoteError, RetriableError, OSError) as exc:
+                    stream.shard_failed(sub, exc)
+                    continue
+                rowcount += int(sub.extra.get("rowcount", 0))
+                if sub.handle.shard == self.leader:
+                    yield from drained
+            stream.info["rowcount"] = rowcount
+
+        stream = self._gather("sql", shard_params, params, rows)
+        extra: Dict[str, Any] = {"broadcast": len(stream._subs)}
+        if stream._subs:
+            extra["columns"] = stream._subs[0].extra.get("columns", [])
+            extra["message"] = stream._subs[0].extra.get("message")
+        return stream, extra
+
+    # ------------------------------------------------------------------
+    # Writes (router-only op)
+    # ------------------------------------------------------------------
+    def put(self, table: str, rows: Iterable[Any]) -> Dict[str, Any]:
+        """Place ``[id, wkt]`` rows: primary + halo replicas, semi-sync.
+
+        Batches one INSERT list per target shard, commits the leader's
+        batch durably, and — when replicated — blocks until the follower
+        has acked the commit LSN.  Acknowledged rows therefore survive a
+        leader kill -9 by construction.
+        """
+        part = self.partitioner
+        statements: Dict[int, List[str]] = {}
+        placed = 0
+        replicas = 0
+        for row in rows:
+            try:
+                row_id, wkt = row
+            except (TypeError, ValueError):
+                raise BadRequest("put rows must be [id, wkt] pairs") from None
+            try:
+                geom = from_wkt(wkt)
+            except ReproError as exc:
+                raise BadRequest(f"bad geometry for id {row_id!r}: {exc}") from None
+            targets = part.shards_for_mbr(geom.mbr)
+            statement = (
+                f"insert into {table} values "
+                f"({_sql_literal(row_id)}, sdo_geometry('{wkt}'))"
+            )
+            for shard in sorted(targets):
+                statements.setdefault(shard, []).append(statement)
+            placed += 1
+            replicas += len(targets) - 1
+        lsn: Optional[int] = None
+        for shard in sorted(statements):
+            handle = self.handles[shard]
+            commit = self.replicated and shard == self.leader
+            try:
+                response = handle.start(
+                    "sql", {"statements": statements[shard], "commit": commit}
+                )
+                if commit:
+                    lsn = response.get("lsn")
+                handle.close_session(response["session"])
+            except (RemoteError, RetriableError, OSError) as exc:
+                self.note_failure(handle)
+                raise ShardFailed(shard, str(exc)) from exc
+        if lsn is not None and self.follower is not None:
+            self.follower.wait_for(lsn, timeout=self.commit_timeout)
+        return {
+            "placed": placed,
+            "replicas": replicas,
+            "shards": sorted(statements),
+            "lsn": lsn,
+        }
+
+    # ------------------------------------------------------------------
+    # Topology / failover
+    # ------------------------------------------------------------------
+    def topology(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "shards": len(self.handles),
+            "leader": self.leader,
+            "replicated": self.replicated,
+            "partitioner": self.partitioner.to_wire(),
+            "failures": dict(self.failures),
+        }
+        if self.follower is not None:
+            out["follower"] = self.follower.status()
+        return out
+
+    def note_failure(self, handle: ShardHandle) -> None:
+        self.failures[handle.shard] = self.failures.get(handle.shard, 0) + 1
+
+    def shard_stats(self, raw: bool = True) -> List[Dict[str, Any]]:
+        """Per-shard stats snapshots (dead shards are skipped)."""
+        snaps = []
+        for handle in self.handles:
+            try:
+                snaps.append(handle.request("stats", raw=raw)["stats"])
+            except (ReproError, OSError):
+                self.note_failure(handle)
+        return snaps
+
+    def stitch_traces(self) -> None:
+        """Adopt shards' finished spans into the router's tracer."""
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return
+        for handle in self.handles:
+            try:
+                spans = handle.request("trace.drain")["spans"]
+            except (ReproError, OSError):
+                continue
+            if spans:
+                tracer.adopt(spans, shard=handle.shard)
+
+
+class RouterServer(SpatialQueryServer):
+    """A :class:`SpatialQueryServer` whose service is a router.
+
+    ``db`` is ``None`` — the router holds no engine, only shard clients —
+    and the extra-ops table gains the router verbs (``put``,
+    ``topology``).  Stats and metrics aggregate the shard fleet: latency
+    histograms merge bucket-exact through ``latency_raw``, counters sum,
+    and per-shard storage/meter sections stay visible under ``shards``.
+    """
+
+    def __init__(self, db=None, *args: Any, router: RouterService, **kwargs: Any):
+        super().__init__(db, *args, service=router, **kwargs)
+
+    @property
+    def router(self) -> RouterService:
+        return self.service
+
+    def _register_extra_ops(self) -> None:
+        super()._register_extra_ops()
+        self._extra_ops["put"] = self._op_put
+        self._extra_ops["topology"] = self._op_topology
+
+    async def _op_put(self, request_id, message) -> Dict[str, Any]:
+        table = message.get("table")
+        rows = message.get("rows")
+        if not table or not isinstance(rows, list):
+            raise BadRequest("put needs a table name and a rows list")
+        started = time.perf_counter()
+        result = await self._run_blocking(self.router.put, table, rows)
+        self.metrics.record_query(
+            "put", time.perf_counter() - started, len(rows)
+        )
+        return protocol.ok_response(request_id, **result)
+
+    async def _op_topology(self, request_id, message) -> Dict[str, Any]:
+        return protocol.ok_response(
+            request_id, **await self._run_blocking(self.router.topology)
+        )
+
+    def _stats_payload(self, raw: bool = False) -> Dict[str, Any]:
+        snaps = self.router.shard_stats(raw=True)
+        snaps.append(
+            dict(self.metrics.snapshot(len(self._sessions), raw=True),
+                 shard_id="router")
+        )
+        aggregate = aggregate_snapshots(snaps)
+        aggregate["topology"] = self.router.topology()
+        return aggregate
+
+
+def _sql_literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

@@ -82,6 +82,7 @@ __all__ = [
     "GridJoinContext",
     "GridTileTask",
     "make_tile_tasks",
+    "tile_range_of",
 ]
 
 # (rowid_a, rowid_b, mbr_a, mbr_b) — same tuple the R-tree join emits.
@@ -122,6 +123,32 @@ def build_grid_spec(box: MBR, nx: int, ny: int) -> GridSpec:
     tile_w = width / nx if width > 0.0 else 1.0
     tile_h = height / ny if height > 0.0 else 1.0
     return GridSpec(box.min_x, box.min_y, tile_w, tile_h, nx, ny)
+
+
+def tile_range_of(
+    spec: GridSpec, mbr: MBR, expand: float = 0.0
+) -> Tuple[int, int, int, int]:
+    """The inclusive tile-index range ``(ix0, ix1, iy0, iy1)`` of one MBR.
+
+    Runs the same :func:`~repro.geometry.kernels.tile_ranges_batch` kernel
+    as :func:`build_tiles` on a one-element batch, so single-MBR routing
+    decisions (which shard owns a row, which shards a window touches) bin
+    **bit-identically** to the join's own replica assignment — the cluster
+    layer's correctness leans on this equality.
+    """
+    ix0, ix1, iy0, iy1 = kernels.tile_ranges_batch(
+        (
+            array("d", [mbr.min_x]),
+            array("d", [mbr.min_y]),
+            array("d", [mbr.max_x]),
+            array("d", [mbr.max_y]),
+        ),
+        (spec.min_x, spec.min_y),
+        (spec.tile_w, spec.tile_h),
+        (spec.nx, spec.ny),
+        expand,
+    )
+    return int(ix0[0]), int(ix1[0]), int(iy0[0]), int(iy1[0])
 
 
 class TileEntries:
@@ -499,14 +526,22 @@ class GridTileTask:
 
 
 def make_tile_tasks(
-    shared: GridJoinContext, stats: Optional[GridStats] = None
+    shared: GridJoinContext,
+    stats: Optional[GridStats] = None,
+    owned=None,
 ) -> List[GridTileTask]:
     """One task per joinable tile (present on both sides), in tile order.
 
     Task-list order is the result order — deterministic for any executor,
-    since every executor returns results in submission order.
+    since every executor returns results in submission order.  ``owned``
+    (a set of tile ids) restricts the join to those tiles: a cluster
+    shard sweeps only the tiles it owns, and because the canonical-tile
+    rule makes each result pair's emitting tile unique, a partition of
+    the tile space across shards partitions the result set exactly.
     """
     joinable = sorted(shared.tiles_a.keys() & shared.tiles_b.keys())
+    if owned is not None:
+        joinable = [t for t in joinable if t in owned]
     tasks = [GridTileTask(shared, [tile_id]) for tile_id in joinable]
     if stats is not None:
         stats.tasks = len(tasks)

@@ -215,6 +215,8 @@ def grid_parallel_join(
     rng_seed: int = 0,
     use_batch: bool = True,
     grid_shape: Optional[Tuple[int, int]] = None,
+    spec=None,
+    owned=None,
 ) -> JoinResult:
     """Space-oriented parallel join: grid partition + per-tile sweeps.
 
@@ -226,6 +228,13 @@ def grid_parallel_join(
     makes the union of tile outputs exactly the SWEEP/NESTED result set
     with no dedup pass.  The serial assignment cost is reported as
     ``partition_seconds`` (it precedes the slaves, so it adds to makespan).
+
+    ``spec`` (a :class:`~repro.core.grid_partition.GridSpec`) overrides
+    the locally derived grid entirely, and ``owned`` (a set of tile ids)
+    restricts the join to those tiles — together they let a cluster shard
+    run its slice of a *global* grid join: every shard bins against the
+    same spec, sweeps only its owned tiles, and the canonical-tile rule
+    guarantees the shards' outputs partition the full result set.
     """
     stats = GridStats()
     pmeter = WorkMeter()
@@ -245,11 +254,12 @@ def grid_parallel_join(
                 ),
                 grid=stats,
             )
-        box = tree_a.root.mbr.union(tree_b.root.mbr)
-        nx, ny = grid_shape or pick_grid_shape(
-            len(entries_a), len(entries_b), executor.degree
-        )
-        spec = build_grid_spec(box, nx, ny)
+        if spec is None:
+            box = tree_a.root.mbr.union(tree_b.root.mbr)
+            nx, ny = grid_shape or pick_grid_shape(
+                len(entries_a), len(entries_b), executor.degree
+            )
+            spec = build_grid_spec(box, nx, ny)
         tiles_a = build_tiles(entries_a, spec, 0.0, pctx)
         if entries_b is entries_a and predicate.distance == 0.0:
             tiles_b = tiles_a  # self-join: one assignment pass suffices
@@ -269,7 +279,7 @@ def grid_parallel_join(
             rng_seed,
             use_batch,
         )
-        tasks = make_tile_tasks(shared, stats)
+        tasks = make_tile_tasks(shared, stats, owned=owned)
         stats.shape = (spec.nx, spec.ny)
         stats.entries_a = len(entries_a)
         stats.entries_b = len(entries_b)

@@ -411,6 +411,27 @@ class Database:
             if flush is not None:
                 flush()
 
+    def commit(self) -> Optional[int]:
+        """Durable commit *without* a checkpoint; returns the commit LSN.
+
+        Same snapshot + meta-chain + flush sequence as :meth:`checkpoint`,
+        but under WAL the log is only committed, never truncated — so a
+        replication follower tailing the WAL still sees every record up to
+        and including this commit.  Returns the committed LSN under WAL
+        (what a router waits for its follower to ack), else ``None``.
+        """
+        if self.path is None:
+            raise EngineError("commit() requires a file-backed database")
+        blob = encode_row(self._build_snapshot())
+        self._write_meta_chain(blob)
+        self.pool.flush()
+        if isinstance(self.pager, WalPager):
+            return self.pager.commit()
+        flush = getattr(self.pager, "flush", None)
+        if flush is not None:
+            flush()
+        return None
+
     def close(self, checkpoint: bool = True) -> None:
         """Close the database, checkpointing first if file-backed."""
         if self.path is not None and checkpoint:

@@ -8,13 +8,14 @@ filter) followed by exact geometry evaluation (secondary filter).
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import IndexTypeError, OperatorError
 from repro.engine.indextype import OPERATORS, DomainIndex
 from repro.engine.parallel import WorkerContext
 from repro.engine.table import Table
 from repro.geometry.geometry import Geometry
+from repro.geometry.mbr import MBR
 from repro.index.rtree.bulkload import str_pack
 from repro.index.rtree.rtree import DEFAULT_FANOUT, RTree
 from repro.storage.heap import RowId
@@ -86,7 +87,15 @@ class RTreeIndex(DomainIndex):
         args: Sequence[Any],
         ctx: Optional[WorkerContext] = None,
         exact: bool = True,
+        prefilter: Optional[Callable[[MBR, RowId], bool]] = None,
     ) -> Iterator[RowId]:
+        """Evaluate one spatial operator through the index.
+
+        ``prefilter(mbr, rowid)`` — when given — screens candidates right
+        after the primary (MBR) filter, *before* the exact geometry test.
+        Rows it rejects pay no geometry fetch and no exact-test cost;
+        shard ownership filters hook in here.
+        """
         op_name = operator.upper()
         if op_name == "SDO_NN":
             yield from self.fetch_nn(args, ctx, exact)
@@ -109,6 +118,13 @@ class RTreeIndex(DomainIndex):
             candidates = self.tree.search_within(query.mbr, distance, ctx)
         else:
             candidates = self.tree.search(query.mbr, ctx)
+
+        if prefilter is not None:
+            candidates = (
+                (mbr, rowid)
+                for mbr, rowid in candidates
+                if prefilter(mbr, rowid)
+            )
 
         if op_name == "SDO_FILTER" or not exact:
             for _mbr, rowid in candidates:

@@ -216,11 +216,16 @@ def _fmt_value(value: Any) -> str:
 
 
 class _Expo:
-    """Accumulates families in declaration order, one TYPE line each."""
+    """Accumulates families in declaration order, one TYPE line each.
 
-    def __init__(self) -> None:
+    ``extra_labels`` are merged into every sample — a shard server passes
+    ``{"shard": id}`` so one scrape config can pool all shards' series.
+    """
+
+    def __init__(self, extra_labels: Optional[Dict[str, Any]] = None) -> None:
         self.lines: List[str] = []
         self._declared: set = set()
+        self._extra = dict(extra_labels or {})
 
     def family(self, name: str, mtype: str, help_text: str) -> None:
         if name in self._declared:
@@ -230,7 +235,8 @@ class _Expo:
         self.lines.append(f"# TYPE {name} {mtype}")
 
     def sample(self, name: str, labels: Dict[str, Any], value: Any) -> None:
-        self.lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+        merged = dict(self._extra, **labels) if self._extra else labels
+        self.lines.append(f"{name}{_fmt_labels(merged)} {_fmt_value(value)}")
 
     def text(self) -> str:
         return "\n".join(self.lines) + "\n"
@@ -241,8 +247,14 @@ def prometheus_text(
     kernel: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Render a ``ServerMetrics.snapshot()`` dict (with its ``storage``
-    section) plus optional kernel-backend counters as Prometheus text."""
-    expo = _Expo()
+    section) plus optional kernel-backend counters as Prometheus text.
+
+    A snapshot carrying ``shard_id`` (one shard of a cluster) gets a
+    ``shard`` label on every sample."""
+    extra = (
+        {"shard": snapshot["shard_id"]} if "shard_id" in snapshot else None
+    )
+    expo = _Expo(extra)
 
     requests = snapshot.get("requests", {})
     expo.family("repro_requests_total", "counter", "Wire requests by op.")

@@ -62,6 +62,7 @@ class SpatialQueryServer:
         drain_timeout: float = 10.0,
         fetch_workers: int = 4,
         service: Optional[QueryService] = None,
+        shard_id: Optional[int] = None,
     ):
         self.service = service if service is not None else QueryService(db)
         self.db = db
@@ -71,7 +72,11 @@ class SpatialQueryServer:
         self.max_sessions = max_sessions
         self.default_deadline_ms = default_deadline_ms
         self.drain_timeout = drain_timeout
-        self.metrics = ServerMetrics()
+        self.shard_id = shard_id
+        self.metrics = ServerMetrics(shard_id=shard_id)
+        self.replica_acked_lsn = 0  # highest LSN a follower has acked
+        self._extra_ops: Dict[str, Any] = {}
+        self._register_extra_ops()
         self._sessions: Dict[str, ServerSession] = {}
         self._session_ids = itertools.count(1)
         self._inflight = 0
@@ -207,11 +212,153 @@ class SpatialQueryServer:
         """The engine's storage counters (WAL bytes, recovery work), if any."""
         stats = getattr(self.db, "storage_stats", None)
         if stats is None:
-            return {}
-        try:
-            return stats()
-        except Exception:  # pragma: no cover - stats must never break serving
-            return {}
+            out: Dict[str, Any] = {}
+        else:
+            try:
+                out = stats()
+            except Exception:  # pragma: no cover - must never break serving
+                out = {}
+        if self._wal_pager() is not None:
+            out["replica_acked_lsn"] = self.replica_acked_lsn
+        return out
+
+    def _stats_payload(self, raw: bool = False) -> Dict[str, Any]:
+        """The ``stats`` response body (overridable: the router aggregates).
+
+        ``raw=True`` (requested by a router) ships latency bucket counts
+        alongside the percentile estimates so the rollup merges exactly.
+        """
+        return self.metrics.snapshot(
+            len(self._sessions), storage=self._storage_stats(), raw=raw
+        )
+
+    def _metrics_text(self) -> str:
+        """The Prometheus exposition (overridable: the router rolls up)."""
+        from repro.geometry import kernels
+        from repro.obs.exporters import prometheus_text
+
+        return prometheus_text(
+            self._stats_payload(), kernel=kernels.counters()
+        )
+
+    # ------------------------------------------------------------------
+    # Extra (cluster/replication) ops
+    # ------------------------------------------------------------------
+    def _wal_pager(self):
+        from repro.storage.wal import WalPager
+
+        pager = getattr(self.db, "pager", None)
+        return pager if isinstance(pager, WalPager) else None
+
+    def _register_extra_ops(self) -> None:
+        """Ops beyond :data:`protocol.OPS` this server answers.
+
+        The base server registers the leader half of WAL replication
+        (durable commit, log tailing, LSN acks, snapshot bootstrap) when
+        the database is WAL-backed, plus ``trace.drain`` so a router can
+        stitch shard spans into its own trace.  Subclasses (the cluster
+        router) extend the table rather than the ``OPS`` tuple, so an op
+        unknown to *this* server is still rejected with ``UNKNOWN_OP``.
+        """
+        self._extra_ops["trace.drain"] = self._op_trace_drain
+        if self._wal_pager() is not None:
+            self._extra_ops["commit"] = self._op_commit
+            self._extra_ops["wal.tail"] = self._op_wal_tail
+            self._extra_ops["wal.ack"] = self._op_wal_ack
+            self._extra_ops["wal.snapshot"] = self._op_wal_snapshot
+
+    async def _op_commit(self, request_id, message) -> Dict[str, Any]:
+        """Durable commit of everything written so far; returns its LSN."""
+        def commit_locked():
+            lock = getattr(self.service, "lock", None)
+            if lock is not None:
+                with lock:
+                    return self.db.commit()
+            return self.db.commit()
+
+        lsn = await self._run_blocking(commit_locked)
+        return protocol.ok_response(request_id, lsn=lsn)
+
+    async def _op_wal_tail(self, request_id, message) -> Dict[str, Any]:
+        """Ship committed WAL records after an LSN (follower tailing)."""
+        import base64
+
+        pager = self._wal_pager()
+        after = int(message.get("after_lsn", 0))
+        # ~5.5KB of base64 per 4KB page image; cap the batch so one
+        # response line stays far below protocol.MAX_LINE_BYTES.
+        max_records = max(1, min(int(message.get("max_records", 64)), 128))
+
+        def tail_locked():
+            lock = getattr(self.service, "lock", None)
+            if lock is not None:
+                with lock:
+                    return pager.wal.records_since(after, max_records)
+            return pager.wal.records_since(after, max_records)
+
+        records, reset = await self._run_blocking(tail_locked)
+        wire = [
+            [lsn, rtype, page_id, base64.b64encode(payload).decode("ascii")]
+            for lsn, rtype, page_id, payload in records
+        ]
+        return protocol.ok_response(
+            request_id, records=wire, reset=reset
+        )
+
+    async def _op_wal_ack(self, request_id, message) -> Dict[str, Any]:
+        """A follower reports the highest LSN it has durably applied."""
+        lsn = int(message.get("lsn", 0))
+        self.replica_acked_lsn = max(self.replica_acked_lsn, lsn)
+        return protocol.ok_response(request_id, acked=self.replica_acked_lsn)
+
+    async def _op_wal_snapshot(self, request_id, message) -> Dict[str, Any]:
+        """Page images of the checkpointed main file (follower bootstrap).
+
+        Paged via ``start_page``/``max_pages``; ``base_lsn`` is the LSN the
+        checkpointed state corresponds to, so the follower tails from
+        there.  Only the *inner* pager is read — committed-but-not-yet-
+        checkpointed state rides in via the tail, never the snapshot.
+        """
+        import base64
+
+        pager = self._wal_pager()
+        start = max(0, int(message.get("start_page", 0)))
+        max_pages = max(1, min(int(message.get("max_pages", 64)), 128))
+
+        def snapshot_locked():
+            lock = getattr(self.service, "lock", None)
+            if lock is not None:
+                lock.acquire()
+            try:
+                inner = pager.inner
+                base_lsn = pager.wal.base_lsn()
+                end = min(inner.num_pages, start + max_pages)
+                pages = [
+                    [pid, base64.b64encode(inner.read(pid)).decode("ascii")]
+                    for pid in range(start, end)
+                ]
+                return base_lsn, pages, inner.num_pages
+            finally:
+                if lock is not None:
+                    lock.release()
+
+        base_lsn, pages, num_pages = await self._run_blocking(snapshot_locked)
+        return protocol.ok_response(
+            request_id,
+            base_lsn=base_lsn,
+            pages=pages,
+            num_pages=num_pages,
+            page_size=self.db.pager.page_size,
+            eof=start + len(pages) >= num_pages,
+        )
+
+    async def _op_trace_drain(self, request_id, message) -> Dict[str, Any]:
+        """Ship finished spans to the caller (router-side trace stitching)."""
+        from repro.obs import trace
+
+        tracer = trace.get_tracer()
+        spans = tracer.drain_serialized() if tracer is not None else []
+        return protocol.ok_response(request_id, spans=spans)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -221,6 +368,21 @@ class SpatialQueryServer:
     ) -> Dict[str, Any]:
         request_id = message.get("id")
         op = message.get("op")
+        if op in self._extra_ops:
+            handler = self._extra_ops[op]
+            try:
+                response = await handler(request_id, message)
+            except ReproError as exc:
+                code = getattr(exc, "wire_code", protocol.ERR_BAD_REQUEST)
+                response = protocol.error_response(request_id, code, str(exc))
+            except Exception as exc:  # noqa: BLE001 - surfaced to the client
+                response = protocol.error_response(
+                    request_id,
+                    protocol.ERR_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            self.metrics.record_request(op, ok=bool(response.get("ok")))
+            return response
         if op not in protocol.OPS:
             self.metrics.record_request(str(op), ok=False)
             return protocol.error_response(
@@ -233,24 +395,17 @@ class SpatialQueryServer:
             self.metrics.record_request(op, ok=True)
             return protocol.ok_response(
                 request_id,
-                stats=self.metrics.snapshot(
-                    len(self._sessions), storage=self._storage_stats()
+                stats=await self._run_blocking(
+                    self._stats_payload, bool(message.get("raw", False))
                 ),
             )
         if op == "metrics":
             # Prometheus text exposition of the same snapshot plus
             # kernel-backend counters (scrape-friendly sibling of "stats").
-            from repro.geometry import kernels
-            from repro.obs.exporters import prometheus_text
-
             self.metrics.record_request(op, ok=True)
-            text = prometheus_text(
-                self.metrics.snapshot(
-                    len(self._sessions), storage=self._storage_stats()
-                ),
-                kernel=kernels.counters(),
+            return protocol.ok_response(
+                request_id, text=await self._run_blocking(self._metrics_text)
             )
-            return protocol.ok_response(request_id, text=text)
 
         # Admission control: bound the work queued behind the bridge.
         if op in ("start", "fetch") and self._inflight >= self.max_inflight:
@@ -328,9 +483,8 @@ class SpatialQueryServer:
             )
         except ReproError as exc:
             self.metrics.record_query(kind, time.perf_counter() - started, 0, ok=False)
-            return protocol.error_response(
-                request_id, protocol.ERR_BAD_REQUEST, str(exc)
-            )
+            code = getattr(exc, "wire_code", protocol.ERR_BAD_REQUEST)
+            return protocol.error_response(request_id, code, str(exc))
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
             self.metrics.record_query(kind, time.perf_counter() - started, 0, ok=False)
             return protocol.error_response(
@@ -342,7 +496,7 @@ class SpatialQueryServer:
             kind,
             rows,
             ctx,
-            lock=self.service.lock,
+            lock=getattr(self.service, "lock", None),
             deadline=deadline,
         )
         self._sessions[session_id] = session
@@ -382,8 +536,9 @@ class SpatialQueryServer:
             self.metrics.record_query(
                 session.kind, time.perf_counter() - started, 0, ok=False
             )
+            code = getattr(exc, "wire_code", protocol.ERR_INTERNAL)
             return protocol.error_response(
-                request_id, protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                request_id, code, f"{type(exc).__name__}: {exc}"
             )
         self.metrics.record_query(
             session.kind, time.perf_counter() - started, len(rows)
@@ -408,14 +563,13 @@ class SpatialQueryServer:
         await self._run_blocking(session.close)
         self.metrics.bump_session("exhausted" if session.exhausted else "closed")
         self.metrics.merge_meter(session.kind, session.meter_counts())
-        return protocol.ok_response(
-            request_id,
-            summary={
-                "rows": session.rows_served,
-                "kind": session.kind,
-                "exhausted": session.exhausted,
-            },
-        )
+        summary = {
+            "rows": session.rows_served,
+            "kind": session.kind,
+            "exhausted": session.exhausted,
+        }
+        summary.update(session.close_info())
+        return protocol.ok_response(request_id, summary=summary)
 
 
 # ----------------------------------------------------------------------
@@ -449,9 +603,13 @@ class BackgroundServer:
             client = QueryClient(port=handle.port)
     """
 
-    def __init__(self, db: Database, **kwargs: Any):
+    def __init__(self, db: Database, server_factory=None, **kwargs: Any):
         self._db = db
         self._kwargs = kwargs
+        #: constructs the server (the cluster substitutes a RouterServer)
+        self._factory = (
+            server_factory if server_factory is not None else SpatialQueryServer
+        )
         self._ready = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -478,7 +636,7 @@ class BackgroundServer:
             self._ready.set()
 
     async def _main(self) -> None:
-        server = SpatialQueryServer(self._db, **self._kwargs)
+        server = self._factory(self._db, **self._kwargs)
         await server.start()
         self.server = server
         self._loop = asyncio.get_running_loop()

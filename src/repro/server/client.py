@@ -69,13 +69,41 @@ class QueryClient:
         self._next_id = 0
         self._live_sessions: set = set()
         self.retry_count = 0  # observable: how many attempts were retried
-        self._connect()
+        self._connect_with_retry()
 
     def _connect(self) -> None:
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
         self._file = self._sock.makefile("rwb")
+
+    def _connect_with_retry(self) -> None:
+        """Initial connect with the same backoff policy as :meth:`request`.
+
+        A router (or test) racing a shard's startup sees a refused
+        connection for a few milliseconds; that is exactly as transient as
+        an ``OVERLOADED`` rejection, so it gets the same exponential
+        backoff instead of leaking a raw ``ConnectionRefusedError``.
+        Exhausting the retries raises a typed
+        :class:`~repro.errors.RetriableError` (``code="CONNECT_FAILED"``)
+        the caller can distinguish from a protocol failure.
+        """
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retries):
+            try:
+                self._connect()
+                return
+            except ConnectionRefusedError as exc:
+                last_exc = exc
+                if attempt == self.retries - 1:
+                    break
+                self.retry_count += 1
+                self._backoff_sleep(attempt)
+        raise RetriableError(
+            f"cannot connect to {self.host}:{self.port} after "
+            f"{self.retries} attempt(s): {last_exc}",
+            code="CONNECT_FAILED",
+        ) from last_exc
 
     def _backoff_sleep(self, attempt: int) -> None:
         delay = min(self.backoff * (2.0 ** attempt), self.backoff_cap)
@@ -188,8 +216,8 @@ class QueryClient:
     def ping(self) -> bool:
         return bool(self.request("ping").get("pong"))
 
-    def stats(self) -> Dict[str, Any]:
-        return self.request("stats")["stats"]
+    def stats(self, raw: bool = False) -> Dict[str, Any]:
+        return self.request("stats", raw=raw)["stats"]
 
     def metrics(self) -> str:
         """Prometheus text exposition of the server's runtime metrics."""

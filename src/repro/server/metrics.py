@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.engine.cost import WorkMeter
 
-__all__ = ["LatencyHistogram", "ServerMetrics"]
+__all__ = ["LatencyHistogram", "ServerMetrics", "aggregate_snapshots"]
 
 
 def _bucket_bounds() -> List[float]:
@@ -95,11 +95,75 @@ class LatencyHistogram:
             "max_ms": round(self.max_seconds * 1000.0, 3),
         }
 
+    # -- cross-process aggregation (router-side rollup) -----------------
+    def raw(self) -> Dict[str, Any]:
+        """Wire-safe dump of the histogram's internal state."""
+        return {
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum_seconds": self.sum_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+    @classmethod
+    def from_raw(cls, raw: Dict[str, Any]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`raw` output (possibly produced
+        by a process whose bucket table had a different length)."""
+        hist = cls()
+        hist.merge_raw(raw)
+        return hist
+
+    @staticmethod
+    def _aligned(counts: List[int], target_len: int) -> List[int]:
+        """Fit a bucket-count list to ``target_len`` buckets.
+
+        The overflow bucket lives at the *end*; growing pads zeros before
+        it (new finite buckets cover latencies the short table overflowed
+        into conservatively), shrinking folds the surplus finite buckets
+        into the overflow.  Either way no sample is lost or misfiled into
+        a mid-range bucket.
+        """
+        counts = [int(c) for c in counts]
+        if not counts:
+            return [0] * target_len
+        if len(counts) == target_len:
+            return counts
+        if len(counts) < target_len:
+            pad = target_len - len(counts)
+            return counts[:-1] + [0] * pad + counts[-1:]
+        keep = target_len - 1
+        return counts[:keep] + [sum(counts[keep:])]
+
+    def merge_raw(self, raw: Dict[str, Any]) -> None:
+        """Fold a :meth:`raw` dump into this histogram."""
+        other_counts = self._aligned(
+            list(raw.get("counts", [])), len(self.counts)
+        )
+        for i, c in enumerate(other_counts):
+            self.counts[i] += c
+        self.total += int(raw.get("total", 0))
+        self.sum_seconds += float(raw.get("sum_seconds", 0.0))
+        self.max_seconds = max(self.max_seconds, float(raw.get("max_seconds", 0.0)))
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one (bucket-wise sum).
+
+        Tolerates a mismatched bucket count (an older process with a
+        shorter/longer bound table) via :meth:`_aligned`.
+        """
+        self.merge_raw(other.raw())
+
 
 class ServerMetrics:
-    """Thread-safe aggregate of everything the ``stats`` endpoint reports."""
+    """Thread-safe aggregate of everything the ``stats`` endpoint reports.
 
-    def __init__(self) -> None:
+    ``shard_id`` tags every snapshot (and the Prometheus exposition) when
+    this server is one shard of a cluster, so the router's rollup and a
+    scraper hitting a shard directly agree on provenance.
+    """
+
+    def __init__(self, shard_id: Optional[int] = None) -> None:
+        self.shard_id = shard_id
         self._lock = threading.Lock()
         self._requests: Dict[str, Dict[str, int]] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
@@ -149,10 +213,14 @@ class ServerMetrics:
         self,
         active_sessions: int = 0,
         storage: Optional[Dict[str, Any]] = None,
+        raw: bool = False,
     ) -> Dict[str, Any]:
         """All counters; ``storage`` (the engine's ``storage_stats()``)
         rides along under its own key so operators see WAL volume and
-        crash-recovery work next to the serving metrics."""
+        crash-recovery work next to the serving metrics.  ``raw=True``
+        additionally ships each latency histogram's bucket counts
+        (``latency_raw``) so a router can merge per-shard histograms
+        exactly instead of averaging percentile estimates."""
         with self._lock:
             queries = {}
             for kind, hist in self._latency.items():
@@ -161,7 +229,9 @@ class ServerMetrics:
                     "rows": self._rows.get(kind, 0),
                     "errors": self._errors.get(kind, 0),
                 }
-            return {
+                if raw:
+                    queries[kind]["latency_raw"] = hist.raw()
+            snap = {
                 "requests": {
                     op: dict(counts) for op, counts in self._requests.items()
                 },
@@ -177,3 +247,65 @@ class ServerMetrics:
                 if storage
                 else dict(_STORAGE_ZERO),
             }
+            if self.shard_id is not None:
+                snap["shard_id"] = self.shard_id
+            return snap
+
+
+def aggregate_snapshots(snaps: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-shard :meth:`ServerMetrics.snapshot` dicts into one.
+
+    Request/row/error/session counters sum; latency histograms merge
+    bucket-wise through :class:`LatencyHistogram` (using ``latency_raw``
+    when the shard shipped it, so cluster-wide percentiles come from real
+    counts, not averaged per-shard percentiles); meters sum per unit.
+    The per-shard ``storage`` sections are kept under ``shards`` keyed by
+    shard id rather than summed — page counts from different files are
+    not meaningfully additive.
+    """
+    out: Dict[str, Any] = {
+        "requests": {},
+        "queries": {},
+        "meters": {},
+        "sessions": {},
+        "storage": dict(_STORAGE_ZERO),
+        "shards": {},
+    }
+    hists: Dict[str, LatencyHistogram] = {}
+    for i, snap in enumerate(snaps):
+        shard_key = str(snap.get("shard_id", i))
+        out["shards"][shard_key] = {
+            "storage": snap.get("storage", {}),
+            "sessions": snap.get("sessions", {}),
+            # Per-shard meters stay visible so a bench can compute the
+            # cluster makespan (max over shards of simulated seconds).
+            "meters": snap.get("meters", {}),
+        }
+        for op, counts in snap.get("requests", {}).items():
+            entry = out["requests"].setdefault(op, {"count": 0, "errors": 0})
+            entry["count"] += counts.get("count", 0)
+            entry["errors"] += counts.get("errors", 0)
+        for kind, q in snap.get("queries", {}).items():
+            entry = out["queries"].setdefault(kind, {"rows": 0, "errors": 0})
+            entry["rows"] += q.get("rows", 0)
+            entry["errors"] += q.get("errors", 0)
+            hist = hists.setdefault(kind, LatencyHistogram())
+            if "latency_raw" in q:
+                hist.merge_raw(q["latency_raw"])
+            else:
+                # Estimate-only fallback: count the samples at the shard's
+                # reported mean so totals stay right even without raw data.
+                latency = q.get("latency", {})
+                count = int(latency.get("count", 0))
+                mean_s = float(latency.get("mean_ms", 0.0)) / 1000.0
+                for _ in range(count):
+                    hist.record(mean_s)
+        for kind, units in snap.get("meters", {}).items():
+            entry = out["meters"].setdefault(kind, {})
+            for unit, n in units.items():
+                entry[unit] = entry.get(unit, 0.0) + n
+        for event, n in snap.get("sessions", {}).items():
+            out["sessions"][event] = out["sessions"].get(event, 0) + n
+    for kind, hist in hists.items():
+        out["queries"][kind]["latency"] = hist.snapshot()
+    return out

@@ -41,6 +41,8 @@ from repro.errors import ProtocolError
 __all__ = [
     "MAX_LINE_BYTES",
     "OPS",
+    "WAL_OPS",
+    "ROUTER_OPS",
     "KINDS",
     "ERR_BAD_REQUEST",
     "ERR_UNKNOWN_OP",
@@ -49,6 +51,8 @@ __all__ = [
     "ERR_DEADLINE",
     "ERR_SHUTTING_DOWN",
     "ERR_INTERNAL",
+    "ERR_SHARD_FAILED",
+    "ERR_REPLICATION",
     "encode",
     "decode_line",
     "ok_response",
@@ -65,6 +69,13 @@ MAX_LINE_BYTES = 1 << 20
 OPS = ("start", "fetch", "close", "stats", "metrics", "ping")
 KINDS = ("window", "knn", "sql", "spatial_join")
 
+#: extra ops a WAL-backed shard server registers (leader-side replication:
+#: durable commit, log tailing and LSN acks, snapshot bootstrap) plus span
+#: shipping for router-side trace stitching
+WAL_OPS = ("commit", "wal.tail", "wal.ack", "wal.snapshot", "trace.drain")
+#: extra ops only the cluster router answers (partitioned writes, topology)
+ROUTER_OPS = ("put", "topology")
+
 ERR_BAD_REQUEST = "BAD_REQUEST"
 ERR_UNKNOWN_OP = "UNKNOWN_OP"
 ERR_UNKNOWN_SESSION = "UNKNOWN_SESSION"
@@ -72,6 +83,8 @@ ERR_OVERLOADED = "OVERLOADED"
 ERR_DEADLINE = "DEADLINE_EXCEEDED"
 ERR_SHUTTING_DOWN = "SHUTTING_DOWN"
 ERR_INTERNAL = "INTERNAL"
+ERR_SHARD_FAILED = "SHARD_FAILED"
+ERR_REPLICATION = "REPLICATION_LAG"
 
 
 def encode(message: Dict[str, Any]) -> bytes:

@@ -100,6 +100,29 @@ class QueryService:
         except Exception as exc:
             raise BadRequest(f"bad query geometry: {exc}") from None
 
+    # -- cluster helpers ------------------------------------------------
+    def _cluster_part(self, params):
+        """Decode the ``cluster`` param into a GridPartitioner, if present.
+
+        A shard session started by the router carries the *global* grid
+        spec and this shard's id, so shard-local filtering bins every MBR
+        exactly the way the router's own placement did.
+        """
+        cluster = params.get("cluster")
+        if not cluster:
+            return None
+        from repro.cluster.partition import GridPartitioner
+
+        try:
+            return GridPartitioner.from_wire(cluster)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BadRequest(f"bad cluster param: {exc}") from None
+
+    def _ids_of(self, table_name: str, id_column: str):
+        """rowid → id-column value mapper (global ids for cluster rows)."""
+        table = self.db.table(table_name)
+        return lambda rowid: table.value(rowid, id_column)
+
     def _open_window(self, params, ctx):
         table, column = _require(params, "table", "column")
         query = self._parse_geometry(params)
@@ -110,7 +133,26 @@ class QueryService:
             args = [query, str(params.get("mask", "ANYINTERACT")).upper()]
         else:
             args = [query]
-        rowids = self.db.select_rowids(table, column, operator, args, ctx)
+        part = self._cluster_part(params)
+        if part is not None and bool(params.get("primary_only", False)):
+            # Drop halo replicas *before* the exact geometry test: a row
+            # streams from the one shard owning the tile of its low
+            # corner clamped into the search region (window_owner), so
+            # the router's simple concatenation is duplicate-free — and
+            # rejected replicas never pay a geometry fetch or exact test.
+            expand = args[1] if operator == "SDO_WITHIN_DISTANCE" else 0.0
+            window = query.mbr
+
+            def owned(mbr, _rid):
+                return part.window_owner(mbr, window, expand) == part.shard
+
+            index = self.db.spatial_index_on(table, column)
+            rowids = index.fetch(operator, args, ctx, prefilter=owned)
+        else:
+            rowids = self.db.select_rowids(table, column, operator, args, ctx)
+        if bool(params.get("emit_ids", False)):
+            ids = self._ids_of(table, str(params.get("id_column", "id")))
+            return (([ids(rid)] for rid in rowids), {})
         return _wire_rowids(rowids), {}
 
     def _open_knn(self, params, ctx):
@@ -120,17 +162,47 @@ class QueryService:
         rowids = self.db.select_rowids(
             table, column, "SDO_NN", [query, k], ctx
         )
+        if bool(params.get("with_distance", False)):
+            # Cluster mode: ship ``[id, exact_distance]`` so the router can
+            # k-way merge shard-local top-k streams by true distance (halo
+            # replicas dedup router-side by id).  fetch_nn already yields
+            # in exact-distance order, so the stream arrives sorted.
+            from repro.geometry.distance import distance as exact_distance
+
+            index = self.db.spatial_index_on(table, column)
+            ids = self._ids_of(table, str(params.get("id_column", "id")))
+            rows = (
+                [ids(rid), exact_distance(query, index.geometry_of(rid, ctx))]
+                for rid in rowids
+            )
+            return rows, {"k": k}
         return _wire_rowids(rowids), {"k": k}
 
     def _open_sql(self, params, ctx):
-        (statement,) = _require(params, "statement")
-        result = self.db.sql(statement)
-        rows = iter([jsonify_row(row) for row in result.rows])
-        return rows, {
+        statements = params.get("statements")
+        if statements is not None:
+            if not isinstance(statements, list) or not statements:
+                raise BadRequest("statements must be a non-empty list")
+        else:
+            (statement,) = _require(params, "statement")
+            statements = [statement]
+        rowcount = 0
+        result = None
+        for statement in statements:
+            result = self.db.sql(statement)
+            rowcount += result.rowcount
+        extra = {
             "columns": list(result.columns),
-            "rowcount": result.rowcount,
+            "rowcount": rowcount,
             "message": result.message,
         }
+        if bool(params.get("commit", False)):
+            # Durable batch: everything above survives a crash, and the
+            # returned LSN is what the router waits for the follower to ack
+            # before acking its own client (semi-synchronous replication).
+            extra["lsn"] = self.db.commit()
+        rows = iter([jsonify_row(row) for row in result.rows])
+        return rows, extra
 
     def _open_spatial_join(self, params, ctx):
         from repro.core.parallel_join import SpatialJoinFactory
@@ -154,6 +226,11 @@ class QueryService:
                 f"unknown join strategy {params.get('strategy')!r}; expected "
                 f"one of {', '.join(s.name for s in JoinStrategy)}"
             ) from None
+        part = self._cluster_part(params)
+        if part is not None:
+            return self._open_cluster_join(
+                params, ctx, part, predicate, strategy
+            )
         parallel = int(params.get("parallel", 1))
         if parallel > 1:
             # Parallel joins run the decomposition to completion (subtree
@@ -194,3 +271,48 @@ class QueryService:
         # through start/fetch/close at both layers, never materialised.
         stream = pipeline(factory(None), ctx)
         return _wire_pairs(stream), {"parallel": 1, "strategy": strategy.name}
+
+    def _open_cluster_join(self, params, ctx, part, predicate, strategy):
+        """This shard's slice of a global grid join.
+
+        Every shard bins its local rows (primaries + halo replicas)
+        against the router's *global* :class:`GridSpec` and sweeps only
+        its owned tiles; the canonical-tile rule makes the shard outputs
+        an exact partition of the single-node result, so the router
+        concatenates them with no dedup.  Pairs go to the wire as
+        ``[id_a, id_b]`` because rowids are shard-local names.
+        """
+        from repro.core.parallel_join import grid_parallel_join
+        from repro.engine.parallel import SerialExecutor
+
+        table_a, column_a, table_b, column_b = _require(
+            params, "table_a", "column_a", "table_b", "column_b"
+        )
+        if predicate.distance > part.halo:
+            raise BadRequest(
+                f"within-distance {predicate.distance} exceeds the cluster "
+                f"halo {part.halo}; reload with a wider halo to run this "
+                "join distributed"
+            )
+        result = grid_parallel_join(
+            self.db.table(table_a),
+            column_a,
+            self.db.rtree_of(table_a, column_a),
+            self.db.table(table_b),
+            column_b,
+            self.db.rtree_of(table_b, column_b),
+            SerialExecutor(),
+            predicate=predicate,
+            spec=part.spec,
+            owned=part.owned_tiles(),
+        )
+        ctx.meter.merge(result.run.combined_meter())
+        ids_a = self._ids_of(table_a, str(params.get("id_column", "id")))
+        ids_b = self._ids_of(table_b, str(params.get("id_column", "id")))
+        rows = ([ids_a(ra), ids_b(rb)] for ra, rb in result.pairs)
+        return rows, {
+            "strategy": strategy.name,
+            "shard": part.shard,
+            "tiles_owned": len(part.owned_tiles()),
+            "pairs": len(result.pairs),
+        }

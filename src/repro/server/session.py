@@ -130,5 +130,16 @@ class ServerSession:
             else:
                 closer()
 
+    def close_info(self):
+        """Extra close-summary fields the row stream wants to report.
+
+        A plain generator contributes nothing; the router's scatter
+        streams expose an ``info`` dict (per-shard row counts, shards
+        skipped by partial-failure degradation) that rides home in the
+        close response.
+        """
+        info = getattr(self._rows, "info", None)
+        return dict(info) if isinstance(info, dict) else {}
+
     def meter_counts(self):
         return self.ctx.meter

@@ -207,6 +207,47 @@ def cmd_serve(args, stdout) -> int:
 
 
 # ----------------------------------------------------------------------
+# cluster
+# ----------------------------------------------------------------------
+def cmd_cluster(args, stdout) -> int:
+    """Serve a sharded cluster: N forked shards behind one router port."""
+    import time as _time
+
+    from repro.cluster.local import LocalCluster
+    from repro.geometry.mbr import MBR
+
+    box = MBR(args.min_x, args.min_y, args.max_x, args.max_y)
+    cluster = LocalCluster(
+        args.shards,
+        box,
+        halo=args.halo,
+        replicated=args.replicated,
+        router_host=args.host,
+        router_port=args.port,
+    )
+    cluster.start()
+    try:
+        if args.init:
+            with open(args.init, "r", encoding="utf-8") as fh:
+                cluster.ddl(list(_statements(fh)))
+        stdout.write(
+            f"repro cluster: {args.shards} shard(s) "
+            f"{'[replicated leader] ' if args.replicated else ''}"
+            f"behind router on {args.host}:{cluster.port} "
+            "(Ctrl-C to stop)\n"
+        )
+        stdout.flush()
+        while True:
+            _time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.stop()
+    stdout.write("cluster stopped\n")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # client
 # ----------------------------------------------------------------------
 def cmd_client(args, stdin, stdout) -> int:
@@ -214,7 +255,7 @@ def cmd_client(args, stdin, stdout) -> int:
 
     try:
         client = QueryClient(host=args.host, port=args.port)
-    except OSError as exc:
+    except (OSError, ReproError) as exc:
         stdout.write(f"cannot connect to {args.host}:{args.port}: {exc}\n")
         return 1
 
@@ -251,7 +292,7 @@ def cmd_stats(args, stdout) -> int:
 
     try:
         client = QueryClient(host=args.host, port=args.port)
-    except OSError as exc:
+    except (OSError, ReproError) as exc:
         stdout.write(f"cannot connect to {args.host}:{args.port}: {exc}\n")
         return 1
     try:
@@ -290,6 +331,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_serve.add_argument("--workers", type=int, default=4)
 
+    p_cluster = sub.add_parser(
+        "cluster", help="serve N shards behind a scatter-gather router"
+    )
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument("--port", type=int, default=7878)
+    p_cluster.add_argument("--shards", type=int, default=2)
+    p_cluster.add_argument(
+        "--halo", type=float, default=0.0,
+        help="replication halo: max within-distance joins can use",
+    )
+    p_cluster.add_argument(
+        "--replicated", action="store_true",
+        help="WAL-backed leader shard with a tailing follower",
+    )
+    p_cluster.add_argument(
+        "--init", default=None,
+        help="SQL file broadcast to every shard at startup (DDL)",
+    )
+    p_cluster.add_argument("--min-x", type=float, default=0.0)
+    p_cluster.add_argument("--min-y", type=float, default=0.0)
+    p_cluster.add_argument("--max-x", type=float, default=100.0)
+    p_cluster.add_argument("--max-y", type=float, default=100.0)
+
     p_client = sub.add_parser("client", help="SQL shell over the wire")
     p_client.add_argument("--host", default="127.0.0.1")
     p_client.add_argument("--port", type=int, default=7878)
@@ -312,6 +376,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "serve":
         return cmd_serve(args, sys.stdout)
+    if args.command == "cluster":
+        return cmd_cluster(args, sys.stdout)
     if args.command == "client":
         return cmd_client(args, sys.stdin, sys.stdout)
     if args.command == "stats":

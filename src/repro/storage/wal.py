@@ -228,6 +228,80 @@ class WriteAheadLog:
         self.next_lsn = max_lsn + 1
         return pages, info
 
+    def records_since(
+        self, after_lsn: int, max_records: int = 128
+    ) -> Tuple[List[Tuple[int, int, int, bytes]], bool]:
+        """Committed records with ``lsn > after_lsn``, for follower shipping.
+
+        Returns ``(records, reset)`` where each record is
+        ``(lsn, rtype, page_id, payload)`` and only records covered by a
+        durable COMMIT are included (a follower must never apply a batch
+        the leader could roll back).  Scanning stops at the first torn or
+        checksum-failing record, exactly like :meth:`replay`.
+
+        LSNs are strictly sequential within one log generation, so a
+        subscriber that has applied ``after_lsn`` expects ``after_lsn + 1``
+        next.  If the log's first record is *newer* than that, a
+        checkpoint truncated history the subscriber still needs:
+        ``reset=True`` tells it to re-bootstrap from a full snapshot
+        instead of applying a gapped stream.
+        """
+        records: List[Tuple[int, int, int, bytes]] = []
+        pending: List[Tuple[int, int, int, bytes]] = []
+        self._file.seek(0, os.SEEK_END)
+        total = self._file.tell()
+        offset = self.header_size
+        first_lsn: Optional[int] = None
+        self._file.seek(offset)
+        while offset + _REC.size <= total and len(records) < max_records:
+            head = self._file.read(_REC.size)
+            if len(head) != _REC.size:
+                break
+            rtype, page_id, length, lsn, crc = _REC.unpack(head)
+            if rtype not in _REC_TYPES or offset + _REC.size + length > total:
+                break
+            payload = self._file.read(length) if length else b""
+            if len(payload) != length:
+                break
+            if _record_crc(rtype, page_id, length, lsn, payload) != crc:
+                break
+            offset += _REC.size + length
+            if first_lsn is None:
+                first_lsn = lsn
+            if rtype == REC_COMMIT:
+                pending.append((lsn, rtype, page_id, payload))
+                records.extend(r for r in pending if r[0] > after_lsn)
+                pending.clear()
+            else:
+                pending.append((lsn, rtype, page_id, payload))
+        if first_lsn is not None:
+            reset = first_lsn > after_lsn + 1
+        else:
+            # Empty log: everything lives in the checkpointed main file; a
+            # subscriber behind that state cannot catch up from records.
+            reset = self.next_lsn - 1 > after_lsn
+        return records, reset
+
+    def base_lsn(self) -> int:
+        """The LSN a snapshot of the *checkpointed* state corresponds to.
+
+        Everything up to (first record's lsn - 1) has been migrated out of
+        the log by the last checkpoint; an empty log means the checkpoint
+        covers every LSN ever issued (``next_lsn - 1``).
+        """
+        self._file.seek(0, os.SEEK_END)
+        total = self._file.tell()
+        if total < self.header_size + _REC.size:
+            return self.next_lsn - 1
+        self._file.seek(self.header_size)
+        head = self._file.read(_REC.size)
+        if len(head) != _REC.size:
+            return self.next_lsn - 1
+        rtype, _page_id, _length, lsn, _crc = _REC.unpack(head)
+        if rtype not in _REC_TYPES:
+            return self.next_lsn - 1
+        return lsn - 1
+
     def reset(self) -> None:
         """Truncate the log back to an empty header (checkpoint complete)."""
         self._file.seek(0)

@@ -25,3 +25,21 @@ class TestCli:
         for name in EXPERIMENTS:
             module = _load_bench_module(_MODULE_FILES.get(name, name))
             assert hasattr(module, f"run_{name}"), name
+
+    def test_list_flag_prints_descriptions(self, capsys):
+        from repro.bench.__main__ import DESCRIPTIONS, EXPERIMENTS, main
+
+        code = main(["prog", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+            assert DESCRIPTIONS[name] in out
+
+    def test_list_wins_over_experiment_names(self, capsys):
+        # --list must not build workloads even when names are also given.
+        from repro.bench.__main__ import main
+
+        code = main(["prog", "table1", "--list"])
+        assert code == 0
+        assert "cluster" in capsys.readouterr().out

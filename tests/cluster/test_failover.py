@@ -1,0 +1,106 @@
+"""Kill-the-leader chaos: SIGKILL the leader, promote, lose no acked write.
+
+Every ``put`` the router acknowledged was follower-acked first (semi-sync),
+so the promoted replica must contain each one — that is the contract this
+suite holds the cluster to.  ``CHAOS_SEED`` randomises the kill point so
+CI explores different WAL positions across runs.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.cluster.local import LocalCluster
+from repro.cluster.router import ShardFailed
+from repro.geometry.mbr import MBR
+from repro.server.client import RemoteError
+from repro.server.protocol import ERR_SHARD_FAILED
+
+BOX = MBR(0.0, 0.0, 100.0, 100.0)
+
+SEED = int(os.environ.get("CHAOS_SEED", "1337"))
+
+
+@pytest.fixture()
+def replicated_cluster():
+    with LocalCluster(
+        2, BOX, n_entries_hint=200, halo=1.0, replicated=True
+    ) as cluster:
+        cluster.create_spatial_table("shapes")
+        yield cluster
+
+
+class TestKillTheLeader:
+    def test_no_committed_write_lost(self, replicated_cluster):
+        cluster = replicated_cluster
+        rng = random.Random(SEED)
+        kill_after = rng.randint(3, 12)  # batches before the kill
+
+        acked = []
+        batch_no = 0
+        with cluster.client() as client:
+            for batch_no in range(kill_after):
+                base = batch_no * 10
+                rows = [
+                    [base + j, f"POINT ({rng.uniform(1, 99):.4f} "
+                               f"{rng.uniform(1, 99):.4f})"]
+                    for j in range(10)
+                ]
+                response = client.request("put", table="shapes", rows=rows)
+                assert response["lsn"] is not None
+                acked.extend(r[0] for r in rows)
+
+        cluster.kill_leader()
+        assert not cluster.procs[cluster.leader].alive
+
+        # Writes against the dead leader fail typed, not silently.
+        with cluster.client() as client:
+            with pytest.raises((RemoteError, ShardFailed)) as excinfo:
+                client.request(
+                    "put", table="shapes", rows=[[99999, "POINT (50 50)"]]
+                )
+        if isinstance(excinfo.value, RemoteError):
+            assert excinfo.value.code == ERR_SHARD_FAILED
+
+        cluster.failover()
+
+        # Every acknowledged row is present in the promoted replica.
+        with cluster.client() as client:
+            session = client.start(
+                "window",
+                {"table": "shapes", "column": "geom",
+                 "wkt": "POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))"},
+            )
+            got = sorted(row[0] for row in session.rows(page=64))
+        assert got == sorted(acked), (
+            f"failover lost {set(acked) - set(got)} after "
+            f"{batch_no + 1} acked batches (CHAOS_SEED={SEED})"
+        )
+
+    def test_cluster_serves_writes_after_failover(self, replicated_cluster):
+        cluster = replicated_cluster
+        with cluster.client() as client:
+            client.request(
+                "put", table="shapes",
+                rows=[[i, f"POINT ({i} {i})"] for i in range(1, 6)],
+            )
+        cluster.kill_leader()
+        cluster.failover()
+        # The promoted node accepts new writes (unreplicated until a new
+        # follower attaches — the router downgraded itself).
+        with cluster.client() as client:
+            response = client.request(
+                "put", table="shapes",
+                rows=[[100 + i, f"POINT ({20 + i} 30)"] for i in range(3)],
+            )
+            assert response["placed"] == 3
+            topo = client.request("topology")
+            assert topo["replicated"] is False
+            session = client.start(
+                "window",
+                {"table": "shapes", "column": "geom",
+                 "wkt": "POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))"},
+            )
+            ids = sorted(row[0] for row in session.rows(page=64))
+        assert ids == sorted(list(range(1, 6)) + [100, 101, 102])

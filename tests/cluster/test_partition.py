@@ -1,0 +1,121 @@
+"""Unit tests for the shard partitioners (no processes, no sockets)."""
+
+import pytest
+
+from repro.cluster.partition import ClusterError, GridPartitioner, HashPartitioner, stable_hash
+from repro.geometry.mbr import MBR
+
+BOX = MBR(0.0, 0.0, 100.0, 100.0)
+
+
+def build(nshards, halo=0.0, n_entries=1000):
+    return GridPartitioner.build(BOX, nshards, n_entries, halo)
+
+
+class TestHashPartitioner:
+    def test_deterministic_across_processes(self):
+        # crc32 of repr, NOT builtin hash(): immune to PYTHONHASHSEED.
+        assert stable_hash("shapes") == stable_hash("shapes")
+        part = HashPartitioner(4)
+        assert part.shard_of("k1") == HashPartitioner(4).shard_of("k1")
+        assert 0 <= part.shard_of(12345) < 4
+
+    def test_spreads_keys(self):
+        part = HashPartitioner(4)
+        hit = {part.shard_of(f"key-{i}") for i in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+
+class TestTileOwnership:
+    @pytest.mark.parametrize("nshards", [1, 2, 3, 4, 7])
+    def test_owned_tiles_partition_the_grid(self, nshards):
+        part = build(nshards)
+        union = set()
+        for shard in range(nshards):
+            owned = part.owned_tiles(shard)
+            assert owned, f"shard {shard} owns no tiles"
+            assert not (union & owned), "overlapping ownership"
+            union |= owned
+        assert union == set(range(part.spec.tiles))
+
+    @pytest.mark.parametrize("nshards", [1, 2, 3, 4, 7])
+    def test_ownership_matches_shard_of_tile(self, nshards):
+        part = build(nshards)
+        for tile in range(part.spec.tiles):
+            shard = part.shard_of_tile(tile)
+            assert 0 <= shard < nshards
+            assert tile in part.owned_tiles(shard)
+
+    def test_grid_wide_enough_for_many_shards(self):
+        # build() must widen the grid until every shard owns >= 1 tile,
+        # even when the entry-count heuristic would pick a tiny grid.
+        part = GridPartitioner.build(BOX, 8, 4, 0.0)
+        assert part.spec.tiles >= 8
+
+
+class TestPlacement:
+    def test_primary_shard_owns_low_corner_tile(self):
+        part = build(4)
+        mbr = MBR(12.0, 34.0, 13.0, 35.0)
+        primary = part.primary_shard(mbr)
+        assert part.primary_tile(mbr) in part.owned_tiles(primary)
+
+    def test_primary_shard_always_in_shards_for_mbr(self):
+        part = build(4, halo=2.0)
+        import random
+
+        rng = random.Random(99)
+        for _ in range(100):
+            x, y = rng.uniform(0, 95), rng.uniform(0, 95)
+            mbr = MBR(x, y, x + rng.uniform(0.1, 4.0), y + rng.uniform(0.1, 4.0))
+            assert part.primary_shard(mbr) in part.shards_for_mbr(mbr)
+
+    def test_shards_for_mbr_matches_brute_force(self):
+        from repro.core.grid_partition import tile_range_of
+
+        part = build(3, halo=2.0)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(100):
+            x, y = rng.uniform(0, 95), rng.uniform(0, 95)
+            mbr = MBR(x, y, x + rng.uniform(0.1, 4.0), y + rng.uniform(0.1, 4.0))
+            ix0, ix1, iy0, iy1 = tile_range_of(part.spec, mbr, part.halo)
+            want = {
+                part.shard_of_tile(part.spec.tile_id(ix, iy))
+                for ix in range(ix0, ix1 + 1)
+                for iy in range(iy0, iy1 + 1)
+            }
+            assert set(part.shards_for_mbr(mbr)) == want
+
+    def test_halo_zero_single_tile_point(self):
+        part = build(4, halo=0.0)
+        mbr = MBR(50.0, 50.0, 50.0, 50.0)
+        shards = part.shards_for_mbr(mbr)
+        assert part.primary_shard(mbr) in shards
+
+
+class TestWire:
+    def test_round_trip(self):
+        part = build(4, halo=1.5)
+        clone = GridPartitioner.from_wire(part.to_wire())
+        assert clone.nshards == part.nshards
+        assert clone.halo == part.halo
+        assert clone.spec == part.spec
+        assert clone.owned_tiles(2) == part.owned_tiles(2)
+
+    def test_for_shard_carries_identity(self):
+        part = build(3)
+        local = GridPartitioner.from_wire(part.for_shard(1).to_wire())
+        assert local.shard == 1
+        assert local.owned_tiles() == part.owned_tiles(1)
+
+    def test_bad_wire_rejected(self):
+        with pytest.raises((KeyError, TypeError, ValueError)):
+            GridPartitioner.from_wire({"shards": 2})
+
+
+class TestBuildValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises((ClusterError, ValueError)):
+            GridPartitioner.build(BOX, 0, 100, 0.0)

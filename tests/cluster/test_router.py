@@ -1,0 +1,236 @@
+"""Scatter-gather behavior: fan-out kinds, partial failure, stats rollup."""
+
+import random
+
+import pytest
+
+from repro import Database, Geometry
+from repro.cluster.local import LocalCluster
+from repro.geometry.mbr import MBR
+from repro.geometry.wkt import to_wkt
+from repro.server.client import RemoteError
+from repro.server.protocol import ERR_SHARD_FAILED
+
+BOX = MBR(0.0, 0.0, 100.0, 100.0)
+N_ROWS = 100
+
+
+def make_rows(n=N_ROWS, seed=5):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        x, y = rng.uniform(0, 94), rng.uniform(0, 94)
+        rect = Geometry.rectangle(
+            x, y, x + rng.uniform(0.3, 3.0), y + rng.uniform(0.3, 3.0)
+        )
+        rows.append([i, to_wkt(rect)])
+    return rows
+
+
+def reference_db(rows):
+    db = Database()
+    db.sql("create table shapes (id number, geom sdo_geometry)")
+    db.sql(
+        "create index shapes_sidx on shapes(geom) "
+        "indextype is spatial_index parameters ('kind=RTREE')"
+    )
+    for row_id, wkt in rows:
+        db.sql(f"insert into shapes values ({row_id}, sdo_geometry('{wkt}'))")
+    return db
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    rows = make_rows()
+    ref = reference_db(rows)
+    with LocalCluster(3, BOX, n_entries_hint=N_ROWS, halo=1.0) as cluster:
+        cluster.create_spatial_table("shapes")
+        cluster.load("shapes", rows)
+        yield cluster, ref, rows
+    ref.close()
+
+
+class TestWindowFanOut:
+    def test_matches_single_node(self, fleet):
+        cluster, ref, _rows = fleet
+        table = ref.table("shapes")
+        win = Geometry.rectangle(20, 20, 55, 55)
+        want = sorted(
+            table.value(r, "id")
+            for r in ref.select_rowids(
+                "shapes", "geom", "SDO_RELATE", [win, "ANYINTERACT"]
+            )
+        )
+        with cluster.client() as client:
+            session = client.start(
+                "window",
+                {"table": "shapes", "column": "geom", "wkt": to_wkt(win)},
+            )
+            got = sorted(row[0] for row in session.rows(page=32))
+        assert got == want
+        assert len(got) == len(set(got)), "halo replicas leaked duplicates"
+
+    def test_close_summary_reports_per_shard_rows(self, fleet):
+        cluster, _ref, _rows = fleet
+        win = Geometry.rectangle(0, 0, 100, 100)
+        with cluster.client() as client:
+            session = client.start(
+                "window",
+                {"table": "shapes", "column": "geom", "wkt": to_wkt(win)},
+            )
+            total = 0
+            while not session.eof:
+                rows, _ = session.fetch(64)
+                total += len(rows)
+            summary = session.close()
+        assert total == N_ROWS
+        assert sum(summary["rows_per_shard"].values()) == N_ROWS
+        assert summary["failed_shards"] == []
+
+
+class TestKnnMerge:
+    def test_global_topk_exact(self, fleet):
+        cluster, ref, _rows = fleet
+        from repro.geometry.distance import distance as exact_distance
+
+        from repro.geometry.wkt import from_wkt
+
+        query = from_wkt("POINT (47 53)")
+        index = ref.spatial_index_on("shapes", "geom")
+        table = ref.table("shapes")
+        want = sorted(
+            (
+                exact_distance(query, index.geometry_of(r)),
+                table.value(r, "id"),
+            )
+            for r in ref.select_rowids("shapes", "geom", "SDO_NN", [query, 7])
+        )
+        with cluster.client() as client:
+            session = client.start(
+                "knn",
+                {"table": "shapes", "column": "geom",
+                 "wkt": "POINT (47 53)", "k": 7},
+            )
+            got = [(d, i) for i, d in session.rows(page=16)]
+        assert len(got) == 7
+        assert got == sorted(got), "merged stream not distance-ordered"
+        assert [i for _, i in got] == [i for _, i in want]
+
+    def test_k_larger_than_data(self, fleet):
+        cluster, _ref, rows = fleet
+        with cluster.client() as client:
+            session = client.start(
+                "knn",
+                {"table": "shapes", "column": "geom",
+                 "wkt": "POINT (50 50)", "k": len(rows) * 2},
+            )
+            got = session.all(page=64)
+        ids = [row[0] for row in got]
+        assert sorted(ids) == sorted(r[0] for r in rows)
+        assert len(ids) == len(set(ids)), "replica dedup failed"
+
+
+class TestSqlBroadcast:
+    def test_select_comes_from_leader_only(self, fleet):
+        cluster, _ref, _rows = fleet
+        with cluster.client() as client:
+            session = client.start(
+                "sql", {"statement": "select count(*) from shapes"}
+            )
+            rows = session.all()
+        # One result set (the leader's), not one per shard.
+        assert len(rows) == 1
+
+    def test_statement_batch_validated(self, fleet):
+        cluster, _ref, _rows = fleet
+        with cluster.client() as client:
+            with pytest.raises(RemoteError):
+                client.start("sql", {"statements": []})
+
+
+class TestPut:
+    def test_rows_validated(self, fleet):
+        cluster, _ref, _rows = fleet
+        with cluster.client() as client:
+            with pytest.raises(RemoteError):
+                client.request("put", table="shapes", rows=[[1]])
+            with pytest.raises(RemoteError):
+                client.request(
+                    "put", table="shapes", rows=[[1, "NOT A WKT"]]
+                )
+
+    def test_topology_op(self, fleet):
+        cluster, _ref, _rows = fleet
+        with cluster.client() as client:
+            topo = client.request("topology")
+        assert topo["shards"] == 3
+        assert topo["leader"] == 0
+        assert topo["replicated"] is False
+        assert topo["partitioner"]["shards"] == 3
+
+
+class TestStatsRollup:
+    def test_aggregate_covers_all_shards(self, fleet):
+        cluster, _ref, _rows = fleet
+        with cluster.client() as client:
+            client.start(
+                "window",
+                {"table": "shapes", "column": "geom",
+                 "wkt": "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"},
+            ).all()
+            stats = client.stats()
+        assert set(stats["shards"]) == {"0", "1", "2", "router"}
+        assert stats["queries"]["window"]["latency"]["count"] >= 3
+        assert "topology" in stats
+        # per-shard meters are visible for the simulated-cost rollup
+        assert any(
+            stats["shards"][k].get("meters") for k in ("0", "1", "2")
+        )
+
+    def test_prometheus_exposition_single_family(self, fleet):
+        cluster, _ref, _rows = fleet
+        with cluster.client() as client:
+            text = client.metrics()
+        assert text.count("# TYPE repro_sessions_active gauge") == 1
+        assert "repro_requests_total" in text
+
+
+class TestPartialFailure:
+    """A dead shard fails typed, or is skipped under ``partial: true``."""
+
+    @pytest.fixture()
+    def wounded(self):
+        rows = make_rows(60, seed=11)
+        with LocalCluster(3, BOX, n_entries_hint=60, halo=1.0) as cluster:
+            cluster.create_spatial_table("shapes")
+            cluster.load("shapes", rows)
+            cluster.procs[2].kill()
+            yield cluster
+
+    def test_shard_failure_is_typed(self, wounded):
+        with wounded.client() as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.start(
+                    "window",
+                    {"table": "shapes", "column": "geom",
+                     "wkt": "POLYGON ((0 0, 99 0, 99 99, 0 99, 0 0))"},
+                ).all(page=32)
+        assert excinfo.value.code == ERR_SHARD_FAILED
+
+    def test_partial_opt_in_returns_survivors(self, wounded):
+        with wounded.client() as client:
+            session = client.start(
+                "window",
+                {"table": "shapes", "column": "geom",
+                 "wkt": "POLYGON ((0 0, 99 0, 99 99, 0 99, 0 0))",
+                 "partial": True},
+            )
+            rows = []
+            while not session.eof:
+                page, _ = session.fetch(32)
+                rows.extend(page)
+            summary = session.close()
+        failed = [f["shard"] for f in summary["failed_shards"]]
+        assert failed == [2]
+        assert rows, "surviving shards returned nothing"
+        assert set(summary["rows_per_shard"]) <= {"0", "1"}

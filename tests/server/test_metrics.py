@@ -113,3 +113,115 @@ class TestSnapshotStorageSchema:
         assert snap["storage"]["wal_bytes"] == 77
         assert snap["storage"]["commits"] == 3
         assert snap["storage"]["recovered_pages"] == 0  # zero-filled
+
+
+class TestHistogramMerge:
+    def test_merge_sums_buckets_and_extrema(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.001)
+        a.record(0.010)
+        b.record(0.010)
+        b.record(5.0)
+        a.merge(b)
+        assert a.total == 4
+        assert a.sum_seconds == pytest.approx(5.021)
+        assert a.max_seconds == 5.0
+        assert sum(a.counts) == 4
+
+    def test_merge_from_shorter_bucket_table(self):
+        # An older shard whose bound table stopped earlier: its overflow
+        # bucket (last slot) must land in OUR overflow, and its finite
+        # buckets must keep their positions.
+        a = LatencyHistogram()
+        short = {
+            "counts": [3, 0, 0, 2],  # 3 in bucket 0, 2 overflowed
+            "total": 5,
+            "sum_seconds": 1.0,
+            "max_seconds": 200.0,
+        }
+        a.merge_raw(short)
+        assert a.total == 5
+        assert a.counts[0] == 3
+        assert a.counts[-1] == 2
+        assert sum(a.counts) == 5
+
+    def test_merge_from_longer_bucket_table(self):
+        # A future shard with MORE buckets: the surplus finite buckets
+        # fold into our overflow rather than being dropped.
+        a = LatencyHistogram()
+        n = len(a.counts)
+        long_counts = [1] * (n + 4)
+        a.merge_raw(
+            {
+                "counts": long_counts,
+                "total": n + 4,
+                "sum_seconds": 2.0,
+                "max_seconds": 300.0,
+            }
+        )
+        assert a.total == n + 4
+        assert sum(a.counts) == n + 4
+        assert a.counts[-1] == 5  # 4 surplus finite + their overflow
+        assert all(c == 1 for c in a.counts[:-1])
+
+    def test_raw_round_trip_preserves_percentiles(self):
+        a = LatencyHistogram()
+        for ms in (1, 2, 5, 10, 50, 100, 500):
+            a.record(ms / 1000.0)
+        clone = LatencyHistogram.from_raw(a.raw())
+        assert clone.snapshot() == a.snapshot()
+
+    def test_empty_raw_is_noop(self):
+        a = LatencyHistogram()
+        a.record(0.004)
+        before = a.snapshot()
+        a.merge_raw({"counts": [], "total": 0, "sum_seconds": 0.0, "max_seconds": 0.0})
+        assert a.snapshot() == before
+
+
+class TestAggregateSnapshots:
+    def _snap(self, shard, ms_samples, rows=10):
+        m = ServerMetrics(shard_id=shard)
+        for ms in ms_samples:
+            m.record_query("window", ms / 1000.0, rows)
+        m.bump_session("opened", 2)
+        return m.snapshot(active_sessions=1, raw=True)
+
+    def test_counters_sum_and_histograms_merge_exactly(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        out = aggregate_snapshots(
+            [self._snap(0, [1, 2, 3]), self._snap(1, [100, 200, 300])]
+        )
+        q = out["queries"]["window"]
+        assert q["rows"] == 60
+        assert q["latency"]["count"] == 6
+        # Exact merge: the p99 reflects shard 1's slow samples, which an
+        # average of per-shard percentile estimates would understate.
+        assert q["latency"]["p99_ms"] >= 200.0
+        assert out["sessions"]["opened"] == 4
+        assert out["sessions"]["active"] == 2
+        assert set(out["shards"]) == {"0", "1"}
+
+    def test_fallback_without_raw_keeps_counts(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        m = ServerMetrics(shard_id=7)
+        for ms in (10, 20, 30):
+            m.record_query("knn", ms / 1000.0, 1)
+        snap = m.snapshot()  # raw=False: estimate-only
+        assert "latency_raw" not in snap["queries"]["knn"]
+        out = aggregate_snapshots([snap])
+        assert out["queries"]["knn"]["latency"]["count"] == 3
+
+    def test_per_shard_meters_preserved(self):
+        from repro.engine.cost import WorkMeter
+        from repro.server.metrics import aggregate_snapshots
+
+        m = ServerMetrics(shard_id=3)
+        meter = WorkMeter()
+        meter.add("mbr_test", 40)
+        m.merge_meter("window", meter)
+        out = aggregate_snapshots([m.snapshot(raw=True)])
+        assert out["shards"]["3"]["meters"]["window"]["mbr_test"] == 40
+        assert out["meters"]["window"]["mbr_test"] == 40

@@ -1,0 +1,211 @@
+"""Follower-shipping surface of the WAL: records_since / base_lsn.
+
+These are the storage-level guarantees :mod:`repro.cluster.replication`
+builds on: batches end at commit boundaries, uncommitted and torn tails
+are never shipped, truncated history is signalled as ``reset``, and
+re-shipping an applied segment is harmless.
+"""
+
+import os
+
+import pytest
+
+from repro.storage.fault import FaultPlan, FaultyFile
+from repro.storage.pager import MemoryPager
+from repro.storage.wal import (
+    REC_ALLOC,
+    REC_COMMIT,
+    REC_PAGE,
+    WalPager,
+    WriteAheadLog,
+)
+
+PAGE = 512
+
+
+def make_log(tmp_path, name="x"):
+    return WriteAheadLog(str(tmp_path / f"{name}.wal"), PAGE)
+
+
+class TestRecordsSince:
+    def test_only_committed_records_ship(self, tmp_path):
+        wal = make_log(tmp_path)
+        wal.append_page(0, b"a" * PAGE)
+        wal.commit()
+        wal.append_page(1, b"b" * PAGE)  # uncommitted tail
+        records, reset = wal.records_since(0)
+        assert not reset
+        assert [r[1] for r in records] == [REC_PAGE, REC_COMMIT]
+        assert [r[0] for r in records] == [1, 2]
+        wal.close()
+
+    def test_after_lsn_filters_applied_prefix(self, tmp_path):
+        wal = make_log(tmp_path)
+        wal.append_page(0, b"a" * PAGE)
+        first_commit = wal.commit()
+        wal.append_alloc(5)
+        wal.append_page(5, b"c" * PAGE)
+        wal.commit()
+        records, reset = wal.records_since(first_commit)
+        assert not reset
+        assert [r[1] for r in records] == [REC_ALLOC, REC_PAGE, REC_COMMIT]
+        assert all(lsn > first_commit for lsn, *_ in records)
+        # Re-shipping from 0 yields the full committed history again —
+        # identical records, so a subscriber's lsn-skip makes it a no-op.
+        again, _ = wal.records_since(0)
+        assert again[-3:] == records
+        wal.close()
+
+    def test_batch_ends_at_commit_boundary(self, tmp_path):
+        wal = make_log(tmp_path)
+        for i in range(6):
+            wal.append_page(i, bytes([i]) * PAGE)
+        wal.commit()
+        # max_records below the batch size: the whole committed batch is
+        # shipped anyway (soft cap), never a commit-less prefix.
+        records, _ = wal.records_since(0, max_records=3)
+        assert records[-1][1] == REC_COMMIT
+        assert len(records) == 7
+        wal.close()
+
+    def test_torn_final_record_not_shipped(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        wal = make_log(tmp_path)
+        wal.append_page(0, b"a" * PAGE)
+        wal.commit()
+        wal.append_page(1, b"b" * PAGE)
+        wal.commit()
+        wal.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 7)  # tear the final commit record
+        wal = WriteAheadLog(path, PAGE)
+        records, reset = wal.records_since(0)
+        assert not reset
+        # Only the first commit's batch survives the tear.
+        assert [r[1] for r in records] == [REC_PAGE, REC_COMMIT]
+        wal.close()
+
+    def test_torn_write_via_fault_plan(self, tmp_path):
+        """A mid-record torn write (fault harness, not truncate())."""
+        path = str(tmp_path / "f.wal")
+        probe = FaultPlan.counting()
+        wal = WriteAheadLog(
+            path, PAGE, opener=lambda p, m: FaultyFile(p, m, probe, "wal")
+        )
+        wal.append_page(0, b"a" * PAGE)
+        wal.commit()
+        writes_for_good_prefix = probe.write_calls["wal"]
+        wal.append_page(1, b"b" * PAGE)
+        wal.commit()
+        wal.close()
+
+        os.unlink(path)
+        plan = FaultPlan(
+            7, torn_write=("wal", writes_for_good_prefix, 9)
+        )
+        wal = WriteAheadLog(
+            path, PAGE, opener=lambda p, m: FaultyFile(p, m, plan, "wal")
+        )
+        wal.append_page(0, b"a" * PAGE)
+        wal.commit()
+        with pytest.raises(Exception):
+            wal.append_page(1, b"b" * PAGE)  # torn mid-record, plan trips
+
+        reopened = WriteAheadLog(path, PAGE)
+        records, reset = reopened.records_since(0)
+        assert not reset
+        assert [r[1] for r in records] == [REC_PAGE, REC_COMMIT]
+        reopened.close()
+
+    def test_reset_when_history_truncated(self, tmp_path):
+        wal = make_log(tmp_path)
+        wal.append_page(0, b"a" * PAGE)
+        wal.commit()
+        wal.reset()  # checkpoint truncation
+        wal.append_page(1, b"b" * PAGE)
+        wal.commit()
+        # A subscriber at LSN 0 needs LSN 1, but the log now starts later.
+        records, reset = wal.records_since(0)
+        assert reset
+        # A subscriber already at the pre-truncation LSN can continue.
+        records, reset = wal.records_since(2)
+        assert not reset
+        assert [r[1] for r in records] == [REC_PAGE, REC_COMMIT]
+        wal.close()
+
+    def test_reset_on_empty_log_behind_checkpoint(self, tmp_path):
+        wal = make_log(tmp_path)
+        wal.append_page(0, b"a" * PAGE)
+        wal.commit()
+        wal.reset()
+        # Log is empty but LSNs 1..2 happened: a subscriber at 0 is stale.
+        records, reset = wal.records_since(0)
+        assert records == [] and reset
+        records, reset = wal.records_since(2)
+        assert records == [] and not reset
+        wal.close()
+
+
+class TestBaseLsn:
+    def test_fresh_log_base_is_zero(self, tmp_path):
+        wal = make_log(tmp_path)
+        assert wal.base_lsn() == 0
+        wal.close()
+
+    def test_base_advances_with_truncation(self, tmp_path):
+        wal = make_log(tmp_path)
+        wal.append_page(0, b"a" * PAGE)
+        last = wal.commit()
+        assert wal.base_lsn() == 0  # records still in the log
+        wal.reset()
+        assert wal.base_lsn() == last  # checkpoint covers everything
+        wal.append_page(1, b"b" * PAGE)
+        wal.commit()
+        assert wal.base_lsn() == last  # first surviving record is last+1
+        wal.close()
+
+
+class TestPagerRoundTrip:
+    def test_shipped_records_rebuild_identical_pages(self, tmp_path):
+        """Apply records_since output to a second pager: states match."""
+        leader = WalPager(
+            MemoryPager(page_size=PAGE), str(tmp_path / "leader.wal")
+        )
+        p0 = leader.allocate()
+        leader.write(p0, b"x" * PAGE)
+        p1 = leader.allocate()
+        leader.write(p1, b"y" * PAGE)
+        leader.commit()
+
+        records, reset = leader.wal.records_since(0)
+        assert not reset
+
+        replica = WalPager(
+            MemoryPager(page_size=PAGE), str(tmp_path / "replica.wal")
+        )
+        applied_lsn = 0
+        for lsn, rtype, page_id, payload in records:
+            if lsn <= applied_lsn:
+                continue
+            if rtype == REC_ALLOC:
+                while replica.num_pages <= page_id:
+                    replica.allocate()
+            elif rtype == REC_PAGE:
+                while replica.num_pages <= page_id:
+                    replica.allocate()
+                replica.write(page_id, payload)
+            elif rtype == REC_COMMIT:
+                replica.commit()
+                applied_lsn = lsn
+        assert replica.num_pages == leader.num_pages
+        assert replica.read(p0) == b"x" * PAGE
+        assert replica.read(p1) == b"y" * PAGE
+
+        # Second application of the same segment: lsn guard skips all.
+        before = replica.num_pages
+        skipped = [r for r in records if r[0] <= applied_lsn]
+        assert len(skipped) == len(records)
+        assert replica.num_pages == before
+        leader.close()
+        replica.close()
