@@ -1,0 +1,198 @@
+"""Resilience benchmark: MTTR and degraded throughput through a leader kill.
+
+Standalone (CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+
+The scenario is the self-healing gate, measured instead of asserted:
+
+1. **Baseline** — full-window query throughput against a healthy
+   3-shard replicated cluster.
+2. **Kill** — SIGKILL the leader; *nobody* calls ``failover()``.  A
+   client loop keeps issuing the same full-window query (each attempt
+   must return every acked row to count as a success).  **MTTR** is the
+   wall time from the kill to the first exact post-kill result — it
+   covers detection (heartbeat misses), promotion (WAL follower → shard)
+   and the router's retry ride-through.
+3. **Recovered** — the baseline loop again, on the promoted topology,
+   for the degraded-throughput ratio.
+4. **Gate** — MTTR must come in under ``MTTR_GATE_S`` and the recovered
+   throughput must hold ``RECOVERY_GATE`` of baseline, else exit 1.
+
+Writes ``BENCH_resilience.json`` (including the full
+``resilience_events()`` timeline — the same trace the chaos CI job
+uploads) next to the other benchmark sidecars.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import Geometry
+from repro.bench.reporting import ExperimentTable, emit_bench_json
+from repro.cluster.local import LocalCluster
+from repro.cluster.router import RetryPolicy
+from repro.geometry.mbr import MBR
+from repro.geometry.wkt import to_wkt
+
+BOX = MBR(0.0, 0.0, 100.0, 100.0)
+TABLE_ROWS = 300
+HALO = 2.0
+PAGE = 128
+BASELINE_SESSIONS = 15
+MTTR_GATE_S = 10.0
+RECOVERY_GATE = 0.5  # recovered throughput must be >= 50% of baseline
+FULL_WINDOW = "POLYGON ((0 0, 99 0, 99 99, 0 99, 0 0))"
+
+
+def make_rows(n: int = TABLE_ROWS):
+    rng = random.Random(777)
+    rows = []
+    for i in range(n):
+        x = rng.uniform(0, 94)
+        y = rng.uniform(0, 94)
+        rect = Geometry.rectangle(
+            x, y, x + rng.uniform(0.5, 3.0), y + rng.uniform(0.5, 3.0)
+        )
+        rows.append([i, to_wkt(rect)])
+    return rows
+
+
+def full_window_ids(client):
+    session = client.start(
+        "window",
+        {"table": "shapes", "column": "geom", "wkt": FULL_WINDOW},
+    )
+    return sorted(row[0] for row in session.rows(page=PAGE))
+
+
+def throughput(cluster, want_ids, sessions: int = BASELINE_SESSIONS):
+    """Exact full-window sessions per second (fails on any divergence)."""
+    started = time.perf_counter()
+    with cluster.client() as client:
+        for _ in range(sessions):
+            got = full_window_ids(client)
+            if got != want_ids:
+                raise AssertionError(
+                    f"window diverged: {len(got)} vs {len(want_ids)} ids"
+                )
+    return sessions / (time.perf_counter() - started)
+
+
+def measure_mttr(cluster, want_ids) -> float:
+    """Kill the leader; wall seconds until the first exact result."""
+    cluster.kill_leader()
+    killed = time.perf_counter()
+    deadline = killed + 60.0
+    while time.perf_counter() < deadline:
+        try:
+            with cluster.client(timeout=15.0) as client:
+                if full_window_ids(client) == want_ids:
+                    return time.perf_counter() - killed
+                raise AssertionError(
+                    "post-kill window lost acked rows — replication broke"
+                )
+        except AssertionError:
+            raise
+        except Exception:
+            time.sleep(0.05)  # detection/promotion still in flight
+    raise AssertionError("cluster never recovered within 60s of the kill")
+
+
+def main() -> int:
+    rows = make_rows()
+    want_ids = sorted(r[0] for r in rows)
+    started = time.perf_counter()
+
+    with LocalCluster(
+        3,
+        BOX,
+        n_entries_hint=TABLE_ROWS,
+        halo=HALO,
+        replicated=True,
+        durable=True,
+        auto_heal=True,
+        health_kwargs=dict(
+            interval=0.05, timeout=0.5, suspect_after=1, down_after=3
+        ),
+        retry=RetryPolicy(
+            max_attempts=12, budget=64, backoff=0.05, backoff_cap=0.4
+        ),
+        breaker_threshold=1000,
+        client_timeout=15.0,
+    ) as cluster:
+        cluster.create_spatial_table("shapes")
+        totals = cluster.load("shapes", rows)
+        assert totals["placed"] == TABLE_ROWS
+
+        baseline = throughput(cluster, want_ids)
+        print(f"baseline: {baseline:.1f} exact window sessions/s")
+
+        mttr = measure_mttr(cluster, want_ids)
+        print(f"MTTR (kill -> first exact result): {mttr:.2f}s")
+
+        recovered = throughput(cluster, want_ids)
+        ratio = recovered / baseline if baseline else 0.0
+        print(
+            f"recovered: {recovered:.1f} sessions/s "
+            f"({ratio:.2f}x of baseline)"
+        )
+
+        counters = dict(cluster.router.resilience)
+        events = cluster.resilience_events()
+        failed_over = cluster._failed_over
+    elapsed = time.perf_counter() - started
+
+    if not failed_over:
+        raise AssertionError("recovery happened without a follower promotion?")
+    if mttr > MTTR_GATE_S:
+        raise AssertionError(
+            f"MTTR {mttr:.2f}s exceeds the {MTTR_GATE_S}s gate"
+        )
+    if ratio < RECOVERY_GATE:
+        raise AssertionError(
+            f"recovered throughput is {ratio:.2f}x baseline; "
+            f"the gate is {RECOVERY_GATE}x"
+        )
+
+    table = ExperimentTable(
+        experiment="resilience",
+        title="Self-healing: leader kill -9, unattended recovery",
+        columns=["baseline sess/s", "MTTR s", "recovered sess/s", "ratio"],
+        paper_note=(
+            "no paper counterpart: availability engineering around the "
+            "paper's spatial operators (replicated WAL, health-checked "
+            "automatic failover, retrying scatter-gather)"
+        ),
+    )
+    table.add_row(
+        round(baseline, 1), round(mttr, 2), round(recovered, 1), round(ratio, 2)
+    )
+    table.emit()
+
+    payload = {
+        "experiment": "resilience",
+        "profile": "smoke",
+        "driver_wall_seconds": round(elapsed, 3),
+        "baseline_sessions_per_s": round(baseline, 2),
+        "mttr_seconds": round(mttr, 3),
+        "mttr_gate_s": MTTR_GATE_S,
+        "recovered_sessions_per_s": round(recovered, 2),
+        "recovery_ratio": round(ratio, 3),
+        "recovery_gate": RECOVERY_GATE,
+        "router_resilience": counters,
+        "events": events,
+    }
+    path = emit_bench_json("resilience", payload)
+    print(f"wrote {path}")
+    return 0
+
+
+def run_resilience():
+    """Registry entry point; self-contained like the cluster driver."""
+    return main()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,7 @@
 
 Runs the paper-table regenerators without pytest and prints each table.
 Valid experiment names: table1 table2 table3 figure1 figure2
-ablation_sweep kernels grid cluster (default: all).  Honours
+ablation_sweep kernels grid cluster resilience (default: all).  Honours
 ``REPRO_BENCH_PROFILE=small|paper``.
 
 Flags:
@@ -47,6 +47,7 @@ EXPERIMENTS = (
     "kernels",
     "grid",
     "cluster",
+    "resilience",
 )
 
 #: one-liners for ``--list`` — what each experiment measures and which
@@ -61,6 +62,7 @@ DESCRIPTIONS = {
     "kernels": "scalar vs vectorized geometry-kernel ablation",
     "grid": "grid-partitioned parallel join vs serial ablation",
     "cluster": "sharded router scaling + cross-shard join exactness",
+    "resilience": "leader-kill MTTR + degraded throughput (self-healing)",
 }
 
 # bench_<name>.py files whose runner wants (counties, stars) workloads.
@@ -144,9 +146,9 @@ def main(argv) -> int:
     for name in names:
         started = time.perf_counter()
         module = _load_bench_module(_MODULE_FILES.get(name, name))
-        if name == "cluster":
-            # Self-contained driver: boots shard processes, prints its own
-            # table and writes BENCH_cluster.json itself.
+        if name in ("cluster", "resilience"):
+            # Self-contained drivers: boot shard processes, print their
+            # own table and write BENCH_<name>.json themselves.
             rc = module.main()
             if rc:
                 return rc

@@ -1,0 +1,405 @@
+"""Network fault injection: a seeded chaos proxy between router and shards.
+
+The PR 3 harness (:mod:`repro.storage.fault`) proves the *storage* layer
+against torn writes and lying fsyncs; this module is its network-layer
+sibling.  A :class:`ChaosProxy` is a real TCP relay that sits between a
+shard connection's two ends and injects the failure modes a production
+network exposes, at **named sites** — the same vocabulary style as
+``FaultPlan.crash_sites`` (a site name plus a per-site countdown):
+
+* **connection resets** — the Nth relayed chunk at a site hard-closes
+  both sockets with ``SO_LINGER 0`` (a genuine RST, not a polite FIN);
+* **fixed/jittered latency** — every chunk at a site is delayed by
+  ``base + jitter * rng()`` seconds (the rng is seeded, so a failing run
+  replays exactly);
+* **black-hole partitions** — a partitioned site stops relaying: the
+  connection stays "up" but delivers nothing, which is how a mid-path
+  partition actually looks (clients discover it only via timeouts);
+* **slow-drip reads** — chunks are forwarded a few bytes at a time with a
+  pause between pieces, the tail-latency pathology hedged reads exist
+  for.
+
+Everything is scripted by a :class:`NetFaultPlan`, deterministic under a
+seed (CI's ``CHAOS_SEED`` matrix drives :meth:`NetFaultPlan.random`).
+Site names are ``"<proxy>.up"`` (client→server) and ``"<proxy>.down"``
+(server→client); the wildcard forms ``"*.up"`` / ``"*.down"`` / ``"*"``
+match every proxy, so one plan line can slow a whole fleet.
+
+Unlike storage faults, *resets* are one-shot (a transient network blip —
+the cluster must absorb it and move on) while *latency*, *drip* and
+*partitions* persist until :meth:`NetFaultPlan.heal` — a partition does
+not fix itself, and the self-healing tests call ``heal()`` to model the
+network coming back.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FaultError
+
+__all__ = ["NetworkFault", "NetFaultPlan", "ChaosProxy", "ChaosFleet"]
+
+#: relay read size — one chunk is the unit faults are counted in
+CHUNK = 65536
+
+#: how long a partitioned pump sleeps between "is the partition healed?"
+#: checks; small enough that heal() is visible within one client retry
+_PARTITION_POLL = 0.02
+
+
+class NetworkFault(FaultError):
+    """A misconfigured or misused network fault plan."""
+
+
+class _Directive:
+    """What the plan wants done with one relayed chunk."""
+
+    __slots__ = ("delay", "drip", "reset")
+
+    def __init__(
+        self,
+        delay: float = 0.0,
+        drip: Optional[Tuple[int, float]] = None,
+        reset: bool = False,
+    ):
+        self.delay = delay
+        self.drip = drip
+        self.reset = reset
+
+
+class NetFaultPlan:
+    """A deterministic script of network faults, shared by a proxy fleet.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the jitter rng and is echoed in every event so a failing
+        chaos run reproduces from the seed alone.
+    reset:
+        ``{site: chunk_index}`` — the ``chunk_index``-th relayed chunk at
+        that site hard-closes the connection (RST).  One-shot per site:
+        a reset is a transient blip, and the point of the resilience
+        layer is that one blip never fails a query.
+    latency:
+        ``{site: (base_seconds, jitter_seconds)}`` — every chunk at the
+        site is delayed by ``base + jitter * rng()``.  Persistent until
+        healed.
+    partition:
+        Iterable of sites that black-hole: nothing is relayed while the
+        site is partitioned.  Persistent until :meth:`heal`.
+    drip:
+        ``{site: (nbytes, delay_seconds)}`` — chunks are forwarded
+        ``nbytes`` at a time with ``delay`` between pieces.  Persistent.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        reset: Optional[Dict[str, int]] = None,
+        latency: Optional[Dict[str, Tuple[float, float]]] = None,
+        partition: Tuple[str, ...] = (),
+        drip: Optional[Dict[str, Tuple[int, float]]] = None,
+    ):
+        self.seed = seed
+        self.reset = dict(reset or {})
+        self.latency = dict(latency or {})
+        self.partitioned_sites = set(partition)
+        self.drip = dict(drip or {})
+        for site, (nbytes, _delay) in self.drip.items():
+            if nbytes < 1:
+                raise NetworkFault(f"drip chunk for {site!r} must be >= 1 byte")
+        self.chunk_calls: Dict[str, int] = {}
+        self.resets_fired: List[str] = []
+        self.events: List[Dict[str, Any]] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def random(cls, seed: int) -> "NetFaultPlan":
+        """A seeded random plan the cluster must absorb *without* help.
+
+        Draws one transient/persistent-but-survivable fault: a reset on
+        an up or down link, fleet-wide latency, or a slow drip.  Never a
+        partition — partitions only end via :meth:`heal`, and the CI seed
+        matrix asserts unattended recovery.
+        """
+        rng = random.Random(seed)
+        shard = rng.randrange(4)
+        choice = rng.randrange(4)
+        if choice == 0:
+            return cls(seed, reset={f"shard{shard}.down": rng.randrange(4)})
+        if choice == 1:
+            return cls(seed, reset={f"shard{shard}.up": rng.randrange(4)})
+        if choice == 2:
+            return cls(
+                seed,
+                latency={"*": (rng.uniform(0.005, 0.05), rng.uniform(0.0, 0.02))},
+            )
+        return cls(seed, drip={f"shard{shard}.down": (rng.randrange(48, 256), 0.002)})
+
+    # ------------------------------------------------------------------
+    def _lookup(self, table: Dict[str, Any], site: str) -> Optional[Any]:
+        """Exact site, then ``*.<direction>``, then ``*``."""
+        if site in table:
+            return table[site]
+        direction = site.rsplit(".", 1)[-1]
+        if f"*.{direction}" in table:
+            return table[f"*.{direction}"]
+        return table.get("*")
+
+    def _event(self, kind: str, site: str, **detail: Any) -> None:
+        self.events.append(
+            dict(
+                kind=kind,
+                site=site,
+                seed=self.seed,
+                t_wall=time.time(),
+                t_mono=time.monotonic(),
+                **detail,
+            )
+        )
+
+    def on_chunk(self, site: str, nbytes: int) -> _Directive:
+        """Consult the script for one relayed chunk at ``site``."""
+        with self._lock:
+            visit = self.chunk_calls.get(site, 0)
+            self.chunk_calls[site] = visit + 1
+            fire_at = self._lookup(self.reset, site)
+            if (
+                fire_at is not None
+                and visit >= fire_at
+                and site not in self.resets_fired
+            ):
+                self.resets_fired.append(site)
+                self._event("reset", site, chunk=visit)
+                return _Directive(reset=True)
+            delay = 0.0
+            lat = self._lookup(self.latency, site)
+            if lat is not None:
+                base, jitter = lat
+                delay = base + jitter * self._rng.random()
+            drip = self._lookup(self.drip, site)
+            if delay or drip:
+                self._event("delay", site, chunk=visit, delay=delay,
+                            drip=list(drip) if drip else None)
+            return _Directive(delay=delay, drip=drip)
+
+    def is_partitioned(self, site: str) -> bool:
+        with self._lock:
+            if not self.partitioned_sites:
+                return False
+            return self._lookup(
+                {s: True for s in self.partitioned_sites}, site
+            ) is True
+
+    # ------------------------------------------------------------------
+    def partition_site(self, site: str) -> None:
+        """Black-hole a site (``"shard1.down"``, ``"*"``, ...) from now on."""
+        with self._lock:
+            self.partitioned_sites.add(site)
+            self._event("partition", site)
+
+    def heal(self, site: Optional[str] = None) -> None:
+        """End faults: one partitioned site, or (with no args) everything.
+
+        A full heal also clears latency and drip scripts — the network is
+        healthy again — but not the reset history: a fired reset stays
+        fired (one-shot).
+        """
+        with self._lock:
+            if site is not None:
+                self.partitioned_sites.discard(site)
+                self._event("heal", site)
+                return
+            self.partitioned_sites.clear()
+            self.latency.clear()
+            self.drip.clear()
+            self._event("heal", "*")
+
+
+class ChaosProxy:
+    """A TCP relay for one shard, applying a :class:`NetFaultPlan`.
+
+    Listens on an ephemeral port; every accepted connection is paired
+    with a fresh upstream connection to the (retargetable) shard address
+    and pumped both ways by daemon threads.  ``retarget`` points *new*
+    connections at a different upstream — existing ones keep their dead
+    peer, exactly like real routing updates — which is how a restarted or
+    promoted shard slots in behind a stable proxy address.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        plan: NetFaultPlan,
+        name: str = "shard",
+        host: str = "127.0.0.1",
+    ):
+        self.name = name
+        self.plan = plan
+        self._target = (target_host, int(target_port))
+        self._closed = False
+        self._conns: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"chaos-{name}", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    def retarget(self, port: int, host: Optional[str] = None) -> None:
+        """Point new connections at a different upstream (restart/promote)."""
+        with self._lock:
+            self._target = (host or self._target[0], int(port))
+        self.plan._event("retarget", self.name, port=int(port))
+
+    @property
+    def target(self) -> Tuple[str, int]:
+        with self._lock:
+            return self._target
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                upstream = socket.create_connection(self.target, timeout=5.0)
+            except OSError:
+                _hard_close(client)
+                continue
+            # The connect timeout must not linger as a recv timeout: an
+            # idle-but-healthy proxied connection would self-destruct
+            # after 5s (persistent shard handles sit idle for much
+            # longer between queries).
+            upstream.settimeout(None)
+            with self._lock:
+                self._conns.extend((client, upstream))
+            for src, dst, direction in (
+                (client, upstream, "up"),
+                (upstream, client, "down"),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, f"{self.name}.{direction}"),
+                    name=f"chaos-{self.name}-{direction}",
+                    daemon=True,
+                ).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket, site: str) -> None:
+        try:
+            while True:
+                data = src.recv(CHUNK)
+                if not data:
+                    break
+                while self.plan.is_partitioned(site) and not self._closed:
+                    time.sleep(_PARTITION_POLL)  # black hole: hold the bytes
+                if self._closed:
+                    break
+                directive = self.plan.on_chunk(site, len(data))
+                if directive.reset:
+                    _hard_close(src)
+                    _hard_close(dst)
+                    return
+                if directive.delay:
+                    time.sleep(directive.delay)
+                if directive.drip:
+                    nbytes, delay = directive.drip
+                    for i in range(0, len(data), nbytes):
+                        dst.sendall(data[i : i + nbytes])
+                        if i + nbytes < len(data):
+                            time.sleep(delay)
+                else:
+                    dst.sendall(data)
+        except OSError:
+            pass
+        finally:
+            # Half-close so the peer pump drains the other direction, then
+            # dies on its own EOF.
+            for sock in (src, dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for sock in conns:
+            _hard_close(sock)
+
+
+class ChaosFleet:
+    """One proxy per shard, all scripted by one plan.
+
+    ``targets`` is a list of ``(host, port)`` shard addresses; proxy ``i``
+    is named ``shard<i>`` so plan sites line up with shard ids.
+    """
+
+    def __init__(self, targets, plan: NetFaultPlan, host: str = "127.0.0.1"):
+        self.plan = plan
+        self.proxies: List[ChaosProxy] = [
+            ChaosProxy(t_host, t_port, plan, name=f"shard{i}", host=host)
+            for i, (t_host, t_port) in enumerate(targets)
+        ]
+
+    def port_of(self, shard: int) -> int:
+        return self.proxies[shard].port
+
+    def retarget(self, shard: int, port: int, host: Optional[str] = None) -> None:
+        self.proxies[shard].retarget(port, host)
+
+    def close(self) -> None:
+        for proxy in self.proxies:
+            proxy.close()
+
+
+def _hard_close(sock: socket.socket) -> None:
+    """Close with SO_LINGER 0: an RST, the way a killed box disappears.
+
+    ``shutdown(SHUT_RD)`` first: a sibling pump thread may be blocked in
+    ``recv`` on this very socket, and on Linux a plain ``close`` is
+    *deferred* while that syscall holds the file reference — the RST
+    would not hit the wire until the blocked thread woke up on its own
+    (possibly a full peer timeout later).  Shutting down the read side
+    wakes it immediately with EOF; the linger-0 ``close`` then fires the
+    RST at the peer.
+    """
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.shutdown(socket.SHUT_RD)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,432 @@
+"""Shard health: heartbeats, circuit breakers, and automatic failover.
+
+Three cooperating pieces, each a small explicit state machine (drawn out
+in DESIGN.md §12):
+
+* :class:`CircuitBreaker` — per-shard, consulted by the router before
+  every sub-session start.  CLOSED counts consecutive failures; at the
+  threshold it trips OPEN and the router fails fast instead of burning
+  its retry budget on a dead shard.  After a cooldown the breaker lets
+  exactly **one** probe request through (HALF_OPEN); the probe's outcome
+  decides between re-closing and re-opening.
+
+* :class:`HealthMonitor` — a background thread that pings every shard on
+  a fixed cadence with its own short-timeout clients (never the router's
+  connections, so a wedged query can't mask a dead shard and a health
+  probe can't head-of-line-block a query).  Misses move a shard
+  UP → SUSPECT → DOWN; any successful ping snaps it back to UP.
+  Transitions are timestamped into an event log (the failover trace CI
+  uploads) and fanned out to subscribers.
+
+* :class:`FailoverCoordinator` — subscribes to the monitor and, on a
+  DOWN transition, runs that shard's recovery action exactly once on a
+  worker thread (promote the WAL follower for the leader, restart from
+  the durable path for others — the policy lives in
+  :meth:`LocalCluster.start <repro.cluster.local.LocalCluster>`).  If
+  the action returns a new address the monitor is retargeted so the next
+  heartbeat confirms recovery.
+
+Split-brain caveat: DOWN is *suspicion*, not truth — a partitioned-but-
+alive leader looks identical to a dead one from here.  With a single
+monitor (this module) promotion is still safe because the coordinator is
+the only writer of cluster topology; the limitation and its production
+remedies (quorum, fencing via WAL epoch) are documented in DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.server.client import QueryClient
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "UP",
+    "SUSPECT",
+    "DOWN",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "FailoverCoordinator",
+]
+
+# Breaker states
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+# Health states
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+
+
+class CircuitBreaker:
+    """Per-shard failure gate: CLOSED → OPEN → HALF_OPEN → CLOSED.
+
+    Thread-safe; the clock is injectable so tests drive the cooldown
+    without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = CLOSED
+        self.failures = 0  # consecutive, in CLOSED
+        self.opened_at: Optional[float] = None
+        self._probe_inflight = False
+        self.transitions: List[Tuple[float, str, str]] = []
+        self.opens = 0
+
+    def _transition(self, new: str) -> None:
+        if new != self.state:
+            self.transitions.append((self._clock(), self.state, new))
+            if new == OPEN:
+                self.opens += 1
+            self.state = new
+
+    def allow(self) -> bool:
+        """May a request be sent to this shard right now?
+
+        In HALF_OPEN only a single probe is admitted; everything else
+        fails fast until the probe reports back.
+        """
+        with self._lock:
+            if self.state == CLOSED:
+                return True
+            if self.state == OPEN:
+                if self._clock() - (self.opened_at or 0.0) >= self.cooldown:
+                    self._transition(HALF_OPEN)
+                    self._probe_inflight = True
+                    return True
+                return False
+            # HALF_OPEN: one probe at a time
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.failures = 0
+            self._probe_inflight = False
+            if self.state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_inflight = False
+            if self.state == HALF_OPEN:
+                self.opened_at = self._clock()
+                self._transition(OPEN)
+                return
+            self.failures += 1
+            if self.state == CLOSED and self.failures >= self.failure_threshold:
+                self.opened_at = self._clock()
+                self._transition(OPEN)
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self.state,
+                "failures": self.failures,
+                "opens": self.opens,
+                "cooldown": self.cooldown,
+                "threshold": self.failure_threshold,
+            }
+
+
+class _ShardHealth:
+    __slots__ = ("state", "misses", "last_ok", "last_error", "address")
+
+    def __init__(self, address: Tuple[str, int]):
+        self.state = UP
+        self.misses = 0
+        self.last_ok: Optional[float] = None
+        self.last_error: Optional[str] = None
+        self.address = address
+
+
+class HealthMonitor:
+    """Heartbeat every shard; escalate misses UP → SUSPECT → DOWN.
+
+    Parameters
+    ----------
+    targets:
+        ``{shard_id: (host, port)}`` — pinged with dedicated
+        short-timeout :class:`QueryClient` instances (one per shard,
+        recreated after any failure so a stale socket never counts as a
+        miss twice).
+    suspect_after / down_after:
+        Consecutive missed heartbeats before entering SUSPECT / DOWN.
+    probe:
+        Test hook — ``probe(shard) -> bool`` replaces the wire ping.
+    """
+
+    def __init__(
+        self,
+        targets: Dict[int, Tuple[str, int]],
+        interval: float = 0.1,
+        timeout: float = 1.0,
+        suspect_after: int = 1,
+        down_after: int = 3,
+        probe: Optional[Callable[[int], bool]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if down_after < suspect_after:
+            raise ValueError("down_after must be >= suspect_after")
+        self.interval = interval
+        self.timeout = timeout
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self._probe = probe
+        self._clock = clock
+        self._health = {
+            shard: _ShardHealth((host, int(port)))
+            for shard, (host, port) in targets.items()
+        }
+        self._clients: Dict[int, QueryClient] = {}
+        self._subscribers: List[Callable[[int, str, str], None]] = []
+        self.events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def subscribe(self, fn: Callable[[int, str, str], None]) -> None:
+        """``fn(shard, old_state, new_state)`` on every transition."""
+        self._subscribers.append(fn)
+
+    def retarget(self, shard: int, host: str, port: int) -> None:
+        """Point the shard's heartbeat at a new address (post-recovery)."""
+        with self._lock:
+            self._health[shard].address = (host, int(port))
+            client = self._clients.pop(shard, None)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+        self._event("retarget", shard, port=int(port))
+
+    # ------------------------------------------------------------------
+    def _event(self, kind: str, shard: int, **detail: Any) -> None:
+        self.events.append(
+            dict(
+                kind=kind,
+                shard=shard,
+                t_wall=time.time(),
+                t_mono=self._clock(),
+                **detail,
+            )
+        )
+
+    def _ping(self, shard: int) -> bool:
+        if self._probe is not None:
+            try:
+                return bool(self._probe(shard))
+            except Exception:
+                return False
+        with self._lock:
+            client = self._clients.get(shard)
+            address = self._health[shard].address
+        try:
+            if client is None:
+                client = QueryClient(
+                    host=address[0],
+                    port=address[1],
+                    timeout=self.timeout,
+                    retries=1,
+                )
+                with self._lock:
+                    self._clients[shard] = client
+            client.ping()
+            return True
+        except Exception:
+            with self._lock:
+                stale = self._clients.pop(shard, None)
+            if stale is not None:
+                try:
+                    stale.close()
+                except Exception:
+                    pass
+            return False
+
+    def poll_once(self) -> None:
+        """One heartbeat round across all shards (tests call this directly)."""
+        for shard in list(self._health):
+            ok = self._ping(shard)
+            self._note(shard, ok)
+
+    def _note(self, shard: int, ok: bool) -> None:
+        notify: Optional[Tuple[str, str]] = None
+        with self._lock:
+            health = self._health[shard]
+            old = health.state
+            if ok:
+                health.misses = 0
+                health.last_ok = self._clock()
+                health.last_error = None
+                new = UP
+            else:
+                health.misses += 1
+                health.last_error = f"missed heartbeat x{health.misses}"
+                if health.misses >= self.down_after:
+                    new = DOWN
+                elif health.misses >= self.suspect_after:
+                    new = SUSPECT
+                else:
+                    new = old
+            if new != old:
+                health.state = new
+                notify = (old, new)
+        if notify is not None:
+            self._event("transition", shard, old=notify[0], new=notify[1])
+            for fn in list(self._subscribers):
+                try:
+                    fn(shard, notify[0], notify[1])
+                except Exception:
+                    pass  # a broken subscriber must not stop heartbeats
+
+    # ------------------------------------------------------------------
+    def start(self) -> "HealthMonitor":
+        if self._thread is not None:
+            raise RuntimeError("health monitor already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="health-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.poll_once()
+            self._stop.wait(self.interval)
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with self._lock:
+            clients, self._clients = dict(self._clients), {}
+        for client in clients.values():
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    def state_of(self, shard: int) -> str:
+        with self._lock:
+            return self._health[shard].state
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                str(shard): {
+                    "state": h.state,
+                    "misses": h.misses,
+                    "last_ok": h.last_ok,
+                    "last_error": h.last_error,
+                    "address": list(h.address),
+                }
+                for shard, h in self._health.items()
+            }
+
+
+class FailoverCoordinator:
+    """Run each shard's recovery action exactly once per DOWN transition.
+
+    ``actions[shard]`` is a callable invoked on a worker thread (never on
+    the monitor thread — promotion takes real time and heartbeats must
+    keep flowing for the *other* shards).  It may return a new
+    ``(host, port)`` for the recovered shard, which is fed back to the
+    monitor via :meth:`HealthMonitor.retarget`.  A shard with no action
+    (in-memory, nothing to restart from) is left DOWN; the router's
+    breaker and partial-results mode carry the cluster.
+    """
+
+    def __init__(
+        self,
+        monitor: HealthMonitor,
+        actions: Dict[int, Callable[[int], Optional[Tuple[str, int]]]],
+    ):
+        self.monitor = monitor
+        self.actions = dict(actions)
+        self.events: List[Dict[str, Any]] = []
+        self._inflight: set = set()
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        monitor.subscribe(self._on_transition)
+
+    def _on_transition(self, shard: int, old: str, new: str) -> None:
+        if new != DOWN:
+            return
+        action = self.actions.get(shard)
+        if action is None:
+            self._event("no_action", shard)
+            return
+        with self._lock:
+            if shard in self._inflight:
+                return  # recovery already running
+            self._inflight.add(shard)
+        thread = threading.Thread(
+            target=self._recover,
+            args=(shard, action),
+            name=f"failover-shard{shard}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _recover(self, shard: int, action) -> None:
+        self._event("recovery_started", shard)
+        try:
+            address = action(shard)
+        except Exception as exc:
+            self._event("recovery_failed", shard, error=repr(exc))
+        else:
+            if address is not None:
+                self.monitor.retarget(shard, address[0], address[1])
+            self._event(
+                "recovery_done",
+                shard,
+                address=list(address) if address else None,
+            )
+        finally:
+            with self._lock:
+                self._inflight.discard(shard)
+
+    def _event(self, kind: str, shard: int, **detail: Any) -> None:
+        self.events.append(
+            dict(
+                kind=kind,
+                shard=shard,
+                t_wall=time.time(),
+                t_mono=time.monotonic(),
+                **detail,
+            )
+        )
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no recovery is in flight (tests / clean shutdown)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    return True
+            time.sleep(0.02)
+        return False

@@ -5,8 +5,8 @@ leader and watch the follower take over) on one machine:
 
 * :class:`ShardProcess` — ``fork`` one single-node
   :class:`~repro.server.app.SpatialQueryServer` over its own database
-  (in-memory, or file+WAL for the replicated leader) and report the
-  bound port back through a pipe.
+  (in-memory, or file+WAL for durable shards) and report the bound port
+  back through a pipe.
 * :class:`LocalCluster` — the whole topology: N shard processes, the
   in-process :class:`~repro.cluster.router.RouterServer`, and (when
   ``replicated``) a :class:`~repro.cluster.replication.WalFollower`
@@ -14,10 +14,33 @@ leader and watch the follower take over) on one machine:
   router's ``put``, kill-the-leader, and :meth:`failover` (promote the
   follower to an in-process replacement leader).
 
-Process hygiene: shards are forked **before** any thread starts in this
-process (the router server and the follower both run threads), because
-forking a threaded process clones locks in unknown states.  ``start()``
-enforces that ordering.
+Resilience wiring (all opt-in):
+
+* ``chaos_plan`` — a :class:`~repro.cluster.chaos.NetFaultPlan`; every
+  shard connection is routed through a :class:`~repro.cluster.chaos
+  .ChaosProxy` so the plan's resets/latency/partitions/drips hit real
+  TCP traffic.  The proxies' stable ports double as the indirection
+  layer failover repoints (a promoted or restarted shard slots in
+  behind the same proxy address).
+* ``durable`` — every shard (not just the replicated leader) runs
+  file+WAL-backed, which is what makes :meth:`restart_shard` possible:
+  a SIGKILLed non-leader comes back via ordinary WAL crash recovery.
+* ``auto_heal`` — a :class:`~repro.cluster.health.HealthMonitor`
+  heartbeats every shard and a :class:`~repro.cluster.health
+  .FailoverCoordinator` runs the recovery policy on DOWN: the
+  replicated leader is **promoted** (the PR 7 manual ``failover()``,
+  now automatic and idempotent), durable non-leaders are **restarted**
+  from their WAL, in-memory non-leaders are left to the router's
+  breaker + partial-results degradation (there is nothing to restart
+  from).
+
+Process hygiene: the initial shards are forked **before** any thread
+starts in this process (the router server, follower, monitor and chaos
+proxies all run threads), because forking a threaded process clones
+locks in unknown states.  ``start()`` enforces that ordering; the one
+exception, :meth:`restart_shard`, must create a process *after* threads
+exist and therefore uses the ``spawn`` context (fresh interpreter, no
+inherited locks) at the cost of a slower start.
 """
 
 from __future__ import annotations
@@ -26,8 +49,12 @@ import multiprocessing
 import os
 import signal
 import tempfile
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.cluster.chaos import ChaosFleet, NetFaultPlan
+from repro.cluster.health import FailoverCoordinator, HealthMonitor
 from repro.cluster.partition import ClusterError, GridPartitioner
 from repro.cluster.replication import WalFollower
 from repro.cluster.router import RouterServer, RouterService, ShardHandle
@@ -46,9 +73,15 @@ DEFAULT_DDL = (
 def _shard_main(conn, shard_id: int, path: Optional[str], server_kwargs) -> None:
     """Child-process entry: serve one shard until SIGTERM drains it."""
     import asyncio
+    import faulthandler
+    import signal
 
     from repro.engine.database import Database
     from repro.server.app import SpatialQueryServer
+
+    # `kill -USR1 <shard pid>` dumps every thread's stack to stderr —
+    # the first question a wedged-shard investigation asks.
+    faulthandler.register(signal.SIGUSR1)
 
     db = Database() if path is None else Database.open(path, durability="wal")
 
@@ -65,22 +98,30 @@ def _shard_main(conn, shard_id: int, path: Optional[str], server_kwargs) -> None
 
 
 class ShardProcess:
-    """One forked shard server; knows how to die politely or violently."""
+    """One forked shard server; knows how to die politely or violently.
+
+    ``mp_context`` picks the multiprocessing start method: ``fork`` for
+    the initial fleet (started before any thread exists), ``spawn`` for
+    mid-life restarts — a fork from a threaded parent clones lock state,
+    a spawn starts clean.
+    """
 
     def __init__(
         self,
         shard_id: int,
         path: Optional[str] = None,
+        mp_context: str = "fork",
         **server_kwargs: Any,
     ):
         self.shard_id = shard_id
         self.path = path
+        self.mp_context = mp_context
         self.server_kwargs = server_kwargs
         self.port: Optional[int] = None
         self._proc: Optional[multiprocessing.Process] = None
 
     def start(self) -> "ShardProcess":
-        ctx = multiprocessing.get_context("fork")
+        ctx = multiprocessing.get_context(self.mp_context)
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         self._proc = ctx.Process(
             target=_shard_main,
@@ -135,6 +176,12 @@ class LocalCluster:
         halo: float = 0.0,
         replicated: bool = False,
         allow_partial: bool = False,
+        durable: bool = False,
+        chaos_plan: Optional[NetFaultPlan] = None,
+        auto_heal: bool = False,
+        health_check: bool = False,
+        health_kwargs: Optional[Dict[str, Any]] = None,
+        client_timeout: float = 30.0,
         workdir: Optional[str] = None,
         leader: int = 0,
         shard_kwargs: Optional[Dict[str, Any]] = None,
@@ -148,11 +195,17 @@ class LocalCluster:
         self.partitioner = GridPartitioner.build(box, nshards, n_entries_hint, halo)
         self.replicated = replicated
         self.allow_partial = allow_partial
+        self.durable = durable
+        self.chaos_plan = chaos_plan
+        self.auto_heal = auto_heal
+        self.health_check = health_check or auto_heal
+        self.health_kwargs = dict(health_kwargs or {})
+        self.client_timeout = client_timeout
         self.leader = leader
         self.shard_kwargs = shard_kwargs or {}
         self.router_kwargs = router_kwargs
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
-        if workdir is None and replicated:
+        if workdir is None and (replicated or durable):
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
             workdir = self._tmpdir.name
         self.workdir = workdir
@@ -162,7 +215,31 @@ class LocalCluster:
         self.router: Optional[RouterService] = None
         self.server = None  # BackgroundServer running the RouterServer
         self.port: Optional[int] = None
+        self.chaos: Optional[ChaosFleet] = None
+        self.monitor: Optional[HealthMonitor] = None
+        self.coordinator: Optional[FailoverCoordinator] = None
+        self.events: List[Dict[str, Any]] = []  # failover/restart timeline
         self._promoted = []  # in-process replacement leaders (failover)
+        self._failover_lock = threading.Lock()
+        self._failed_over = False
+
+    # ------------------------------------------------------------------
+    def _shard_path(self, shard: int) -> Optional[str]:
+        if self.durable or (self.replicated and shard == self.leader):
+            return os.path.join(self.workdir, f"shard{shard}.db")
+        return None
+
+    def endpoint_port(self, shard: int) -> int:
+        """The port the router/monitor should dial for ``shard``: the
+        chaos proxy when one is wired, the shard itself otherwise."""
+        if self.chaos is not None:
+            return self.chaos.port_of(shard)
+        return self.procs[shard].port
+
+    def _event(self, kind: str, **detail: Any) -> None:
+        self.events.append(
+            dict(kind=kind, t_wall=time.time(), t_mono=time.monotonic(), **detail)
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> "LocalCluster":
@@ -170,24 +247,48 @@ class LocalCluster:
 
         # Fork every shard before any thread exists in this process.
         for shard in range(self.nshards):
-            path = None
-            if self.replicated and shard == self.leader:
-                path = os.path.join(self.workdir, f"shard{shard}.db")
             self.procs.append(
-                ShardProcess(shard, path=path, **self.shard_kwargs).start()
+                ShardProcess(
+                    shard, path=self._shard_path(shard), **self.shard_kwargs
+                ).start()
+            )
+        if self.chaos_plan is not None:
+            self.chaos = ChaosFleet(
+                [("127.0.0.1", proc.port) for proc in self.procs],
+                self.chaos_plan,
             )
         self.handles = [
             ShardHandle(
                 proc.shard_id,
-                QueryClient(port=proc.port, retries=5, timeout=30.0),
+                QueryClient(
+                    port=self.endpoint_port(proc.shard_id),
+                    retries=5,
+                    timeout=self.client_timeout,
+                ),
             )
             for proc in self.procs
         ]
         if self.replicated:
+            # Replication tails the leader *directly* (not through the
+            # chaos proxy): the query path is what the chaos gate stresses,
+            # and the follower-reconnect tests wrap their own proxy.
             self.follower = WalFollower(
                 QueryClient(port=self.procs[self.leader].port, retries=5),
                 os.path.join(self.workdir, "replica.db"),
             ).start()
+        if self.health_check:
+            self.monitor = HealthMonitor(
+                {
+                    shard: ("127.0.0.1", self.endpoint_port(shard))
+                    for shard in range(self.nshards)
+                },
+                **self.health_kwargs,
+            )
+        commit_shards = frozenset(
+            shard
+            for shard in range(self.nshards)
+            if self.procs[shard].path is not None
+        )
         self.router = RouterService(
             self.handles,
             self.partitioner,
@@ -195,6 +296,8 @@ class LocalCluster:
             follower=self.follower,
             replicated=self.replicated,
             allow_partial=self.allow_partial,
+            health=self.monitor,
+            commit_shards=commit_shards or None,
             **self.router_kwargs,
         )
         self.server = BackgroundServer(
@@ -205,6 +308,18 @@ class LocalCluster:
             port=self.router_port,
         ).start()
         self.port = self.server.port
+        if self.monitor is not None:
+            if self.auto_heal:
+                actions: Dict[int, Any] = {}
+                for shard in range(self.nshards):
+                    if shard == self.leader and self.replicated:
+                        actions[shard] = self._heal_leader
+                    elif self.procs[shard].path is not None:
+                        actions[shard] = self.restart_shard
+                    # else: in-memory non-leader — nothing to restart from;
+                    # breaker + partial-results mode degrade around it
+                self.coordinator = FailoverCoordinator(self.monitor, actions)
+            self.monitor.start()
         return self
 
     # ------------------------------------------------------------------
@@ -248,36 +363,114 @@ class LocalCluster:
     def kill_leader(self) -> None:
         self.procs[self.leader].kill()
 
-    def failover(self) -> None:
+    def kill_shard(self, shard: int) -> None:
+        self.procs[shard].kill()
+
+    def failover(self) -> Tuple[str, int]:
         """Promote the follower to a serving leader and rewire the router.
 
         The replica file already holds every acked commit; promotion
         seals it, opens it as an ordinary WAL-backed database, serves it
         from an in-process server, and atomically swaps the leader's
-        shard handle to the new port.  Queries in flight against the
-        dead leader fail typed (``SHARD_FAILED``); queries started after
-        this returns hit the promoted replica.
+        shard handle to the new port (behind the chaos proxy when one is
+        wired, so plan sites keep matching).  Queries in flight against
+        the dead leader fail typed (``SHARD_FAILED``) — or are resumed
+        transparently by the router's re-scatter layer; queries started
+        after this returns hit the promoted replica.  Idempotent: the
+        health monitor and a human operator racing each other promote
+        exactly once.
         """
-        if self.follower is None:
-            raise ClusterError("failover() needs a replicated cluster")
-        from repro.engine.database import Database
-        from repro.server.app import BackgroundServer
+        with self._failover_lock:
+            if self._failed_over:
+                return ("127.0.0.1", self.endpoint_port(self.leader))
+            if self.follower is None:
+                raise ClusterError("failover() needs a replicated cluster")
+            from repro.engine.database import Database
+            from repro.server.app import BackgroundServer
 
-        path = self.follower.promote()
-        db = Database.open(path, durability="wal")
-        promoted = BackgroundServer(db, shard_id=self.leader).start()
-        self._promoted.append((promoted, db))
-        self.handles[self.leader].replace(
-            QueryClient(port=promoted.port, retries=5, timeout=30.0)
+            self._event("failover_started", shard=self.leader)
+            path = self.follower.promote()
+            db = Database.open(path, durability="wal")
+            promoted = BackgroundServer(db, shard_id=self.leader).start()
+            self._promoted.append((promoted, db))
+            port = promoted.port
+            if self.chaos is not None:
+                self.chaos.retarget(self.leader, port)
+                port = self.chaos.port_of(self.leader)
+            self.handles[self.leader].replace(
+                QueryClient(port=port, retries=5, timeout=self.client_timeout)
+            )
+            self.router.reset_breaker(self.leader)
+            # The WAL that was being tailed died with the old leader; the
+            # promoted node serves unreplicated until a new follower
+            # attaches.
+            self.router.follower = None
+            self.router.replicated = False
+            self.follower = None
+            self._failed_over = True
+            self.router._bump("failovers")
+            self._event("failover_done", shard=self.leader, port=port)
+            return ("127.0.0.1", port)
+
+    def _heal_leader(self, shard: int) -> Tuple[str, int]:
+        """Coordinator action for a DOWN leader: promote the follower."""
+        return self.failover()
+
+    def restart_shard(self, shard: int) -> Tuple[str, int]:
+        """Bring a durable shard back from its on-disk state (WAL recovery).
+
+        Uses the ``spawn`` start method — the parent is threaded by now —
+        and repoints the chaos proxy / shard handle at the new port.  The
+        stable proxy address means in-flight retry loops find the
+        restarted shard without topology changes.
+        """
+        proc = self.procs[shard]
+        if proc.path is None:
+            raise ClusterError(
+                f"shard {shard} is in-memory; only durable shards restart"
+            )
+        self._event("restart_started", shard=shard)
+        proc.kill()  # ensure the old process is fully gone first
+        replacement = ShardProcess(
+            shard, path=proc.path, mp_context="spawn", **self.shard_kwargs
+        ).start()
+        self.procs[shard] = replacement
+        port = replacement.port
+        if self.chaos is not None:
+            self.chaos.retarget(shard, port)
+            port = self.chaos.port_of(shard)
+        self.handles[shard].replace(
+            QueryClient(port=port, retries=5, timeout=self.client_timeout)
         )
-        # The WAL that was being tailed died with the old leader; the
-        # promoted node serves unreplicated until a new follower attaches.
-        self.router.follower = None
-        self.router.replicated = False
-        self.follower = None
+        if self.router is not None:
+            self.router.reset_breaker(shard)
+            self.router._bump("restarts")
+        self._event("restart_done", shard=shard, port=port)
+        return ("127.0.0.1", port)
+
+    def resilience_events(self) -> List[Dict[str, Any]]:
+        """The merged failure/recovery timeline, ordered by monotonic time.
+
+        Combines chaos-plan injections, health transitions, coordinator
+        recoveries and cluster failover/restart events — this is the
+        trace the CI network-chaos job uploads and the MTTR bench mines.
+        """
+        merged: List[Dict[str, Any]] = list(self.events)
+        if self.chaos_plan is not None:
+            merged.extend(self.chaos_plan.events)
+        if self.monitor is not None:
+            merged.extend(self.monitor.events)
+        if self.coordinator is not None:
+            merged.extend(self.coordinator.events)
+        return sorted(merged, key=lambda e: e.get("t_mono", 0.0))
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
+        if self.monitor is not None:
+            self.monitor.stop()
+        if self.coordinator is not None:
+            self.coordinator.wait_idle(timeout=5.0)
+            self.coordinator = None
         if self.follower is not None:
             self.follower.close()
             self.follower = None
@@ -300,6 +493,10 @@ class LocalCluster:
         for proc in self.procs:
             proc.stop()
         self.procs = []
+        if self.chaos is not None:
+            self.chaos.close()
+            self.chaos = None
+        self.monitor = None
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None

@@ -60,13 +60,29 @@ class WalFollower:
     background thread just calls :meth:`poll` on an interval.
     """
 
-    def __init__(self, client, replica_path: str, poll_interval: float = 0.02):
+    def __init__(
+        self,
+        client,
+        replica_path: str,
+        poll_interval: float = 0.02,
+        reconnect_backoff: float = 0.05,
+        reconnect_cap: float = 2.0,
+        max_reconnects: Optional[int] = None,
+    ):
         self.client = client
         self.replica_path = str(replica_path)
         self.poll_interval = poll_interval
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_cap = reconnect_cap
+        #: consecutive transient failures tolerated before giving up;
+        #: ``None`` keeps retrying until stopped/promoted — a follower's
+        #: whole job is to outwait leader blips
+        self.max_reconnects = max_reconnects
         self.applied_lsn = 0
         self.commits_applied = 0
         self.records_applied = 0
+        self.reconnects = 0
+        self.last_error: Optional[BaseException] = None
         self.error: Optional[BaseException] = None
         self._state_path = self.replica_path + ".replstate"
         self._pager: Optional[WalPager] = None
@@ -212,15 +228,42 @@ class WalFollower:
         return self
 
     def _run(self) -> None:
+        consecutive = 0
         while not self._stop.is_set():
             try:
                 self.poll()
-            except BaseException as exc:  # noqa: BLE001 - reported via error
-                # The leader being down is the *expected* end state of a
-                # follower (that is what promotion is for): remember the
-                # error and stop tailing instead of spinning.
+                consecutive = 0
+            except ReplicationError as exc:
+                # Divergence (the leader's log was truncated past our
+                # position): retrying cannot help — a fresh bootstrap is
+                # needed.  Remember the error and stop tailing.
                 self.error = exc
                 return
+            except BaseException as exc:  # noqa: BLE001 - reported via error
+                # A transient connection loss must NOT kill the tail
+                # thread: the client reconnects lazily on the next
+                # request, ``applied_lsn`` (durably mirrored in the
+                # ``.replstate`` sidecar) marks where to resume, and
+                # replay below that LSN is idempotent.  Back off with a
+                # capped exponential delay and try again; a leader that
+                # is down for good is ended by stop()/promote(), or by
+                # ``max_reconnects`` when one was configured.
+                consecutive += 1
+                self.last_error = exc
+                if (
+                    self.max_reconnects is not None
+                    and consecutive > self.max_reconnects
+                ):
+                    self.error = exc
+                    return
+                delay = min(
+                    self.reconnect_backoff * (2.0 ** (consecutive - 1)),
+                    self.reconnect_cap,
+                )
+                if self._stop.wait(delay):
+                    return
+                self.reconnects += 1
+                continue
             self._stop.wait(self.poll_interval)
 
     def stop(self) -> None:
@@ -278,6 +321,10 @@ class WalFollower:
             "applied_lsn": self.applied_lsn,
             "commits_applied": self.commits_applied,
             "records_applied": self.records_applied,
+            "reconnects": self.reconnects,
             "tailing": self._thread is not None and self._thread.is_alive(),
             "error": repr(self.error) if self.error is not None else None,
+            "last_error": (
+                repr(self.last_error) if self.last_error is not None else None
+            ),
         }

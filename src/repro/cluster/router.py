@@ -22,18 +22,46 @@ the engine, ``open`` **scatters**: it starts one sub-session per shard
 * ``sql`` — broadcast (DDL/admin); rowcounts sum, rows come from the
   leader shard only.
 
-**Partial failure** is typed: a dead shard raises ``SHARD_FAILED`` to
-the client mid-stream, unless the session opted in with
-``partial: true`` — then the stream skips the shard and reports it in
-the close summary's ``failed_shards``.  Per-shard deadlines ride the
-normal ``deadline_ms`` session mechanism on each sub-session.
+**Resilience.**  Every sub-session start and fetch is wrapped in a
+retry layer governed by a :class:`RetryPolicy`:
+
+* *per-shard retry with exponential backoff* — transient failures
+  (connection loss, ``OVERLOADED``, a shard draining) re-start the
+  shard's sub-session; a **global retry budget** per router session
+  bounds the total, and the session's ``deadline_ms`` (propagated from
+  the server via ``ctx.deadline``) bounds retry scheduling so a retried
+  query can never outlive its deadline.
+* *mid-stream re-scatter* — a shard lost **between fetch pages** is
+  resumed exactly: shard row order is deterministic (same index, same
+  WAL-replayed state, same canonical-tile slice), so the replacement
+  sub-session re-runs the shard's slice and skips the rows already
+  delivered.  Tile ownership guarantees the rows of the failed shard
+  come only from that shard, so the overall result is bit-identical to
+  the fault-free run.
+* *hedged reads* — for ``window``/``knn`` (idempotent, order-stable),
+  when a fetch page exceeds the ``hedge_ms`` latency SLO the slow
+  sub-session is abandoned and re-scattered on a **fresh connection**
+  (the wedged wire call may hold the shard handle's lock), again with
+  skip-resume.  Tail latency is cut without ever double-counting rows.
+* *circuit breakers* — consulted before every sub-session start; a
+  shard that keeps failing trips its breaker OPEN and later scatters
+  fail fast instead of burning the retry budget (see
+  :mod:`repro.cluster.health`).
+
+**Partial failure** stays typed: a shard that fails beyond the retry
+layer raises ``SHARD_FAILED`` to the client mid-stream, unless the
+session opted in with ``partial: true`` — then the stream skips the
+shard and reports it in the close summary's ``failed_shards``.
 
 Writes go through the router-only ``put`` op: each row is placed on its
 primary shard and halo-replicated (see
 :mod:`repro.cluster.partition`), and — when the leader is replicated —
 the router waits for the follower to ack the commit LSN before
 acknowledging the client (semi-synchronous replication, the contract
-the kill-the-leader failover test holds it to).
+the kill-the-leader failover test holds it to).  Writes retry only on
+failures that provably precede any server-side effect (refused
+connection, admission rejection): re-sending an INSERT after an
+ambiguous mid-flight loss could double-apply it.
 
 ``RouterService.lock`` is ``None`` deliberately: the single-node service
 serialises engine work behind one lock, but the router's whole point is
@@ -44,11 +72,12 @@ instead, and router sessions interleave freely on the fetch pool.
 from __future__ import annotations
 
 import heapq
+import random
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ReproError, RetriableError, ServerError
+from repro.errors import ProtocolError, ReproError, RetriableError, ServerError
 from repro.geometry.wkt import from_wkt
 from repro.obs import trace
 from repro.server import protocol
@@ -56,12 +85,65 @@ from repro.server.app import SpatialQueryServer
 from repro.server.client import QueryClient, RemoteError
 from repro.server.metrics import aggregate_snapshots
 from repro.server.service import BadRequest
+from repro.server.session import SessionCancelled
+from repro.cluster.health import OPEN, CircuitBreaker
 from repro.cluster.partition import ClusterError, GridPartitioner
 
-__all__ = ["ShardFailed", "ShardHandle", "RouterService", "RouterServer"]
+__all__ = [
+    "ShardFailed",
+    "ShardHandle",
+    "RetryPolicy",
+    "RouterService",
+    "RouterServer",
+]
 
 #: sub-session page size the gather streams fetch with
 GATHER_PAGE = 1024
+
+#: page size used when skip-resuming an interrupted sub-session
+RESUME_PAGE = 4096
+
+#: remote error codes that are safe to retry with a fresh sub-session —
+#: the old session is gone (or was never admitted), so re-running the
+#: shard's deterministic slice and skipping delivered rows is exact
+_RETRIABLE_REMOTE = frozenset(
+    {
+        protocol.ERR_OVERLOADED,
+        protocol.ERR_SHUTTING_DOWN,
+        protocol.ERR_UNKNOWN_SESSION,  # conn reset killed the session server-side
+    }
+)
+
+#: codes that provably precede any server-side effect — the only ones a
+#: *write* may retry on
+_RETRIABLE_WRITE = frozenset(
+    {protocol.ERR_OVERLOADED, protocol.ERR_SHUTTING_DOWN}
+)
+
+
+def _retriable(exc: BaseException) -> bool:
+    if isinstance(exc, RemoteError):
+        return exc.code in _RETRIABLE_REMOTE
+    # ProtocolError is "the connection died mid-exchange" (e.g. a proxy or
+    # peer closed on us): any session on that wire is already gone
+    # server-side, so re-scattering the read is exact.  Writes must NOT
+    # treat it as retriable — see ``_retriable_write``.
+    return isinstance(exc, (RetriableError, ProtocolError, OSError))
+
+
+def _retriable_write(exc: BaseException) -> bool:
+    if isinstance(exc, RemoteError):
+        return exc.code in _RETRIABLE_WRITE
+    if isinstance(exc, RetriableError):
+        return exc.code == "CONNECT_FAILED"  # refused: nothing reached the shard
+    return isinstance(exc, ConnectionRefusedError)
+
+
+#: scattered kinds whose shard-side *start* has side effects (the SQL
+#: broadcast executes its statement on admission) — an ambiguous
+#: mid-flight loss must not re-start their sub-sessions, or a CREATE or
+#: INSERT that did land gets applied twice
+_WRITE_KINDS = frozenset({"sql"})
 
 
 class ShardFailed(ServerError):
@@ -73,6 +155,94 @@ class ShardFailed(ServerError):
         super().__init__(f"shard {shard} failed: {cause}")
         self.shard = shard
         self.cause = cause
+
+
+class RetryPolicy:
+    """Knobs for the router's retry/hedging layer.
+
+    ``max_attempts`` bounds attempts per sub-session start; ``budget``
+    bounds retries across one whole router session (a scatter touching N
+    shards shares it); ``hedge_ms`` — when set — is the per-fetch latency
+    SLO beyond which window/knn reads are hedged on a fresh connection.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        budget: int = 8,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        jitter: float = 0.25,
+        hedge_ms: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if max_attempts < 1:
+            raise ClusterError("retry max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.budget = budget
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.hedge_ms = hedge_ms
+        self.rng = rng if rng is not None else random.Random()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "budget": self.budget,
+            "backoff": self.backoff,
+            "backoff_cap": self.backoff_cap,
+            "hedge_ms": self.hedge_ms,
+        }
+
+
+class _RetryState:
+    """Per-router-session retry accounting: budget + deadline."""
+
+    __slots__ = ("policy", "deadline", "budget_left", "retries", "hedges", "_lock")
+
+    def __init__(self, policy: RetryPolicy, deadline: Optional[float]):
+        self.policy = policy
+        self.deadline = deadline  # absolute time.monotonic() bound, or None
+        self.budget_left = policy.budget
+        self.retries = 0
+        self.hedges = 0
+        self._lock = threading.Lock()
+
+    def remaining(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def sub_deadline_ms(self, base_ms: Optional[int]) -> Optional[int]:
+        """Deadline to hand a sub-session: min(per-shard, session remaining)."""
+        remaining = self.remaining()
+        if remaining is None:
+            return base_ms
+        remaining_ms = max(1, int(remaining * 1000))
+        if base_ms is None:
+            return remaining_ms
+        return min(int(base_ms), remaining_ms)
+
+    def consume(self) -> bool:
+        """Spend one unit of the session's retry budget."""
+        with self._lock:
+            if self.budget_left <= 0:
+                return False
+            self.budget_left -= 1
+            self.retries += 1
+            return True
+
+    def sleep_within_deadline(self, attempt: int) -> bool:
+        """Back off before a retry; False if the deadline would pass first."""
+        policy = self.policy
+        delay = min(policy.backoff * (2.0 ** attempt), policy.backoff_cap)
+        delay *= 1.0 + policy.jitter * policy.rng.random()
+        remaining = self.remaining()
+        if remaining is not None and delay >= remaining:
+            return False
+        time.sleep(delay)
+        return True
 
 
 class ShardHandle:
@@ -114,6 +284,12 @@ class ShardHandle:
         except (ReproError, OSError):
             pass  # a dead shard has no sessions left to leak
 
+    def address(self) -> Tuple[str, int, float]:
+        """Current ``(host, port, timeout)`` — read lock-free on purpose:
+        a hedge needs the address while the wedged call holds the lock."""
+        client = self.client
+        return client.host, client.port, client.timeout
+
     def replace(self, client: QueryClient) -> None:
         with self.lock:
             try:
@@ -122,16 +298,52 @@ class ShardHandle:
                 pass
             self.client = client
 
+    def interrupt(self) -> None:
+        """Unblock any wire call stuck on this handle (shutdown path)."""
+        self.client.interrupt()
+
 
 class _SubSession:
     """Router-side record of one started shard sub-session."""
 
-    __slots__ = ("handle", "session_id", "extra")
+    __slots__ = ("handle", "session_id", "extra", "private", "done")
 
-    def __init__(self, handle: ShardHandle, session_id: str, extra: Dict[str, Any]):
+    def __init__(
+        self,
+        handle: ShardHandle,
+        session_id: str,
+        extra: Dict[str, Any],
+        private: bool = False,
+    ):
         self.handle = handle
         self.session_id = session_id
         self.extra = extra
+        #: True when ``handle`` is a dedicated (hedge) connection the
+        #: stream owns and must close, not the shared fleet handle
+        self.private = private
+        self.done = False
+
+
+class _Resume(Exception):
+    """Internal: this sub-session must be re-scattered with skip-resume."""
+
+    def __init__(
+        self,
+        cause: BaseException,
+        hedge: bool = False,
+        abandoned_thread: Optional[threading.Thread] = None,
+    ):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.hedge = hedge
+        self.abandoned_thread = abandoned_thread
+
+
+#: what the per-kind gather generators catch around ``drain``
+_FETCH_ERRORS = (RemoteError, RetriableError, ProtocolError, OSError, ShardFailed)
+
+#: what the sub-session start/fetch/scatter paths catch as shard trouble
+_WIRE_ERRORS = (RemoteError, RetriableError, ProtocolError, OSError)
 
 
 class _GatherStream:
@@ -139,13 +351,32 @@ class _GatherStream:
 
     Exposes the ``info`` dict :meth:`ServerSession.close_info` ships in
     the close summary (per-shard row counts, shards skipped under
-    partial-results mode).  ``rows_fn`` decides the gather order —
-    concatenation for window/join/sql, k-way merge for knn.
+    partial-results mode, retry/hedge counts).  ``rows_fn`` decides the
+    gather order — concatenation for window/join/sql, k-way merge for
+    knn.  The stream also carries everything a mid-query re-scatter
+    needs to rebuild one shard's slice: the kind, the per-shard params
+    function, and the retry state.
     """
 
-    def __init__(self, service: "RouterService", subs, rows_fn):
+    def __init__(
+        self,
+        service: "RouterService",
+        rows_fn,
+        kind: str,
+        shard_params: Callable[[int], Dict[str, Any]],
+        deadline_ms: Optional[int],
+        state: _RetryState,
+        allow_partial: bool,
+        hedgeable: bool = False,
+    ):
         self._service = service
-        self._subs: List[_SubSession] = subs
+        self._subs: List[_SubSession] = []
+        self.kind = kind
+        self.shard_params = shard_params
+        self.deadline_ms = deadline_ms
+        self.state = state
+        self.allow_partial = allow_partial
+        self.hedgeable = hedgeable
         self.info: Dict[str, Any] = {
             "shards": len(service.handles),
             "rows_per_shard": {},
@@ -153,6 +384,7 @@ class _GatherStream:
         }
         self._gen = rows_fn(self)
         self._closed = False
+        self._cancelled = False
 
     def __iter__(self):
         return self
@@ -161,20 +393,34 @@ class _GatherStream:
         return next(self._gen)
 
     # -- helpers the gather generators use -----------------------------
-    def drain(self, sub: _SubSession, page: int = GATHER_PAGE):
-        """Yield one sub-session's rows, paging until eof."""
+    def drain(self, sub: _SubSession, page: Optional[int] = None):
+        """Yield one sub-session's rows, paging until eof.
+
+        Transient failures between pages re-scatter the shard's slice
+        and resume after the rows already yielded; fetches past the
+        hedge SLO do the same on a fresh connection.  Either way the
+        byte-for-byte row sequence is preserved (deterministic shard
+        order + exact skip).
+        """
+        if page is None:
+            page = self._service.gather_page
         count = 0
         eof = False
         try:
             while not eof:
-                rows, eof = sub.handle.fetch(sub.session_id, page)
+                self._check_cancelled()
+                try:
+                    rows, eof = self._service._fetch_page(self, sub, page)
+                except _Resume as sig:
+                    sub = self._service._rescatter(self, sub, count, sig)
+                    continue
                 count += len(rows)
                 for row in rows:
                     yield row
         finally:
             self.info["rows_per_shard"][str(sub.handle.shard)] = count
             if eof:
-                sub.handle.close_session(sub.session_id)
+                self._retire(sub)
 
     def shard_failed(self, sub: _SubSession, exc: BaseException) -> None:
         """Record a failure; re-raise typed unless partial mode allows it."""
@@ -182,17 +428,102 @@ class _GatherStream:
         self.info["failed_shards"].append(
             {"shard": sub.handle.shard, "error": str(exc)}
         )
-        if not self._service.allow_partial:
+        sub.done = True  # its session is unreachable; don't close it again
+        if not self.allow_partial:
+            if isinstance(exc, ShardFailed):
+                raise exc
             raise ShardFailed(sub.handle.shard, str(exc)) from exc
+
+    def _check_cancelled(self) -> None:
+        if self._cancelled:
+            raise SessionCancelled(
+                protocol.ERR_SHUTTING_DOWN,
+                "scatter-gather cancelled: router shutting down",
+            )
+
+    def _retire(self, sub: _SubSession) -> None:
+        """Close a finished sub-session (and its private wire, if any).
+
+        Best-effort: the shard may have died (or dropped the session on a
+        connection reset) after delivering its rows — that must not turn
+        a completed stream into an error.
+        """
+        if sub.done:
+            return
+        sub.done = True
+        try:
+            sub.handle.close_session(sub.session_id)
+        except _WIRE_ERRORS:
+            pass
+        if sub.private:
+            try:
+                sub.handle.client.close()
+            except OSError:
+                pass
+
+    def _replace_sub(self, old: _SubSession, new: _SubSession) -> None:
+        for i, sub in enumerate(self._subs):
+            if sub is old:
+                self._subs[i] = new
+                return
+        self._subs.append(new)
+
+    def _abandon(self, sub: _SubSession, fetch_thread: Optional[threading.Thread]) -> None:
+        """Detach a hedged-away sub-session; clean it up off the hot path.
+
+        The wedged fetch may hold the handle lock for seconds — closing
+        inline would forfeit the hedge's latency win, so a daemon thread
+        waits it out and then closes the session best-effort.
+        """
+        sub.done = True  # stream-level close must not touch it again
+
+        def _cleanup() -> None:
+            if fetch_thread is not None:
+                fetch_thread.join(timeout=60.0)
+            try:
+                sub.handle.close_session(sub.session_id)
+            except _WIRE_ERRORS:
+                pass
+            if sub.private:
+                try:
+                    sub.handle.client.close()
+                except OSError:
+                    pass
+
+        threading.Thread(
+            target=_cleanup, name="router-hedge-cleanup", daemon=True
+        ).start()
+
+    def cancel(self) -> None:
+        """Cancel cooperatively *and* unblock in-flight wire calls.
+
+        Called by the server's graceful drain: the next ``drain`` step
+        raises a typed ``SHUTTING_DOWN`` cancellation, and interrupting
+        the shard sockets makes "next step" arrive now rather than at
+        socket timeout.
+        """
+        self._cancelled = True
+        for sub in list(self._subs):
+            if not sub.done:
+                try:
+                    sub.handle.interrupt()
+                except Exception:
+                    pass
 
     def close(self) -> None:
         """Close surviving sub-sessions; stitch shard spans if tracing."""
         if self._closed:
             return
         self._closed = True
-        self._gen.close()
+        try:
+            self._gen.close()
+        except ValueError:
+            # A force-close (drain timeout) can land while a fetch worker
+            # is still inside the generator; flag cancellation so it
+            # exits at its next checkpoint instead of crashing the close.
+            self._cancelled = True
         for sub in self._subs:
-            sub.handle.close_session(sub.session_id)
+            self._retire(sub)
         self._service.stitch_traces()
 
 
@@ -213,6 +544,12 @@ class RouterService:
         shard_deadline_ms: Optional[int] = None,
         commit_timeout: float = 5.0,
         id_column: str = "id",
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        health=None,
+        gather_page: int = GATHER_PAGE,
+        commit_shards: Optional[Iterable[int]] = None,
     ):
         if not handles:
             raise ClusterError("a router needs at least one shard")
@@ -230,7 +567,69 @@ class RouterService:
         self.shard_deadline_ms = shard_deadline_ms
         self.commit_timeout = commit_timeout
         self.id_column = id_column
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breakers: Dict[int, CircuitBreaker] = {
+            handle.shard: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for handle in handles
+        }
+        self.health = health  # optional HealthMonitor, surfaced in status
+        self.gather_page = int(gather_page)
+        #: shards whose ``put`` batches commit durably (restartable from
+        #: WAL); ``None`` keeps the legacy rule — commit only the
+        #: replicated leader
+        self.commit_shards = (
+            frozenset(commit_shards) if commit_shards is not None else None
+        )
+        self.metrics = None  # set by RouterServer; counters work without it
         self.failures: Dict[int, int] = {}
+        self.resilience: Dict[str, int] = {}
+        self._resilience_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Resilience bookkeeping
+    # ------------------------------------------------------------------
+    def _bump(self, event: str, n: int = 1) -> None:
+        with self._resilience_lock:
+            self.resilience[event] = self.resilience.get(event, 0) + n
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.bump_resilience(event, n)
+
+    def _breaker_failure(self, shard: int) -> None:
+        breaker = self.breakers.get(shard)
+        if breaker is None:
+            return
+        before = breaker.state
+        breaker.record_failure()
+        if breaker.state == OPEN and before != OPEN:
+            self._bump("breaker_open")
+            trace.instant("router.breaker_open", shard=shard)
+
+    def _breaker_success(self, shard: int) -> None:
+        breaker = self.breakers.get(shard)
+        if breaker is not None:
+            breaker.record_success()
+
+    def reset_breaker(self, shard: int) -> None:
+        """Forget a shard's failure history — called after failover or a
+        restart replaced the endpoint; the old breaker state described a
+        process that no longer exists."""
+        self._breaker_success(shard)
+
+    def resilience_status(self) -> Dict[str, Any]:
+        """Breaker states, counters, retry knobs, optional health view."""
+        out: Dict[str, Any] = {
+            "retry": self.retry.describe(),
+            "breakers": {
+                str(shard): breaker.status()
+                for shard, breaker in self.breakers.items()
+            },
+            "counters": dict(self.resilience),
+            "failures": dict(self.failures),
+        }
+        if self.health is not None:
+            out["health"] = self.health.status()
+        return out
 
     # ------------------------------------------------------------------
     # QueryService contract
@@ -242,41 +641,256 @@ class RouterService:
         with trace.span("router.scatter", ctx, kind=kind, shards=len(self.handles)):
             return opener(dict(params), ctx)
 
-    def _scatter(
+    # -- sub-session lifecycle ------------------------------------------
+    def _fresh_handle(self, shard: int) -> ShardHandle:
+        """A dedicated connection to ``shard`` for a hedge replacement."""
+        host, port, timeout = self.handles[shard].address()
+        return ShardHandle(
+            shard, QueryClient(host=host, port=port, timeout=timeout, retries=2)
+        )
+
+    def _skip_rows(self, sub: _SubSession, skip: int) -> None:
+        """Advance a resumed sub-session past the rows already delivered."""
+        remaining = skip
+        while remaining > 0:
+            rows, eof = sub.handle.fetch(
+                sub.session_id, min(remaining, RESUME_PAGE)
+            )
+            remaining -= len(rows)
+            if remaining > 0 and (eof or not rows):
+                raise ShardFailed(
+                    sub.handle.shard,
+                    f"resume underrun: shard replayed {skip - remaining} of "
+                    f"{skip} already-delivered rows",
+                )
+
+    def _start_sub(
         self,
         kind: str,
-        shard_params,
+        shard_params: Callable[[int], Dict[str, Any]],
+        handle: ShardHandle,
         deadline_ms: Optional[int],
+        state: _RetryState,
+        skip: int = 0,
+        fresh: bool = False,
+    ) -> _SubSession:
+        """Start (or resume) one shard sub-session, retrying transients.
+
+        The breaker is consulted before every attempt; retries spend the
+        session's budget and respect its deadline.  ``fresh`` builds a
+        dedicated connection (hedge path).  Non-retriable errors — a
+        shard-side ``BAD_REQUEST``, an exhausted budget — propagate.
+        Write kinds only retry failures that provably precede any
+        shard-side effect (see ``_WRITE_KINDS``).
+        """
+        shard = handle.shard
+        breaker = self.breakers.get(shard)
+        retriable = _retriable_write if kind in _WRITE_KINDS else _retriable
+        attempt = 0
+        while True:
+            if breaker is not None and not breaker.allow():
+                raise ShardFailed(shard, "circuit breaker open")
+            wire = self._fresh_handle(shard) if fresh else handle
+            try:
+                response = wire.start(
+                    kind, shard_params(shard), state.sub_deadline_ms(deadline_ms)
+                )
+                sub = _SubSession(
+                    wire,
+                    response["session"],
+                    {
+                        k: v
+                        for k, v in response.items()
+                        if k not in ("id", "ok", "session")
+                    },
+                    private=fresh,
+                )
+                if skip:
+                    self._skip_rows(sub, skip)
+                self._breaker_success(shard)
+                return sub
+            except _WIRE_ERRORS + (ShardFailed,) as exc:
+                if fresh and wire is not handle:
+                    try:
+                        wire.client.close()
+                    except OSError:
+                        pass
+                self.note_failure(handle)
+                self._breaker_failure(shard)
+                attempt += 1
+                if (
+                    not retriable(exc)
+                    or attempt >= self.retry.max_attempts
+                    or not state.consume()
+                ):
+                    raise
+                self._bump("retries")
+                trace.instant(
+                    "router.retry",
+                    shard=shard,
+                    attempt=attempt,
+                    cause=type(exc).__name__,
+                )
+                if not state.sleep_within_deadline(attempt):
+                    raise
+
+    def _fetch_page(
+        self, stream: _GatherStream, sub: _SubSession, page: int
+    ) -> Tuple[List[Any], bool]:
+        """Fetch one page; signal ``_Resume`` for retriable/SLO failures."""
+        policy = self.retry
+        hedge_s = (
+            policy.hedge_ms / 1000.0
+            if (stream.hedgeable and policy.hedge_ms)
+            else None
+        )
+        if hedge_s is None:
+            try:
+                return sub.handle.fetch(sub.session_id, page)
+            except _WIRE_ERRORS as exc:
+                # A write kind's statement already executed at start —
+                # resuming would re-run it on a fresh sub-session.
+                if stream.kind in _WRITE_KINDS or not _retriable(exc):
+                    raise
+                raise _Resume(exc) from exc
+        # Hedged fetch: run on a worker so a slow shard can be abandoned.
+        outcome: List[Tuple[str, Any]] = []
+
+        def _work() -> None:
+            try:
+                outcome.append(("ok", sub.handle.fetch(sub.session_id, page)))
+            except BaseException as exc:  # delivered to the caller below
+                outcome.append(("err", exc))
+
+        worker = threading.Thread(target=_work, name="router-fetch", daemon=True)
+        worker.start()
+        worker.join(hedge_s)
+        if not outcome:
+            raise _Resume(
+                TimeoutError(
+                    f"shard {sub.handle.shard} fetch exceeded the "
+                    f"{policy.hedge_ms}ms hedge SLO"
+                ),
+                hedge=True,
+                abandoned_thread=worker,
+            )
+        status, payload = outcome[0]
+        if status == "ok":
+            return payload
+        if isinstance(payload, _WIRE_ERRORS) and _retriable(
+            payload
+        ):
+            raise _Resume(payload) from payload
+        raise payload
+
+    def _rescatter(
+        self, stream: _GatherStream, sub: _SubSession, count: int, sig: _Resume
+    ) -> _SubSession:
+        """Replace one failed/slow sub-session, resuming after ``count`` rows.
+
+        Only the failed shard's slice is re-run — tile ownership means no
+        other shard can produce its rows, so the gather stays exact.
+        """
+        shard = sub.handle.shard
+        state = stream.state
+        if sig.hedge:
+            self._bump("hedges")
+            state.hedges += 1
+            stream._abandon(sub, sig.abandoned_thread)
+        else:
+            self._bump("rescatters")
+            self.note_failure(sub.handle)
+            self._breaker_failure(shard)
+            sub.done = True
+            if sub.private:
+                try:
+                    sub.handle.client.close()
+                except OSError:
+                    pass
+            elif (
+                isinstance(sig.cause, RemoteError)
+                and sig.cause.code != protocol.ERR_UNKNOWN_SESSION
+            ):
+                # The shard is alive (it answered); free the old session.
+                # Best-effort: a reset between the answer and this close
+                # must not escalate a handled failure into a stream error.
+                try:
+                    sub.handle.close_session(sub.session_id)
+                except _WIRE_ERRORS:
+                    pass
+        if not state.consume():
+            raise ShardFailed(
+                shard, f"retry budget exhausted after: {sig.cause}"
+            ) from sig.cause
+        trace.instant(
+            "router.rescatter", shard=shard, skip=count, hedge=sig.hedge
+        )
+        new = self._start_sub(
+            stream.kind,
+            stream.shard_params,
+            self.handles[shard],
+            stream.deadline_ms,
+            state,
+            skip=count,
+            fresh=sig.hedge,
+        )
+        stream._replace_sub(sub, new)
+        return new
+
+    # -- scatter/gather -------------------------------------------------
+    def _scatter(
+        self,
+        stream: _GatherStream,
         handles: Optional[List[ShardHandle]] = None,
-    ) -> Tuple[List[_SubSession], List[Tuple[ShardHandle, BaseException]]]:
-        """Start one sub-session per shard; collect per-shard failures.
+    ) -> List[Tuple[ShardHandle, BaseException]]:
+        """Start one sub-session per shard into ``stream``; collect failures.
 
         ``handles`` restricts the fan-out (window pruning); the default
         is every shard.
         """
-        deadline_ms = deadline_ms if deadline_ms is not None else self.shard_deadline_ms
-        subs: List[_SubSession] = []
         failed: List[Tuple[ShardHandle, BaseException]] = []
         for handle in self.handles if handles is None else handles:
             try:
-                response = handle.start(kind, shard_params(handle.shard), deadline_ms)
-            except (RemoteError, RetriableError, OSError) as exc:
+                sub = self._start_sub(
+                    stream.kind,
+                    stream.shard_params,
+                    handle,
+                    stream.deadline_ms,
+                    stream.state,
+                )
+            except _WIRE_ERRORS + (ShardFailed,) as exc:
                 failed.append((handle, exc))
                 continue
-            extra = {
-                k: v
-                for k, v in response.items()
-                if k not in ("id", "ok", "session")
-            }
-            subs.append(_SubSession(handle, response["session"], extra))
-        return subs, failed
+            stream._subs.append(sub)
+        return failed
 
-    def _gather(self, kind, shard_params, params, rows_fn, handles=None):
+    def _gather(
+        self,
+        kind,
+        shard_params,
+        params,
+        rows_fn,
+        handles=None,
+        ctx=None,
+        hedgeable=False,
+    ):
         """Scatter, then wrap the surviving sub-sessions in a stream."""
         deadline_ms = params.get("shard_deadline_ms")
-        subs, failed = self._scatter(kind, shard_params, deadline_ms, handles)
+        if deadline_ms is None:
+            deadline_ms = self.shard_deadline_ms
+        state = _RetryState(self.retry, getattr(ctx, "deadline", None))
         allow_partial = bool(params.get("partial", self.allow_partial))
-        stream = _GatherStream(self, subs, rows_fn)
+        stream = _GatherStream(
+            self,
+            rows_fn,
+            kind,
+            shard_params,
+            deadline_ms,
+            state,
+            allow_partial,
+            hedgeable=hedgeable,
+        )
+        failed = self._scatter(stream, handles)
         for handle, exc in failed:
             self.note_failure(handle)
             stream.info["failed_shards"].append(
@@ -284,6 +898,8 @@ class RouterService:
             )
             if not allow_partial:
                 stream.close()
+                if isinstance(exc, ShardFailed):
+                    raise exc
                 raise ShardFailed(handle.shard, str(exc)) from exc
         return stream
 
@@ -325,10 +941,15 @@ class RouterService:
             for sub in stream._subs:
                 try:
                     yield from stream.drain(sub)
-                except (RemoteError, RetriableError, OSError) as exc:
+                except _FETCH_ERRORS as exc:
                     stream.shard_failed(sub, exc)
 
-        return self._gather("window", shard_params, params, rows, handles), {}
+        return (
+            self._gather(
+                "window", shard_params, params, rows, handles, ctx, hedgeable=True
+            ),
+            {},
+        )
 
     def _open_spatial_join(self, params, ctx):
         part = self.partitioner
@@ -353,11 +974,11 @@ class RouterService:
             for sub in stream._subs:
                 try:
                     yield from stream.drain(sub)
-                except (RemoteError, RetriableError, OSError) as exc:
+                except _FETCH_ERRORS as exc:
                     stream.shard_failed(sub, exc)
 
         extra = {"strategy": "GRID", "shards": len(self.handles)}
-        return self._gather("spatial_join", shard_params, params, rows), extra
+        return self._gather("spatial_join", shard_params, params, rows, None, ctx), extra
 
     def _open_knn(self, params, ctx):
         k = int(params.get("k", 1))
@@ -380,7 +1001,7 @@ class RouterService:
             for sub in stream._subs:
                 try:
                     iterators.append(list(stream.drain(sub)))
-                except (RemoteError, RetriableError, OSError) as exc:
+                except _FETCH_ERRORS as exc:
                     stream.shard_failed(sub, exc)
             merged = heapq.merge(*iterators, key=lambda r: (r[1], r[0]))
             seen = set()
@@ -395,7 +1016,10 @@ class RouterService:
                 emitted += 1
                 yield row
 
-        return self._gather("knn", shard_params, params, rows), {"k": k}
+        return (
+            self._gather("knn", shard_params, params, rows, None, ctx, hedgeable=True),
+            {"k": k},
+        )
 
     def _open_sql(self, params, ctx):
         def shard_params(shard: int) -> Dict[str, Any]:
@@ -409,7 +1033,7 @@ class RouterService:
             for sub in stream._subs:
                 try:
                     drained = list(stream.drain(sub))
-                except (RemoteError, RetriableError, OSError) as exc:
+                except _FETCH_ERRORS as exc:
                     stream.shard_failed(sub, exc)
                     continue
                 rowcount += int(sub.extra.get("rowcount", 0))
@@ -417,7 +1041,7 @@ class RouterService:
                     yield from drained
             stream.info["rowcount"] = rowcount
 
-        stream = self._gather("sql", shard_params, params, rows)
+        stream = self._gather("sql", shard_params, params, rows, None, ctx)
         extra: Dict[str, Any] = {"broadcast": len(stream._subs)}
         if stream._subs:
             extra["columns"] = stream._subs[0].extra.get("columns", [])
@@ -433,7 +1057,10 @@ class RouterService:
         Batches one INSERT list per target shard, commits the leader's
         batch durably, and — when replicated — blocks until the follower
         has acked the commit LSN.  Acknowledged rows therefore survive a
-        leader kill -9 by construction.
+        leader kill -9 by construction.  Retries are limited to failures
+        that provably precede any effect (refused connection, admission
+        rejection) — an ambiguous mid-flight loss must surface, because
+        re-sending the INSERT could double-apply it.
         """
         part = self.partitioner
         statements: Dict[int, List[str]] = {}
@@ -460,17 +1087,13 @@ class RouterService:
         lsn: Optional[int] = None
         for shard in sorted(statements):
             handle = self.handles[shard]
-            commit = self.replicated and shard == self.leader
-            try:
-                response = handle.start(
-                    "sql", {"statements": statements[shard], "commit": commit}
-                )
-                if commit:
-                    lsn = response.get("lsn")
-                handle.close_session(response["session"])
-            except (RemoteError, RetriableError, OSError) as exc:
-                self.note_failure(handle)
-                raise ShardFailed(shard, str(exc)) from exc
+            if self.commit_shards is not None:
+                commit = shard in self.commit_shards
+            else:
+                commit = self.replicated and shard == self.leader
+            lsn_here = self._put_shard(handle, statements[shard], commit)
+            if commit and shard == self.leader:
+                lsn = lsn_here
         if lsn is not None and self.follower is not None:
             self.follower.wait_for(lsn, timeout=self.commit_timeout)
         return {
@@ -479,6 +1102,38 @@ class RouterService:
             "shards": sorted(statements),
             "lsn": lsn,
         }
+
+    def _put_shard(
+        self, handle: ShardHandle, statements: List[str], commit: bool
+    ) -> Optional[int]:
+        """Apply one shard's INSERT batch with effect-free-only retries."""
+        shard = handle.shard
+        breaker = self.breakers.get(shard)
+        attempt = 0
+        while True:
+            if breaker is not None and not breaker.allow():
+                raise ShardFailed(shard, "circuit breaker open")
+            try:
+                response = handle.start(
+                    "sql", {"statements": statements, "commit": commit}
+                )
+                lsn = response.get("lsn") if commit else None
+                handle.close_session(response["session"])
+                self._breaker_success(shard)
+                return lsn
+            except _WIRE_ERRORS as exc:
+                self.note_failure(handle)
+                self._breaker_failure(shard)
+                attempt += 1
+                if not _retriable_write(exc) or attempt >= self.retry.max_attempts:
+                    raise ShardFailed(shard, str(exc)) from exc
+                self._bump("write_retries")
+                time.sleep(
+                    min(
+                        self.retry.backoff * (2.0 ** attempt),
+                        self.retry.backoff_cap,
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Topology / failover
@@ -490,6 +1145,10 @@ class RouterService:
             "replicated": self.replicated,
             "partitioner": self.partitioner.to_wire(),
             "failures": dict(self.failures),
+            "breakers": {
+                str(shard): breaker.state
+                for shard, breaker in self.breakers.items()
+            },
         }
         if self.follower is not None:
             out["follower"] = self.follower.status()
@@ -527,13 +1186,15 @@ class RouterServer(SpatialQueryServer):
 
     ``db`` is ``None`` — the router holds no engine, only shard clients —
     and the extra-ops table gains the router verbs (``put``,
-    ``topology``).  Stats and metrics aggregate the shard fleet: latency
-    histograms merge bucket-exact through ``latency_raw``, counters sum,
-    and per-shard storage/meter sections stay visible under ``shards``.
+    ``topology``, ``health``).  Stats and metrics aggregate the shard
+    fleet: latency histograms merge bucket-exact through
+    ``latency_raw``, counters sum, and per-shard storage/meter sections
+    stay visible under ``shards``.
     """
 
     def __init__(self, db=None, *args: Any, router: RouterService, **kwargs: Any):
         super().__init__(db, *args, service=router, **kwargs)
+        router.metrics = self.metrics  # resilience counters ride /metrics
 
     @property
     def router(self) -> RouterService:
@@ -543,6 +1204,7 @@ class RouterServer(SpatialQueryServer):
         super()._register_extra_ops()
         self._extra_ops["put"] = self._op_put
         self._extra_ops["topology"] = self._op_topology
+        self._extra_ops["health"] = self._op_health
 
     async def _op_put(self, request_id, message) -> Dict[str, Any]:
         table = message.get("table")
@@ -559,6 +1221,11 @@ class RouterServer(SpatialQueryServer):
     async def _op_topology(self, request_id, message) -> Dict[str, Any]:
         return protocol.ok_response(
             request_id, **await self._run_blocking(self.router.topology)
+        )
+
+    async def _op_health(self, request_id, message) -> Dict[str, Any]:
+        return protocol.ok_response(
+            request_id, **await self._run_blocking(self.router.resilience_status)
         )
 
     def _stats_payload(self, raw: bool = False) -> Dict[str, Any]:

@@ -53,11 +53,15 @@ class WorkerContext:
     """Execution context handed to each task: identifies the worker and
     carries the meter that task's work units are charged to."""
 
-    __slots__ = ("worker_id", "meter")
+    __slots__ = ("worker_id", "meter", "deadline")
 
     def __init__(self, worker_id: int, meter: Optional[WorkMeter] = None):
         self.worker_id = worker_id
         self.meter = meter if meter is not None else WorkMeter()
+        #: absolute time.monotonic() bound the originating session runs
+        #: under (None = unbounded); the cluster router's retry layer
+        #: reads it so backoff/retries never outlive the session
+        self.deadline: Optional[float] = None
 
     def charge(self, kind: str, n: float = 1.0) -> None:
         """Record ``n`` work units of ``kind`` against this worker."""

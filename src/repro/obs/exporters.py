@@ -331,6 +331,19 @@ def prometheus_text(
             continue
         expo.sample("repro_sessions_total", {"event": event}, sessions[event])
 
+    resilience = snapshot.get("resilience", {})
+    if resilience:
+        expo.family(
+            "repro_resilience_total",
+            "counter",
+            "Cluster resilience events (retries, hedges, re-scatters, "
+            "breaker trips, failovers).",
+        )
+        for event in sorted(resilience):
+            expo.sample(
+                "repro_resilience_total", {"event": event}, resilience[event]
+            )
+
     storage = snapshot.get("storage", {})
     expo.family(
         "repro_storage_info",

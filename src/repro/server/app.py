@@ -118,10 +118,24 @@ class SpatialQueryServer:
             deadline = time.monotonic() + self.drain_timeout
             while self._sessions and time.monotonic() < deadline:
                 await asyncio.sleep(0.02)
+            # Sessions that outlived the drain window get a *typed* cancel
+            # first: their next (or in-flight — the router's gather stream
+            # unblocks its shard sockets) fetch answers SHUTTING_DOWN
+            # instead of the client discovering the shutdown via a socket
+            # timeout.
+            for session in list(self._sessions.values()):
+                session.cancel(
+                    protocol.ERR_SHUTTING_DOWN,
+                    f"session {session.session_id} cancelled: "
+                    "server shutting down",
+                )
+            grace = time.monotonic() + min(2.0, self.drain_timeout)
+            while self._sessions and time.monotonic() < grace:
+                await asyncio.sleep(0.02)
         for session_id in list(self._sessions):
             session = self._sessions.pop(session_id, None)
             if session is not None:
-                session.close()
+                await self._run_blocking(session.close)
                 self.metrics.bump_session("cancelled_shutdown")
                 self.metrics.merge_meter(session.kind, session.meter_counts())
         self._pool.shutdown(wait=False)
@@ -471,6 +485,10 @@ class SpatialQueryServer:
             else None
         )
         ctx = WorkerContext(0)
+        # Deadline propagation: the service (notably the cluster router's
+        # retry layer) sees the session's absolute deadline, so retries
+        # and backoff sleeps can never outlive the session.
+        ctx.deadline = deadline
         started = time.perf_counter()
         try:
             rows, extra = await self._run_blocking(
@@ -523,7 +541,11 @@ class SpatialQueryServer:
             rows, eof = await self._run_blocking(session.fetch, n)
         except SessionCancelled as exc:
             self._sessions.pop(session_id, None)
-            self.metrics.bump_session("cancelled_deadline")
+            self.metrics.bump_session(
+                "cancelled_shutdown"
+                if exc.code == protocol.ERR_SHUTTING_DOWN
+                else "cancelled_deadline"
+            )
             self.metrics.merge_meter(session.kind, session.meter_counts())
             self.metrics.record_query(
                 session.kind, time.perf_counter() - started, 0, ok=False

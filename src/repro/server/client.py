@@ -163,10 +163,14 @@ class QueryClient:
                         "automatically",
                         code="TIMEOUT",
                     ) from exc
+                # Drop the dead connection in every case — a long-lived
+                # caller (the WAL follower's tail loop, a health prober)
+                # retries at its own pace and must get a fresh socket on
+                # its next request, not this corpse.
+                self._disconnect()
                 if attempt == self.retries - 1:
                     raise
                 last_exc = exc
-                self._disconnect()  # next attempt reconnects lazily
             self.retry_count += 1
             self._backoff_sleep(attempt)
         raise last_exc if last_exc is not None else ProtocolError(
@@ -253,6 +257,23 @@ class QueryClient:
             return self.request("close", session=session_id).get("summary", {})
         finally:
             self._live_sessions.discard(session_id)
+
+    def interrupt(self) -> None:
+        """Unblock a wire call stuck on this connection, from another thread.
+
+        Shutting down both socket directions makes a blocked ``recv``
+        return immediately (surfacing as connection loss to the caller)
+        without racing ``close`` on the file object the blocked thread
+        still holds.  Used by the router's graceful drain to cancel
+        in-flight scatter-gather fan-outs promptly instead of letting
+        them sit out the socket timeout.
+        """
+        sock = getattr(self, "_sock", None)
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     def close(self) -> None:
         if self._sock is None:

@@ -180,6 +180,16 @@ class ServerMetrics:
             "rejected_overload": 0,
             "rejected_shutdown": 0,
         }
+        # Resilience events (cluster router): zero-initialised so the
+        # exposition schema is stable whether or not faults ever happen.
+        self.resilience = {
+            "retries": 0,
+            "rescatters": 0,
+            "hedges": 0,
+            "write_retries": 0,
+            "breaker_open": 0,
+            "failovers": 0,
+        }
 
     # ------------------------------------------------------------------
     def record_request(self, op: str, ok: bool) -> None:
@@ -207,6 +217,11 @@ class ServerMetrics:
     def bump_session(self, event: str, n: int = 1) -> None:
         with self._lock:
             self.sessions[event] = self.sessions.get(event, 0) + n
+
+    def bump_resilience(self, event: str, n: int = 1) -> None:
+        """One retry/hedge/re-scatter/breaker/failover event occurred."""
+        with self._lock:
+            self.resilience[event] = self.resilience.get(event, 0) + n
 
     # ------------------------------------------------------------------
     def snapshot(
@@ -243,6 +258,7 @@ class ServerMetrics:
                     for kind, m in self._meters.items()
                 },
                 "sessions": dict(self.sessions, active=active_sessions),
+                "resilience": dict(self.resilience),
                 "storage": dict(_STORAGE_ZERO, **storage)
                 if storage
                 else dict(_STORAGE_ZERO),
@@ -268,6 +284,7 @@ def aggregate_snapshots(snaps: List[Dict[str, Any]]) -> Dict[str, Any]:
         "queries": {},
         "meters": {},
         "sessions": {},
+        "resilience": {},
         "storage": dict(_STORAGE_ZERO),
         "shards": {},
     }
@@ -306,6 +323,8 @@ def aggregate_snapshots(snaps: List[Dict[str, Any]]) -> Dict[str, Any]:
                 entry[unit] = entry.get(unit, 0.0) + n
         for event, n in snap.get("sessions", {}).items():
             out["sessions"][event] = out["sessions"].get(event, 0) + n
+        for event, n in snap.get("resilience", {}).items():
+            out["resilience"][event] = out["resilience"].get(event, 0) + n
     for kind, hist in hists.items():
         out["queries"][kind]["latency"] = hist.snapshot()
     return out

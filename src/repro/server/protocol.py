@@ -73,8 +73,9 @@ KINDS = ("window", "knn", "sql", "spatial_join")
 #: durable commit, log tailing and LSN acks, snapshot bootstrap) plus span
 #: shipping for router-side trace stitching
 WAL_OPS = ("commit", "wal.tail", "wal.ack", "wal.snapshot", "trace.drain")
-#: extra ops only the cluster router answers (partitioned writes, topology)
-ROUTER_OPS = ("put", "topology")
+#: extra ops only the cluster router answers (partitioned writes, topology,
+#: resilience status: breaker states, retry counters, shard health)
+ROUTER_OPS = ("put", "topology", "health")
 
 ERR_BAD_REQUEST = "BAD_REQUEST"
 ERR_UNKNOWN_OP = "UNKNOWN_OP"

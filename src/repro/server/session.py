@@ -57,8 +57,36 @@ class ServerSession:
         self.created = time.monotonic()
         self._rows = rows
         self._lock = lock
+        self._cancelled: Optional[Tuple[str, str]] = None  # (code, message)
 
     # ------------------------------------------------------------------
+    def cancel(self, code: str, message: Optional[str] = None) -> None:
+        """Mark the session cancelled with a typed code (e.g. shutdown).
+
+        Cooperative like the deadline: the *next* fetch raises the typed
+        :class:`SessionCancelled` instead of rows.  If the row stream
+        knows how to interrupt in-flight work (the router's gather
+        stream unblocks its shard sockets), that hook is invoked too, so
+        a fetch blocked on the wire fails over to the typed error now
+        rather than at socket timeout.
+        """
+        self._cancelled = (
+            code,
+            message or f"session {self.session_id} cancelled ({code})",
+        )
+        canceller = getattr(self._rows, "cancel", None)
+        if canceller is not None:
+            try:
+                canceller()
+            except Exception:
+                pass  # cancellation is best-effort; close() still reclaims
+
+    def _check_cancelled(self) -> None:
+        if self._cancelled is not None:
+            code, message = self._cancelled
+            self.close()
+            raise SessionCancelled(code, message)
+
     def _check_deadline(self) -> None:
         if self.deadline is not None and time.monotonic() > self.deadline:
             self.close()
@@ -75,10 +103,13 @@ class ServerSession:
         so a long page cannot overshoot it by more than one row's work.
         """
         if self.closed:
+            if self._cancelled is not None:
+                raise SessionCancelled(*self._cancelled)
             raise SessionCancelled(
                 ERR_DEADLINE if self.deadline is not None else "CLOSED",
                 f"session {self.session_id} is closed",
             )
+        self._check_cancelled()
         self._check_deadline()
         if self.exhausted:
             return [], True
@@ -97,6 +128,8 @@ class ServerSession:
                         except StopIteration:
                             self.exhausted = True
                             break
+                        if self._cancelled is not None:
+                            raise SessionCancelled(*self._cancelled)
                         if self.deadline is not None and (
                             time.monotonic() > self.deadline
                         ):

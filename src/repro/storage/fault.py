@@ -18,6 +18,14 @@ run is reproducible from its seed alone.  Once a plan *trips* (its crash
 fires), every file it governs goes dead — subsequent I/O raises
 :class:`CrashPoint`, modelling a killed process whose file descriptors
 are gone.  The test then "reboots" by reopening the store with no plan.
+
+The *network* counterpart lives in :mod:`repro.cluster.chaos`: its
+:class:`~repro.cluster.chaos.NetFaultPlan` speaks the same dialect —
+named sites with per-site countdowns, a recorded seed, an event log —
+but scripts TCP-level failures (resets, latency, partitions, slow
+drips) against a live proxy instead of file I/O.  Together the two
+plans cover the full failure surface the self-healing cluster tests
+exercise: disks that lie below a shard, networks that lie between them.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ __all__ = [
     "FaultPlan",
     "FaultyFile",
     "FaultyPager",
+    "classify_path",
 ]
 
 

@@ -1,0 +1,319 @@
+"""Network fault injection: plan determinism, proxy behaviors, and the
+WAL follower's reconnect-on-blip fix (exercised through a real reset)."""
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster.chaos import ChaosProxy, NetFaultPlan
+from repro.cluster.local import LocalCluster
+from repro.cluster.replication import WalFollower
+from repro.geometry.mbr import MBR
+from repro.server.client import QueryClient
+from repro import Geometry
+from repro.geometry.wkt import to_wkt
+
+BOX = MBR(0.0, 0.0, 100.0, 100.0)
+
+
+class EchoServer:
+    """A minimal TCP echo peer the proxy tests relay through."""
+
+    def __init__(self):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._closed = False
+        threading.Thread(target=self._accept, daemon=True).start()
+
+    def _accept(self):
+        while not self._closed:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn):
+        try:
+            while True:
+                data = conn.recv(65536)
+                if not data:
+                    return
+                conn.sendall(data)
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self):
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture()
+def echo():
+    server = EchoServer()
+    yield server
+    server.close()
+
+
+def through_proxy(proxy, payload, timeout=5.0):
+    with socket.create_connection(("127.0.0.1", proxy.port), timeout=timeout) as s:
+        s.settimeout(timeout)
+        s.sendall(payload)
+        got = b""
+        while len(got) < len(payload):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            got += chunk
+        return got
+
+
+class TestNetFaultPlan:
+    def test_random_is_deterministic_under_seed(self):
+        for seed in (0, 1, 1337, 4242):
+            a, b = NetFaultPlan.random(seed), NetFaultPlan.random(seed)
+            assert (a.reset, a.latency, a.drip) == (b.reset, b.latency, b.drip)
+            assert not a.partitioned_sites, "random plans must self-heal"
+
+    def test_random_varies_across_seeds(self):
+        configs = {
+            (
+                tuple(sorted(NetFaultPlan.random(s).reset.items())),
+                tuple(sorted(NetFaultPlan.random(s).latency.items())),
+                tuple(sorted(NetFaultPlan.random(s).drip.items())),
+            )
+            for s in range(32)
+        }
+        assert len(configs) > 8
+
+    def test_site_lookup_precedence(self):
+        plan = NetFaultPlan(
+            0,
+            latency={
+                "shard0.down": (0.5, 0.0),
+                "*.down": (0.25, 0.0),
+                "*": (0.125, 0.0),
+            },
+        )
+        assert plan._lookup(plan.latency, "shard0.down") == (0.5, 0.0)
+        assert plan._lookup(plan.latency, "shard7.down") == (0.25, 0.0)
+        assert plan._lookup(plan.latency, "shard7.up") == (0.125, 0.0)
+
+    def test_reset_is_one_shot(self):
+        plan = NetFaultPlan(3, reset={"x.up": 0})
+        assert plan.on_chunk("x.up", 10).reset is True
+        assert plan.on_chunk("x.up", 10).reset is False
+        assert plan.resets_fired == ["x.up"]
+        assert [e["kind"] for e in plan.events if e["kind"] == "reset"] == ["reset"]
+        assert all(e["seed"] == 3 for e in plan.events)
+
+    def test_heal_clears_persistent_faults_not_reset_history(self):
+        plan = NetFaultPlan(
+            0,
+            reset={"a.up": 0},
+            latency={"*": (0.1, 0.0)},
+            drip={"a.down": (8, 0.01)},
+            partition=("b.down",),
+        )
+        plan.on_chunk("a.up", 1)  # fire the reset
+        plan.heal()
+        assert not plan.latency and not plan.drip
+        assert not plan.is_partitioned("b.down")
+        assert plan.resets_fired == ["a.up"]  # one-shot stays fired
+
+
+class TestChaosProxy:
+    def test_clean_relay(self, echo):
+        proxy = ChaosProxy("127.0.0.1", echo.port, NetFaultPlan(0), name="echo")
+        try:
+            assert through_proxy(proxy, b"hello world") == b"hello world"
+        finally:
+            proxy.close()
+
+    def test_latency_injection(self, echo):
+        plan = NetFaultPlan(0, latency={"*": (0.08, 0.0)})
+        proxy = ChaosProxy("127.0.0.1", echo.port, plan, name="echo")
+        try:
+            t0 = time.monotonic()
+            assert through_proxy(proxy, b"ping") == b"ping"
+            # both directions pay the delay
+            assert time.monotonic() - t0 >= 0.08
+        finally:
+            proxy.close()
+
+    def test_reset_rsts_one_connection_then_heals(self, echo):
+        plan = NetFaultPlan(0, reset={"echo.up": 0})
+        proxy = ChaosProxy("127.0.0.1", echo.port, plan, name="echo")
+        try:
+            with socket.create_connection(("127.0.0.1", proxy.port)) as s:
+                s.settimeout(2.0)
+                s.sendall(b"doomed")
+                try:
+                    got = s.recv(64)
+                except OSError:
+                    got = b""
+                assert got == b""  # connection was killed, nothing echoed
+            # the reset was one-shot: the next connection relays cleanly
+            assert through_proxy(proxy, b"alive again") == b"alive again"
+        finally:
+            proxy.close()
+
+    def test_partition_black_holes_until_heal(self, echo):
+        plan = NetFaultPlan(0, partition=("echo.down",))
+        proxy = ChaosProxy("127.0.0.1", echo.port, plan, name="echo")
+        try:
+            with socket.create_connection(("127.0.0.1", proxy.port)) as s:
+                s.sendall(b"held")
+                s.settimeout(0.3)
+                with pytest.raises(OSError):
+                    s.recv(64)  # black hole: bytes are held, not dropped
+                plan.heal("echo.down")
+                s.settimeout(3.0)
+                assert s.recv(64) == b"held"  # held bytes flow after heal
+        finally:
+            proxy.close()
+
+    def test_drip_preserves_bytes(self, echo):
+        plan = NetFaultPlan(0, drip={"echo.down": (3, 0.001)})
+        proxy = ChaosProxy("127.0.0.1", echo.port, plan, name="echo")
+        try:
+            payload = bytes(range(256)) * 4
+            assert through_proxy(proxy, payload) == payload
+        finally:
+            proxy.close()
+
+    def test_retarget_moves_new_connections(self, echo):
+        other = EchoServer()
+        plan = NetFaultPlan(0)
+        proxy = ChaosProxy("127.0.0.1", echo.port, plan, name="echo")
+        try:
+            assert through_proxy(proxy, b"first") == b"first"
+            echo.close()
+            proxy.retarget(other.port)
+            assert through_proxy(proxy, b"second") == b"second"
+            assert any(e["kind"] == "retarget" for e in plan.events)
+        finally:
+            proxy.close()
+            other.close()
+
+
+class TestQueryThroughChaos:
+    """End-to-end: seeded faults on real shard links, results stay exact."""
+
+    def _rows(self, n=60, seed=23):
+        rng = random.Random(seed)
+        rows = []
+        for i in range(n):
+            x, y = rng.uniform(0, 94), rng.uniform(0, 94)
+            rect = Geometry.rectangle(
+                x, y, x + rng.uniform(0.3, 3.0), y + rng.uniform(0.3, 3.0)
+            )
+            rows.append([i, to_wkt(rect)])
+        return rows
+
+    def test_window_exact_through_reset(self):
+        from repro.cluster.router import RetryPolicy
+
+        rows = self._rows()
+        plan = NetFaultPlan(11)
+        with LocalCluster(
+            2,
+            BOX,
+            n_entries_hint=60,
+            halo=1.0,
+            chaos_plan=plan,
+            retry=RetryPolicy(max_attempts=5, budget=16, backoff=0.02),
+            gather_page=8,
+        ) as cluster:
+            cluster.create_spatial_table("shapes")
+            cluster.load("shapes", rows)
+            # Arm a reset on shard 1's server->router link *now*, so it
+            # fires mid-stream during the window query below (counting
+            # from the current chunk index keeps load/DDL traffic out of
+            # the blast radius) and the gather must re-scatter that
+            # shard's slice with skip-resume.
+            plan.reset["shard1.down"] = plan.chunk_calls.get("shard1.down", 0) + 1
+            with cluster.client() as client:
+                session = client.start(
+                    "window",
+                    {
+                        "table": "shapes",
+                        "column": "geom",
+                        "wkt": "POLYGON ((0 0, 99 0, 99 99, 0 99, 0 0))",
+                    },
+                )
+                got = sorted(row[0] for row in session.rows(page=16))
+            assert got == sorted(r[0] for r in rows)
+            assert plan.resets_fired, "the scripted reset never fired"
+            counters = cluster.router.resilience
+            assert (
+                counters.get("rescatters", 0) + counters.get("retries", 0) >= 1
+            )
+
+
+class TestFollowerReconnect:
+    def test_follower_survives_connection_reset(self, tmp_path):
+        rows = [
+            [i, to_wkt(Geometry.rectangle(i, i, i + 1.0, i + 1.0))]
+            for i in range(8)
+        ]
+        with LocalCluster(
+            1, BOX, n_entries_hint=32, halo=0.5, replicated=True
+        ) as cluster:
+            cluster.create_spatial_table("shapes")
+            cluster.load("shapes", rows[:4])
+            plan = NetFaultPlan(7)
+            proxy = ChaosProxy(
+                "127.0.0.1", cluster.procs[0].port, plan, name="wal"
+            )
+            follower = WalFollower(
+                QueryClient(port=proxy.port, retries=1, timeout=5.0),
+                str(tmp_path / "replica.db"),
+                poll_interval=0.01,
+                reconnect_backoff=0.01,
+            ).start()
+            try:
+                target = cluster.follower.applied_lsn
+                self._wait(lambda: follower.applied_lsn >= target)
+                # Cut the tail connection: next relayed chunk RSTs it.
+                plan.reset["wal.down"] = plan.chunk_calls.get("wal.down", 0)
+                self._wait(lambda: plan.resets_fired)
+                cluster.load("shapes", rows[4:])
+                target = cluster.follower.applied_lsn
+                assert target > follower.applied_lsn or follower.applied_lsn >= target
+                # The dead tail thread bug would stall here forever: the
+                # fix reconnects and resumes from the .replstate LSN.
+                self._wait(lambda: follower.applied_lsn >= target)
+                assert follower.reconnects >= 1
+                assert follower.error is None
+                status = follower.status()
+                assert status["tailing"] is True
+                assert status["reconnects"] >= 1
+            finally:
+                follower.close()
+                proxy.close()
+
+    @staticmethod
+    def _wait(cond, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if cond():
+                return
+            time.sleep(0.02)
+        raise AssertionError("condition not reached within timeout")

@@ -1,0 +1,309 @@
+"""Unit tests for the health plane: breaker state machine with a fake
+clock, heartbeat escalation with an injected probe, and the failover
+coordinator's exactly-once recovery dispatch."""
+
+import time
+
+import pytest
+
+from repro.cluster.health import (
+    CLOSED,
+    DOWN,
+    HALF_OPEN,
+    OPEN,
+    SUSPECT,
+    UP,
+    CircuitBreaker,
+    FailoverCoordinator,
+    HealthMonitor,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold_then_opens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=1.0, clock=clock)
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # non-consecutive failures don't trip
+
+    def test_cooldown_admits_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(0.99)
+        assert not breaker.allow()
+        clock.advance(0.02)
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # only one probe at a time
+        assert not breaker.allow()
+
+    def test_probe_success_recloses(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_rearms_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        # the cooldown restarts from the probe failure, not the first open
+        clock.advance(0.5)
+        assert not breaker.allow()
+        clock.advance(0.6)
+        assert breaker.allow()
+
+    def test_transitions_are_recorded(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_success()
+        path = [(old, new) for _t, old, new in breaker.transitions]
+        assert path == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_status_snapshot(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=0.5)
+        breaker.record_failure()
+        status = breaker.status()
+        assert status["state"] == CLOSED
+        assert status["failures"] == 1
+        assert status["threshold"] == 2
+
+
+class TestHealthMonitor:
+    def _monitor(self, healthy, **kwargs):
+        """Monitor over two fake shards; ``healthy`` is a mutable set."""
+        kwargs.setdefault("suspect_after", 1)
+        kwargs.setdefault("down_after", 3)
+        return HealthMonitor(
+            {0: ("127.0.0.1", 1), 1: ("127.0.0.1", 2)},
+            probe=lambda shard: shard in healthy,
+            **kwargs,
+        )
+
+    def test_misses_escalate_suspect_then_down(self):
+        healthy = {0, 1}
+        monitor = self._monitor(healthy)
+        monitor.poll_once()
+        assert monitor.state_of(1) == UP
+        healthy.discard(1)
+        monitor.poll_once()
+        assert monitor.state_of(1) == SUSPECT
+        monitor.poll_once()
+        assert monitor.state_of(1) == SUSPECT
+        monitor.poll_once()
+        assert monitor.state_of(1) == DOWN
+        assert monitor.state_of(0) == UP  # the healthy shard is untouched
+
+    def test_recovery_snaps_back_to_up(self):
+        healthy = set()
+        monitor = self._monitor(healthy)
+        for _ in range(3):
+            monitor.poll_once()
+        assert monitor.state_of(0) == DOWN
+        healthy.add(0)
+        monitor.poll_once()
+        assert monitor.state_of(0) == UP
+
+    def test_subscribers_see_transitions(self):
+        healthy = {0, 1}
+        monitor = self._monitor(healthy)
+        seen = []
+        monitor.subscribe(lambda shard, old, new: seen.append((shard, old, new)))
+        healthy.discard(0)
+        for _ in range(3):
+            monitor.poll_once()
+        healthy.add(0)
+        monitor.poll_once()
+        assert (0, UP, SUSPECT) in seen
+        assert (0, SUSPECT, DOWN) in seen
+        assert (0, DOWN, UP) in seen
+        assert not any(shard == 1 for shard, _o, _n in seen)
+
+    def test_broken_subscriber_does_not_stop_heartbeats(self):
+        healthy = {0, 1}
+        monitor = self._monitor(healthy)
+
+        def explode(shard, old, new):
+            raise RuntimeError("boom")
+
+        monitor.subscribe(explode)
+        healthy.discard(0)
+        for _ in range(3):
+            monitor.poll_once()
+        assert monitor.state_of(0) == DOWN
+
+    def test_events_record_transitions_with_timestamps(self):
+        healthy = {0, 1}
+        monitor = self._monitor(healthy)
+        healthy.discard(1)
+        for _ in range(3):
+            monitor.poll_once()
+        kinds = [
+            (e["shard"], e["old"], e["new"])
+            for e in monitor.events
+            if e["kind"] == "transition"
+        ]
+        assert kinds == [(1, UP, SUSPECT), (1, SUSPECT, DOWN)]
+        assert all("t_mono" in e and "t_wall" in e for e in monitor.events)
+
+    def test_status_view(self):
+        healthy = {0}
+        monitor = self._monitor(healthy)
+        monitor.poll_once()
+        status = monitor.status()
+        assert status["0"]["state"] == UP
+        assert status["1"]["state"] == SUSPECT
+        assert status["1"]["misses"] == 1
+
+    def test_down_after_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor({0: ("h", 1)}, suspect_after=3, down_after=1)
+
+    def test_double_start_rejected(self):
+        monitor = self._monitor({0, 1}, interval=0.01)
+        monitor.start()
+        try:
+            with pytest.raises(RuntimeError):
+                monitor.start()
+        finally:
+            monitor.stop()
+
+
+class TestFailoverCoordinator:
+    def _down(self, monitor, healthy, shard):
+        healthy.discard(shard)
+        for _ in range(3):
+            monitor.poll_once()
+
+    def test_action_runs_once_and_retargets_monitor(self):
+        healthy = {0, 1}
+        monitor = HealthMonitor(
+            {0: ("127.0.0.1", 1), 1: ("127.0.0.1", 2)},
+            probe=lambda shard: shard in healthy,
+            suspect_after=1,
+            down_after=3,
+        )
+        calls = []
+
+        def recover(shard):
+            calls.append(shard)
+            healthy.add(shard)
+            return ("127.0.0.1", 9999)
+
+        coordinator = FailoverCoordinator(monitor, {1: recover})
+        self._down(monitor, healthy, 1)
+        assert coordinator.wait_idle(5.0)
+        assert calls == [1]
+        assert monitor.status()["1"]["address"] == ["127.0.0.1", 9999]
+        kinds = [e["kind"] for e in coordinator.events]
+        assert kinds == ["recovery_started", "recovery_done"]
+        # retarget is logged on the monitor side too
+        assert any(e["kind"] == "retarget" for e in monitor.events)
+
+    def test_no_action_shard_logs_and_stays_down(self):
+        healthy = {0}
+        monitor = HealthMonitor(
+            {0: ("127.0.0.1", 1)},
+            probe=lambda shard: shard in healthy,
+            suspect_after=1,
+            down_after=2,
+        )
+        coordinator = FailoverCoordinator(monitor, {})
+        self._down(monitor, healthy, 0)
+        assert monitor.state_of(0) == DOWN
+        assert [e["kind"] for e in coordinator.events] == ["no_action"]
+
+    def test_failed_action_is_recorded(self):
+        healthy = {0}
+        monitor = HealthMonitor(
+            {0: ("127.0.0.1", 1)},
+            probe=lambda shard: shard in healthy,
+            suspect_after=1,
+            down_after=2,
+        )
+
+        def explode(shard):
+            raise RuntimeError("promotion failed")
+
+        coordinator = FailoverCoordinator(monitor, {0: explode})
+        self._down(monitor, healthy, 0)
+        assert coordinator.wait_idle(5.0)
+        kinds = [e["kind"] for e in coordinator.events]
+        assert kinds == ["recovery_started", "recovery_failed"]
+        assert "promotion failed" in coordinator.events[-1]["error"]
+
+    def test_second_down_while_recovering_is_coalesced(self):
+        healthy = {0}
+        started = []
+        release = []
+
+        def slow_recover(shard):
+            started.append(shard)
+            deadline = time.monotonic() + 5.0
+            while not release and time.monotonic() < deadline:
+                time.sleep(0.01)
+            healthy.add(shard)
+            return None
+
+        monitor = HealthMonitor(
+            {0: ("127.0.0.1", 1)},
+            probe=lambda shard: shard in healthy,
+            suspect_after=1,
+            down_after=2,
+        )
+        coordinator = FailoverCoordinator(monitor, {0: slow_recover})
+        self._down(monitor, healthy, 0)
+        # flap: back up briefly, then down again while recovery is in flight
+        healthy.add(0)
+        monitor.poll_once()
+        healthy.discard(0)
+        for _ in range(2):
+            monitor.poll_once()
+        release.append(True)
+        assert coordinator.wait_idle(5.0)
+        assert started == [0]  # the in-flight recovery absorbed the flap
