@@ -46,6 +46,7 @@ EXPERIMENTS = (
     "ablation_sweep",
     "kernels",
     "grid",
+    "columnar",
     "cluster",
     "resilience",
 )
@@ -61,15 +62,20 @@ DESCRIPTIONS = {
     "ablation_sweep": "interior-tile / batching / approximation ablation",
     "kernels": "scalar vs vectorized geometry-kernel ablation",
     "grid": "grid-partitioned parallel join vs serial ablation",
+    "columnar": "slotted heap vs zone-mapped column chunks ablation",
     "cluster": "sharded router scaling + cross-shard join exactness",
     "resilience": "leader-kill MTTR + degraded throughput (self-healing)",
 }
 
 # bench_<name>.py files whose runner wants (counties, stars) workloads.
-_COUNTIES_STARS = ("ablation_sweep", "kernels", "grid")
+_COUNTIES_STARS = ("ablation_sweep", "kernels", "grid", "columnar")
 
 # Experiments whose bench file name differs from the experiment name.
-_MODULE_FILES = {"kernels": "ablation_kernels", "grid": "ablation_grid"}
+_MODULE_FILES = {
+    "kernels": "ablation_kernels",
+    "grid": "ablation_grid",
+    "columnar": "ablation_columnar",
+}
 
 
 def _load_bench_module(name: str):

@@ -240,6 +240,16 @@ def grid_parallel_join(
     pmeter = WorkMeter()
     pctx = WorkerContext(0, pmeter)
     with trace.span("grid.partition", pctx, degree=executor.degree) as sp:
+        # Workers resolve their tiles' candidates through the tables'
+        # geometry caches, so compacted inputs are served from column
+        # chunks (zero per-row decode) transparently; tag the span so a
+        # trace shows which storage format fed the join.
+        sp.set_tag(
+            "columnar_a", table_a.columnar is not None
+        )
+        sp.set_tag(
+            "columnar_b", table_b.columnar is not None
+        )
         entries_a = list(tree_a.leaf_entries())
         entries_b = (
             entries_a if tree_b is tree_a else list(tree_b.leaf_entries())

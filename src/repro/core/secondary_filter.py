@@ -74,11 +74,10 @@ class GeometryCache:
                 ctx.charge("buffer_get_hit")
             return cached
         self.misses += 1
-        row = table.fetch(rowid)
-        geom = row[column_index]
-        if ctx is not None:
-            ctx.charge("geom_fetch_base")
-            ctx.charge("geom_fetch_per_vertex", geom.num_vertices)
+        # Routed through the table so columnar-resident rows are served
+        # (and charged) from their chunk; heap rows keep the historical
+        # geom_fetch charges.
+        geom = table.fetch_geometry(rowid, column_index, ctx)
         self._entries[key] = geom
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -53,6 +53,12 @@ class CostModel:
     # by the sweep (bookkeeping that the nested loop folds into its test)
     geom_fetch_per_vertex: float = 1.5e-6  # decode a fetched geometry
     geom_fetch_base: float = 2e-4  # cache-missing geometry fetch (page read)
+    chunk_row_view: float = 4e-7  # aliasing one row's coordinates out of a
+    # resident column chunk (pointer math, no per-row decode; the chunk
+    # load itself is charged as physical_read per chunk page)
+    zone_skip: float = 1e-7  # consulting one chunk's zone map and skipping
+    # the whole chunk without reading any of its pages (a float compare
+    # against the in-memory chunk directory)
     exact_test_per_vertex: float = 3e-6  # secondary filter, per vertex visited
     exact_test_base: float = 3e-5
     index_probe: float = 2.5e-3  # one operator invocation through the

@@ -43,7 +43,10 @@ __all__ = ["Database"]
 _META_MAGIC = 0x52504D31  # "RPM1"
 _META_HDR = struct.Struct("<IIII")
 _META_NO_PAGE = 0xFFFFFFFF
-_SNAP_VERSION = "SNAP1"
+# SNAP2 appends an optional columnar-segment snapshot to each table entry;
+# SNAP1 files (no 5th element) load unchanged.
+_SNAP_VERSION = "SNAP2"
+_SNAP_ACCEPTED = ("SNAP1", "SNAP2")
 
 
 class Database:
@@ -311,6 +314,140 @@ class Database:
             executor=SerialExecutor(self.cost_model),
         )
 
+    # ------------------------------------------------------------------
+    # Columnar compaction + window scans
+    # ------------------------------------------------------------------
+    def compact_table(
+        self,
+        table_name: str,
+        column: Optional[str] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> "Table":
+        """Compact a table's current rows into a columnar segment.
+
+        The slotted heap stays the write format and the store of record;
+        the segment is a frozen read image whose chunk directory carries
+        zone maps for scan pruning.  ``column`` names the geometry column
+        to columnarise (defaults to the table's single SDO_GEOMETRY
+        column); ``chunk_rows`` overrides the chunk width.  Re-compacting
+        folds the post-compaction DML journal back in.  On a file-backed
+        database the new state is checkpointed so the chunk pages (and
+        the directory, in the meta snapshot) are durable.
+        """
+        from repro.storage.columnar import DEFAULT_CHUNK_ROWS, build_segment
+
+        table = self.table(table_name)
+        if column is None:
+            geom_cols = [
+                c.name
+                for c in table.meta.columns
+                if c.type_tag.upper() == "SDO_GEOMETRY"
+            ]
+            if len(geom_cols) != 1:
+                raise EngineError(
+                    f"compact_table({table_name!r}) needs an explicit column: "
+                    f"found {len(geom_cols)} geometry columns"
+                )
+            column = geom_cols[0]
+        geom_col = table.schema.index_of(column)
+        # Build from the heap directly: it holds the current version of
+        # every row regardless of any previous segment's journal.
+        table.columnar = None
+        table.columnar = build_segment(
+            table.heap,
+            self.pool,
+            geom_col,
+            chunk_rows=chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS,
+        )
+        if self.path is not None:
+            self.checkpoint()
+        return table
+
+    def window_scan(
+        self,
+        table_name: str,
+        column: str,
+        window: Geometry,
+        distance: float = 0.0,
+        exact: bool = True,
+        ctx: Optional[WorkerContext] = None,
+    ) -> List[RowId]:
+        """Window query by table scan (no index): primary + secondary filter.
+
+        On a plain heap table every row is decoded and MBR-tested.  On a
+        compacted table the primary filter consults the chunk directory's
+        zone maps first — chunks whose zone cannot intersect the window
+        are skipped for a ``zone_skip`` charge without reading their
+        pages — and survivors are batch-MBR-filtered straight off the
+        chunk planes; journaled rows fall back to the heap.  Both paths
+        return the same rowids in ascending order.
+        """
+        from repro.core.secondary_filter import JoinPredicate
+
+        table = self.table(table_name)
+        col = table.schema.index_of(column)
+        qmbr = window.mbr
+        box = (qmbr.min_x, qmbr.min_y, qmbr.max_x, qmbr.max_y)
+
+        def box_hits(mbr: MBR) -> bool:
+            # Same closed-interval gap test as kernels.mbr_filter_indices.
+            return not (
+                box[0] - mbr.max_x > distance
+                or mbr.min_x - box[2] > distance
+                or box[1] - mbr.max_y > distance
+                or mbr.min_y - box[3] > distance
+            )
+
+        candidates: List[Tuple[RowId, Geometry]] = []
+        seg = table.columnar
+        if seg is not None:
+            candidates.extend(seg.window_candidates(box, distance, ctx))
+            for rowid in sorted(seg.stale | seg.fresh):
+                geom = table.fetch_geometry(rowid, col, ctx)
+                if geom is None:
+                    continue
+                if ctx is not None:
+                    ctx.charge("mbr_test")
+                if box_hits(geom.mbr):
+                    candidates.append((rowid, geom))
+            candidates.sort(key=lambda c: (c[0].page, c[0].slot))
+        else:
+            for rowid, row in table.scan():
+                geom = row[col]
+                if geom is None:
+                    continue
+                if ctx is not None:
+                    ctx.charge("mbr_test")
+                if box_hits(geom.mbr):
+                    candidates.append((rowid, geom))
+        if not exact:
+            return [rowid for rowid, _geom in candidates]
+
+        from repro.geometry import kernels
+
+        geoms = [geom for _rowid, geom in candidates]
+        if ctx is not None and geoms:
+            nv = sum(g.num_vertices for g in geoms)
+            ctx.charge("exact_test_base", len(geoms))
+            ctx.charge(
+                "exact_test_per_vertex",
+                nv + len(geoms) * window.num_vertices,
+            )
+        verdicts = kernels.evaluate_predicate_batch(
+            window, geoms, "ANYINTERACT", distance
+        )
+        if verdicts is None:  # unsupported mask: scalar per candidate
+            predicate = JoinPredicate(mask="ANYINTERACT", distance=distance)
+            verdicts = [predicate.evaluate(window, g) for g in geoms]
+        results = [
+            rowid
+            for (rowid, _geom), ok in zip(candidates, verdicts)
+            if ok
+        ]
+        if ctx is not None and results:
+            ctx.charge("result_row", len(results))
+        return results
+
     def _rtree_of(self, table_name: str, column: str):
         from repro.index.rtree.spatial_index import RTreeIndex
 
@@ -447,9 +584,19 @@ class Database:
             "physical_reads": self.pager.stats.reads,
             "physical_writes": self.pager.stats.writes,
             "buffer_hit_ratio": round(self.pool.stats.hit_ratio, 4),
+            "prefetches": self.pool.stats.prefetches,
+            "prefetch_hits": self.pool.stats.prefetch_hits,
             "wal_bytes": 0,
             "recovered_pages": 0,
         }
+        segments = [
+            t.columnar for t in self._tables.values() if t.columnar is not None
+        ]
+        stats["columnar_segments"] = len(segments)
+        stats["columnar_chunks"] = sum(len(s.chunks) for s in segments)
+        stats["columnar_pages"] = sum(s.page_count for s in segments)
+        stats["columnar_journal_rows"] = sum(s.journal_size() for s in segments)
+        stats["columnar_zone_prunes"] = sum(s.zone_prunes for s in segments)
         extra = getattr(self.pager, "storage_stats", None)
         if extra is not None:
             stats.update(extra())
@@ -457,12 +604,19 @@ class Database:
 
     # -- snapshot construction -----------------------------------------
     def _build_snapshot(self) -> Tuple[Any, ...]:
+        from repro.storage.columnar import segment_snapshot
+
         tables = []
         for meta in self.catalog.tables():
             table = self.table(meta.name)
             pages, row_count = table.heap.pages_snapshot()
             columns = tuple((c.name, c.type_tag) for c in meta.columns)
-            tables.append((meta.name, columns, pages, row_count))
+            seg_snap = (
+                segment_snapshot(table.columnar)
+                if table.columnar is not None
+                else None
+            )
+            tables.append((meta.name, columns, pages, row_count, seg_snap))
         indexes = []
         for imeta in self.catalog.indexes():
             index = self._indexes.get(imeta.name.upper())
@@ -513,12 +667,16 @@ class Database:
                 self._meta_pages = [0]
             return
         record = decode_row(blob)
-        if not record or record[0] != _SNAP_VERSION:
+        if not record or record[0] not in _SNAP_ACCEPTED:
             raise StorageError(
                 f"meta snapshot has unknown version {record[0] if record else '?'!r}"
             )
         _version, tables, indexes = record
-        for name, columns, pages, row_count in tables:
+        for entry in tables:
+            # SNAP1 entries have 4 elements; SNAP2 appends the (optional)
+            # columnar-segment snapshot.
+            name, columns, pages, row_count = entry[:4]
+            seg_snap = entry[4] if len(entry) > 4 else None
             meta = TableMeta(
                 name=name,
                 columns=[ColumnMeta(cname, ctype) for cname, ctype in columns],
@@ -527,7 +685,12 @@ class Database:
             self.catalog.register_table(meta)
             heap = HeapFile(self.pool, name=meta.heap_name)
             heap.restore_pages(pages, row_count)
-            self._tables[name.upper()] = Table(meta, heap)
+            table = Table(meta, heap)
+            if seg_snap is not None:
+                from repro.storage.columnar import segment_from_snapshot
+
+                table.columnar = segment_from_snapshot(self.pool, seg_snap)
+            self._tables[name.upper()] = table
         for entry in indexes:
             (iname, tname, column, kind, parallel, params, pages, row_count, extra) = entry
             table = self.table(tname)

@@ -187,11 +187,10 @@ class DomainIndex:
             if ctx is not None:
                 ctx.charge("buffer_get_hit")
             return cached
-        row = self.table.fetch(rowid)
-        geom = row[self._column_index]
-        if ctx is not None:
-            ctx.charge("geom_fetch_base")
-            ctx.charge("geom_fetch_per_vertex", geom.num_vertices)
+        # Routed through the table so columnar-resident rows are served
+        # (and charged) from their chunk; heap rows keep the historical
+        # geom_fetch charges.
+        geom = self.table.fetch_geometry(rowid, self._column_index, ctx)
         self._geom_cache[rowid] = geom
         while len(self._geom_cache) > self.GEOMETRY_CACHE_ROWS:
             self._geom_cache.popitem(last=False)

@@ -31,6 +31,7 @@ __all__ = [
     "DropIndex",
     "Explain",
     "AnalyzeTable",
+    "CompactTable",
     "Statement",
 ]
 
@@ -176,6 +177,19 @@ class AnalyzeTable:
 
 
 @dataclass(frozen=True)
+class CompactTable:
+    """ALTER TABLE <name> COMPACT [COLUMN <col>] [CHUNK <rows>].
+
+    Rebuilds the table's columnar read segment from the heap (the
+    in-memory-column-store DDL analogue).
+    """
+
+    name: str
+    column: Optional[str] = None
+    chunk_rows: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class DropTable:
     name: str
 
@@ -187,5 +201,5 @@ class DropIndex:
 
 Statement = Union[
     Select, CreateTable, CreateIndex, Insert, DropTable, DropIndex, Explain,
-    AnalyzeTable,
+    AnalyzeTable, CompactTable,
 ]

@@ -31,6 +31,7 @@ from repro.engine.sql.ast import (
     AnalyzeTable,
     AndExpr,
     ColumnRef,
+    CompactTable,
     Comparison,
     CreateIndex,
     CreateTable,
@@ -125,6 +126,20 @@ class _Executor:
                 message=(
                     f"table {stmt.name} analyzed: {stats.row_count} rows, "
                     f"{len(stats.geometry_columns)} geometry column(s)"
+                ),
+            )
+        if isinstance(stmt, CompactTable):
+            table = self.db.compact_table(
+                stmt.name, column=stmt.column, chunk_rows=stmt.chunk_rows
+            )
+            seg = table.columnar
+            assert seg is not None
+            return SqlResult(
+                [],
+                [],
+                message=(
+                    f"table {stmt.name} compacted: {seg.row_count} rows in "
+                    f"{len(seg.chunks)} chunks ({seg.page_count} pages)"
                 ),
             )
         if isinstance(stmt, CreateTable):

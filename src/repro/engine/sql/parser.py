@@ -25,6 +25,7 @@ Grammar (case-insensitive keywords)::
                      [PARAMETERS string]
                      [PARALLEL number]
     insert        := INSERT INTO ident VALUES '(' expr {',' expr} ')'
+    compact       := ALTER TABLE ident COMPACT [COLUMN ident] [CHUNK number]
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ from repro.engine.sql.ast import (
     AnalyzeTable,
     AndExpr,
     ColumnRef,
+    CompactTable,
     Comparison,
     CreateIndex,
     CreateTable,
@@ -140,6 +142,19 @@ class _Parser:
             if self._accept_keyword("COMPUTE"):
                 self._keyword("STATISTICS")
             return AnalyzeTable(name)
+        if self._at_keyword("ALTER"):
+            self._next()
+            self._keyword("TABLE")
+            name = self._expect(TokenType.IDENT).text
+            self._keyword("COMPACT")
+            column: Optional[str] = None
+            chunk_rows: Optional[int] = None
+            if self._accept_keyword("COLUMN"):
+                column = self._expect(TokenType.IDENT).text
+            if self._accept_keyword("CHUNK"):
+                tok = self._expect(TokenType.NUMBER)
+                chunk_rows = int(float(tok.text))
+            return CompactTable(name, column=column, chunk_rows=chunk_rows)
         if self._at_keyword("EXPLAIN"):
             self._next()
             # tolerate Oracle's EXPLAIN PLAN FOR spelling

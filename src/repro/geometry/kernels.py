@@ -1151,6 +1151,8 @@ def evaluate_predicate_batch(
     two).  Results are bit-identical to the scalar path on both backends.
     """
     _count("evaluate_predicate_batch", len(geoms))
+    if not geoms:
+        return []
     if distance and distance > 0.0:
         return within_distance_batch(g1, geoms, distance)
     names = [n.strip() for n in mask.upper().split("+")] if mask else []

@@ -111,6 +111,22 @@ class RTreeIndex(DomainIndex):
             ctx.charge("index_probe")
             visits_before = ctx.meter.counts.get("rtree_node_visit", 0.0)
 
+        # Zone-map pushdown: when the whole table is columnar-resident
+        # (empty DML journal) and the query window intersects no chunk's
+        # zone map, the result is provably empty — skip the tree search
+        # for the price of one zone_skip per chunk directory entry.
+        seg = self.table.columnar
+        if seg is not None and seg.journal_empty():
+            distance = (
+                float(args[1])
+                if op_name == "SDO_WITHIN_DISTANCE" and len(args) >= 2
+                else 0.0
+            )
+            qmbr = query.mbr
+            box = (qmbr.min_x, qmbr.min_y, qmbr.max_x, qmbr.max_y)
+            if seg.all_zones_miss(box, distance, ctx):
+                return
+
         if op_name == "SDO_WITHIN_DISTANCE":
             if len(args) < 2:
                 raise OperatorError("SDO_WITHIN_DISTANCE requires a distance")

@@ -50,8 +50,15 @@ _STORAGE_ZERO: Dict[str, Any] = {
     "physical_reads": 0,
     "physical_writes": 0,
     "buffer_hit_ratio": 0.0,
+    "prefetches": 0,
+    "prefetch_hits": 0,
     "wal_bytes": 0,
     "recovered_pages": 0,
+    "columnar_segments": 0,
+    "columnar_chunks": 0,
+    "columnar_pages": 0,
+    "columnar_journal_rows": 0,
+    "columnar_zone_prunes": 0,
 }
 
 

@@ -28,6 +28,8 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     dirty_writebacks: int = 0
+    prefetches: int = 0
+    prefetch_hits: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -39,6 +41,8 @@ class BufferStats:
         self.misses = 0
         self.evictions = 0
         self.dirty_writebacks = 0
+        self.prefetches = 0
+        self.prefetch_hits = 0
 
 
 class _Frame:
@@ -70,6 +74,7 @@ class BufferPool:
         self._pager = pager
         self._capacity = capacity
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._prefetched: set = set()
         self.stats = BufferStats()
         self.access_hook = access_hook
 
@@ -92,24 +97,59 @@ class BufferPool:
         self._install(page_id, bytearray(self._pager.page_size), dirty=False)
         return page_id
 
-    def get(self, page_id: int) -> bytes:
-        """Read a page through the cache."""
+    def get(self, page_id: int, scan: bool = False) -> bytes:
+        """Read a page through the cache.
+
+        ``scan=True`` marks a sequential-scan touch: the frame is *not*
+        promoted to the hot end of the LRU (a miss is installed at the
+        cold end), so a full-table sweep recycles its own frames instead
+        of evicting the working set — hot index interior pages survive a
+        columnar scan of any length.
+        """
         self.stats.gets += 1
         frame = self._frames.get(page_id)
         hit = frame is not None
         if hit:
             self.stats.hits += 1
-            self._frames.move_to_end(page_id)
+            if page_id in self._prefetched:
+                self._prefetched.discard(page_id)
+                self.stats.prefetch_hits += 1
+            if not scan:
+                self._frames.move_to_end(page_id)
         else:
             self.stats.misses += 1
             if trace.ENABLED:
                 trace.instant("buffer.miss", page=page_id)
             data = bytearray(self._pager.read(page_id))
             frame = self._install(page_id, data, dirty=False)
+            if scan:
+                self._frames.move_to_end(page_id, last=False)
         if self.access_hook is not None:
             self.access_hook(page_id, hit)
         assert frame is not None
         return bytes(frame.data)
+
+    def prefetch(self, page_ids) -> int:
+        """Readahead hint: pull ``page_ids`` into the cache ahead of use.
+
+        Pages already resident are untouched.  Fetched pages are installed
+        *scan-resistantly* (at the cold end of the LRU) so a long readahead
+        run cannot evict the hot working set; a later :meth:`get` of a
+        prefetched page counts as a ``prefetch_hit``.  Not a logical get:
+        no access-hook callback, no ``gets`` counted.  Returns the number
+        of pages actually fetched.
+        """
+        fetched = 0
+        for page_id in page_ids:
+            if page_id in self._frames:
+                continue
+            data = bytearray(self._pager.read(page_id))
+            self._install(page_id, data, dirty=False)
+            self._frames.move_to_end(page_id, last=False)
+            self._prefetched.add(page_id)
+            self.stats.prefetches += 1
+            fetched += 1
+        return fetched
 
     def put(self, page_id: int, data: bytes) -> None:
         """Write new page content through the cache (write-back)."""
@@ -145,6 +185,7 @@ class BufferPool:
         """Flush then drop every frame (used between benchmark runs)."""
         self.flush()
         self._frames.clear()
+        self._prefetched.clear()
 
     def cached_page_ids(self) -> List[int]:
         return list(self._frames.keys())
@@ -160,6 +201,7 @@ class BufferPool:
 
     def _evict_one(self) -> None:
         victim_id, victim = self._frames.popitem(last=False)
+        self._prefetched.discard(victim_id)
         self.stats.evictions += 1
         if victim.dirty:
             self._pager.write(victim_id, bytes(victim.data))

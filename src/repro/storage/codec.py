@@ -12,6 +12,8 @@ are stable across Python versions and safe to read back.
 from __future__ import annotations
 
 import struct
+import sys
+from array import array
 from typing import Any, List, Sequence, Tuple
 
 from repro.errors import StorageError
@@ -20,7 +22,16 @@ from repro.geometry.mbr import MBR
 from repro.geometry.sdo import SdoGeometry, from_sdo, to_sdo
 from repro.storage.heap import RowId
 
-__all__ = ["encode_row", "decode_row", "encode_value", "decode_value"]
+__all__ = [
+    "encode_row",
+    "decode_row",
+    "encode_value",
+    "decode_value",
+    "encode_f64_array",
+    "decode_f64_array",
+    "encode_u32_array",
+    "decode_u32_array",
+]
 
 _TAG_NONE = 0
 _TAG_FALSE = 1
@@ -76,6 +87,63 @@ def decode_value(data: bytes) -> Any:
     return value
 
 
+# ----------------------------------------------------------------------
+# Batch array fast paths
+#
+# The scalar encoder emits float64/uint32 sequences one ``struct.pack``
+# call per value (the geometry ordinate/elem_info loops).  These helpers
+# produce the *same bytes* in one C-level call — ``array('d')`` for the
+# float plane, a single width-parameterised ``struct`` format for the
+# uint plane — so the geometry codec and the columnar chunk writer pay
+# O(1) Python overhead per array instead of O(n).  Byte-compatibility
+# with the scalar loops is pinned by tests/storage/test_codec.py.
+# ----------------------------------------------------------------------
+def encode_f64_array(values: Sequence[float]) -> bytes:
+    """Little-endian float64 concatenation, one call (== ``_F64.pack`` loop)."""
+    arr = (
+        values
+        if isinstance(values, array) and values.typecode == "d"
+        else array("d", values)
+    )
+    if sys.byteorder != "little":
+        arr = array("d", arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def decode_f64_array(data: bytes, offset: int, count: int) -> Tuple[array, int]:
+    """Decode ``count`` little-endian float64s starting at ``offset``.
+
+    Returns an ``array('d')`` (zero-copy-viewable by numpy) and the new
+    offset.  Inverse of :func:`encode_f64_array`.
+    """
+    end = offset + 8 * count
+    if end > len(data):
+        raise StorageError(
+            f"f64 array overruns buffer: need {end}, have {len(data)}"
+        )
+    arr = array("d")
+    arr.frombytes(data[offset:end])
+    if sys.byteorder != "little":
+        arr.byteswap()
+    return arr, end
+
+
+def encode_u32_array(values: Sequence[int]) -> bytes:
+    """Little-endian uint32 concatenation, one call (== ``_U32.pack`` loop)."""
+    return struct.pack(f"<{len(values)}I", *values)
+
+
+def decode_u32_array(data: bytes, offset: int, count: int) -> Tuple[List[int], int]:
+    """Decode ``count`` little-endian uint32s; inverse of :func:`encode_u32_array`."""
+    end = offset + 4 * count
+    if end > len(data):
+        raise StorageError(
+            f"u32 array overruns buffer: need {end}, have {len(data)}"
+        )
+    return list(struct.unpack_from(f"<{count}I", data, offset)), end
+
+
 def _encode_into(out: bytearray, value: Any) -> None:
     if value is None:
         out.append(_TAG_NONE)
@@ -108,11 +176,9 @@ def _encode_into(out: bytearray, value: Any) -> None:
         out.append(_TAG_GEOMETRY)
         out += _U32.pack(sdo.gtype)
         out += _U32.pack(len(sdo.elem_info))
-        for v in sdo.elem_info:
-            out += _U32.pack(v)
+        out += encode_u32_array(sdo.elem_info)
         out += _U32.pack(len(sdo.ordinates))
-        for f in sdo.ordinates:
-            out += _F64.pack(f)
+        out += encode_f64_array(sdo.ordinates)
     elif isinstance(value, MBR):
         out.append(_TAG_MBR)
         out += _F64.pack(value.min_x)
@@ -163,19 +229,11 @@ def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
         offset += _U32.size
         (n_elem,) = _U32.unpack_from(data, offset)
         offset += _U32.size
-        elem_info = []
-        for _ in range(n_elem):
-            (v,) = _U32.unpack_from(data, offset)
-            elem_info.append(v)
-            offset += _U32.size
+        elem_info, offset = decode_u32_array(data, offset, n_elem)
         (n_ord,) = _U32.unpack_from(data, offset)
         offset += _U32.size
-        ordinates = []
-        for _ in range(n_ord):
-            (f,) = _F64.unpack_from(data, offset)
-            ordinates.append(f)
-            offset += _F64.size
-        return from_sdo(SdoGeometry(gtype, elem_info, ordinates)), offset
+        ord_arr, offset = decode_f64_array(data, offset, n_ord)
+        return from_sdo(SdoGeometry(gtype, elem_info, list(ord_arr))), offset
     if tag == _TAG_MBR:
         vals = []
         for _ in range(4):

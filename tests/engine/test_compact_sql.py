@@ -1,0 +1,76 @@
+"""``ALTER TABLE ... COMPACT`` — SQL surface for heap-to-columnar compaction."""
+
+import pytest
+
+from repro import Database
+from repro.datasets import load_geometries
+from repro.errors import SqlError
+
+
+@pytest.fixture
+def db(random_rects):
+    db = Database()
+    load_geometries(db, "shapes", random_rects(80, seed=5))
+    db.create_spatial_index("s_idx", "shapes", "geom", kind="RTREE", fanout=6)
+    return db
+
+
+class TestCompactStatement:
+    def test_basic_compact(self, db):
+        result = db.sql("alter table shapes compact")
+        assert db.table("shapes").columnar is not None
+        assert "compacted" in result.message
+        assert "80 rows" in result.message
+
+    def test_compact_with_column_and_chunk(self, db):
+        result = db.sql("alter table shapes compact column geom chunk 16")
+        seg = db.table("shapes").columnar
+        assert seg is not None
+        assert len(seg.chunks) == 5  # 80 rows / 16 per chunk
+        assert "5 chunks" in result.message
+
+    def test_queries_identical_after_sql_compact(self, db):
+        q = (
+            "select id from shapes where sdo_relate(geom, sdo_geometry("
+            "'POLYGON ((10 10, 40 10, 40 40, 10 40, 10 10))'), "
+            "'ANYINTERACT') = 'TRUE'"
+        )
+        before = db.sql(q).rows
+        db.sql("alter table shapes compact")
+        assert db.sql(q).rows == before
+
+    def test_recompact_folds_journal(self, db):
+        db.sql("alter table shapes compact chunk 16")
+        t = db.table("shapes")
+        rid = next(iter(t.scan()))[0]
+        t.delete(rid)
+        assert not t.columnar.journal_empty()
+        db.sql("alter table shapes compact chunk 16")
+        seg = t.columnar
+        assert seg.journal_empty() and seg.row_count == 79
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(Exception):
+            db.sql("alter table nope compact")
+
+    def test_parse_errors(self, db):
+        for bad in (
+            "alter table shapes",  # missing COMPACT
+            "alter shapes compact",  # missing TABLE
+            "alter table shapes compact chunk",  # missing count
+            "alter table shapes compact column",  # missing ident
+        ):
+            with pytest.raises(SqlError):
+                db.sql(bad)
+
+    def test_chunk_size_must_be_positive(self, db):
+        with pytest.raises(Exception):
+            db.sql("alter table shapes compact chunk 0")
+
+    def test_explainable_queries_still_work_after_compact(self, db):
+        db.sql("alter table shapes compact")
+        result = db.sql(
+            "explain select id from shapes where sdo_relate(geom, "
+            "sdo_geometry('POINT (20 20)'), 'ANYINTERACT') = 'TRUE'"
+        )
+        assert result.rows  # plan still renders

@@ -77,6 +77,75 @@ class TestEviction:
         assert pool.stats.misses == 1
 
 
+class TestPrefetch:
+    def test_prefetch_then_get_counts_prefetch_hit(self):
+        pager, pool = make_pool(capacity=4)
+        pids = [pool.allocate() for _ in range(3)]
+        for pid in pids:
+            pool.put(pid, bytes([7] * 64))
+        pool.invalidate()
+        assert pool.prefetch(pids) == 3
+        assert pool.stats.prefetches == 3
+        for pid in pids:
+            pool.get(pid)
+        assert pool.stats.prefetch_hits == 3
+        assert pool.stats.hits == 3 and pool.stats.misses == 0
+
+    def test_prefetch_skips_resident_pages(self):
+        pager, pool = make_pool(capacity=4)
+        pid = pool.allocate()
+        assert pool.prefetch([pid]) == 0
+        assert pool.stats.prefetches == 0
+
+    def test_prefetch_hit_counted_once(self):
+        pager, pool = make_pool(capacity=4)
+        pid = pool.allocate()
+        pool.put(pid, bytes([1] * 64))
+        pool.invalidate()
+        pool.prefetch([pid])
+        pool.get(pid)
+        pool.get(pid)
+        assert pool.stats.prefetch_hits == 1
+
+    def test_prefetch_is_scan_resistant(self):
+        # A hot page must survive a capacity-sized prefetch sweep: the
+        # prefetched frames enter at the cold end and evict one another.
+        pager, pool = make_pool(capacity=2)
+        hot = pool.allocate()
+        pool.put(hot, bytes([9] * 64))
+        cold = [pool.allocate() for _ in range(2)]  # evicts hot... re-warm:
+        for pid in cold:
+            pool.put(pid, bytes([0] * 64))
+        pool.invalidate()
+        pool.get(hot)  # hot is the single resident (and MRU) frame
+        pool.prefetch(cold)
+        assert pool.get(hot) == bytes([9] * 64)
+        assert pool.stats.misses == 1  # only hot's first re-read missed
+
+
+class TestScanMode:
+    def test_scan_get_does_not_promote(self):
+        # LRU order [a, b]; a scan touch of a must leave a the next victim.
+        pager, pool = make_pool(capacity=2)
+        a, b = pool.allocate(), pool.allocate()
+        pool.get(a, scan=True)  # hit, but deliberately not promoted
+        c = pool.allocate()  # evicts a: the scan touch left it the victim
+        pool.get(a)
+        assert pool.stats.misses == 1
+
+    def test_scan_miss_installs_cold(self):
+        pager, pool = make_pool(capacity=2)
+        a, b = pool.allocate(), pool.allocate()
+        pool.put(a, bytes([1] * 64))
+        pool.put(b, bytes([2] * 64))
+        pool.invalidate()
+        pool.get(a)  # hot
+        pool.get(b, scan=True)  # cold install
+        c = pool.allocate()  # evicts b (the cold scan frame), not a
+        pool.get(a)
+        assert pool.stats.misses == 2  # a + b's scan miss only — a stayed
+
+
 class TestHooks:
     def test_access_hook_sees_hits_and_misses(self):
         events = []

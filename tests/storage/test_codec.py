@@ -75,3 +75,69 @@ class TestRows:
     def test_unknown_tag_rejected(self):
         with pytest.raises(StorageError):
             decode_value(b"\xee")
+
+
+class TestBatchArrayFastPaths:
+    """The batch f64/u32 helpers must emit byte-identical output to the
+    scalar ``struct.pack`` loops they replaced (on-disk format stability)."""
+
+    def test_f64_array_matches_scalar_pack_loop(self):
+        import struct
+
+        from repro.storage.codec import decode_f64_array, encode_f64_array
+
+        values = [0.0, -0.0, 1.5, -2.25, 3.141592653589793, 1e-300, -1e300]
+        scalar = b"".join(struct.pack("<d", v) for v in values)
+        assert encode_f64_array(values) == scalar
+        arr, end = decode_f64_array(scalar, 0, len(values))
+        assert end == len(scalar)
+        assert arr.typecode == "d"
+        assert list(arr) == values
+
+    def test_f64_array_accepts_array_d_input(self):
+        from array import array
+
+        from repro.storage.codec import encode_f64_array
+
+        arr = array("d", [1.0, 2.0, 3.0])
+        assert encode_f64_array(arr) == arr.tobytes() or encode_f64_array(
+            arr
+        ) == encode_f64_array(list(arr))
+
+    def test_u32_array_matches_scalar_pack_loop(self):
+        import struct
+
+        from repro.storage.codec import decode_u32_array, encode_u32_array
+
+        values = [0, 1, 2**16, 2**32 - 1]
+        scalar = b"".join(struct.pack("<I", v) for v in values)
+        assert encode_u32_array(values) == scalar
+        out, end = decode_u32_array(scalar, 0, len(values))
+        assert out == values and end == len(scalar)
+
+    def test_decode_overrun_rejected(self):
+        from repro.storage.codec import decode_f64_array, decode_u32_array
+
+        with pytest.raises(StorageError):
+            decode_f64_array(b"\x00" * 15, 0, 2)
+        with pytest.raises(StorageError):
+            decode_u32_array(b"\x00" * 7, 0, 2)
+
+    def test_geometry_row_bytes_stable_under_fast_path(self):
+        # The geometry TLV layout is unchanged: gtype, elem_info count +
+        # u32s, ordinate count + f64s.  Pin the exact bytes.
+        import struct
+
+        from repro.geometry.sdo import to_sdo
+
+        poly = Geometry.polygon([(0, 0), (4, 0), (4, 3), (0, 3)])
+        sdo = to_sdo(poly)
+        expected = bytearray([8])  # _TAG_GEOMETRY
+        expected += struct.pack("<I", sdo.gtype)
+        expected += struct.pack("<I", len(sdo.elem_info))
+        for v in sdo.elem_info:
+            expected += struct.pack("<I", v)
+        expected += struct.pack("<I", len(sdo.ordinates))
+        for v in sdo.ordinates:
+            expected += struct.pack("<d", v)
+        assert encode_value(poly) == bytes(expected)
