@@ -14,12 +14,18 @@ checks two things:
 Also writes ``obs_sample_trace.json`` — a Chrome trace-event document of
 the traced run — which CI uploads as a Perfetto-loadable artifact.
 
+After the single-node gates pass, the same charge-identity argument is
+re-proven on the **cluster path** (router + forked shards + metrics/SLO
+plane + distributed trace stitching) by delegating to
+``bench_obsplane.py``; pass ``--no-cluster`` to skip that phase.
+
 Usage: PYTHONPATH=src python benchmarks/check_obs_overhead.py [out.json]
 """
 
 from __future__ import annotations
 
 import math
+import os
 import sys
 import time
 
@@ -49,7 +55,22 @@ def _fsum_counts(meters):
     return {kind: math.fsum(vals) for kind, vals in sorted(per_kind.items())}
 
 
+def _cluster_phase() -> int:
+    """Charge identity with the obs plane on, on the sharded path."""
+    import importlib.util
+
+    path = os.path.join(os.path.dirname(__file__), "bench_obsplane.py")
+    spec = importlib.util.spec_from_file_location("bench_obsplane", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    print("\n-- cluster path (router + shards + metrics/SLO plane) --")
+    return module.main()
+
+
 def main(argv) -> int:
+    run_cluster = "--no-cluster" not in argv
+    argv = [a for a in argv if a != "--no-cluster"]
     out_path = argv[1] if len(argv) > 1 else "obs_sample_trace.json"
     workload = CountiesWorkload.build()
     db = workload.db
@@ -99,6 +120,8 @@ def main(argv) -> int:
             print(f"FAIL: sample trace is missing {required!r} spans")
             return 1
     print("OK: tracing is charge-exact; overhead gate passed")
+    if run_cluster:
+        return _cluster_phase()
     return 0
 
 

@@ -2,7 +2,8 @@
 
 Runs the paper-table regenerators without pytest and prints each table.
 Valid experiment names: table1 table2 table3 figure1 figure2
-ablation_sweep kernels grid cluster resilience (default: all).  Honours
+ablation_sweep kernels grid cluster resilience obsplane (default: all).
+Honours
 ``REPRO_BENCH_PROFILE=small|paper``.
 
 Flags:
@@ -49,6 +50,7 @@ EXPERIMENTS = (
     "columnar",
     "cluster",
     "resilience",
+    "obsplane",
 )
 
 #: one-liners for ``--list`` — what each experiment measures and which
@@ -65,6 +67,7 @@ DESCRIPTIONS = {
     "columnar": "slotted heap vs zone-mapped column chunks ablation",
     "cluster": "sharded router scaling + cross-shard join exactness",
     "resilience": "leader-kill MTTR + degraded throughput (self-healing)",
+    "obsplane": "metrics/SLO plane + tracing overhead on the cluster path",
 }
 
 # bench_<name>.py files whose runner wants (counties, stars) workloads.
@@ -152,7 +155,7 @@ def main(argv) -> int:
     for name in names:
         started = time.perf_counter()
         module = _load_bench_module(_MODULE_FILES.get(name, name))
-        if name in ("cluster", "resilience"):
+        if name in ("cluster", "resilience", "obsplane"):
             # Self-contained drivers: boot shard processes, print their
             # own table and write BENCH_<name>.json themselves.
             rc = module.main()

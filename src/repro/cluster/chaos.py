@@ -199,6 +199,27 @@ class NetFaultPlan:
                 {s: True for s in self.partitioned_sites}, site
             ) is True
 
+    def active_fault_counts(self) -> Dict[str, int]:
+        """How many faults this plan is holding live right now.
+
+        The observability plane scrapes this as gauges — a dashboard
+        during a chaos run shows *which* pathology is active, not just
+        that queries got slow.  ``resets_pending`` counts scripted
+        one-shot resets that have not fired yet; everything else is
+        persistent-until-heal.
+        """
+        with self._lock:
+            fired = set(self.resets_fired)
+            return {
+                "latency_sites": len(self.latency),
+                "drip_sites": len(self.drip),
+                "partitioned_sites": len(self.partitioned_sites),
+                "resets_pending": len(
+                    [s for s in self.reset if s not in fired]
+                ),
+                "resets_fired": len(fired),
+            }
+
     # ------------------------------------------------------------------
     def partition_site(self, site: str) -> None:
         """Black-hole a site (``"shard1.down"``, ``"*"``, ...) from now on."""

@@ -89,12 +89,18 @@ class CircuitBreaker:
         self._probe_inflight = False
         self.transitions: List[Tuple[float, str, str]] = []
         self.opens = 0
+        #: cumulative seconds this breaker has spent OPEN (closed
+        #: intervals only; add the in-flight stretch for a live total)
+        self.open_seconds_total = 0.0
 
     def _transition(self, new: str) -> None:
         if new != self.state:
-            self.transitions.append((self._clock(), self.state, new))
+            now = self._clock()
+            self.transitions.append((now, self.state, new))
             if new == OPEN:
                 self.opens += 1
+            elif self.state == OPEN:
+                self.open_seconds_total += now - (self.opened_at or now)
             self.state = new
 
     def allow(self) -> bool:
@@ -139,10 +145,17 @@ class CircuitBreaker:
 
     def status(self) -> Dict[str, Any]:
         with self._lock:
+            open_seconds = self.open_seconds_total
+            if self.state == OPEN:
+                # Include the stretch still in flight so a dashboard
+                # polling mid-outage sees the duration growing.
+                open_seconds += self._clock() - (self.opened_at or 0.0)
             return {
                 "state": self.state,
                 "failures": self.failures,
                 "opens": self.opens,
+                "open_seconds_total": open_seconds,
+                "transitions": len(self.transitions),
                 "cooldown": self.cooldown,
                 "threshold": self.failure_threshold,
             }

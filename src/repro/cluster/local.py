@@ -181,6 +181,10 @@ class LocalCluster:
         auto_heal: bool = False,
         health_check: bool = False,
         health_kwargs: Optional[Dict[str, Any]] = None,
+        obs_plane: bool = False,
+        obs_interval: float = 0.25,
+        obs_slos: Optional[Sequence[Any]] = None,
+        obs_kwargs: Optional[Dict[str, Any]] = None,
         client_timeout: float = 30.0,
         workdir: Optional[str] = None,
         leader: int = 0,
@@ -200,6 +204,11 @@ class LocalCluster:
         self.auto_heal = auto_heal
         self.health_check = health_check or auto_heal
         self.health_kwargs = dict(health_kwargs or {})
+        self.obs_plane = obs_plane
+        self.obs_interval = obs_interval
+        self.obs_slos = obs_slos
+        self.obs_kwargs = dict(obs_kwargs or {})
+        self.plane = None  # ObservabilityPlane when obs_plane is on
         self.client_timeout = client_timeout
         self.leader = leader
         self.shard_kwargs = shard_kwargs or {}
@@ -300,14 +309,21 @@ class LocalCluster:
             commit_shards=commit_shards or None,
             **self.router_kwargs,
         )
+        if self.obs_plane:
+            self.plane = self._build_plane()
         self.server = BackgroundServer(
             None,
             server_factory=RouterServer,
             router=self.router,
             host=self.router_host,
             port=self.router_port,
+            plane=self.plane,
         ).start()
         self.port = self.server.port
+        if self.plane is not None:
+            # Scrape only once the router server (whose metrics the
+            # collectors read) is live.
+            self.plane.start()
         if self.monitor is not None:
             if self.auto_heal:
                 actions: Dict[int, Any] = {}
@@ -321,6 +337,110 @@ class LocalCluster:
                 self.coordinator = FailoverCoordinator(self.monitor, actions)
             self.monitor.start()
         return self
+
+    # ------------------------------------------------------------------
+    def _build_plane(self):
+        """Metrics/SLO plane over the whole topology (``obs_plane=True``).
+
+        Collectors pull — the router, breakers, follower and chaos plan
+        just keep the counters they already kept, so a cluster without a
+        plane pays nothing.  The router-server snapshot collector binds
+        ``self.server`` lazily (the server starts after this runs).
+        """
+        from repro.obs.plane import (
+            ObservabilityPlane,
+            default_cluster_slos,
+            server_metrics_collector,
+        )
+
+        slos = (
+            list(self.obs_slos)
+            if self.obs_slos is not None
+            else default_cluster_slos()
+        )
+        plane = ObservabilityPlane(
+            slos=slos, interval=self.obs_interval, **self.obs_kwargs
+        )
+        plane.add_collector(
+            server_metrics_collector(
+                lambda: self.server.server.metrics.snapshot()
+            ),
+            name="router_server",
+        )
+        plane.add_collector(self._cluster_collector(), name="cluster")
+        return plane
+
+    def _cluster_collector(self):
+        """Gauges only the cluster harness can see: replication lag,
+        breaker states, chaos faults, scatter fan-out, shard health."""
+        breaker_code = {"closed": 0.0, "open": 1.0, "half_open": 2.0}
+
+        def collect(store, now: float) -> None:
+            follower = self.follower  # may become None after failover
+            if follower is not None:
+                store.observe(
+                    "cluster.replication.lag_lsn",
+                    None,
+                    float(follower.lag_lsn),
+                    now,
+                )
+                store.observe(
+                    "cluster.replication.lag_seconds",
+                    None,
+                    follower.lag_seconds,
+                    now,
+                )
+            router = self.router
+            if router is not None:
+                store.observe(
+                    "cluster.scatter.fanout",
+                    None,
+                    float(router.last_fanout),
+                    now,
+                )
+                for shard, n in dict(router.deadline_misses).items():
+                    store.observe(
+                        "cluster.deadline_misses",
+                        {"shard": shard},
+                        float(n),
+                        now,
+                    )
+                for shard, breaker in router.breakers.items():
+                    status = breaker.status()
+                    labels = {"shard": shard}
+                    store.observe(
+                        "cluster.breaker.state",
+                        labels,
+                        breaker_code.get(status["state"], -1.0),
+                        now,
+                    )
+                    store.observe(
+                        "cluster.breaker.opens",
+                        labels,
+                        float(status["opens"]),
+                        now,
+                    )
+                    store.observe(
+                        "cluster.breaker.open_seconds_total",
+                        labels,
+                        float(status["open_seconds_total"]),
+                        now,
+                    )
+            plan = self.chaos_plan
+            if plan is not None:
+                for key, n in plan.active_fault_counts().items():
+                    store.observe(f"cluster.chaos.{key}", None, float(n), now)
+            monitor = self.monitor
+            if monitor is not None:
+                for shard, health in monitor.status().items():
+                    store.observe(
+                        "cluster.health.up",
+                        {"shard": shard},
+                        1.0 if health["state"] == "up" else 0.0,
+                        now,
+                    )
+
+        return collect
 
     # ------------------------------------------------------------------
     def client(self, **kwargs: Any) -> QueryClient:
@@ -466,6 +586,9 @@ class LocalCluster:
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
+        if self.plane is not None:
+            self.plane.stop()
+            self.plane = None
         if self.monitor is not None:
             self.monitor.stop()
         if self.coordinator is not None:

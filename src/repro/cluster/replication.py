@@ -84,6 +84,14 @@ class WalFollower:
         self.reconnects = 0
         self.last_error: Optional[BaseException] = None
         self.error: Optional[BaseException] = None
+        # Replication-lag gauges, maintained on the tail/ack path: the
+        # leader's last issued LSN (shipped in every wal.tail response),
+        # and the monotonic instant we last confirmed being caught up.
+        # lag_seconds therefore keeps GROWING while the leader is
+        # unreachable — exactly the signal a lag SLO must see during an
+        # outage, when no fresh ``last_lsn`` can be fetched.
+        self.leader_last_lsn = 0
+        self._caught_up_at = time.monotonic()
         self._state_path = self.replica_path + ".replstate"
         self._pager: Optional[WalPager] = None
         self._lock = threading.Lock()
@@ -157,8 +165,16 @@ class WalFollower:
                     " (truncated by a checkpoint); re-bootstrap the follower"
                 )
             applied = self._apply(response["records"])
+            self.leader_last_lsn = max(
+                self.leader_last_lsn,
+                int(response.get("last_lsn", self.applied_lsn)),
+            )
             if applied:
-                self.client.request("wal.ack", lsn=self.applied_lsn)
+                self.client.request(
+                    "wal.ack", lsn=self.applied_lsn, lag_lsn=self.lag_lsn
+                )
+            if self.lag_lsn == 0:
+                self._caught_up_at = time.monotonic()
             return applied
 
     def _apply(self, records) -> int:
@@ -316,9 +332,25 @@ class WalFollower:
         except OSError:
             pass
 
+    # ------------------------------------------------------------------
+    # Lag gauges
+    # ------------------------------------------------------------------
+    @property
+    def lag_lsn(self) -> int:
+        """LSNs between the leader's last issued LSN and our applied LSN."""
+        return max(0, self.leader_last_lsn - self.applied_lsn)
+
+    @property
+    def lag_seconds(self) -> float:
+        """Seconds since the follower last confirmed it was caught up."""
+        return max(0.0, time.monotonic() - self._caught_up_at)
+
     def status(self) -> Dict[str, Any]:
         return {
             "applied_lsn": self.applied_lsn,
+            "leader_last_lsn": self.leader_last_lsn,
+            "lag_lsn": self.lag_lsn,
+            "lag_seconds": round(self.lag_seconds, 4),
             "commits_applied": self.commits_applied,
             "records_applied": self.records_applied,
             "reconnects": self.reconnects,

@@ -268,10 +268,13 @@ class ShardHandle:
         kind: str,
         params: Dict[str, Any],
         deadline_ms: Optional[int] = None,
+        trace_ctx: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         fields: Dict[str, Any] = {"kind": kind, "params": params}
         if deadline_ms is not None:
             fields["deadline_ms"] = deadline_ms
+        if trace_ctx is not None:
+            fields["trace_ctx"] = trace_ctx
         return self.request("start", **fields)
 
     def fetch(self, session_id: str, n: int) -> Tuple[List[Any], bool]:
@@ -377,6 +380,12 @@ class _GatherStream:
         self.state = state
         self.allow_partial = allow_partial
         self.hedgeable = hedgeable
+        # Captured while the router.scatter span is open on this thread:
+        # the wire trace context every shard start (including later
+        # re-scatters, which run on fetch threads with an empty span
+        # stack) props under, and the span partial stitches are tagged on.
+        self.trace_ctx = trace.wire_ctx()
+        self.trace_root = trace.current_span()
         self.info: Dict[str, Any] = {
             "shards": len(service.handles),
             "rows_per_shard": {},
@@ -524,7 +533,7 @@ class _GatherStream:
             self._cancelled = True
         for sub in self._subs:
             self._retire(sub)
-        self._service.stitch_traces()
+        self._service.stitch_traces(root=self.trace_root)
 
 
 class RouterService:
@@ -583,6 +592,8 @@ class RouterService:
         self.metrics = None  # set by RouterServer; counters work without it
         self.failures: Dict[int, int] = {}
         self.resilience: Dict[str, int] = {}
+        self.deadline_misses: Dict[int, int] = {}  # per-shard DEADLINE_EXCEEDED
+        self.last_fanout = 0  # shards touched by the most recent scatter
         self._resilience_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -594,6 +605,15 @@ class RouterService:
         metrics = self.metrics
         if metrics is not None:
             metrics.bump_resilience(event, n)
+
+    def _note_deadline_miss(self, shard: int, exc: BaseException) -> None:
+        """Count shard responses that died on the per-shard deadline."""
+        if getattr(exc, "code", None) == protocol.ERR_DEADLINE:
+            self._bump("deadline_misses")
+            with self._resilience_lock:
+                self.deadline_misses[shard] = (
+                    self.deadline_misses.get(shard, 0) + 1
+                )
 
     def _breaker_failure(self, shard: int) -> None:
         breaker = self.breakers.get(shard)
@@ -626,6 +646,8 @@ class RouterService:
             },
             "counters": dict(self.resilience),
             "failures": dict(self.failures),
+            "deadline_misses": dict(self.deadline_misses),
+            "last_fanout": self.last_fanout,
         }
         if self.health is not None:
             out["health"] = self.health.status()
@@ -638,7 +660,13 @@ class RouterService:
         opener = getattr(self, f"_open_{kind}", None)
         if opener is None:
             raise BadRequest(f"unknown query kind {kind!r}")
-        with trace.span("router.scatter", ctx, kind=kind, shards=len(self.handles)):
+        with trace.span(
+            "router.scatter",
+            ctx,
+            parent=getattr(ctx, "parent_span", None),
+            kind=kind,
+            shards=len(self.handles),
+        ):
             return opener(dict(params), ctx)
 
     # -- sub-session lifecycle ------------------------------------------
@@ -673,6 +701,7 @@ class RouterService:
         state: _RetryState,
         skip: int = 0,
         fresh: bool = False,
+        trace_ctx: Optional[Dict[str, Any]] = None,
     ) -> _SubSession:
         """Start (or resume) one shard sub-session, retrying transients.
 
@@ -693,7 +722,10 @@ class RouterService:
             wire = self._fresh_handle(shard) if fresh else handle
             try:
                 response = wire.start(
-                    kind, shard_params(shard), state.sub_deadline_ms(deadline_ms)
+                    kind,
+                    shard_params(shard),
+                    state.sub_deadline_ms(deadline_ms),
+                    trace_ctx=trace_ctx,
                 )
                 sub = _SubSession(
                     wire,
@@ -716,6 +748,7 @@ class RouterService:
                     except OSError:
                         pass
                 self.note_failure(handle)
+                self._note_deadline_miss(shard, exc)
                 self._breaker_failure(shard)
                 attempt += 1
                 if (
@@ -748,6 +781,7 @@ class RouterService:
             try:
                 return sub.handle.fetch(sub.session_id, page)
             except _WIRE_ERRORS as exc:
+                self._note_deadline_miss(sub.handle.shard, exc)
                 # A write kind's statement already executed at start —
                 # resuming would re-run it on a fresh sub-session.
                 if stream.kind in _WRITE_KINDS or not _retriable(exc):
@@ -777,6 +811,8 @@ class RouterService:
         status, payload = outcome[0]
         if status == "ok":
             return payload
+        if isinstance(payload, BaseException):
+            self._note_deadline_miss(sub.handle.shard, payload)
         if isinstance(payload, _WIRE_ERRORS) and _retriable(
             payload
         ):
@@ -833,6 +869,7 @@ class RouterService:
             state,
             skip=count,
             fresh=sig.hedge,
+            trace_ctx=stream.trace_ctx,
         )
         stream._replace_sub(sub, new)
         return new
@@ -849,7 +886,8 @@ class RouterService:
         is every shard.
         """
         failed: List[Tuple[ShardHandle, BaseException]] = []
-        for handle in self.handles if handles is None else handles:
+        targets = list(self.handles if handles is None else handles)
+        for handle in targets:
             try:
                 sub = self._start_sub(
                     stream.kind,
@@ -857,11 +895,17 @@ class RouterService:
                     handle,
                     stream.deadline_ms,
                     stream.state,
+                    trace_ctx=stream.trace_ctx,
                 )
             except _WIRE_ERRORS + (ShardFailed,) as exc:
                 failed.append((handle, exc))
                 continue
             stream._subs.append(sub)
+        # Fan-out gauges: how wide this scatter went (pruned window
+        # queries touch fewer shards than the fleet holds).
+        self._bump("scatters")
+        self._bump("scatter_width_total", len(targets))
+        self.last_fanout = len(targets)
         return failed
 
     def _gather(
@@ -1167,18 +1211,35 @@ class RouterService:
                 self.note_failure(handle)
         return snaps
 
-    def stitch_traces(self) -> None:
-        """Adopt shards' finished spans into the router's tracer."""
+    def stitch_traces(self, root=None) -> int:
+        """Adopt shards' finished spans into the router's tracer.
+
+        Returns the number of shards whose drain failed.  Failures are
+        never silent: they count into the ``trace_drain_failed``
+        resilience metric, and when ``root`` (the scatter span) is given
+        it gains a ``dropped_shards`` tag — so a partially-stitched
+        trace is distinguishable from a complete one.
+        """
         tracer = trace.get_tracer()
         if tracer is None:
-            return
+            return 0
+        dropped: List[int] = []
         for handle in self.handles:
             try:
                 spans = handle.request("trace.drain")["spans"]
             except (ReproError, OSError):
+                dropped.append(handle.shard)
                 continue
             if spans:
-                tracer.adopt(spans, shard=handle.shard)
+                tracer.adopt(spans, parent=root, shard=handle.shard)
+        if dropped:
+            self._bump("trace_drain_failed", len(dropped))
+            if root is not None:
+                previous = root.tags.get("dropped_shards") or []
+                root.set_tag(
+                    "dropped_shards", sorted(set(previous) | set(dropped))
+                )
+        return len(dropped)
 
 
 class RouterServer(SpatialQueryServer):

@@ -28,7 +28,16 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, List, Optional, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 from repro.errors import EngineError
 from repro.engine.cost import CostModel, DEFAULT_COST_MODEL, WorkMeter
@@ -53,7 +62,7 @@ class WorkerContext:
     """Execution context handed to each task: identifies the worker and
     carries the meter that task's work units are charged to."""
 
-    __slots__ = ("worker_id", "meter", "deadline")
+    __slots__ = ("worker_id", "meter", "deadline", "parent_span", "trace_ctx")
 
     def __init__(self, worker_id: int, meter: Optional[WorkMeter] = None):
         self.worker_id = worker_id
@@ -62,6 +71,12 @@ class WorkerContext:
         #: under (None = unbounded); the cluster router's retry layer
         #: reads it so backoff/retries never outlive the session
         self.deadline: Optional[float] = None
+        #: the long-lived ``server.session`` span this work belongs to
+        #: (None outside a traced server session); spans opened on pool
+        #: threads pass it as ``parent=`` since their span stack is empty
+        self.parent_span: Optional[Any] = None
+        #: wire trace context the originating client sent with ``start``
+        self.trace_ctx: Optional[Dict[str, Any]] = None
 
     def charge(self, kind: str, n: float = 1.0) -> None:
         """Record ``n`` work units of ``kind`` against this worker."""

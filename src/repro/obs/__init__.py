@@ -1,22 +1,28 @@
-"""repro.obs: tracing and metrics exposition for the simulated engine.
+"""repro.obs: tracing, metrics exposition, and the observability plane.
 
-Two halves:
+Three parts:
 
 * :mod:`repro.obs.trace` — hierarchical spans with ``WorkMeter`` deltas,
-  a zero-overhead disabled path, and ``REPRO_TRACE`` gating.
+  a zero-overhead disabled path, wire-propagated trace contexts, and
+  ``REPRO_TRACE`` gating.
 * :mod:`repro.obs.exporters` — Chrome trace-event JSON (Perfetto),
   JSON-lines, and Prometheus-style text exposition + lint.
+* :mod:`repro.obs.plane` — the in-process ring-buffer TSDB
+  (:class:`~repro.obs.plane.MetricStore`), scrape-loop
+  :class:`~repro.obs.plane.ObservabilityPlane`, and the SLO burn-rate
+  engine with typed alerts.
 
 ``trace`` is imported eagerly (it depends only on the stdlib, so any
 layer — storage, geometry, engine — can import :mod:`repro.obs` without
-cycles); the exporters, which need :mod:`repro.engine.cost` for
-simulated-seconds conversion, load lazily on first attribute access.
+cycles); the exporters and the plane, which pull in heavier deps, load
+lazily on first attribute access.
 """
 
 from repro.obs import trace
 from repro.obs.trace import (
     Span,
     Tracer,
+    build_tree,
     current_span,
     disable,
     enable,
@@ -25,6 +31,7 @@ from repro.obs.trace import (
     instant,
     span,
     tracing,
+    wire_ctx,
 )
 
 _EXPORTER_NAMES = (
@@ -37,9 +44,18 @@ _EXPORTER_NAMES = (
     "write_jsonl",
 )
 
+_PLANE_NAMES = (
+    "Alert",
+    "MetricStore",
+    "ObservabilityPlane",
+    "SLO",
+    "SLOEngine",
+)
+
 __all__ = [
     "Span",
     "Tracer",
+    "build_tree",
     "current_span",
     "disable",
     "enable",
@@ -49,7 +65,9 @@ __all__ = [
     "span",
     "trace",
     "tracing",
+    "wire_ctx",
     *_EXPORTER_NAMES,
+    *_PLANE_NAMES,
 ]
 
 
@@ -58,4 +76,8 @@ def __getattr__(name):
         from repro.obs import exporters
 
         return getattr(exporters, name)
+    if name in _PLANE_NAMES:
+        from repro.obs import plane
+
+        return getattr(plane, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,6 +15,19 @@ tasks) pass ``parent=`` explicitly, and child-*process* spans are
 serialised over the existing meter pipes and re-attached with
 :meth:`Tracer.adopt`.
 
+Traces also cross *machine* boundaries: :func:`wire_ctx` renders an
+open span as a wire-safe ``trace_ctx`` dict (``{"trace": "<pid>-<id>",
+"span": parent_span_id, "pid": parent_pid, "sampled": bool}``) that a
+client ships inside a ``start`` request.  The receiving server opens
+spans with ``remote=trace_ctx``: they join a *local* trace mapped
+one-to-one from the wire trace id and carry ``_wire_parent`` /
+``_wire_parent_pid`` tags, so that when their serialised form is later
+:meth:`Tracer.adopt`-ed back on the originating process they re-parent
+under the exact span that issued the context — not just whatever span
+happened to be open at stitch time.  Foreign span ids are remapped
+*stably* (keyed by ``(origin pid, span id)``), so a parent drained in a
+later batch still connects to children drained earlier.
+
 The disabled path is zero-overhead by construction: instrumentation
 sites call the module-level :func:`span` helper, which returns a shared
 no-op singleton after a single module-attribute test.  Enablement is
@@ -123,6 +136,36 @@ class Span:
         self.tracer._pop(self)
         return False
 
+    # -- stack-free lifecycle ----------------------------------------------
+    def open(self) -> "Span":
+        """Start the span WITHOUT pushing it on the thread-local stack.
+
+        For long-lived spans owned by an object rather than a lexical
+        scope (e.g. a server session span opened on the asyncio thread
+        and finished from a pool thread at close).  Children must name
+        it via ``parent=`` explicitly; it never becomes the thread
+        default.  Pair with :meth:`finish`.
+        """
+        self.start_wall = time.perf_counter()
+        if self.meter is not None:
+            self._start_counts = dict(self.meter.counts)
+        return self
+
+    def finish(self, error: Any = None) -> None:
+        """End a span started with :meth:`open` and record it."""
+        self.end_wall = time.perf_counter()
+        if self.meter is not None and self._start_counts is not None:
+            start = self._start_counts
+            delta: Dict[str, float] = {}
+            for kind, total in self.meter.counts.items():
+                diff = total - start.get(kind, 0.0)
+                if diff:
+                    delta[kind] = diff
+            self.meter_delta = delta
+        if error is not None:
+            self.tags.setdefault("error", repr(error))
+        self.tracer._record(self)
+
     # -- accessors ---------------------------------------------------------
     def set_tag(self, key: str, value: Any) -> None:
         self.tags[key] = value
@@ -171,6 +214,12 @@ class _NoopSpan:
     def __exit__(self, exc_type, exc, tb) -> bool:
         return False
 
+    def open(self) -> "_NoopSpan":
+        return self
+
+    def finish(self, error: Any = None) -> None:
+        pass
+
     def set_tag(self, key: str, value: Any) -> None:
         pass
 
@@ -201,6 +250,17 @@ class Tracer:
         self._trace_ids = itertools.count(1)
         self._trace_seq = 0
         self._local = threading.local()
+        # Wire-format trace ids: a local trace id maps to exactly one
+        # globally-unique string id ("<pid:x>-<trace:x>") and back, so a
+        # trace that fans out over the wire reassembles into ONE tree.
+        self._trace_to_wire: Dict[int, str] = {}
+        self._wire_to_trace: Dict[str, int] = {}
+        # span_id -> trace_id for every span minted here, letting adopt()
+        # attach a remote child under a parent that already closed.
+        self._trace_of_span: Dict[int, int] = {}
+        # (origin pid, origin span id) -> local span id: stable remapping
+        # so parents and children drained in different batches reconnect.
+        self._foreign_ids: Dict[Any, int] = {}
 
     # -- per-thread span stack ---------------------------------------------
     def _stack(self) -> List[Span]:
@@ -229,6 +289,39 @@ class Tracer:
             with self._lock:
                 self.spans.append(span)
 
+    def _record(self, span: Span) -> None:
+        """Append a stack-free span (see :meth:`Span.finish`)."""
+        if span.sampled:
+            with self._lock:
+                self.spans.append(span)
+
+    # -- wire trace ids ----------------------------------------------------
+    def wire_id_of(self, trace_id: int) -> str:
+        """Globally-unique string id for a local trace (minting one once)."""
+        with self._lock:
+            return self._wire_id_of_locked(trace_id)
+
+    def _wire_id_of_locked(self, trace_id: int) -> str:
+        wire = self._trace_to_wire.get(trace_id)
+        if wire is None:
+            wire = f"{os.getpid():x}-{trace_id:x}"
+            self._trace_to_wire[trace_id] = wire
+            self._wire_to_trace[wire] = trace_id
+        return wire
+
+    def trace_for_wire(self, wire_id: str) -> int:
+        """Local trace id bound to a wire id (allocating on first sight)."""
+        with self._lock:
+            return self._trace_for_wire_locked(wire_id)
+
+    def _trace_for_wire_locked(self, wire_id: str) -> int:
+        trace_id = self._wire_to_trace.get(wire_id)
+        if trace_id is None:
+            trace_id = next(self._trace_ids)
+            self._wire_to_trace[wire_id] = trace_id
+            self._trace_to_wire[trace_id] = wire_id
+        return trace_id
+
     # -- span construction -------------------------------------------------
     def span(
         self,
@@ -237,6 +330,7 @@ class Tracer:
         *,
         cat: str = "",
         parent: Optional[Span] = None,
+        remote: Optional[Dict[str, Any]] = None,
         **tags: Any,
     ) -> Span:
         """Open (but do not enter) a span; use as a context manager.
@@ -244,14 +338,26 @@ class Tracer:
         ``ctx`` may be a ``WorkerContext`` (``.meter`` attribute) or a
         bare ``WorkMeter``; its charge counts are snapshotted at entry
         and diffed at exit into ``meter_delta``.
+
+        ``remote`` is a ``trace_ctx`` dict produced by :func:`wire_ctx`
+        on another process: the span becomes a local root of the trace
+        bound to that wire id, tagged with its remote parent so a later
+        :meth:`adopt` on the originating process re-parents it exactly.
         """
         meter = getattr(ctx, "meter", ctx) if ctx is not None else None
-        if parent is None:
+        if parent is None and remote is None:
             parent = self.current_span()
         if parent is not None:
             trace_id = parent.trace_id
             parent_id = parent.span_id
             sampled = parent.sampled
+        elif remote is not None:
+            parent_id = None
+            sampled = bool(remote.get("sampled", True))
+            trace_id = self.trace_for_wire(str(remote.get("trace")))
+            tags = dict(tags)
+            tags["_wire_parent"] = remote.get("span")
+            tags["_wire_parent_pid"] = remote.get("pid")
         else:
             parent_id = None
             with self._lock:
@@ -262,6 +368,7 @@ class Tracer:
                 trace_id = next(self._trace_ids)
         with self._lock:
             span_id = next(self._span_ids)
+            self._trace_of_span[span_id] = trace_id
         return Span(
             self,
             name,
@@ -298,10 +405,22 @@ class Tracer:
 
     # -- cross-process stitching -------------------------------------------
     def drain_serialized(self) -> List[Dict[str, Any]]:
-        """Detach and return finished spans as dicts (child-process side)."""
+        """Detach and return finished spans as dicts (child-process side).
+
+        Spans belonging to a wire-bound trace carry their ``wire_trace``
+        id so the adopting tracer lands them in the right local trace
+        even when their in-batch parent is still open remotely.
+        """
         with self._lock:
             spans, self.spans = self.spans, []
-        return [s.to_dict() for s in spans]
+            out = []
+            for s in spans:
+                d = s.to_dict()
+                wire = self._trace_to_wire.get(s.trace_id)
+                if wire is not None:
+                    d["wire_trace"] = wire
+                out.append(d)
+        return out
 
     def adopt(
         self,
@@ -309,46 +428,96 @@ class Tracer:
         parent: Optional[Span] = None,
         **extra_tags: Any,
     ) -> List[Span]:
-        """Re-attach serialised child-process spans under ``parent``.
+        """Re-attach serialised child-process spans into this tracer.
 
-        Span ids are remapped into this tracer's id space; any
-        ``parent_id`` not present in the shipped batch (e.g. a stack
-        frame inherited across ``fork``) re-roots at ``parent``.
+        Span ids are remapped into this tracer's id space, stably per
+        ``(origin pid, span id)`` so a parent and its children reconnect
+        even when drained in different batches.  Parent resolution, per
+        span:
+
+        * ``_wire_parent`` tags naming a span THIS process minted (the
+          pid matches) pin the span — and its trace id — directly under
+          that originating span, open or closed.
+        * a ``parent_id`` already known from this or an earlier batch
+          keeps the (remapped) pointer.
+        * spans of a wire-bound trace keep a *reserved* local id for a
+          not-yet-seen parent, connecting when it arrives.
+        * anything else (e.g. a stack frame inherited across ``fork``)
+          re-roots at ``parent``.
         """
         if parent is None:
             parent = self.current_span()
-        with self._lock:
-            id_map = {d["span_id"]: next(self._span_ids) for d in span_dicts}
         parent_span_id = parent.span_id if parent is not None else None
-        if parent is not None:
-            trace_id = parent.trace_id
-            sampled = parent.sampled
-        else:
-            with self._lock:
-                trace_id = next(self._trace_ids)
-            sampled = True
+        default_trace = parent.trace_id if parent is not None else None
+        sampled = parent.sampled if parent is not None else True
+        own_pid = os.getpid()
         adopted: List[Span] = []
-        for d in span_dicts:
-            span = Span(
-                self,
-                d["name"],
-                cat=d.get("cat", ""),
-                trace_id=trace_id,
-                span_id=id_map[d["span_id"]],
-                parent_id=id_map.get(d.get("parent_id"), parent_span_id),
-                tags={**d.get("tags", {}), **extra_tags},
-                sampled=sampled,
-            )
-            span.start_wall = d["start_wall"]
-            span.end_wall = d["end_wall"]
-            span.meter_delta = dict(d.get("meter_delta", {}))
-            span.pid = d.get("pid", span.pid)
-            span.tid = d.get("tid", span.tid)
-            adopted.append(span)
-        if sampled:
-            with self._lock:
+        with self._lock:
+            batch_ids = {
+                (d.get("pid", 0), d["span_id"]): True for d in span_dicts
+            }
+
+            def local_id(pid: int, span_id: int) -> int:
+                key = (pid, span_id)
+                mapped = self._foreign_ids.get(key)
+                if mapped is None:
+                    mapped = next(self._span_ids)
+                    self._foreign_ids[key] = mapped
+                return mapped
+
+            fallback_trace = default_trace
+            for d in span_dicts:
+                pid = d.get("pid", 0)
+                tags = {**d.get("tags", {}), **extra_tags}
+                wire = d.get("wire_trace")
+                wire_parent = tags.pop("_wire_parent", None)
+                wire_pid = tags.pop("_wire_parent_pid", None)
+                orig_parent = d.get("parent_id")
+                span_id = local_id(pid, d["span_id"])
+                trace_id: Optional[int] = None
+                if wire_parent is not None and wire_pid == own_pid:
+                    # Child of a span minted here: pin it exactly there.
+                    parent_id: Optional[int] = wire_parent
+                    trace_id = self._trace_of_span.get(wire_parent)
+                elif orig_parent is not None and (
+                    (pid, orig_parent) in batch_ids
+                    or (pid, orig_parent) in self._foreign_ids
+                    or wire is not None
+                ):
+                    parent_id = local_id(pid, orig_parent)
+                else:
+                    parent_id = parent_span_id
+                if wire is not None and trace_id is None:
+                    trace_id = self._trace_for_wire_locked(wire)
+                if trace_id is None:
+                    if fallback_trace is None:
+                        fallback_trace = next(self._trace_ids)
+                    trace_id = fallback_trace
+                self._trace_of_span[span_id] = trace_id
+                span = Span(
+                    self,
+                    d["name"],
+                    cat=d.get("cat", ""),
+                    trace_id=trace_id,
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    tags=tags,
+                    sampled=sampled,
+                )
+                span.start_wall = d["start_wall"]
+                span.end_wall = d["end_wall"]
+                span.meter_delta = dict(d.get("meter_delta", {}))
+                span.pid = d.get("pid", span.pid)
+                span.tid = d.get("tid", span.tid)
+                adopted.append(span)
+            if sampled:
                 self.spans.extend(adopted)
         return adopted
+
+    def spans_for_trace(self, trace_id: int) -> List[Span]:
+        """Finished spans belonging to one trace, in record order."""
+        with self._lock:
+            return [s for s in self.spans if s.trace_id == trace_id]
 
     def find(self, name: str) -> List[Span]:
         """Finished spans with the given name (test/report convenience)."""
@@ -419,18 +588,81 @@ def tracing(
             ENABLED, _tracer = prev_enabled, prev_tracer
 
 
-def span(name: str, ctx: Any = None, parent: Optional[Span] = None, **tags: Any):
+def span(
+    name: str,
+    ctx: Any = None,
+    parent: Optional[Span] = None,
+    remote: Optional[Dict[str, Any]] = None,
+    **tags: Any,
+):
     """Open a span on the active tracer, or a shared no-op when disabled.
 
     ``parent`` overrides the innermost-open-span default — executors use
     it to attach worker-thread task spans under the submitting span.
+    ``remote`` attaches the span under a wire ``trace_ctx`` from another
+    process (see :func:`wire_ctx`).
     """
     if not ENABLED:
         return NOOP_SPAN
     tracer = _tracer
     if tracer is None:  # pragma: no cover - enable/disable race
         return NOOP_SPAN
-    return tracer.span(name, ctx, parent=parent, **tags)
+    return tracer.span(name, ctx, parent=parent, remote=remote, **tags)
+
+
+def wire_ctx(sp: Optional[Span] = None) -> Optional[Dict[str, Any]]:
+    """Render a span (default: the innermost open one) as a ``trace_ctx``.
+
+    The returned dict is wire-safe JSON: ``trace`` (globally-unique
+    string id), ``span`` (the parent span id on the issuing process),
+    ``pid`` (the issuing pid, so the eventual adopter can tell its own
+    spans from a stranger's), and ``sampled``.  Returns ``None`` when
+    tracing is off or no span is open.
+    """
+    if not ENABLED:
+        return None
+    tracer = _tracer
+    if tracer is None:  # pragma: no cover - enable/disable race
+        return None
+    if sp is None:
+        sp = tracer.current_span()
+    if not isinstance(sp, Span):
+        return None
+    return {
+        "trace": tracer.wire_id_of(sp.trace_id),
+        "span": sp.span_id,
+        "pid": sp.pid,
+        "sampled": sp.sampled,
+    }
+
+
+def build_tree(span_dicts: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Assemble serialised spans into ``{"span":..., "children":[...]}``.
+
+    Operates on the wire form (``to_dict()`` output) so clients can
+    shape a ``trace.get`` payload without a tracer.  Spans whose parent
+    is absent from the batch become roots; roots and siblings sort by
+    start time.
+    """
+    nodes = {
+        d["span_id"]: {"span": d, "children": []} for d in span_dicts
+    }
+    roots: List[Dict[str, Any]] = []
+    for d in span_dicts:
+        node = nodes[d["span_id"]]
+        parent = nodes.get(d.get("parent_id"))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+
+    def _sort(items: List[Dict[str, Any]]) -> None:
+        items.sort(key=lambda n: n["span"].get("start_wall", 0.0))
+        for item in items:
+            _sort(item["children"])
+
+    _sort(roots)
+    return roots
 
 
 def instant(name: str, **tags: Any) -> None:

@@ -31,11 +31,13 @@ import asyncio
 import itertools
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Set
 
 from repro.errors import ReproError, ServerError
 from repro.engine.database import Database
 from repro.engine.parallel import WorkerContext
+from repro.obs import trace
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
 from repro.server.service import BadRequest, QueryService
@@ -63,6 +65,7 @@ class SpatialQueryServer:
         fetch_workers: int = 4,
         service: Optional[QueryService] = None,
         shard_id: Optional[int] = None,
+        plane: Optional[Any] = None,
     ):
         self.service = service if service is not None else QueryService(db)
         self.db = db
@@ -75,6 +78,12 @@ class SpatialQueryServer:
         self.shard_id = shard_id
         self.metrics = ServerMetrics(shard_id=shard_id)
         self.replica_acked_lsn = 0  # highest LSN a follower has acked
+        self.replica_lag_lsn = 0  # the follower's self-reported lag
+        #: optional ObservabilityPlane served over the ``obs.plane`` op
+        self.plane = plane
+        # session id -> wire trace id / local trace id, kept after close
+        # (bounded) so ``trace.get`` works for a query that just finished.
+        self._session_traces: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._extra_ops: Dict[str, Any] = {}
         self._register_extra_ops()
         self._sessions: Dict[str, ServerSession] = {}
@@ -234,6 +243,7 @@ class SpatialQueryServer:
                 out = {}
         if self._wal_pager() is not None:
             out["replica_acked_lsn"] = self.replica_acked_lsn
+            out["replica_lag_lsn"] = self.replica_lag_lsn
         return out
 
     def _stats_payload(self, raw: bool = False) -> Dict[str, Any]:
@@ -251,9 +261,12 @@ class SpatialQueryServer:
         from repro.geometry import kernels
         from repro.obs.exporters import prometheus_text
 
-        return prometheus_text(
+        text = prometheus_text(
             self._stats_payload(), kernel=kernels.counters()
         )
+        if self.plane is not None:
+            text += self.plane.prometheus_text()
+        return text
 
     # ------------------------------------------------------------------
     # Extra (cluster/replication) ops
@@ -270,11 +283,17 @@ class SpatialQueryServer:
         The base server registers the leader half of WAL replication
         (durable commit, log tailing, LSN acks, snapshot bootstrap) when
         the database is WAL-backed, plus ``trace.drain`` so a router can
-        stitch shard spans into its own trace.  Subclasses (the cluster
-        router) extend the table rather than the ``OPS`` tuple, so an op
-        unknown to *this* server is still rejected with ``UNKNOWN_OP``.
+        stitch shard spans into its own trace and ``trace.get`` so a
+        client can fetch the stitched tree of a query it just ran.  The
+        ``obs.plane`` snapshot op appears only when an observability
+        plane is attached.  Subclasses (the cluster router) extend the
+        table rather than the ``OPS`` tuple, so an op unknown to *this*
+        server is still rejected with ``UNKNOWN_OP``.
         """
         self._extra_ops["trace.drain"] = self._op_trace_drain
+        self._extra_ops["trace.get"] = self._op_trace_get
+        if self.plane is not None:
+            self._extra_ops["obs.plane"] = self._op_obs_plane
         if self._wal_pager() is not None:
             self._extra_ops["commit"] = self._op_commit
             self._extra_ops["wal.tail"] = self._op_wal_tail
@@ -307,22 +326,34 @@ class SpatialQueryServer:
             lock = getattr(self.service, "lock", None)
             if lock is not None:
                 with lock:
-                    return pager.wal.records_since(after, max_records)
-            return pager.wal.records_since(after, max_records)
+                    return (
+                        pager.wal.records_since(after, max_records),
+                        pager.wal.last_lsn(),
+                    )
+            return (
+                pager.wal.records_since(after, max_records),
+                pager.wal.last_lsn(),
+            )
 
-        records, reset = await self._run_blocking(tail_locked)
+        (records, reset), last_lsn = await self._run_blocking(tail_locked)
         wire = [
             [lsn, rtype, page_id, base64.b64encode(payload).decode("ascii")]
             for lsn, rtype, page_id, payload in records
         ]
         return protocol.ok_response(
-            request_id, records=wire, reset=reset
+            request_id, records=wire, reset=reset, last_lsn=last_lsn
         )
 
     async def _op_wal_ack(self, request_id, message) -> Dict[str, Any]:
-        """A follower reports the highest LSN it has durably applied."""
+        """A follower reports the highest LSN it has durably applied.
+
+        The optional ``lag_lsn`` field exports the follower's own view of
+        its lag to the leader-side metrics, so the replication-lag gauge
+        is observable from either end of the link.
+        """
         lsn = int(message.get("lsn", 0))
         self.replica_acked_lsn = max(self.replica_acked_lsn, lsn)
+        self.replica_lag_lsn = int(message.get("lag_lsn", 0))
         return protocol.ok_response(request_id, acked=self.replica_acked_lsn)
 
     async def _op_wal_snapshot(self, request_id, message) -> Dict[str, Any]:
@@ -368,11 +399,45 @@ class SpatialQueryServer:
 
     async def _op_trace_drain(self, request_id, message) -> Dict[str, Any]:
         """Ship finished spans to the caller (router-side trace stitching)."""
-        from repro.obs import trace
-
         tracer = trace.get_tracer()
         spans = tracer.drain_serialized() if tracer is not None else []
         return protocol.ok_response(request_id, spans=spans)
+
+    async def _op_trace_get(self, request_id, message) -> Dict[str, Any]:
+        """The stitched span tree of one (possibly closed) session.
+
+        A router first pulls any straggler shard spans (``trace.drain``
+        against every shard) so the tree is as complete as possible, then
+        returns every finished span of the session's trace.  Spans are in
+        wire form; :func:`repro.obs.trace.build_tree` assembles them.
+        """
+        session_id = message.get("session")
+        entry = self._session_traces.get(session_id)
+        if entry is None:
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_UNKNOWN_SESSION,
+                f"no trace recorded for session {session_id!r} "
+                "(tracing off, or the session was evicted)",
+            )
+        stitch = getattr(self.service, "stitch_traces", None)
+        if stitch is not None:
+            await self._run_blocking(stitch)
+        tracer = trace.get_tracer()
+        spans = []
+        if tracer is not None:
+            spans = [
+                s.to_dict() for s in tracer.spans_for_trace(entry["trace_id"])
+            ]
+        return protocol.ok_response(
+            request_id, trace=entry["wire"], spans=spans
+        )
+
+    async def _op_obs_plane(self, request_id, message) -> Dict[str, Any]:
+        """Wire-safe observability-plane snapshot (series, alerts, SLOs)."""
+        points = max(1, min(int(message.get("points", 120)), 1024))
+        snapshot = await self._run_blocking(self.plane.snapshot, points)
+        return protocol.ok_response(request_id, plane=snapshot)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -489,21 +554,44 @@ class SpatialQueryServer:
         # retry layer) sees the session's absolute deadline, so retries
         # and backoff sleeps can never outlive the session.
         ctx.deadline = deadline
+        # Distributed tracing: a ``trace_ctx`` shipped by the client (or
+        # an upstream router) roots this session's span under the
+        # caller's trace; without one — tracing on, direct client — the
+        # session span starts a fresh trace.  Opened stack-free: this
+        # runs on the event-loop thread but the span belongs to the
+        # session object, not to any thread's lexical scope.
+        trace_ctx = message.get("trace_ctx")
+        if not isinstance(trace_ctx, dict):
+            trace_ctx = None
+        session_span = trace.span(
+            "server.session",
+            ctx,
+            remote=trace_ctx,
+            kind=kind,
+            shard=self.shard_id,
+        ).open()
+        ctx.parent_span = (
+            session_span if isinstance(session_span, trace.Span) else None
+        )
+        ctx.trace_ctx = trace_ctx
         started = time.perf_counter()
         try:
             rows, extra = await self._run_blocking(
                 self.service.open, kind, params, ctx
             )
         except BadRequest as exc:
+            session_span.finish(exc)
             self.metrics.record_query(kind, time.perf_counter() - started, 0, ok=False)
             return protocol.error_response(
                 request_id, protocol.ERR_BAD_REQUEST, str(exc)
             )
         except ReproError as exc:
+            session_span.finish(exc)
             self.metrics.record_query(kind, time.perf_counter() - started, 0, ok=False)
             code = getattr(exc, "wire_code", protocol.ERR_BAD_REQUEST)
             return protocol.error_response(request_id, code, str(exc))
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            session_span.finish(exc)
             self.metrics.record_query(kind, time.perf_counter() - started, 0, ok=False)
             return protocol.error_response(
                 request_id, protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
@@ -516,12 +604,34 @@ class SpatialQueryServer:
             ctx,
             lock=getattr(self.service, "lock", None),
             deadline=deadline,
+            trace_span=session_span,
         )
         self._sessions[session_id] = session
         conn_sessions.add(session_id)
         self.metrics.bump_session("opened")
         self.metrics.record_query(kind, time.perf_counter() - started, 0)
+        wire_trace = self._register_session_trace(session_id, session_span)
+        if wire_trace is not None:
+            extra = dict(extra)
+            extra["trace"] = wire_trace
         return protocol.ok_response(request_id, session=session_id, **extra)
+
+    def _register_session_trace(self, session_id, session_span) -> Optional[str]:
+        """Remember a session's trace ids for later ``trace.get`` calls."""
+        if not isinstance(session_span, trace.Span):
+            return None
+        tracer = trace.get_tracer()
+        if tracer is None:  # pragma: no cover - enable/disable race
+            return None
+        session_span.set_tag("session", session_id)
+        wire = tracer.wire_id_of(session_span.trace_id)
+        self._session_traces[session_id] = {
+            "wire": wire,
+            "trace_id": session_span.trace_id,
+        }
+        while len(self._session_traces) > 256:
+            self._session_traces.popitem(last=False)
+        return wire
 
     async def _op_fetch(
         self, request_id: Any, message: Dict[str, Any]

@@ -30,6 +30,7 @@ import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ProtocolError, RetriableError, ServerError
+from repro.obs import trace
 from repro.server import protocol
 
 __all__ = ["RemoteError", "RemoteSession", "QueryClient"]
@@ -232,10 +233,17 @@ class QueryClient:
         kind: str,
         params: Optional[Dict[str, Any]] = None,
         deadline_ms: Optional[int] = None,
+        trace_ctx: Optional[Dict[str, Any]] = None,
     ) -> "RemoteSession":
         fields: Dict[str, Any] = {"kind": kind, "params": params or {}}
         if deadline_ms is not None:
             fields["deadline_ms"] = deadline_ms
+        # Propagate the caller's trace context: explicit wins, else the
+        # innermost open span on this thread (None when tracing is off).
+        if trace_ctx is None:
+            trace_ctx = trace.wire_ctx()
+        if trace_ctx is not None:
+            fields["trace_ctx"] = trace_ctx
         response = self.request("start", **fields)
         self._live_sessions.add(response["session"])
         return RemoteSession(
@@ -257,6 +265,25 @@ class QueryClient:
             return self.request("close", session=session_id).get("summary", {})
         finally:
             self._live_sessions.discard(session_id)
+
+    def trace(self, session_id: str) -> Dict[str, Any]:
+        """The stitched distributed trace of a session this client ran.
+
+        Returns ``{"trace": <wire id>, "spans": [...], "tree": [...]}``
+        where ``spans`` are wire-form span dicts (router + every
+        participating shard + executor workers, stitched server-side)
+        and ``tree`` is their nested
+        :func:`repro.obs.trace.build_tree` form.  Works after the
+        session closed — the server keeps a bounded registry.  Raises
+        :class:`RemoteError` (``UNKNOWN_SESSION``) when tracing was off.
+        """
+        response = self.request("trace.get", session=session_id)
+        spans = response.get("spans", [])
+        return {
+            "trace": response.get("trace"),
+            "spans": spans,
+            "tree": trace.build_tree(spans),
+        }
 
     def interrupt(self) -> None:
         """Unblock a wire call stuck on this connection, from another thread.
@@ -303,6 +330,15 @@ class RemoteSession:
     @property
     def columns(self) -> List[str]:
         return self.extra.get("columns", [])
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """Wire trace id of this query (None when tracing is off)."""
+        return self.extra.get("trace")
+
+    def trace(self) -> Dict[str, Any]:
+        """Fetch this session's stitched trace (see QueryClient.trace)."""
+        return self._client.trace(self.session_id)
 
     def fetch(self, n: int = 1024) -> Tuple[List[Any], bool]:
         rows, self.eof = self._client.fetch(self.session_id, n)

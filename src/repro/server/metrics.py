@@ -80,7 +80,14 @@ class LatencyHistogram:
         self.max_seconds = max(self.max_seconds, seconds)
 
     def percentile(self, p: float) -> float:
-        """Upper bound of the bucket holding the p-th percentile (seconds)."""
+        """Bucket upper bound for the p-th percentile, clamped (seconds).
+
+        The answer is never larger than the maximum value actually
+        recorded: a single 0.15ms sample must not report a 0.2ms p99
+        just because that is its bucket's upper bound, and the overflow
+        bucket (which has no finite bound) likewise reports the observed
+        max.
+        """
         if self.total == 0:
             return 0.0
         rank = max(1, int(p / 100.0 * self.total + 0.5))
@@ -88,7 +95,8 @@ class LatencyHistogram:
         for i, count in enumerate(self.counts):
             seen += count
             if seen >= rank:
-                return _BOUNDS[i] if i < len(_BOUNDS) else self.max_seconds
+                bound = _BOUNDS[i] if i < len(_BOUNDS) else self.max_seconds
+                return min(bound, self.max_seconds)
         return self.max_seconds  # pragma: no cover - defensive
 
     def snapshot(self) -> Dict[str, Any]:
@@ -196,6 +204,10 @@ class ServerMetrics:
             "write_retries": 0,
             "breaker_open": 0,
             "failovers": 0,
+            "scatters": 0,
+            "scatter_width_total": 0,
+            "deadline_misses": 0,
+            "trace_drain_failed": 0,
         }
 
     # ------------------------------------------------------------------

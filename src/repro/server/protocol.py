@@ -29,6 +29,20 @@ Query kinds (``start``): ``window`` and ``knn`` run operator queries
 through the spatial index, ``sql`` executes one SQL statement, and
 ``spatial_join`` streams rowid pairs straight out of the join table
 function without ever materialising the full result server-side.
+
+Trace context (observability): a ``start`` request may carry::
+
+    "trace_ctx": {"trace": "<pid:x>-<trace:x>", "span": 17,
+                  "pid": 4321, "sampled": true}
+
+``trace`` is the globally-unique wire id of the caller's trace,
+``span``/``pid`` name the parent span so the server's session span nests
+under it, and ``sampled`` propagates the caller's sampling decision.
+When tracing is enabled the start response includes ``"trace"`` (the
+session's wire trace id) and ``trace.get`` returns the finished spans of
+that session — on a router, stitched across every participating shard
+(each shard ships its spans home via ``trace.drain``).  ``obs.plane``
+returns the metrics/SLO plane snapshot when one is attached.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ from repro.errors import ProtocolError
 __all__ = [
     "MAX_LINE_BYTES",
     "OPS",
+    "OBS_OPS",
     "WAL_OPS",
     "ROUTER_OPS",
     "KINDS",
@@ -68,6 +83,11 @@ MAX_LINE_BYTES = 1 << 20
 
 OPS = ("start", "fetch", "close", "stats", "metrics", "ping")
 KINDS = ("window", "knn", "sql", "spatial_join")
+
+#: observability ops: every server answers ``trace.get`` (the stitched
+#: spans of one session, by session id); ``obs.plane`` is registered only
+#: when a metrics/SLO plane is attached to the server
+OBS_OPS = ("trace.get", "obs.plane")
 
 #: extra ops a WAL-backed shard server registers (leader-side replication:
 #: durable commit, log tailing and LSN acks, snapshot bootstrap) plus span

@@ -89,7 +89,14 @@ class QueryService:
         if opener is None:
             raise BadRequest(f"unknown query kind {kind!r}")
         with self.lock:
-            with trace.span("server.start", ctx, kind=kind):
+            # Parent under the session span the server opened stack-free
+            # (this runs on a pool thread with an empty span stack).
+            with trace.span(
+                "server.start",
+                ctx,
+                parent=getattr(ctx, "parent_span", None),
+                kind=kind,
+            ):
                 return opener(params, ctx)
 
     # ------------------------------------------------------------------

@@ -46,6 +46,7 @@ class ServerSession:
         ctx: WorkerContext,
         lock: Optional[threading.Lock] = None,
         deadline: Optional[float] = None,
+        trace_span: Any = None,
     ):
         self.session_id = session_id
         self.kind = kind
@@ -55,6 +56,9 @@ class ServerSession:
         self.exhausted = False
         self.closed = False
         self.created = time.monotonic()
+        #: the long-lived ``server.session`` span (opened stack-free by
+        #: the server); fetch spans parent under it, close() finishes it
+        self.trace_span = trace_span
         self._rows = rows
         self._lock = lock
         self._cancelled: Optional[Tuple[str, str]] = None  # (code, message)
@@ -115,8 +119,17 @@ class ServerSession:
             return [], True
         out: List[Any] = []
         lock = self._lock
+        parent = (
+            self.trace_span
+            if isinstance(self.trace_span, trace.Span)
+            else None
+        )
         with trace.span(
-            "server.fetch", self.ctx, session=self.session_id, kind=self.kind
+            "server.fetch",
+            self.ctx,
+            parent=parent,
+            session=self.session_id,
+            kind=self.kind,
         ) as sp:
             try:
                 if lock is not None:
@@ -162,6 +175,12 @@ class ServerSession:
                     closer()
             else:
                 closer()
+        sp = self.trace_span
+        if sp is not None:
+            self.trace_span = None
+            sp.set_tag("rows", self.rows_served)
+            sp.set_tag("exhausted", self.exhausted)
+            sp.finish()
 
     def close_info(self):
         """Extra close-summary fields the row stream wants to report.

@@ -222,6 +222,7 @@ def cmd_cluster(args, stdout) -> int:
         box,
         halo=args.halo,
         replicated=args.replicated,
+        obs_plane=args.obs,
         router_host=args.host,
         router_port=args.port,
     )
@@ -309,6 +310,88 @@ def cmd_stats(args, stdout) -> int:
 
 
 # ----------------------------------------------------------------------
+# top / dashboard
+# ----------------------------------------------------------------------
+def _poll_obs(client):
+    """One observation round: plane snapshot + topology + health.
+
+    ``topology``/``health`` exist only on routers and the plane only when
+    one is attached — missing surfaces degrade to None so ``top`` still
+    renders whatever this server can report.
+    """
+    from repro.server.client import RemoteError
+
+    out = []
+    for op in ("obs.plane", "topology", "health"):
+        try:
+            out.append(client.request(op))
+        except (RemoteError, ReproError):
+            out.append(None)
+    plane = (out[0] or {}).get("plane")
+    return plane, out[1], out[2]
+
+
+def cmd_top(args, stdout) -> int:
+    """Live terminal dashboard over a running server's obs plane."""
+    import time as _time
+
+    from repro.obs.dashboard import render_top
+    from repro.server.client import QueryClient
+
+    try:
+        client = QueryClient(host=args.host, port=args.port)
+    except (OSError, ReproError) as exc:
+        stdout.write(f"cannot connect to {args.host}:{args.port}: {exc}\n")
+        return 1
+    try:
+        while True:
+            plane, topology, health = _poll_obs(client)
+            if plane is None:
+                stdout.write(
+                    "server has no observability plane attached "
+                    "(start the cluster with --obs)\n"
+                )
+                return 1
+            screen = render_top(plane, topology, health)
+            if not args.once:
+                stdout.write("\x1b[2J\x1b[H")  # clear + home
+            stdout.write(screen)
+            stdout.flush()
+            if args.once:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        stdout.write("\n")
+        return 0
+    finally:
+        client.close()
+
+
+def cmd_dashboard(args, stdout) -> int:
+    """Export the obs-plane view as a self-contained HTML page."""
+    from repro.obs.dashboard import render_html
+    from repro.server.client import QueryClient
+
+    try:
+        client = QueryClient(host=args.host, port=args.port)
+    except (OSError, ReproError) as exc:
+        stdout.write(f"cannot connect to {args.host}:{args.port}: {exc}\n")
+        return 1
+    try:
+        plane, topology, health = _poll_obs(client)
+    finally:
+        client.close()
+    if plane is None:
+        stdout.write("server has no observability plane attached\n")
+        return 1
+    page = render_html(plane, topology, health)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(page)
+    stdout.write(f"dashboard written to {args.out}\n")
+    return 0
+
+
+# ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.shell", description=__doc__.splitlines()[0]
@@ -346,6 +429,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="WAL-backed leader shard with a tailing follower",
     )
     p_cluster.add_argument(
+        "--obs", action="store_true",
+        help="attach the metrics/SLO plane (enables `top` and `dashboard`)",
+    )
+    p_cluster.add_argument(
         "--init", default=None,
         help="SQL file broadcast to every shard at startup (DDL)",
     )
@@ -373,6 +460,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the raw stats snapshot as JSON instead of Prometheus text",
     )
 
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over the obs plane"
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=7878)
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period (s)"
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (scripted / CI use)",
+    )
+
+    p_dash = sub.add_parser(
+        "dashboard", help="export the obs-plane view as an HTML page"
+    )
+    p_dash.add_argument("--host", default="127.0.0.1")
+    p_dash.add_argument("--port", type=int, default=7878)
+    p_dash.add_argument("--out", default="dashboard.html")
+
     args = parser.parse_args(argv)
     if args.command == "serve":
         return cmd_serve(args, sys.stdout)
@@ -382,6 +489,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_client(args, sys.stdin, sys.stdout)
     if args.command == "stats":
         return cmd_stats(args, sys.stdout)
+    if args.command == "top":
+        return cmd_top(args, sys.stdout)
+    if args.command == "dashboard":
+        return cmd_dashboard(args, sys.stdout)
     try:
         repl()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

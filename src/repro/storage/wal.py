@@ -110,6 +110,7 @@ class WriteAheadLog:
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         self._file = open_file(path, "r+b" if exists else "w+b")
         self.next_lsn = 1
+        self.last_commit_lsn = 0
         self.bytes_appended = 0  # cumulative across truncations
         if exists:
             self._read_header()
@@ -174,6 +175,7 @@ class WriteAheadLog:
         """Append a commit record and force the log to stable storage."""
         lsn = self._append(REC_COMMIT, 0, b"")
         fsync_file(self._file)
+        self.last_commit_lsn = lsn
         return lsn
 
     # ------------------------------------------------------------------
@@ -220,6 +222,7 @@ class WriteAheadLog:
                 pending.clear()
                 info.commits += 1
                 committed_offset = offset
+                self.last_commit_lsn = lsn
             else:
                 pending.append((rtype, page_id, payload))
         info.wal_bytes_replayed = committed_offset - self.header_size
@@ -281,6 +284,18 @@ class WriteAheadLog:
             # subscriber behind that state cannot catch up from records.
             reset = self.next_lsn - 1 > after_lsn
         return records, reset
+
+    def last_lsn(self) -> int:
+        """The highest *committed* LSN (0 when nothing was ever committed).
+
+        Shipped in every ``wal.tail`` response so a follower can compute
+        its replication lag in LSNs without a second round trip.  The
+        committed watermark — not ``next_lsn - 1`` — is the comparison
+        point on purpose: tail shipping stops at commit boundaries, so a
+        leader whose log ends in uncommitted records would otherwise show
+        every caught-up follower as permanently lagging.
+        """
+        return self.last_commit_lsn
 
     def base_lsn(self) -> int:
         """The LSN a snapshot of the *checkpointed* state corresponds to.

@@ -1,0 +1,301 @@
+"""Metrics store, SLO burn-rate engine and the scrape plane (no sockets).
+
+Everything runs on an injected fake clock so retention, rollups and
+burn-rate windows are exact, not timing-dependent.
+"""
+
+import pytest
+
+from repro.obs.plane import (
+    SLO,
+    BurnWindow,
+    MetricStore,
+    ObservabilityPlane,
+    SLOEngine,
+    default_cluster_slos,
+    series_key,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+
+class TestMetricStore:
+    def test_observe_and_latest(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        store.observe("qps", {"shard": 0}, 5.0)
+        store.observe("qps", {"shard": 0}, 7.0)
+        assert store.latest("qps", {"shard": 0}) == 7.0
+        assert store.latest("qps", {"shard": 1}) is None
+        # label values canonicalise to strings: int 0 == "0"
+        assert store.latest("qps", {"shard": "0"}) == 7.0
+
+    def test_series_key_label_order_irrelevant(self):
+        assert series_key("m", {"a": 1, "b": 2}) == series_key(
+            "m", {"b": 2, "a": 1}
+        )
+
+    def test_range_query_window(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        for i in range(5):
+            store.observe("g", None, float(i))
+            clock.advance(1.0)
+        points = store.range_query("g", start=1001.0, end=1003.0)
+        assert [v for _, v in points] == [1.0, 2.0, 3.0]
+
+    def test_retention_evicts_old_points(self):
+        clock = FakeClock()
+        store = MetricStore(retention=10.0, clock=clock)
+        store.observe("g", None, 1.0)
+        clock.advance(11.0)
+        store.observe("g", None, 2.0)
+        assert [v for _, v in store.range_query("g")] == [2.0]
+
+    def test_ring_buffer_bounds_points(self):
+        store = MetricStore(max_points=4, clock=FakeClock())
+        for i in range(10):
+            store.observe("g", None, float(i))
+        assert len(store.range_query("g")) == 4
+
+    def test_rate_of_counter(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        for v in (0, 10, 20, 30):
+            store.observe("c", None, float(v))
+            clock.advance(1.0)
+        assert store.rate("c", window=10.0) == pytest.approx(10.0)
+
+    def test_rate_survives_counter_reset(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        # 0 -> 100, restart drops to 0, climbs to 40: increase = 140.
+        for v in (0, 100, 0, 40):
+            store.observe("c", None, float(v))
+            clock.advance(1.0)
+        assert store.increase("c", window=10.0) == pytest.approx(140.0)
+
+    def test_rollups_downsample(self):
+        clock = FakeClock()
+        store = MetricStore(rollup_every=10.0, clock=clock)
+        for i in range(25):
+            store.observe("g", None, float(i))
+            clock.advance(1.0)
+        buckets = store.rollup_query("g")
+        assert len(buckets) >= 2
+        # (bucket_ts, min, max, mean, count) schema
+        _, mn, mx, mean, count = buckets[0]
+        assert count == 10
+        assert mn == 0.0 and mx == 9.0
+        assert mean == pytest.approx(4.5)
+
+    def test_match_filters_series(self):
+        store = MetricStore(clock=FakeClock())
+        store.observe("up", {"shard": 0}, 1.0)
+        store.observe("up", {"shard": 1}, 0.0)
+        store.observe("other", {"shard": 0}, 1.0)
+        assert len(store.match("up")) == 2
+        assert store.match("up", shard=1) == [{"shard": "1"}]
+
+
+#: compressed windows so a test drives hours of SRE-workbook burn logic
+#: through seconds of fake time
+FAST = (BurnWindow(5.0, 60.0, 10.0, "page"),)
+
+
+def _availability_slo() -> SLO:
+    return SLO(
+        "avail",
+        "availability",
+        objective=0.99,
+        total_metric="req.total",
+        error_metric="req.errors",
+    )
+
+
+class TestSLOEngine:
+    def _feed(self, store, clock, seconds, total_per_s, err_per_s):
+        total = store.latest("req.total") or 0.0
+        errors = store.latest("req.errors") or 0.0
+        for _ in range(int(seconds)):
+            total += total_per_s
+            errors += err_per_s
+            store.observe("req.total", None, total)
+            store.observe("req.errors", None, errors)
+            clock.advance(1.0)
+
+    def test_no_data_does_not_fire(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        engine = SLOEngine(store, [_availability_slo()], windows=FAST, clock=clock)
+        assert engine.evaluate() == []
+        assert engine.burn_rates()["avail"] == {}
+
+    def test_fires_when_both_windows_burn(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        engine = SLOEngine(store, [_availability_slo()], windows=FAST, clock=clock)
+        # 50% errors against a 1% budget = burn 50 in BOTH windows.
+        self._feed(store, clock, 70, total_per_s=10, err_per_s=5)
+        transitions = engine.evaluate()
+        assert [a.state for a in transitions] == ["firing"]
+        alert = transitions[0]
+        assert alert.slo == "avail" and alert.severity == "page"
+        assert alert.burn_short >= 10.0 and alert.burn_long >= 10.0
+        assert engine.firing()[0].slo == "avail"
+        # Steady burn: already firing, no duplicate transition.
+        assert engine.evaluate() == []
+
+    def test_short_window_alone_does_not_fire(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        engine = SLOEngine(store, [_availability_slo()], windows=FAST, clock=clock)
+        # A long clean history, then a 5s error spike: the short window
+        # burns hot but the long window stays calm -> no page (this is
+        # the point of multi-window alerts).
+        self._feed(store, clock, 60, total_per_s=10, err_per_s=0)
+        self._feed(store, clock, 5, total_per_s=10, err_per_s=5)
+        assert engine.evaluate() == []
+
+    def test_resolves_after_recovery(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        engine = SLOEngine(store, [_availability_slo()], windows=FAST, clock=clock)
+        self._feed(store, clock, 70, total_per_s=10, err_per_s=5)
+        assert engine.evaluate()[0].state == "firing"
+        self._feed(store, clock, 70, total_per_s=10, err_per_s=0)
+        transitions = engine.evaluate()
+        assert [a.state for a in transitions] == ["resolved"]
+        assert engine.firing() == []
+        # Both transitions live in the typed log, in order.
+        assert [a.state for a in engine.alerts] == ["firing", "resolved"]
+
+    def test_time_scale_shrinks_windows(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        # Workbook page windows (300s/3600s) scaled down 100x -> 3s/36s.
+        engine = SLOEngine(
+            store, [_availability_slo()], time_scale=0.01, clock=clock
+        )
+        self._feed(store, clock, 40, total_per_s=10, err_per_s=5)
+        states = {(a.slo, a.severity) for a in engine.evaluate()}
+        assert ("avail", "page") in states
+
+    def test_gauge_ceiling_slo(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        slo = SLO(
+            "lag", "gauge_ceiling", objective=0.9,
+            metric="lag_s", threshold=2.0,
+        )
+        engine = SLOEngine(store, [slo], windows=FAST, clock=clock)
+        for _ in range(70):
+            store.observe("lag_s", None, 5.0)  # always over the ceiling
+            clock.advance(1.0)
+        assert engine.evaluate()[0].state == "firing"
+
+    def test_prometheus_exposition(self):
+        clock = FakeClock()
+        store = MetricStore(clock=clock)
+        engine = SLOEngine(store, [_availability_slo()], windows=FAST, clock=clock)
+        self._feed(store, clock, 70, total_per_s=10, err_per_s=5)
+        engine.evaluate()
+        from repro.obs.exporters import _Expo
+
+        expo = _Expo()
+        engine.prometheus_into(expo)
+        text = expo.text()
+        assert '# TYPE repro_slo_objective gauge' in text
+        assert 'repro_slo_alert_firing{severity="page",slo="avail"} 1' in text
+        assert 'repro_slo_alerts_total{severity="page",slo="avail"} 1' in text
+        # Prometheus text lint: every non-comment line is name{...} value
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name and float(value) is not None
+
+
+class TestObservabilityPlane:
+    def test_scrape_runs_collectors_and_engine(self):
+        clock = FakeClock()
+        plane = ObservabilityPlane(
+            slos=[_availability_slo()], windows=FAST, clock=clock
+        )
+        state = {"total": 0.0}
+
+        def collector(store, now):
+            state["total"] += 10.0
+            store.observe("req.total", None, state["total"], now)
+            store.observe("req.errors", None, state["total"] / 2.0, now)
+
+        plane.add_collector(collector)
+        for _ in range(70):
+            plane.scrape_once()
+            clock.advance(1.0)
+        assert plane.scrapes == 70
+        snap = plane.snapshot()
+        assert snap["alerts_firing"][0]["slo"] == "avail"
+        assert any(s["name"] == "req.total" for s in snap["series"])
+
+    def test_broken_collector_counted_not_fatal(self):
+        plane = ObservabilityPlane(clock=FakeClock())
+
+        def broken(store, now):
+            raise RuntimeError("collector bug")
+
+        plane.add_collector(broken, name="bad")
+        plane.add_collector(lambda store, now: store.observe("ok", None, 1.0, now))
+        plane.scrape_once()
+        plane.scrape_once()
+        assert plane.collector_errors["bad"] == 2
+        assert plane.store.latest("ok") == 1.0
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        plane = ObservabilityPlane(
+            slos=default_cluster_slos(), clock=FakeClock()
+        )
+        plane.add_collector(
+            lambda store, now: store.observe("g", {"shard": 1}, 2.5, now)
+        )
+        plane.scrape_once()
+        parsed = json.loads(plane.snapshot_json())
+        assert parsed["scrapes"] == 1
+        assert {s["name"] for s in parsed["slos"]} == {
+            "availability", "p99-latency", "replication-lag",
+        }
+
+    def test_prometheus_text_has_slo_family(self):
+        plane = ObservabilityPlane(
+            slos=default_cluster_slos(), clock=FakeClock()
+        )
+        assert "repro_slo_objective" in plane.prometheus_text()
+
+    def test_background_thread_scrapes(self):
+        import time as _time
+
+        plane = ObservabilityPlane(interval=0.01)
+        plane.add_collector(
+            lambda store, now: store.observe("tick", None, 1.0, now)
+        )
+        plane.start()
+        try:
+            deadline = _time.monotonic() + 5.0
+            while plane.scrapes == 0 and _time.monotonic() < deadline:
+                _time.sleep(0.01)
+        finally:
+            plane.stop()
+        assert plane.scrapes > 0
+        assert plane.store.latest("tick") == 1.0

@@ -1,0 +1,210 @@
+"""Cross-process trace context: wire ids, remote spans, adopt() stitching.
+
+Multi-process flows are simulated with two :class:`Tracer` instances in
+one process (the "router" and the "shard"); genuinely foreign processes
+are simulated by doctoring the serialised spans' ``pid`` fields.
+"""
+
+import os
+
+from repro.obs import trace
+from repro.obs.trace import Tracer, build_tree
+
+
+class TestWireCtx:
+    def test_wire_ctx_shape(self):
+        with trace.tracing() as tracer:
+            with trace.span("root") as sp:
+                ctx = trace.wire_ctx()
+        assert ctx == {
+            "trace": f"{os.getpid():x}-{sp.trace_id:x}",
+            "span": sp.span_id,
+            "pid": os.getpid(),
+            "sampled": True,
+        }
+        # the minted wire id resolves back to the same local trace
+        assert tracer.trace_for_wire(ctx["trace"]) == sp.trace_id
+
+    def test_wire_ctx_none_when_disabled_or_idle(self):
+        trace.disable()
+        assert trace.wire_ctx() is None
+        with trace.tracing():
+            assert trace.wire_ctx() is None  # tracing on, but no open span
+
+    def test_trace_for_wire_allocates_stably(self):
+        tracer = Tracer()
+        local = tracer.trace_for_wire("abc-7")
+        assert tracer.trace_for_wire("abc-7") == local
+        assert tracer.wire_id_of(local) == "abc-7"  # symmetric binding
+        assert tracer.trace_for_wire("def-7") != local
+
+
+class TestRemoteSpans:
+    def _ctx(self, router, root):
+        return {
+            "trace": router.wire_id_of(root.trace_id),
+            "span": root.span_id,
+            "pid": os.getpid(),
+            "sampled": root.sampled,
+        }
+
+    def test_remote_span_tags_and_trace_binding(self):
+        router = Tracer()
+        root = router.span("router.scatter").open()
+        ctx = self._ctx(router, root)
+
+        shard = Tracer()
+        sess = shard.span("server.session", remote=ctx).open()
+        assert sess.parent_id is None  # local root on the shard side
+        assert sess.tags["_wire_parent"] == root.span_id
+        assert sess.tags["_wire_parent_pid"] == os.getpid()
+        # the shard's local trace is bound to the router's wire id
+        assert shard.wire_id_of(sess.trace_id) == ctx["trace"]
+        sess.finish()
+        root.finish()
+
+    def test_remote_sampled_false_propagates(self):
+        router = Tracer()
+        ctx = {"trace": "feed-1", "span": 1, "pid": 12345, "sampled": False}
+        sp = router.span("server.session", remote=ctx).open()
+        assert not sp.sampled
+        sp.finish()
+        assert router.spans == []  # unsampled spans are never recorded
+
+    def test_drain_carries_wire_trace(self):
+        router = Tracer()
+        root = router.span("router.scatter").open()
+        shard = Tracer()
+        with shard.span("server.start", remote=self._ctx(router, root)):
+            pass
+        shipped = shard.drain_serialized()
+        assert [d["wire_trace"] for d in shipped] == [
+            router.wire_id_of(root.trace_id)
+        ]
+        root.finish()
+
+
+class TestAdoptWire:
+    def _ctx(self, router, root):
+        return {
+            "trace": router.wire_id_of(root.trace_id),
+            "span": root.span_id,
+            "pid": os.getpid(),
+            "sampled": root.sampled,
+        }
+
+    def test_own_pid_wire_parent_pins_under_minting_span(self):
+        """The router re-adopting spans whose wire parent IS its own span
+        must attach them directly under it, in the original trace."""
+        router = Tracer()
+        root = router.span("router.scatter").open()
+
+        shard = Tracer()
+        sess = shard.span("server.session", remote=self._ctx(router, root)).open()
+        with shard.span("server.fetch", parent=sess):
+            pass
+        sess.finish()
+
+        router.adopt(shard.drain_serialized(), shard=3)
+        root.finish()
+
+        adopted_sess = router.find("server.session")[0]
+        assert adopted_sess.parent_id == root.span_id  # unmapped local id
+        assert adopted_sess.trace_id == root.trace_id
+        assert adopted_sess.tags["shard"] == 3
+        assert "_wire_parent" not in adopted_sess.tags  # consumed, not kept
+        fetch = router.find("server.fetch")[0]
+        assert fetch.parent_id == adopted_sess.span_id
+        assert fetch.trace_id == root.trace_id
+        # one tree: every span of the trace is reachable
+        assert len(router.spans_for_trace(root.trace_id)) == 3
+
+    def test_foreign_ids_stable_across_drain_batches(self):
+        """A child drained before its parent reconnects when the parent
+        arrives in a later batch — ids remap stably per (pid, span_id)."""
+        remote = Tracer()
+        root = remote.span("remote_root").open()
+        remote.wire_id_of(root.trace_id)  # wire-bind so batches carry it
+        with remote.span("early_child", parent=root):
+            pass
+        batch1 = remote.drain_serialized()
+        with remote.span("late_child", parent=root):
+            pass
+        root.finish()
+        batch2 = remote.drain_serialized()
+        for d in batch1 + batch2:
+            d["pid"] = 99999  # simulate a genuinely foreign process
+
+        local = Tracer()
+        local.adopt(batch1)
+        local.adopt(batch2)
+        early = local.find("early_child")[0]
+        late = local.find("late_child")[0]
+        adopted_root = local.find("remote_root")[0]
+        assert early.parent_id == adopted_root.span_id
+        assert late.parent_id == adopted_root.span_id
+        assert early.trace_id == late.trace_id == adopted_root.trace_id
+        assert early.pid == 99999  # origin pid preserved for display
+
+    def test_unbound_orphans_reroot_at_parent(self):
+        """Spans with no wire binding and an unseen parent (e.g. a stack
+        inherited across fork) re-root at the adopt parent."""
+        remote = Tracer()
+        root = remote.span("lost_parent_root").open()
+        with remote.span("orphan", parent=root):
+            pass
+        batch = remote.drain_serialized()  # root still open: not shipped
+        for d in batch:
+            d["pid"] = 99999
+
+        local = Tracer()
+        anchor = local.span("anchor").open()
+        local.adopt(batch, parent=anchor)
+        anchor.finish()
+        orphan = local.find("orphan")[0]
+        assert orphan.parent_id == anchor.span_id
+        assert orphan.trace_id == anchor.trace_id
+        root.finish()
+
+
+class TestBuildTree:
+    def _d(self, span_id, parent_id, start, name="s"):
+        return {
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "start_wall": start,
+        }
+
+    def test_nesting_and_time_sort(self):
+        spans = [
+            self._d(1, None, 10.0, "root"),
+            self._d(3, 1, 30.0, "second"),
+            self._d(2, 1, 20.0, "first"),
+            self._d(4, 2, 25.0, "leaf"),
+        ]
+        roots = build_tree(spans)
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["span"]["name"] == "root"
+        assert [c["span"]["name"] for c in root["children"]] == [
+            "first",
+            "second",
+        ]
+        assert root["children"][0]["children"][0]["span"]["name"] == "leaf"
+
+    def test_missing_parent_becomes_root(self):
+        roots = build_tree(
+            [self._d(2, 99, 20.0, "dangling"), self._d(1, None, 10.0, "root")]
+        )
+        assert [r["span"]["name"] for r in roots] == ["root", "dangling"]
+
+    def test_round_trip_through_real_tracer(self):
+        with trace.tracing() as tracer:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        roots = build_tree([s.to_dict() for s in tracer.spans])
+        assert len(roots) == 1
+        assert roots[0]["span"]["name"] == "outer"
+        assert roots[0]["children"][0]["span"]["name"] == "inner"

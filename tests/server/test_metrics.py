@@ -232,3 +232,61 @@ class TestAggregateSnapshots:
         out = aggregate_snapshots([m.snapshot(raw=True)])
         assert out["shards"]["3"]["meters"]["window"]["mbr_test"] == 40
         assert out["meters"]["window"]["mbr_test"] == 40
+
+
+class TestAggregateHeterogeneous:
+    """Real clusters ship uneven snapshots: in-memory shards have no
+    storage section, restarted shards miss resilience keys the router
+    has, and a fully-degraded scrape can arrive empty."""
+
+    def test_missing_storage_section(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        durable = ServerMetrics(shard_id=0)
+        durable.record_query("window", 0.01, 5)
+        durable_snap = durable.snapshot(raw=True)
+        durable_snap["storage"] = {"pages": 12, "wal_records": 3}
+
+        in_memory = ServerMetrics(shard_id=1)
+        in_memory.record_query("window", 0.02, 7)
+        memory_snap = in_memory.snapshot(raw=True)
+        del memory_snap["storage"]  # in-memory shard: nothing to report
+
+        out = aggregate_snapshots([durable_snap, memory_snap])
+        # Query counters still merge across both shards...
+        assert out["queries"]["window"]["rows"] == 12
+        assert out["queries"]["window"]["latency"]["count"] == 2
+        # ...and the storage views stay per-shard, absent one included.
+        assert out["shards"]["0"]["storage"]["pages"] == 12
+        assert out["shards"]["1"]["storage"] == {}
+
+    def test_mismatched_resilience_keys(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        a = ServerMetrics(shard_id=0)
+        a.bump_resilience("retries", 3)
+        a.bump_resilience("hedges", 1)
+        b = ServerMetrics(shard_id=1)
+        b.bump_resilience("retries", 2)
+        b.bump_resilience("trace_drain_failed", 1)  # unknown to shard 0
+
+        out = aggregate_snapshots([a.snapshot(), b.snapshot()])
+        assert out["resilience"]["retries"] == 5
+        assert out["resilience"]["hedges"] == 1
+        assert out["resilience"]["trace_drain_failed"] == 1
+        # Zero-valued standard keys survive (dashboards key on them).
+        assert out["resilience"]["deadline_misses"] == 0
+
+    def test_zero_shard_input(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        out = aggregate_snapshots([])
+        assert out["shards"] == {}
+        assert out["requests"] == {}
+        assert out["queries"] == {}
+        assert out["resilience"] == {}
+        assert out["sessions"] == {}
+        # The storage rollup keeps its zero schema so consumers can
+        # read fields without existence checks.
+        assert out["storage"]["num_pages"] == 0
+        assert out["storage"]["physical_reads"] == 0

@@ -1,0 +1,103 @@
+"""The wire ``trace.get`` op and client-visible trace ids (single node)."""
+
+import pytest
+
+from repro import Database
+from repro.obs import trace
+from repro.server import BackgroundServer, QueryClient, RemoteError
+from repro.server import protocol
+
+
+def _seeded_db():
+    db = Database()
+    db.sql("create table pts (id number, geom sdo_geometry)")
+    for i in range(4):
+        db.sql(
+            f"insert into pts values ({i}, sdo_geometry('POINT ({i} {i})'))"
+        )
+    return db
+
+
+@pytest.fixture
+def _traced():
+    trace.enable()
+    try:
+        yield
+    finally:
+        trace.disable()
+
+
+class TestTraceOp:
+    def test_start_returns_trace_id_and_trace_get_stitches(self, _traced):
+        with BackgroundServer(_seeded_db()) as server:
+            with QueryClient(port=server.port) as client:
+                session = client.start(
+                    "sql", {"statement": "select id from pts"}
+                )
+                assert session.trace_id is not None
+                session.all()  # close the session so the span finishes
+                stitched = client.trace(session.session_id)
+        assert stitched["trace"] == session.trace_id
+        names = {s["name"] for s in stitched["spans"]}
+        assert {"server.session", "server.start", "server.fetch"} <= names
+        # One tree, rooted at the session span.
+        assert len(stitched["tree"]) == 1
+        assert stitched["tree"][0]["span"]["name"] == "server.session"
+        # Every span belongs to the same wire trace: one id on the wire.
+        ids = {s["span_id"] for s in stitched["spans"]}
+        parents = {
+            s["parent_id"] for s in stitched["spans"]
+            if s["parent_id"] is not None
+        }
+        assert parents <= ids
+
+    def test_session_convenience_method(self, _traced):
+        with BackgroundServer(_seeded_db()) as server:
+            with QueryClient(port=server.port) as client:
+                session = client.start(
+                    "sql", {"statement": "select id from pts"}
+                )
+                session.all()
+                stitched = session.trace()
+        assert stitched["spans"]
+
+    def test_spans_carry_meter_deltas_not_charges(self, _traced):
+        """Trace spans report meter *deltas*; the session's work is
+        attributed to spans without adding any charge of its own."""
+        db = _seeded_db()
+        db.create_spatial_index("pts_idx", "pts", "geom", kind="RTREE", fanout=6)
+        with BackgroundServer(db) as server:
+            with QueryClient(port=server.port) as client:
+                session = client.start(
+                    "window",
+                    {
+                        "table": "pts",
+                        "column": "geom",
+                        "operator": "SDO_FILTER",
+                        "wkt": "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                    },
+                )
+                session.all()
+                stitched = client.trace(session.session_id)
+        deltas = [s["meter_delta"] for s in stitched["spans"]]
+        assert any(d for d in deltas)  # the query charged real work
+
+    def test_tracing_off_no_trace_field_and_unknown_session(self):
+        assert not trace.enabled()
+        with BackgroundServer(_seeded_db()) as server:
+            with QueryClient(port=server.port) as client:
+                session = client.start(
+                    "sql", {"statement": "select id from pts"}
+                )
+                assert session.trace_id is None
+                session.all()
+                with pytest.raises(RemoteError) as err:
+                    client.trace(session.session_id)
+        assert err.value.code == protocol.ERR_UNKNOWN_SESSION
+
+    def test_unknown_session_id_errors(self, _traced):
+        with BackgroundServer(_seeded_db()) as server:
+            with QueryClient(port=server.port) as client:
+                with pytest.raises(RemoteError) as err:
+                    client.trace("sess-nope")
+        assert err.value.code == protocol.ERR_UNKNOWN_SESSION

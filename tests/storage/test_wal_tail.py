@@ -209,3 +209,34 @@ class TestPagerRoundTrip:
         assert replica.num_pages == before
         leader.close()
         replica.close()
+
+
+class TestLastLsn:
+    """``last_lsn`` is the committed watermark followers lag against."""
+
+    def test_uncommitted_tail_not_counted(self, tmp_path):
+        # A leader whose log ends in pending records must not report them:
+        # tail shipping stops at commit boundaries, so counting them would
+        # show a fully caught-up follower as permanently lagging.
+        wal = make_log(tmp_path)
+        assert wal.last_lsn() == 0
+        wal.append_page(0, b"a" * PAGE)
+        commit_lsn = wal.commit()
+        assert wal.last_lsn() == commit_lsn
+        wal.append_alloc(1)
+        wal.append_page(1, b"b" * PAGE)  # uncommitted tail
+        assert wal.last_lsn() == commit_lsn
+        records, _ = wal.records_since(0)
+        assert records[-1][0] == wal.last_lsn()
+        wal.close()
+
+    def test_watermark_survives_replay(self, tmp_path):
+        wal = make_log(tmp_path)
+        wal.append_page(0, b"a" * PAGE)
+        commit_lsn = wal.commit()
+        wal.append_page(0, b"c" * PAGE)  # discarded on replay
+        wal.close()
+        reopened = make_log(tmp_path)
+        reopened.replay()
+        assert reopened.last_lsn() == commit_lsn
+        reopened.close()
